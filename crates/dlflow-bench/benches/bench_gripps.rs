@@ -1,0 +1,48 @@
+//! GriPPS engine benchmarks: scanner throughput, FASTA parsing (the
+//! Figure 1(b) overhead), motif compilation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlflow_gripps::databank::{Databank, DatabankSpec};
+use dlflow_gripps::motif::Motif;
+use dlflow_gripps::scan::scan_databank;
+use dlflow_gripps::sequence::parse_fasta;
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_throughput");
+    g.sample_size(10);
+    let bank = Databank::generate(&DatabankSpec { n_sequences: 400, mean_len: 300, min_len: 40, seed: 9 });
+    let residues = bank.total_residues() as u64;
+    for n_motifs in [5usize, 20] {
+        let motifs = Motif::random_set(n_motifs, 6, 77);
+        g.throughput(Throughput::Elements(residues * n_motifs as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n_motifs), &n_motifs, |b, _| {
+            b.iter(|| std::hint::black_box(scan_databank(&bank, &motifs).matches.len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fasta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fasta_parse");
+    g.sample_size(20);
+    let bank = Databank::generate(&DatabankSpec { n_sequences: 2000, mean_len: 300, min_len: 40, seed: 10 });
+    let text = bank.to_fasta();
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("parse_2000_seqs", |b| {
+        b.iter(|| std::hint::black_box(parse_fasta(&text).unwrap().len()));
+    });
+    g.finish();
+}
+
+fn bench_motif_parse(c: &mut Criterion) {
+    let sources: Vec<String> = Motif::random_set(100, 8, 5).iter().map(|m| m.source.clone()).collect();
+    c.bench_function("motif_parse_100", |b| {
+        b.iter(|| {
+            let n: usize = sources.iter().map(|s| Motif::parse(s).unwrap().elements.len()).sum();
+            std::hint::black_box(n)
+        });
+    });
+}
+
+criterion_group!(benches, bench_scan, bench_fasta, bench_motif_parse);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Microbenchmarks of the bignum substrate: the cost of exactness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlflow_num::{Rat, UBig};
+
+fn mk_ubig(limbs: usize, seed: u64) -> UBig {
+    let mut state = seed | 1;
+    let v: Vec<u64> = (0..limbs)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        })
+        .collect();
+    UBig::from_limbs(v)
+}
+
+fn bench_ubig(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ubig");
+    for limbs in [4usize, 16, 64] {
+        let a = mk_ubig(limbs, 1);
+        let b = mk_ubig(limbs, 2);
+        g.bench_with_input(BenchmarkId::new("mul", limbs), &limbs, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.mul(&b)));
+        });
+        let big = a.mul(&b);
+        g.bench_with_input(BenchmarkId::new("div_rem", limbs), &limbs, |bch, _| {
+            bch.iter(|| std::hint::black_box(big.div_rem(&b)));
+        });
+        g.bench_with_input(BenchmarkId::new("gcd", limbs), &limbs, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.gcd(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rat");
+    let a = Rat::from_ratio(123456789, 987654321);
+    let b = Rat::from_ratio(555555557, 333333331);
+    g.bench_function("add", |bch| bch.iter(|| std::hint::black_box(a.add_ref(&b))));
+    g.bench_function("mul", |bch| bch.iter(|| std::hint::black_box(a.mul_ref(&b))));
+    g.bench_function("cmp", |bch| bch.iter(|| std::hint::black_box(a < b)));
+    g.bench_function("to_f64", |bch| bch.iter(|| std::hint::black_box(a.to_f64())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ubig, bench_rat);
+criterion_main!(benches);

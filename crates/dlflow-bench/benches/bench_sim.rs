@@ -1,0 +1,26 @@
+//! Simulator benchmarks: full online runs per policy (the cost of the
+//! conclusion experiment's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlflow_sim::engine::simulate;
+use dlflow_sim::schedulers::{Mct, OfflineAdapt, Srpt};
+use dlflow_sim::workload::{generate, WorkloadSpec};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("online_run");
+    g.sample_size(10);
+    let inst = generate(&WorkloadSpec { n_jobs: 10, n_machines: 3, seed: 13, ..Default::default() });
+    g.bench_function("mct", |b| {
+        b.iter(|| std::hint::black_box(simulate(&inst, &mut Mct::new()).unwrap().n_events));
+    });
+    g.bench_function("srpt", |b| {
+        b.iter(|| std::hint::black_box(simulate(&inst, &mut Srpt::new()).unwrap().n_events));
+    });
+    g.bench_function("ola", |b| {
+        b.iter(|| std::hint::black_box(simulate(&inst, &mut OfflineAdapt::new()).unwrap().n_events));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Simplex solver benchmarks: f64 vs exact rational arithmetic on the
+//! paper's LP shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlflow_core::lp_build::{build_deadline_lp, build_makespan_lp};
+use dlflow_lp::solve;
+use dlflow_num::Rat;
+use dlflow_sim::workload::{generate, WorkloadSpec};
+
+fn bench_system1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system1_makespan_lp");
+    for n in [4usize, 8, 16] {
+        let inst = generate(&WorkloadSpec { n_jobs: n, n_machines: 3, seed: 1, ..Default::default() });
+        g.bench_with_input(BenchmarkId::new("f64", n), &n, |b, _| {
+            b.iter(|| {
+                let built = build_makespan_lp(&inst);
+                std::hint::black_box(solve(&built.lp).status)
+            });
+        });
+        if n <= 8 {
+            let exact = inst.map_scalar(|v| Rat::from_ratio((v * 16.0).round() as i64, 16));
+            g.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+                b.iter(|| {
+                    let built = build_makespan_lp(&exact);
+                    std::hint::black_box(solve(&built.lp).status)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_system2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system2_deadline_lp");
+    for n in [4usize, 8, 16] {
+        let inst = generate(&WorkloadSpec { n_jobs: n, n_machines: 3, seed: 2, ..Default::default() });
+        let deadlines: Vec<f64> = (0..n).map(|j| inst.job(j).release + 100.0).collect();
+        g.bench_with_input(BenchmarkId::new("divisible", n), &n, |b, _| {
+            b.iter(|| {
+                let built = build_deadline_lp(&inst, &deadlines, false);
+                std::hint::black_box(solve(&built.lp).status)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("preemptive_5b", n), &n, |b, _| {
+            b.iter(|| {
+                let built = build_deadline_lp(&inst, &deadlines, true);
+                std::hint::black_box(solve(&built.lp).status)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_system1, bench_system2);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! **Ablation** — the design choices behind Theorem 2's search:
+//!
+//! 1. *Milestone binary search + LP probes* (the paper's algorithm):
+//!    exact optimum in O(log n²) probes.
+//! 2. *Milestone binary search + max-flow probes* (our uniform-machine
+//!    fast path): same exact optimum; each probe a combinatorial
+//!    max-flow instead of an LP — applicable because the GriPPS platform
+//!    is "uniform machines with restricted availabilities" (§3).
+//! 3. *Plain ε-bisection* (the strawman §4.3.1 warns about): approximate
+//!    only, and needs Θ(log(range/ε)) probes instead of Θ(log n²).
+//!
+//! Reported per instance size: probe counts, wall-clock, and the accuracy
+//! gap of the bisection.
+
+use dlflow_bench::{f3, render_table};
+use dlflow_core::maxflow::{
+    min_max_weighted_flow_bisection, min_max_weighted_flow_divisible_with, ProbeMethod,
+};
+use dlflow_core::uniform::uniform_factors;
+use dlflow_sim::workload::{generate, WorkloadSpec};
+use std::time::Instant;
+
+fn main() {
+    println!("=== Ablation: milestone search vs ε-bisection; LP vs max-flow probes ===\n");
+
+    let mut rows = Vec::new();
+    for &n in &[4usize, 6, 8, 12, 16] {
+        // The workload generator produces uniform-with-restricted-
+        // availabilities instances, so the max-flow probe applies.
+        let inst = generate(&WorkloadSpec { n_jobs: n, n_machines: 3, seed: 99, ..Default::default() });
+        assert!(uniform_factors(&inst).is_some(), "workload must be uniform");
+
+        let t0 = Instant::now();
+        let lp = min_max_weighted_flow_divisible_with(&inst, ProbeMethod::Lp);
+        let t_lp = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let mf = min_max_weighted_flow_divisible_with(&inst, ProbeMethod::MaxFlowUniform);
+        let t_mf = t0.elapsed().as_secs_f64();
+        assert!((lp.optimum - mf.optimum).abs() <= 1e-6 * lp.optimum.max(1.0));
+
+        let eps = 1e-3;
+        let t0 = Instant::now();
+        let bi = min_max_weighted_flow_bisection(&inst, &eps, false);
+        let t_bi = t0.elapsed().as_secs_f64();
+        let err = (bi.approx_optimum - lp.optimum) / lp.optimum.max(1e-12);
+
+        rows.push(vec![
+            n.to_string(),
+            lp.stats.n_milestones.to_string(),
+            lp.stats.n_probes.to_string(),
+            f3(t_lp * 1e3),
+            f3(t_mf * 1e3),
+            bi.iterations.to_string(),
+            f3(t_bi * 1e3),
+            format!("{:.2e}", err),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "n",
+                "milestones",
+                "probes",
+                "LP-probe (ms)",
+                "flow-probe (ms)",
+                "bisect iters",
+                "bisect (ms)",
+                "bisect rel.err",
+            ],
+            &rows
+        )
+    );
+    println!("\nfindings:");
+    println!("  - milestone search needs only O(log n²) probes; bisection needs ~log(range/eps)");
+    println!("    and still returns an APPROXIMATION (the paper's §4.3.1 argument, quantified);");
+    println!("  - on uniform platforms each probe can be a max-flow instead of an LP, with");
+    println!("    identical results (exactness preserved: the final range LP is unchanged).");
+}

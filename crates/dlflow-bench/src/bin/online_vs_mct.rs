@@ -1,0 +1,98 @@
+//! **Conclusion experiment** — "a simple on-line adaptation of our
+//! off-line algorithm, enhanced by a simple preemption scheme, produces
+//! better schedules than classical scheduling heuristics like Minimum
+//! Completion Time, with respect to our objectives."
+//!
+//! Protocol: an ensemble of random platform/workload instances; each
+//! policy replayed on each instance; metrics normalized by the exact
+//! offline divisible optimum of that instance (the bound Theorem 2 makes
+//! computable). Reported: mean and worst-case ratio per policy for max
+//! weighted flow and max stretch.
+
+use dlflow_bench::{f3, render_table};
+use dlflow_core::maxflow::min_max_weighted_flow_divisible;
+use dlflow_sim::engine::{simulate, OnlineScheduler, RunMetrics};
+use dlflow_sim::schedulers::{FifoFastest, Mct, OfflineAdapt, RoundRobin, Srpt, WeightedAge};
+use dlflow_sim::workload::{ensemble, WorkloadSpec};
+
+fn main() {
+    println!("=== Conclusion: online policies vs offline divisible optimum ===\n");
+
+    let spec = WorkloadSpec {
+        n_jobs: 10,
+        n_machines: 3,
+        mean_interarrival: 3.0,
+        cost_range: (2.0, 20.0),
+        heterogeneity: 3.0,
+        availability: 0.7,
+        weights: vec![1.0, 2.0, 5.0],
+        seed: 7,
+    };
+    let n_instances = 20;
+    let instances = ensemble(&spec, n_instances);
+    println!(
+        "{} instances: {} jobs, {} machines, Poisson arrivals (mean gap {}), availability {}\n",
+        n_instances, spec.n_jobs, spec.n_machines, spec.mean_interarrival, spec.availability
+    );
+
+    let offline: Vec<f64> = instances
+        .iter()
+        .map(|inst| min_max_weighted_flow_divisible(inst).optimum)
+        .collect();
+
+    let mk_policies = || -> Vec<Box<dyn OnlineScheduler>> {
+        vec![
+            Box::new(Mct::new()),
+            Box::new(FifoFastest::new()),
+            Box::new(Srpt::new()),
+            Box::new(RoundRobin::new()),
+            Box::new(WeightedAge::new()),
+            Box::new(OfflineAdapt::new()),
+        ]
+    };
+
+    let mut rows = Vec::new();
+    let mut summary: Vec<(String, f64)> = Vec::new();
+    for mut policy in mk_policies() {
+        let mut wf_ratios = Vec::new();
+        let mut stretch = Vec::new();
+        for (inst, &opt) in instances.iter().zip(&offline) {
+            let res = simulate(inst, policy.as_mut()).expect("simulation completes");
+            let m = RunMetrics::from_completions(inst, &res.completions);
+            wf_ratios.push(m.max_weighted_flow / opt);
+            stretch.push(m.max_stretch);
+        }
+        let mean = wf_ratios.iter().sum::<f64>() / wf_ratios.len() as f64;
+        let worst = wf_ratios.iter().cloned().fold(0.0, f64::max);
+        let wins = wf_ratios.iter().filter(|&&r| r < 1.02).count();
+        let mean_stretch = stretch.iter().sum::<f64>() / stretch.len() as f64;
+        rows.push(vec![
+            policy.name(),
+            f3(mean),
+            f3(worst),
+            format!("{wins}/{n_instances}"),
+            f3(mean_stretch),
+        ]);
+        summary.push((policy.name(), mean));
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["policy", "mean maxWF/opt", "worst maxWF/opt", "within 2% of opt", "mean maxStretch"],
+            &rows
+        )
+    );
+
+    let ola = summary.iter().find(|(n, _)| n.starts_with("OLA")).unwrap().1;
+    let mct = summary.iter().find(|(n, _)| n == "MCT").unwrap().1;
+    println!(
+        "OLA mean ratio {:.3} vs MCT {:.3}: OLA is {:.1}% closer to the offline optimum.",
+        ola,
+        mct,
+        (mct - ola) / mct * 100.0
+    );
+    assert!(ola < mct, "the paper's claim must reproduce: OLA beats MCT on mean max weighted flow");
+    println!("\npaper's qualitative claim REPRODUCED: the online adaptation of the offline");
+    println!("algorithm dominates Minimum Completion Time on the max weighted flow objective.");
+}

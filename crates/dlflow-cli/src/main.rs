@@ -1,0 +1,193 @@
+//! `dlflow` — command-line front end for the scheduling library.
+//!
+//! ```text
+//! dlflow makespan  <instance.dlf>            Theorem 1: optimal divisible makespan
+//! dlflow maxflow   <instance.dlf> [options]  Theorem 2 / §4.4: optimal max weighted flow
+//!     --preemptive     preemption without divisibility (§4.4)
+//!     --stretch        re-weight jobs by 1/W_j (max stretch)
+//! dlflow deadline  <instance.dlf> <d1> <d2> … [--preemptive]
+//!                                            Lemma 1: deadline feasibility
+//! dlflow milestones <instance.dlf>           list the Theorem-2 milestones
+//! Common options: --gantt [width]            draw an ASCII Gantt chart
+//! ```
+//!
+//! Instance files use the `.dlf` format documented in [`format`].
+
+pub mod format;
+
+use dlflow_core::deadline::{deadline_feasible_divisible, deadline_feasible_preemptive};
+use dlflow_core::gantt::render_gantt;
+use dlflow_core::instance::Instance;
+use dlflow_core::makespan::min_makespan;
+use dlflow_core::maxflow::{
+    min_max_weighted_flow_divisible, min_max_weighted_flow_preemptive,
+};
+use dlflow_core::milestones::{milestone_bound, milestones};
+use dlflow_core::schedule::Schedule;
+use dlflow_core::validate::validate;
+use dlflow_num::Rat;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  dlflow makespan   <instance.dlf> [--gantt [width]]
+  dlflow maxflow    <instance.dlf> [--preemptive] [--stretch] [--gantt [width]]
+  dlflow deadline   <instance.dlf> <d1> <d2> ... [--preemptive] [--gantt [width]]
+  dlflow milestones <instance.dlf>
+
+instance format (.dlf):
+  job <release> <weight> [name]        one line per job
+  machine <c1> <c2> ... <cn>           one cost per job; 'inf' = unavailable
+  numbers: integers, decimals, or exact rationals like 3/2";
+
+struct Opts {
+    preemptive: bool,
+    stretch: bool,
+    gantt: Option<usize>,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts { preemptive: false, stretch: false, gantt: None, positional: Vec::new() };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--preemptive" => o.preemptive = true,
+            "--stretch" => o.stretch = true,
+            "--gantt" => {
+                o.gantt = Some(60);
+                if let Some(w) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    o.gantt = Some(w);
+                    i += 1;
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
+            pos => o.positional.push(pos.to_string()),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn load(path: &str) -> Result<Instance<Rat>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    format::parse_instance(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn show_schedule(inst: &Instance<Rat>, sched: &Schedule<Rat>, gantt: Option<usize>) {
+    print!("{sched}");
+    if let Some(w) = gantt {
+        print!("{}", render_gantt(sched, w));
+    }
+    let _ = inst;
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let opts = parse_opts(&args[1..])?;
+
+    match cmd.as_str() {
+        "makespan" => {
+            let [path] = &opts.positional[..] else {
+                return Err("makespan: expected exactly one instance file".into());
+            };
+            let inst = load(path)?;
+            let out = min_makespan(&inst);
+            validate(&inst, &out.schedule).map_err(|e| e.to_string())?;
+            println!("optimal makespan: {} (≈ {:.6})", out.makespan, out.makespan.to_f64());
+            show_schedule(&inst, &out.schedule, opts.gantt);
+        }
+        "maxflow" => {
+            let [path] = &opts.positional[..] else {
+                return Err("maxflow: expected exactly one instance file".into());
+            };
+            let mut inst = load(path)?;
+            if opts.stretch {
+                inst = inst.with_stretch_weights();
+            }
+            let out = if opts.preemptive {
+                min_max_weighted_flow_preemptive(&inst)
+            } else {
+                min_max_weighted_flow_divisible(&inst)
+            };
+            validate(&inst, &out.schedule).map_err(|e| e.to_string())?;
+            let label = if opts.stretch { "max stretch" } else { "max weighted flow" };
+            let model = if opts.preemptive { "preemptive (§4.4)" } else { "divisible (Theorem 2)" };
+            println!(
+                "optimal {label} [{model}]: {} (≈ {:.6})",
+                out.optimum,
+                out.optimum.to_f64()
+            );
+            println!(
+                "milestones: {}, feasibility probes: {}",
+                out.stats.n_milestones, out.stats.n_probes
+            );
+            show_schedule(&inst, &out.schedule, opts.gantt);
+        }
+        "deadline" => {
+            if opts.positional.len() < 2 {
+                return Err("deadline: expected an instance file and one deadline per job".into());
+            }
+            let inst = load(&opts.positional[0])?;
+            let deadlines: Result<Vec<Rat>, _> = opts.positional[1..]
+                .iter()
+                .map(|t| format::parse_rat(t, 0).map_err(|e| e.to_string()))
+                .collect();
+            let deadlines = deadlines?;
+            if deadlines.len() != inst.n_jobs() {
+                return Err(format!(
+                    "deadline: got {} deadlines for {} jobs",
+                    deadlines.len(),
+                    inst.n_jobs()
+                ));
+            }
+            let result = if opts.preemptive {
+                deadline_feasible_preemptive(&inst, &deadlines)
+            } else {
+                deadline_feasible_divisible(&inst, &deadlines)
+            };
+            match result {
+                Some(sched) => {
+                    validate(&inst, &sched).map_err(|e| e.to_string())?;
+                    println!("FEASIBLE");
+                    show_schedule(&inst, &sched, opts.gantt);
+                }
+                None => {
+                    println!("INFEASIBLE");
+                    return Err("no schedule meets the deadline windows".into());
+                }
+            }
+        }
+        "milestones" => {
+            let [path] = &opts.positional[..] else {
+                return Err("milestones: expected exactly one instance file".into());
+            };
+            let inst = load(path)?;
+            let ms = milestones(&inst);
+            println!(
+                "{} distinct milestones (bound n²−n = {}):",
+                ms.len(),
+                milestone_bound(inst.n_jobs())
+            );
+            for f in ms {
+                println!("  F = {f}");
+            }
+        }
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => return Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end tests of the `dlflow` binary via `std::process`.
+
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_dlflow");
+
+fn write_instance(content: &str) -> tempfile_path::TempPath {
+    tempfile_path::TempPath::new(content)
+}
+
+/// Minimal self-cleaning temp-file helper (no tempfile crate offline).
+mod tempfile_path {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct TempPath(pub PathBuf);
+
+    impl TempPath {
+        pub fn new(content: &str) -> TempPath {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!(
+                "dlflow-cli-test-{}-{}.dlf",
+                std::process::id(),
+                n
+            ));
+            let mut f = std::fs::File::create(&path).unwrap();
+            use std::io::Write as _;
+            f.write_all(content.as_bytes()).unwrap();
+            TempPath(path)
+        }
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().unwrap()
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+const DEMO: &str = "\
+job 0 1 q1
+job 1 4 q2
+job 2 1 q3
+machine 6 2 4
+machine 9 inf 8
+";
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(BIN).args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn maxflow_divisible_and_preemptive() {
+    let f = write_instance(DEMO);
+    let (ok, stdout, _) = run(&["maxflow", f.as_str()]);
+    assert!(ok);
+    assert!(stdout.contains("optimal max weighted flow"), "{stdout}");
+    assert!(stdout.contains(": 8 "), "expected F* = 8 in: {stdout}");
+
+    let (ok, stdout, _) = run(&["maxflow", f.as_str(), "--preemptive"]);
+    assert!(ok);
+    assert!(stdout.contains("§4.4"), "{stdout}");
+}
+
+#[test]
+fn makespan_exact_rational() {
+    let f = write_instance(DEMO);
+    let (ok, stdout, _) = run(&["makespan", f.as_str()]);
+    assert!(ok);
+    assert!(stdout.contains("36/5"), "expected exact 36/5 in: {stdout}");
+}
+
+#[test]
+fn deadline_feasible_and_infeasible() {
+    let f = write_instance(DEMO);
+    let (ok, stdout, _) = run(&["deadline", f.as_str(), "10", "4", "12"]);
+    assert!(ok);
+    assert!(stdout.contains("FEASIBLE"), "{stdout}");
+
+    let (ok, stdout, stderr) = run(&["deadline", f.as_str(), "1", "2", "3"]);
+    assert!(!ok);
+    assert!(stdout.contains("INFEASIBLE"), "{stdout} / {stderr}");
+}
+
+#[test]
+fn milestones_listing() {
+    let f = write_instance(DEMO);
+    let (ok, stdout, _) = run(&["milestones", f.as_str()]);
+    assert!(ok);
+    assert!(stdout.contains("4 distinct milestones"), "{stdout}");
+    assert!(stdout.contains("F = 4/3"), "{stdout}");
+}
+
+#[test]
+fn gantt_flag_draws_chart() {
+    let f = write_instance(DEMO);
+    let (ok, stdout, _) = run(&["maxflow", f.as_str(), "--gantt", "40"]);
+    assert!(ok);
+    assert!(stdout.contains("M1  |"), "{stdout}");
+}
+
+#[test]
+fn errors_are_reported_with_context() {
+    let (ok, _, stderr) = run(&["maxflow", "/nonexistent/path.dlf"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+
+    let bad = write_instance("job 0 1\nmachine 4 2\n");
+    let (ok, _, stderr) = run(&["maxflow", bad.as_str()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+
+    let (ok, _, stderr) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn stretch_flag_reweights() {
+    let f = write_instance(DEMO);
+    let (ok, stdout, _) = run(&["maxflow", f.as_str(), "--stretch"]);
+    assert!(ok);
+    assert!(stdout.contains("max stretch"), "{stdout}");
+}

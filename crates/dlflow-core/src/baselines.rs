@@ -1,0 +1,162 @@
+//! Offline non-divisible baselines.
+//!
+//! These classical list-scheduling heuristics assign each job *entirely*
+//! to one machine, without preemption. They upper-bound the preemptive
+//! optimum, which in turn upper-bounds the divisible optimum — the chain
+//!
+//! `F*_divisible ≤ F*_preemptive ≤ F_baseline`
+//!
+//! is asserted by integration tests and reported by the Theorem-2
+//! experiment binary.
+
+use crate::instance::Instance;
+use crate::schedule::{Schedule, ScheduleKind, Slice};
+use dlflow_num::Scalar;
+
+/// Job ordering used by [`list_schedule`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ListOrder {
+    /// By release date (FIFO): the paper's "classical heuristics" family.
+    ReleaseDate,
+    /// Shortest fastest-processing-time first (SPT), ties by release.
+    ShortestFirst,
+    /// Highest weight first, ties by release.
+    WeightedFirst,
+}
+
+/// Greedy non-divisible list scheduling: jobs in the given order, each
+/// placed whole on the machine giving the **minimum completion time**
+/// (the MCT rule), respecting availability and the machine's current load.
+pub fn list_schedule<S: Scalar>(inst: &Instance<S>, order: ListOrder) -> Schedule<S> {
+    let mut idx: Vec<usize> = (0..inst.n_jobs()).collect();
+    match order {
+        ListOrder::ReleaseDate => {
+            idx.sort_by(|&a, &b| inst.job(a).release.cmp_total(&inst.job(b).release));
+        }
+        ListOrder::ShortestFirst => {
+            idx.sort_by(|&a, &b| {
+                inst.fastest_cost(a)
+                    .cmp_total(&inst.fastest_cost(b))
+                    .then(inst.job(a).release.cmp_total(&inst.job(b).release))
+            });
+        }
+        ListOrder::WeightedFirst => {
+            idx.sort_by(|&a, &b| {
+                inst.job(b)
+                    .weight
+                    .cmp_total(&inst.job(a).weight)
+                    .then(inst.job(a).release.cmp_total(&inst.job(b).release))
+            });
+        }
+    }
+
+    let mut free_at: Vec<S> = vec![S::zero(); inst.n_machines()];
+    let mut sched = Schedule::empty(inst.n_machines(), ScheduleKind::Preemptive);
+    for j in idx {
+        let rel = &inst.job(j).release;
+        let mut best: Option<(usize, S, S)> = None; // (machine, start, end)
+        for i in 0..inst.n_machines() {
+            let Some(c) = inst.cost(i, j).finite() else { continue };
+            let start = S::max_val(free_at[i].clone(), rel.clone());
+            let end = start.add(c);
+            let better = match &best {
+                None => true,
+                Some((_, _, be)) => end.lt_tol(be),
+            };
+            if better {
+                best = Some((i, start, end));
+            }
+        }
+        let (i, start, end) = best.expect("validated instance: some machine is available");
+        free_at[i] = end.clone();
+        sched.push(i, Slice { job: j, start, end });
+    }
+    sched.normalize();
+    sched
+}
+
+/// Max weighted flow achieved by a baseline (convenience wrapper).
+pub fn baseline_max_weighted_flow<S: Scalar>(inst: &Instance<S>, order: ListOrder) -> S {
+    list_schedule(inst, order).max_weighted_flow(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxflow::{min_max_weighted_flow_divisible, min_max_weighted_flow_preemptive};
+    use crate::validate::validate;
+    use crate::instance::InstanceBuilder;
+    use dlflow_num::Rat;
+
+    fn ri(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    fn sample() -> Instance<Rat> {
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one());
+        b.job(ri(1), ri(2));
+        b.job(ri(2), Rat::one());
+        b.machine(vec![Some(ri(4)), Some(ri(3)), Some(ri(5))]);
+        b.machine(vec![Some(ri(8)), Some(ri(6)), None]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn baselines_produce_valid_schedules() {
+        let inst = sample();
+        for order in [ListOrder::ReleaseDate, ListOrder::ShortestFirst, ListOrder::WeightedFirst] {
+            let s = list_schedule(&inst, order);
+            validate(&inst, &s).unwrap();
+            // Non-preemptive single-assignment: one slice per job.
+            assert_eq!(s.n_slices(), inst.n_jobs());
+        }
+    }
+
+    #[test]
+    fn optimality_chain_holds() {
+        let inst = sample();
+        let div = min_max_weighted_flow_divisible(&inst);
+        let pre = min_max_weighted_flow_preemptive(&inst);
+        let base = baseline_max_weighted_flow(&inst, ListOrder::ReleaseDate);
+        assert!(div.optimum <= pre.optimum, "divisible ≤ preemptive");
+        assert!(pre.optimum <= base, "preemptive optimum ≤ FIFO-MCT baseline");
+    }
+
+    #[test]
+    fn mct_picks_fast_machine() {
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one());
+        b.machine(vec![Some(ri(10))]);
+        b.machine(vec![Some(ri(2))]);
+        let inst = b.build().unwrap();
+        let s = list_schedule(&inst, ListOrder::ReleaseDate);
+        assert!(s.machines[0].is_empty());
+        assert_eq!(s.machines[1].len(), 1);
+        assert_eq!(s.makespan(), ri(2));
+    }
+
+    #[test]
+    fn mct_respects_availability() {
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one());
+        b.job(Rat::zero(), Rat::one());
+        b.machine(vec![Some(ri(1)), None]);
+        b.machine(vec![None, Some(ri(1))]);
+        let inst = b.build().unwrap();
+        let s = list_schedule(&inst, ListOrder::ReleaseDate);
+        validate(&inst, &s).unwrap();
+    }
+
+    #[test]
+    fn queueing_delays_later_jobs() {
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one());
+        b.job(Rat::zero(), Rat::one());
+        b.machine(vec![Some(ri(3)), Some(ri(3))]);
+        let inst = b.build().unwrap();
+        let s = list_schedule(&inst, ListOrder::ReleaseDate);
+        validate(&inst, &s).unwrap();
+        assert_eq!(s.makespan(), ri(6)); // back to back on the single machine
+    }
+}

@@ -1,0 +1,143 @@
+//! Lemma 1 (§4.2): deadline scheduling as LP feasibility.
+
+use crate::decompose::decompose_interval;
+use crate::instance::Instance;
+use crate::lp_build::{build_deadline_lp, pack_alpha_schedule};
+use crate::schedule::{Schedule, ScheduleKind, Slice};
+use dlflow_lp::solve;
+use dlflow_num::Scalar;
+
+/// Is there a **divisible** schedule meeting every `[r_j, d̄_j]` window?
+/// Returns an achieving schedule when feasible (Lemma 1: System (2) has a
+/// solution iff such a schedule exists, and packing fractions in any order
+/// inside each interval realizes it).
+pub fn deadline_feasible_divisible<S: Scalar>(inst: &Instance<S>, deadlines: &[S]) -> Option<Schedule<S>> {
+    let built = build_deadline_lp(inst, deadlines, false);
+    let sol = solve(&built.lp);
+    if !sol.is_optimal() {
+        return None;
+    }
+    let bounds: Vec<(S, S)> = (0..built.intervals.n_intervals())
+        .map(|t| (built.intervals.inf(t).clone(), built.intervals.sup(t).clone()))
+        .collect();
+    Some(pack_alpha_schedule(inst, &bounds, &built.alpha, &sol.values))
+}
+
+/// Is there a **preemptive** (non-divisible) schedule meeting every window?
+/// Uses System (5) restricted to a concrete objective (System (2) plus the
+/// per-job-per-interval bound (5b)), then rebuilds an explicit schedule
+/// with the Lawler–Labetoulle decomposition applied interval by interval.
+pub fn deadline_feasible_preemptive<S: Scalar>(inst: &Instance<S>, deadlines: &[S]) -> Option<Schedule<S>> {
+    let built = build_deadline_lp(inst, deadlines, true);
+    let sol = solve(&built.lp);
+    if !sol.is_optimal() {
+        return None;
+    }
+
+    let n_int = built.intervals.n_intervals();
+    let mut sched = Schedule::empty(inst.n_machines(), ScheduleKind::Preemptive);
+    for t in 0..n_int {
+        // Work matrix for this interval: time job j spends on machine i.
+        let mut work = vec![vec![S::zero(); inst.n_jobs()]; inst.n_machines()];
+        for (tt, i, j, v) in &built.alpha {
+            if *tt == t {
+                let frac = sol.value(*v);
+                if frac.is_positive_tol() {
+                    let c = inst.cost(*i, *j).finite().expect("alpha implies finite cost");
+                    work[*i][*j] = work[*i][*j].add(&frac.mul(c));
+                }
+            }
+        }
+        let len = built.intervals.len(t);
+        let phases = decompose_interval(&work, &len);
+        // Emit phases back to back from the interval start.
+        let mut clock = built.intervals.inf(t).clone();
+        for phase in phases {
+            let end = clock.add(&phase.duration);
+            for (i, j) in phase.assignment {
+                sched.push(i, Slice { job: j, start: clock.clone(), end: end.clone() });
+            }
+            clock = end;
+        }
+    }
+    sched.normalize();
+    Some(sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::validate::validate;
+    use dlflow_num::Rat;
+
+    fn two_machine_inst() -> Instance<Rat> {
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one()); // c = 2 on each
+        b.machine(vec![Some(Rat::from_i64(2))]);
+        b.machine(vec![Some(Rat::from_i64(2))]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn divisible_splits_across_machines() {
+        let inst = two_machine_inst();
+        // Divisible: half on each machine finishes at t = 1.
+        let s = deadline_feasible_divisible(&inst, &[Rat::one()]).expect("feasible");
+        validate(&inst, &s).unwrap();
+        assert!(s.makespan() <= Rat::one());
+    }
+
+    #[test]
+    fn preemptive_cannot_split_simultaneously() {
+        let inst = two_machine_inst();
+        // Preemptive: the job needs 2 wall-clock units; deadline 1 impossible.
+        assert!(deadline_feasible_preemptive(&inst, &[Rat::one()]).is_none());
+        // Deadline 2 is achievable (run on one machine).
+        let s = deadline_feasible_preemptive(&inst, &[Rat::from_i64(2)]).expect("feasible");
+        validate(&inst, &s).unwrap();
+    }
+
+    #[test]
+    fn infeasible_when_deadline_before_release() {
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::from_i64(5), Rat::one());
+        b.machine(vec![Some(Rat::one())]);
+        let inst = b.build().unwrap();
+        assert!(deadline_feasible_divisible(&inst, &[Rat::from_i64(4)]).is_none());
+    }
+
+    #[test]
+    fn tight_deadline_exactly_met() {
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one());
+        b.job(Rat::zero(), Rat::one());
+        b.machine(vec![Some(Rat::from_i64(2)), Some(Rat::from_i64(2))]);
+        let inst = b.build().unwrap();
+        // One machine, 4 units of work, deadlines at exactly 4.
+        let d = vec![Rat::from_i64(4), Rat::from_i64(4)];
+        let s = deadline_feasible_divisible(&inst, &d).expect("feasible");
+        validate(&inst, &s).unwrap();
+        assert_eq!(s.makespan(), Rat::from_i64(4));
+        // At 3 it is impossible.
+        let d = vec![Rat::from_i64(3), Rat::from_i64(3)];
+        assert!(deadline_feasible_divisible(&inst, &d).is_none());
+    }
+
+    #[test]
+    fn preemptive_schedule_migrates_between_machines() {
+        // Two jobs, two machines, tight symmetric deadlines force sharing.
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one()); // c: 2 on M0, 6 on M1
+        b.job(Rat::zero(), Rat::one()); // c: 6 on M0, 2 on M1
+        b.machine(vec![Some(Rat::from_i64(2)), Some(Rat::from_i64(6))]);
+        b.machine(vec![Some(Rat::from_i64(6)), Some(Rat::from_i64(2))]);
+        let inst = b.build().unwrap();
+        let d = vec![Rat::from_i64(2), Rat::from_i64(2)];
+        let s = deadline_feasible_preemptive(&inst, &d).expect("feasible");
+        validate(&inst, &s).unwrap();
+        let c = s.completion_times(2);
+        assert!(c[0].clone().unwrap() <= Rat::from_i64(2));
+        assert!(c[1].clone().unwrap() <= Rat::from_i64(2));
+    }
+}

@@ -1,0 +1,307 @@
+//! Lawler–Labetoulle / Gonzalez–Sahni matrix decomposition (§4.4).
+//!
+//! Given, for one time interval of length `L`, the matrix `T[i][j]` of
+//! processing time job `j` receives on machine `i`, with
+//!
+//! * row sums ≤ `L` (machine capacity — Equation (5c)), and
+//! * column sums ≤ `L` (a job is on one machine at a time — Equation (5b)),
+//!
+//! build a sequence of *phases*: sub-intervals during which every machine
+//! processes at most one job and every job occupies at most one machine.
+//! Concatenating the phases yields a valid preemptive schedule of length
+//! exactly `L` for the interval.
+//!
+//! Method (Birkhoff–von Neumann): pad `T` to an `(m+n)×(n+m)` square
+//! matrix whose every row and column sums to exactly `L`; the support of
+//! such a matrix always contains a perfect matching (Hall's condition via
+//! doubly-stochastic scaling), which is extracted with Hopcroft–Karp; the
+//! phase duration is the smallest matched entry, so every phase zeroes at
+//! least one entry and at most `(m+n)²` phases are produced.
+
+use crate::matching::hopcroft_karp;
+use dlflow_num::Scalar;
+
+/// One phase of the rebuilt open-shop style schedule.
+#[derive(Clone, Debug)]
+pub struct Phase<S> {
+    /// Phase duration (> 0).
+    pub duration: S,
+    /// `(machine, job)` pairs active during the phase (each machine and
+    /// each job appears at most once).
+    pub assignment: Vec<(usize, usize)>,
+}
+
+/// Decomposes the interval work matrix into phases. See module docs.
+///
+/// Panics if a row or column sum exceeds `len` beyond tolerance (the LP
+/// guarantees it cannot on a correct solution).
+pub fn decompose_interval<S: Scalar>(work: &[Vec<S>], len: &S) -> Vec<Phase<S>> {
+    let m = work.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let n = work[0].len();
+    debug_assert!(work.iter().all(|r| r.len() == n));
+
+    // Row/column sums of the real block.
+    let mut row_sum = vec![S::zero(); m];
+    let mut col_sum = vec![S::zero(); n];
+    for (i, row) in work.iter().enumerate() {
+        for (j, w) in row.iter().enumerate() {
+            assert!(!w.is_negative_tol(), "negative work entry");
+            row_sum[i] = row_sum[i].add(w);
+            col_sum[j] = col_sum[j].add(w);
+        }
+    }
+    for (i, rs) in row_sum.iter().enumerate() {
+        assert!(rs.le_tol(len), "machine {i} overloaded: {rs} > {len}");
+    }
+    for (j, cs) in col_sum.iter().enumerate() {
+        assert!(cs.le_tol(len), "job {j} over-scheduled: {cs} > {len}");
+    }
+
+    if !len.is_positive_tol() {
+        return Vec::new();
+    }
+
+    // Padded square matrix of order q = m + n:
+    //   rows   0..m   = machines,     m..q = per-job slack rows
+    //   cols   0..n   = jobs,         n..q = per-machine slack cols
+    let q = m + n;
+    let mut mat = vec![vec![S::zero(); q]; q];
+    for i in 0..m {
+        for j in 0..n {
+            mat[i][j] = work[i][j].clone();
+        }
+        // Machine idle time.
+        mat[i][n + i] = len.sub(&row_sum[i]);
+    }
+    for j in 0..n {
+        // Job idle time.
+        mat[m + j][j] = len.sub(&col_sum[j]);
+    }
+    // Bottom-right block X: row m+j needs an extra col_sum[j]; column n+i
+    // needs an extra row_sum[i]. Totals agree (both equal total work), so
+    // a northwest-corner transportation fill always succeeds.
+    {
+        let mut need_row: Vec<S> = col_sum.clone(); // indexed by j
+        let mut need_col: Vec<S> = row_sum.clone(); // indexed by i
+        let mut i = 0usize;
+        let mut j = 0usize;
+        while i < m && j < n {
+            if !need_col[i].is_positive_tol() {
+                i += 1;
+                continue;
+            }
+            if !need_row[j].is_positive_tol() {
+                j += 1;
+                continue;
+            }
+            let x = if need_row[j].lt_tol(&need_col[i]) {
+                need_row[j].clone()
+            } else {
+                need_col[i].clone()
+            };
+            mat[m + j][n + i] = mat[m + j][n + i].add(&x);
+            need_row[j] = need_row[j].sub(&x);
+            need_col[i] = need_col[i].sub(&x);
+        }
+    }
+
+    // Repeatedly extract perfect matchings on the positive support.
+    let mut remaining = len.clone();
+    let mut phases: Vec<Phase<S>> = Vec::new();
+    let max_iter = q * q + q + 4;
+    for _ in 0..max_iter {
+        if !remaining.is_positive_tol() {
+            break;
+        }
+        let adj: Vec<Vec<usize>> = (0..q)
+            .map(|r| (0..q).filter(|&c| mat[r][c].is_positive_tol()).collect())
+            .collect();
+        let (size, ml, _) = hopcroft_karp(q, q, &adj);
+        assert_eq!(
+            size, q,
+            "padded balanced matrix must admit a perfect matching (Birkhoff); \
+             this indicates numerical drift or an invalid LP solution"
+        );
+        // Phase duration: smallest matched entry (bounded by remaining).
+        let mut delta = remaining.clone();
+        for (r, &c) in ml.iter().enumerate() {
+            if mat[r][c].lt_tol(&delta) {
+                delta = mat[r][c].clone();
+            }
+        }
+        debug_assert!(delta.is_positive_tol());
+        let mut assignment = Vec::new();
+        for (r, &c) in ml.iter().enumerate() {
+            if r < m && c < n {
+                assignment.push((r, c));
+            }
+            mat[r][c] = mat[r][c].sub(&delta);
+            if mat[r][c].is_negative_tol() || mat[r][c].is_negligible() {
+                mat[r][c] = S::zero();
+            }
+        }
+        remaining = remaining.sub(&delta);
+        if remaining.is_negligible() {
+            remaining = S::zero();
+        }
+        phases.push(Phase { duration: delta, assignment });
+    }
+    assert!(
+        !remaining.is_positive_tol(),
+        "decomposition did not exhaust the interval: {remaining} left of {len}"
+    );
+    phases
+}
+
+/// Checks the defining properties of a phase list against the original
+/// work matrix (used by tests and the §4.4 experiment binary):
+/// 1. total phase duration equals `len`;
+/// 2. each machine/job appears at most once per phase;
+/// 3. summing phase durations per `(machine, job)` reproduces `work`.
+pub fn verify_phases<S: Scalar>(work: &[Vec<S>], len: &S, phases: &[Phase<S>]) -> Result<(), String> {
+    let m = work.len();
+    let n = if m == 0 { 0 } else { work[0].len() };
+    let mut total = S::zero();
+    let mut acc = vec![vec![S::zero(); n]; m];
+    for (p, phase) in phases.iter().enumerate() {
+        if !phase.duration.is_positive_tol() {
+            return Err(format!("phase {p} has non-positive duration"));
+        }
+        total = total.add(&phase.duration);
+        let mut seen_m = vec![false; m];
+        let mut seen_j = vec![false; n];
+        for &(i, j) in &phase.assignment {
+            if seen_m[i] {
+                return Err(format!("phase {p}: machine {i} assigned twice"));
+            }
+            if seen_j[j] {
+                return Err(format!("phase {p}: job {j} assigned twice"));
+            }
+            seen_m[i] = true;
+            seen_j[j] = true;
+            acc[i][j] = acc[i][j].add(&phase.duration);
+        }
+    }
+    if total.gt_tol(len) {
+        return Err(format!("phases overrun the interval: {total} > {len}"));
+    }
+    for i in 0..m {
+        for j in 0..n {
+            if !acc[i][j].sub(&work[i][j]).is_negligible() {
+                return Err(format!(
+                    "work mismatch at ({i},{j}): rebuilt {} expected {}",
+                    acc[i][j], work[i][j]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlflow_num::Rat;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn empty_interval_yields_no_phases() {
+        let work: Vec<Vec<Rat>> = vec![vec![Rat::zero(); 2]; 2];
+        let phases = decompose_interval(&work, &Rat::zero());
+        assert!(phases.is_empty());
+    }
+
+    #[test]
+    fn diagonal_matrix_single_phase_like() {
+        // Each machine has its own job: a single assignment pattern suffices.
+        let work = vec![vec![r(3), Rat::zero()], vec![Rat::zero(), r(3)]];
+        let phases = decompose_interval(&work, &r(3));
+        verify_phases(&work, &r(3), &phases).unwrap();
+    }
+
+    #[test]
+    fn swap_required() {
+        // Both jobs need time on both machines: at least two phases.
+        let work = vec![vec![r(2), r(2)], vec![r(2), r(2)]];
+        let phases = decompose_interval(&work, &r(4));
+        assert!(phases.len() >= 2);
+        verify_phases(&work, &r(4), &phases).unwrap();
+    }
+
+    #[test]
+    fn slack_rows_and_cols_absorb_idle_time() {
+        // Unbalanced: machine 0 works 3 of 5; job 1 gets only 1 unit.
+        let work = vec![vec![r(2), r(1)], vec![Rat::zero(), Rat::zero()]];
+        let phases = decompose_interval(&work, &r(5));
+        verify_phases(&work, &r(5), &phases).unwrap();
+    }
+
+    #[test]
+    fn rectangular_more_jobs_than_machines() {
+        let work = vec![vec![r(1), r(2), r(1)]];
+        let phases = decompose_interval(&work, &r(4));
+        verify_phases(&work, &r(4), &phases).unwrap();
+        // Single machine: every phase has at most one (machine, job) pair.
+        for p in &phases {
+            assert!(p.assignment.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn rectangular_more_machines_than_jobs() {
+        let work = vec![vec![r(2)], vec![r(1)], vec![Rat::zero()]];
+        let phases = decompose_interval(&work, &r(3));
+        verify_phases(&work, &r(3), &phases).unwrap();
+        // The single job is never on two machines at once.
+        for p in &phases {
+            let jobs: Vec<_> = p.assignment.iter().map(|&(_, j)| j).collect();
+            let mut uniq = jobs.clone();
+            uniq.dedup();
+            assert_eq!(jobs.len(), uniq.len());
+        }
+    }
+
+    #[test]
+    fn fractional_entries_exact() {
+        let work = vec![
+            vec![Rat::from_ratio(1, 3), Rat::from_ratio(1, 2)],
+            vec![Rat::from_ratio(2, 3), Rat::from_ratio(1, 6)],
+        ];
+        let len = Rat::from_ratio(7, 6);
+        let phases = decompose_interval(&work, &len);
+        verify_phases(&work, &len, &phases).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "overloaded")]
+    fn overloaded_machine_panics() {
+        let work = vec![vec![r(5)]];
+        let _ = decompose_interval(&work, &r(3));
+    }
+
+    #[test]
+    fn f64_numerical_path() {
+        let work = vec![vec![0.3, 0.5], vec![0.6, 0.1]];
+        let phases = decompose_interval(&work, &1.0f64);
+        verify_phases(&work, &1.0, &phases).unwrap();
+    }
+
+    #[test]
+    fn phase_count_is_polynomial() {
+        // 3×3 dense matrix: phases ≤ (m+n)² = 36.
+        let work = vec![
+            vec![r(1), r(2), r(3)],
+            vec![r(3), r(1), r(2)],
+            vec![r(2), r(3), r(1)],
+        ];
+        let phases = decompose_interval(&work, &r(6));
+        assert!(phases.len() <= 36);
+        verify_phases(&work, &r(6), &phases).unwrap();
+    }
+}

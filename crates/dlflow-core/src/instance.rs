@@ -1,0 +1,437 @@
+//! Problem instances: jobs, machines, and the unrelated-machine cost matrix.
+//!
+//! Section 3 of the paper: `n` jobs `J_1..J_n` with release dates `r_j`
+//! and weights `w_j`; `m` machines; `c[i][j]` is the time for machine
+//! `M_i` to process the whole of job `J_j`, possibly infinite when the
+//! databank required by `J_j` is not replicated on `M_i`.
+
+use dlflow_num::Scalar;
+use std::fmt;
+
+/// Per-job data.
+#[derive(Clone, Debug)]
+pub struct Job<S> {
+    /// Release date `r_j ≥ 0`.
+    pub release: S,
+    /// Weight `w_j > 0`. Weighted flow is `w_j · (C_j − r_j)`.
+    ///
+    /// Max-stretch is the special case `w_j = 1 / W_j` where `W_j` is the
+    /// job size (the paper's §3 states `w_j = W_j`, a typo: with weighted
+    /// flow defined as `w_j · F_j`, the stretch `F_j / W_j` needs the
+    /// reciprocal).
+    pub weight: S,
+    /// Human-readable label (used in schedules and error messages).
+    pub name: String,
+}
+
+/// Processing cost of a job on a machine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cost<S> {
+    /// The machine holds the databank: processing the full job takes this long.
+    Finite(S),
+    /// The job's databank is absent from the machine: the job cannot run there.
+    Infinite,
+}
+
+impl<S: Scalar> Cost<S> {
+    /// The finite value, if any.
+    pub fn finite(&self) -> Option<&S> {
+        match self {
+            Cost::Finite(c) => Some(c),
+            Cost::Infinite => None,
+        }
+    }
+
+    /// `true` when the job can run on the machine.
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Cost::Finite(_))
+    }
+}
+
+/// Errors from [`Instance`] construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstanceError {
+    /// The job list was empty.
+    NoJobs,
+    /// No machines were given.
+    NoMachines,
+    /// The cost matrix dimensions do not match `(machines × jobs)`.
+    BadMatrixShape,
+    /// A job had a negative release date.
+    NegativeRelease(usize),
+    /// A job had a non-positive weight.
+    NonPositiveWeight(usize),
+    /// A finite cost was negative.
+    NegativeCost(usize, usize),
+    /// A job cannot run anywhere (all costs infinite).
+    Unplaceable(usize),
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::NoJobs => write!(f, "instance has no jobs"),
+            InstanceError::NoMachines => write!(f, "instance has no machines"),
+            InstanceError::BadMatrixShape => write!(f, "cost matrix shape mismatch"),
+            InstanceError::NegativeRelease(j) => write!(f, "job {j} has a negative release date"),
+            InstanceError::NonPositiveWeight(j) => write!(f, "job {j} has a non-positive weight"),
+            InstanceError::NegativeCost(i, j) => write!(f, "cost[{i}][{j}] is negative"),
+            InstanceError::Unplaceable(j) => {
+                write!(f, "job {j} has no machine with a finite cost (databank nowhere replicated)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A scheduling instance on unrelated machines.
+#[derive(Clone, Debug)]
+pub struct Instance<S> {
+    jobs: Vec<Job<S>>,
+    /// `cost[i][j]`: machine `i`, job `j`.
+    cost: Vec<Vec<Cost<S>>>,
+}
+
+impl<S: Scalar> Instance<S> {
+    /// Builds and validates an instance.
+    pub fn new(jobs: Vec<Job<S>>, cost: Vec<Vec<Cost<S>>>) -> Result<Self, InstanceError> {
+        if jobs.is_empty() {
+            return Err(InstanceError::NoJobs);
+        }
+        if cost.is_empty() {
+            return Err(InstanceError::NoMachines);
+        }
+        if cost.iter().any(|row| row.len() != jobs.len()) {
+            return Err(InstanceError::BadMatrixShape);
+        }
+        for (j, job) in jobs.iter().enumerate() {
+            if job.release < S::zero() {
+                return Err(InstanceError::NegativeRelease(j));
+            }
+            if job.weight.partial_cmp(&S::zero()) != Some(std::cmp::Ordering::Greater) {
+                return Err(InstanceError::NonPositiveWeight(j));
+            }
+        }
+        for (i, row) in cost.iter().enumerate() {
+            for (j, c) in row.iter().enumerate() {
+                if let Cost::Finite(v) = c {
+                    if *v < S::zero() {
+                        return Err(InstanceError::NegativeCost(i, j));
+                    }
+                }
+            }
+        }
+        for j in 0..jobs.len() {
+            if !cost.iter().any(|row| row[j].is_finite()) {
+                return Err(InstanceError::Unplaceable(j));
+            }
+        }
+        Ok(Instance { jobs, cost })
+    }
+
+    /// The *uniform machines with restricted availabilities* special case
+    /// the GriPPS application maps onto (§3): `c[i][j] = W_j · speed_i`
+    /// when `available[i][j]`, infinite otherwise.
+    ///
+    /// * `sizes[j]` — job size `W_j` (e.g. Mflop),
+    /// * `releases[j]`, `weights[j]` — per-job release dates and weights,
+    /// * `cycle_time[i]` — seconds per unit of work on machine `i`,
+    /// * `available[i][j]` — whether `J_j`'s databank is on `M_i`.
+    pub fn uniform_restricted(
+        sizes: &[S],
+        releases: &[S],
+        weights: &[S],
+        cycle_time: &[S],
+        available: &[Vec<bool>],
+    ) -> Result<Self, InstanceError> {
+        let n = sizes.len();
+        if releases.len() != n || weights.len() != n {
+            return Err(InstanceError::BadMatrixShape);
+        }
+        if available.len() != cycle_time.len() || available.iter().any(|r| r.len() != n) {
+            return Err(InstanceError::BadMatrixShape);
+        }
+        let jobs = (0..n)
+            .map(|j| Job {
+                release: releases[j].clone(),
+                weight: weights[j].clone(),
+                name: format!("J{}", j + 1),
+            })
+            .collect();
+        let cost = available
+            .iter()
+            .zip(cycle_time)
+            .map(|(avail, ct)| {
+                (0..n)
+                    .map(|j| {
+                        if avail[j] {
+                            Cost::Finite(sizes[j].mul(ct))
+                        } else {
+                            Cost::Infinite
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Instance::new(jobs, cost)
+    }
+
+    /// Replaces every weight by `1 / W_j` (computed as the reciprocal of
+    /// the job's *fastest* total processing time, the natural size proxy on
+    /// unrelated machines), turning max weighted flow into max stretch.
+    pub fn with_stretch_weights(mut self) -> Self {
+        for j in 0..self.jobs.len() {
+            let best = self.fastest_cost(j);
+            if best > S::zero() {
+                self.jobs[j].weight = best.recip();
+            }
+        }
+        self
+    }
+
+    /// Number of jobs `n`.
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of machines `m`.
+    pub fn n_machines(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// Job accessor.
+    pub fn job(&self, j: usize) -> &Job<S> {
+        &self.jobs[j]
+    }
+
+    /// All jobs.
+    pub fn jobs(&self) -> &[Job<S>] {
+        &self.jobs
+    }
+
+    /// Cost of job `j` on machine `i`.
+    pub fn cost(&self, i: usize, j: usize) -> &Cost<S> {
+        &self.cost[i][j]
+    }
+
+    /// Smallest finite cost of job `j` across machines (its fastest
+    /// possible total processing time). Every valid instance has one.
+    pub fn fastest_cost(&self, j: usize) -> S {
+        let mut best: Option<S> = None;
+        for row in &self.cost {
+            if let Cost::Finite(c) = &row[j] {
+                best = Some(match best {
+                    None => c.clone(),
+                    Some(b) => S::min_val(b, c.clone()),
+                });
+            }
+        }
+        best.expect("validated instance has a finite cost per job")
+    }
+
+    /// Largest release date.
+    pub fn max_release(&self) -> S {
+        self.jobs
+            .iter()
+            .map(|j| j.release.clone())
+            .reduce(S::max_val)
+            .expect("non-empty")
+    }
+
+    /// Distinct release dates, sorted ascending.
+    pub fn distinct_releases(&self) -> Vec<S> {
+        let mut r: Vec<S> = self.jobs.iter().map(|j| j.release.clone()).collect();
+        r.sort_by(|a, b| a.cmp_total(b));
+        r.dedup();
+        r
+    }
+
+    /// The deadline `d̄_j(F) = r_j + F / w_j` induced by a max-weighted-flow
+    /// objective value `F` (§4.3.1).
+    pub fn deadline(&self, j: usize, objective: &S) -> S {
+        self.jobs[j].release.add(&objective.div(&self.jobs[j].weight))
+    }
+
+    /// A trivially feasible upper bound on the optimal max weighted flow:
+    /// process jobs one at a time, in release order, each wholly on its
+    /// fastest machine, starting when both the job and the machine are free
+    /// (single shared timeline — a gross but safe overestimate).
+    pub fn naive_flow_upper_bound(&self) -> S {
+        let mut order: Vec<usize> = (0..self.n_jobs()).collect();
+        order.sort_by(|&a, &b| self.jobs[a].release.cmp_total(&self.jobs[b].release));
+        let mut time = S::zero();
+        let mut worst = S::zero();
+        for j in order {
+            let job = &self.jobs[j];
+            let start = S::max_val(time.clone(), job.release.clone());
+            let done = start.add(&self.fastest_cost(j));
+            let wf = job.weight.mul(&done.sub(&job.release));
+            worst = S::max_val(worst, wf);
+            time = done;
+        }
+        worst
+    }
+
+    /// Maps the instance's scalar type (e.g. `f64` instance → exact `Rat`).
+    pub fn map_scalar<T: Scalar>(&self, f: impl Fn(&S) -> T) -> Instance<T> {
+        Instance {
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| Job { release: f(&j.release), weight: f(&j.weight), name: j.name.clone() })
+                .collect(),
+            cost: self
+                .cost
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|c| match c {
+                            Cost::Finite(v) => Cost::Finite(f(v)),
+                            Cost::Infinite => Cost::Infinite,
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Convenience builder used throughout tests and examples.
+pub struct InstanceBuilder<S> {
+    jobs: Vec<Job<S>>,
+    rows: Vec<Vec<Cost<S>>>,
+}
+
+impl<S: Scalar> InstanceBuilder<S> {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        InstanceBuilder { jobs: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Adds a job (`release`, `weight`); returns its index.
+    pub fn job(&mut self, release: S, weight: S) -> usize {
+        let idx = self.jobs.len();
+        self.jobs.push(Job { release, weight, name: format!("J{}", idx + 1) });
+        idx
+    }
+
+    /// Adds a machine given its full cost row (`None` = infinite).
+    pub fn machine(&mut self, costs: Vec<Option<S>>) -> usize {
+        let row = costs
+            .into_iter()
+            .map(|c| c.map_or(Cost::Infinite, Cost::Finite))
+            .collect();
+        self.rows.push(row);
+        self.rows.len() - 1
+    }
+
+    /// Finalizes into a validated [`Instance`].
+    pub fn build(self) -> Result<Instance<S>, InstanceError> {
+        Instance::new(self.jobs, self.rows)
+    }
+}
+
+impl<S: Scalar> Default for InstanceBuilder<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlflow_num::Rat;
+
+    fn two_job_instance() -> Instance<f64> {
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.job(2.0, 2.0);
+        b.machine(vec![Some(4.0), Some(2.0)]);
+        b.machine(vec![Some(8.0), None]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let inst = two_job_instance();
+        assert_eq!(inst.n_jobs(), 2);
+        assert_eq!(inst.n_machines(), 2);
+        assert_eq!(inst.cost(0, 1), &Cost::Finite(2.0));
+        assert_eq!(inst.cost(1, 1), &Cost::Infinite);
+        assert_eq!(inst.fastest_cost(0), 4.0);
+        assert_eq!(inst.max_release(), 2.0);
+        assert_eq!(inst.distinct_releases(), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let e = Instance::<f64>::new(vec![], vec![]).unwrap_err();
+        assert_eq!(e, InstanceError::NoJobs);
+
+        let mut b = InstanceBuilder::new();
+        b.job(-1.0, 1.0);
+        b.machine(vec![Some(1.0)]);
+        assert_eq!(b.build().unwrap_err(), InstanceError::NegativeRelease(0));
+
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 0.0);
+        b.machine(vec![Some(1.0)]);
+        assert_eq!(b.build().unwrap_err(), InstanceError::NonPositiveWeight(0));
+
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.machine(vec![None]);
+        assert_eq!(b.build().unwrap_err(), InstanceError::Unplaceable(0));
+
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.machine(vec![Some(-2.0)]);
+        assert_eq!(b.build().unwrap_err(), InstanceError::NegativeCost(0, 0));
+    }
+
+    #[test]
+    fn uniform_restricted_expands_costs() {
+        let inst = Instance::uniform_restricted(
+            &[10.0, 20.0],                      // sizes
+            &[0.0, 1.0],                        // releases
+            &[1.0, 1.0],                        // weights
+            &[0.5, 2.0],                        // cycle times
+            &[vec![true, true], vec![true, false]],
+        )
+        .unwrap();
+        assert_eq!(inst.cost(0, 0), &Cost::Finite(5.0));
+        assert_eq!(inst.cost(0, 1), &Cost::Finite(10.0));
+        assert_eq!(inst.cost(1, 0), &Cost::Finite(20.0));
+        assert_eq!(inst.cost(1, 1), &Cost::Infinite);
+    }
+
+    #[test]
+    fn stretch_weights_are_reciprocal_fastest() {
+        let inst = two_job_instance().with_stretch_weights();
+        assert_eq!(inst.job(0).weight, 1.0 / 4.0);
+        assert_eq!(inst.job(1).weight, 1.0 / 2.0);
+    }
+
+    #[test]
+    fn deadline_formula() {
+        let inst = two_job_instance();
+        // d̄_2(F) = r_2 + F / w_2 = 2 + 6/2 = 5
+        assert_eq!(inst.deadline(1, &6.0), 5.0);
+    }
+
+    #[test]
+    fn naive_upper_bound_is_finite_and_positive() {
+        let inst = two_job_instance();
+        let ub = inst.naive_flow_upper_bound();
+        // J1 fastest 4 at t=0 → C=4, wf = 4. J2 starts max(4,2)=4, C=6, wf=2·4=8.
+        assert_eq!(ub, 8.0);
+    }
+
+    #[test]
+    fn map_scalar_to_exact() {
+        let inst = two_job_instance().map_scalar(|v| Rat::from_f64(*v));
+        assert_eq!(inst.cost(0, 1).finite().unwrap(), &Rat::from_i64(2));
+        assert_eq!(inst.job(1).release, Rat::from_i64(2));
+    }
+}

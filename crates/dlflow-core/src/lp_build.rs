@@ -1,0 +1,441 @@
+//! Constraint generators for the paper's linear systems.
+//!
+//! | System | Paper | Purpose |
+//! |--------|-------|---------|
+//! | (1) | §4.1 | divisible makespan minimization |
+//! | (2) | §4.2 | deadline-window feasibility (fixed deadlines) |
+//! | (3) | §4.3.2 | min max weighted flow on a milestone range (divisible) |
+//! | (5) | §4.4 | same, with the per-job-per-interval bound (preemptive) |
+//!
+//! Equations (a)–(e) that force `α⁽ᵗ⁾ᵢⱼ = 0` (release / deadline /
+//! availability) are realised by **not creating the variable at all**,
+//! which keeps the LPs as small as the instance allows.
+
+use crate::instance::Instance;
+use crate::intervals::{AffineF, ConcreteIntervals, SymbolicIntervals};
+use dlflow_lp::{LinExpr, LpProblem, Rel, Sense, VarId};
+use dlflow_num::Scalar;
+
+/// A created `α⁽ᵗ⁾ᵢⱼ` variable: `(interval, machine, job, lp-var)`.
+pub type AlphaVar = (usize, usize, usize, VarId);
+
+/// System (1): the makespan LP.
+pub struct MakespanLp<S> {
+    /// The assembled linear program (minimize `Δ_n`).
+    pub lp: LpProblem<S>,
+    /// All `α` variables. Interval index `t == intervals.n_intervals()`
+    /// denotes the final unbounded interval `[r_max, r_max + Δ_n)`.
+    pub alpha: Vec<AlphaVar>,
+    /// The `Δ_n` variable (length of the final interval).
+    pub delta: VarId,
+    /// Finite intervals between consecutive distinct release dates.
+    pub intervals: ConcreteIntervals<S>,
+}
+
+/// Builds System (1) for the instance.
+pub fn build_makespan_lp<S: Scalar>(inst: &Instance<S>) -> MakespanLp<S> {
+    let intervals = ConcreteIntervals::from_points(inst.distinct_releases());
+    let n_fin = intervals.n_intervals();
+    let mut lp: LpProblem<S> = LpProblem::new(Sense::Minimize);
+    let delta = lp.add_var("delta");
+    lp.objective_term(delta, S::one());
+
+    let mut alpha: Vec<AlphaVar> = Vec::new();
+    // t in 0..n_fin → finite; t == n_fin → final interval.
+    for t in 0..=n_fin {
+        for i in 0..inst.n_machines() {
+            for j in 0..inst.n_jobs() {
+                if !inst.cost(i, j).is_finite() {
+                    continue; // (availability)
+                }
+                // (1a): the job must be released at or before the interval start.
+                let start_ok = if t < n_fin {
+                    inst.job(j).release.le_tol(intervals.inf(t))
+                } else {
+                    true // final interval starts at r_max ≥ every release
+                };
+                if !start_ok {
+                    continue;
+                }
+                let v = lp.add_var(format!("a[{t}][{i}][{j}]"));
+                alpha.push((t, i, j, v));
+            }
+        }
+    }
+
+    // (1b)/(1c): machine capacity per interval.
+    for t in 0..=n_fin {
+        for i in 0..inst.n_machines() {
+            let mut expr = LinExpr::new();
+            for (tt, ii, j, v) in &alpha {
+                if *tt == t && *ii == i {
+                    expr.push(*v, inst.cost(i, *j).finite().unwrap().clone());
+                }
+            }
+            if t < n_fin {
+                if !expr.is_empty() {
+                    lp.add_constraint_labelled(format!("cap[t{t}][m{i}]"), expr, Rel::Le, intervals.len(t));
+                }
+            } else {
+                // Σ α·c − Δ ≤ 0
+                expr.push(delta, S::one().neg());
+                lp.add_constraint_labelled(format!("cap[final][m{i}]"), expr, Rel::Le, S::zero());
+            }
+        }
+    }
+
+    // (1d): completion.
+    for j in 0..inst.n_jobs() {
+        let mut expr = LinExpr::new();
+        for (_, _, jj, v) in &alpha {
+            if *jj == j {
+                expr.push(*v, S::one());
+            }
+        }
+        lp.add_constraint_labelled(format!("done[j{j}]"), expr, Rel::Eq, S::one());
+    }
+
+    MakespanLp { lp, alpha, delta, intervals }
+}
+
+/// System (2): deadline feasibility with concrete per-job deadlines.
+pub struct DeadlineLp<S> {
+    /// The assembled feasibility program (zero objective).
+    pub lp: LpProblem<S>,
+    /// All `α` variables.
+    pub alpha: Vec<AlphaVar>,
+    /// Intervals between consecutive epochal times (releases ∪ deadlines).
+    pub intervals: ConcreteIntervals<S>,
+}
+
+/// Builds System (2). `deadlines[j]` is `d̄_j`.
+///
+/// When `per_job_interval_bound` is set, constraint (5b) is added on top —
+/// this is the concrete-`F` version of System (5) used as the feasibility
+/// probe for the *preemptive* (non-divisible) variant of the problem.
+pub fn build_deadline_lp<S: Scalar>(
+    inst: &Instance<S>,
+    deadlines: &[S],
+    per_job_interval_bound: bool,
+) -> DeadlineLp<S> {
+    assert_eq!(deadlines.len(), inst.n_jobs());
+    let mut points: Vec<S> = inst.jobs().iter().map(|j| j.release.clone()).collect();
+    points.extend(deadlines.iter().cloned());
+    let intervals = ConcreteIntervals::from_points(points);
+    let n_int = intervals.n_intervals();
+
+    let mut lp: LpProblem<S> = LpProblem::new(Sense::Minimize);
+    let mut alpha: Vec<AlphaVar> = Vec::new();
+    for t in 0..n_int {
+        for i in 0..inst.n_machines() {
+            for j in 0..inst.n_jobs() {
+                if !inst.cost(i, j).is_finite() {
+                    continue;
+                }
+                // (2a): released before the interval; (2b): due after it.
+                if !inst.job(j).release.le_tol(intervals.inf(t)) {
+                    continue;
+                }
+                if !deadlines[j].ge_tol(intervals.sup(t)) {
+                    continue;
+                }
+                let v = lp.add_var(format!("a[{t}][{i}][{j}]"));
+                alpha.push((t, i, j, v));
+            }
+        }
+    }
+
+    // (2c) machine capacity.
+    for t in 0..n_int {
+        for i in 0..inst.n_machines() {
+            let mut expr = LinExpr::new();
+            for (tt, ii, j, v) in &alpha {
+                if *tt == t && *ii == i {
+                    expr.push(*v, inst.cost(i, *j).finite().unwrap().clone());
+                }
+            }
+            if !expr.is_empty() {
+                lp.add_constraint_labelled(format!("cap[t{t}][m{i}]"), expr, Rel::Le, intervals.len(t));
+            }
+        }
+    }
+
+    // (5b) optional: a job cannot occupy more wall-clock than the interval.
+    if per_job_interval_bound {
+        for t in 0..n_int {
+            for j in 0..inst.n_jobs() {
+                let mut expr = LinExpr::new();
+                for (tt, i, jj, v) in &alpha {
+                    if *tt == t && *jj == j {
+                        expr.push(*v, inst.cost(*i, j).finite().unwrap().clone());
+                    }
+                }
+                if !expr.is_empty() {
+                    lp.add_constraint_labelled(format!("jobcap[t{t}][j{j}]"), expr, Rel::Le, intervals.len(t));
+                }
+            }
+        }
+    }
+
+    // (2d) completion. An empty expression (no interval can host the job)
+    // yields `0 = 1`, i.e. infeasibility — exactly right.
+    for j in 0..inst.n_jobs() {
+        let mut expr = LinExpr::new();
+        for (_, _, jj, v) in &alpha {
+            if *jj == j {
+                expr.push(*v, S::one());
+            }
+        }
+        lp.add_constraint_labelled(format!("done[j{j}]"), expr, Rel::Eq, S::one());
+    }
+
+    DeadlineLp { lp, alpha, intervals }
+}
+
+/// Systems (3)/(5): minimize `F` over a milestone range.
+pub struct RangeLp<S> {
+    /// The assembled program (minimize `F`).
+    pub lp: LpProblem<S>,
+    /// All `α` variables.
+    pub alpha: Vec<AlphaVar>,
+    /// The objective-value variable `F`.
+    pub f_var: VarId,
+    /// Symbolic intervals whose bounds are affine in `F`.
+    pub intervals: SymbolicIntervals<S>,
+}
+
+/// Builds System (3) (divisible) or System (5) (`preemptive = true`) on
+/// the objective range `[f_lo, f_hi]` (`f_hi = None` → unbounded above).
+///
+/// `reference` must be a point interior to the milestone range so that
+/// the relative order of releases and deadlines is the one valid across
+/// the whole range.
+pub fn build_range_lp<S: Scalar>(
+    inst: &Instance<S>,
+    f_lo: &S,
+    f_hi: Option<&S>,
+    reference: &S,
+    preemptive: bool,
+) -> RangeLp<S> {
+    // Breakpoints: releases (constants) and deadlines r_j + F/w_j.
+    let mut points: Vec<AffineF<S>> = Vec::with_capacity(2 * inst.n_jobs());
+    for job in inst.jobs() {
+        points.push(AffineF::constant(job.release.clone()));
+        points.push(AffineF { a: job.release.clone(), b: job.weight.recip() });
+    }
+    let intervals = SymbolicIntervals::from_points(points, reference.clone());
+    let n_int = intervals.n_intervals();
+
+    let mut lp: LpProblem<S> = LpProblem::new(Sense::Minimize);
+    let f_var = lp.add_var("F");
+    lp.objective_term(f_var, S::one());
+
+    // (3a): F within the milestone range.
+    if f_lo.is_positive_tol() {
+        lp.bound_ge(f_var, f_lo.clone());
+    }
+    if let Some(hi) = f_hi {
+        lp.bound_le(f_var, hi.clone());
+    }
+
+    // Variable creation: (3b) release / (3c) deadline / availability.
+    // Order is constant on the range, so comparisons at the reference
+    // point decide them for the whole range.
+    let mut alpha: Vec<AlphaVar> = Vec::new();
+    for t in 0..n_int {
+        let inf_ref = intervals.inf(t).eval(reference);
+        let sup_ref = intervals.sup(t).eval(reference);
+        for i in 0..inst.n_machines() {
+            for j in 0..inst.n_jobs() {
+                if !inst.cost(i, j).is_finite() {
+                    continue;
+                }
+                if !inst.job(j).release.le_tol(&inf_ref) {
+                    continue; // (3b)
+                }
+                let dl_ref = inst.deadline(j, reference);
+                if !dl_ref.ge_tol(&sup_ref) {
+                    continue; // (3c)
+                }
+                let v = lp.add_var(format!("a[{t}][{i}][{j}]"));
+                alpha.push((t, i, j, v));
+            }
+        }
+    }
+
+    // (3d): machine capacity — Σ α·c − len_b·F ≤ len_a.
+    for t in 0..n_int {
+        let len = intervals.len(t);
+        for i in 0..inst.n_machines() {
+            let mut expr = LinExpr::new();
+            for (tt, ii, j, v) in &alpha {
+                if *tt == t && *ii == i {
+                    expr.push(*v, inst.cost(i, *j).finite().unwrap().clone());
+                }
+            }
+            if !expr.is_empty() {
+                expr.push(f_var, len.b.neg());
+                lp.add_constraint_labelled(format!("cap[t{t}][m{i}]"), expr, Rel::Le, len.a.clone());
+            }
+        }
+    }
+
+    // (5b): per-job wall-clock bound per interval.
+    if preemptive {
+        for t in 0..n_int {
+            let len = intervals.len(t);
+            for j in 0..inst.n_jobs() {
+                let mut expr = LinExpr::new();
+                for (tt, i, jj, v) in &alpha {
+                    if *tt == t && *jj == j {
+                        expr.push(*v, inst.cost(*i, j).finite().unwrap().clone());
+                    }
+                }
+                if !expr.is_empty() {
+                    expr.push(f_var, len.b.neg());
+                    lp.add_constraint_labelled(format!("jobcap[t{t}][j{j}]"), expr, Rel::Le, len.a.clone());
+                }
+            }
+        }
+    }
+
+    // (3e): completion.
+    for j in 0..inst.n_jobs() {
+        let mut expr = LinExpr::new();
+        for (_, _, jj, v) in &alpha {
+            if *jj == j {
+                expr.push(*v, S::one());
+            }
+        }
+        lp.add_constraint_labelled(format!("done[j{j}]"), expr, Rel::Eq, S::one());
+    }
+
+    RangeLp { lp, alpha, f_var, intervals }
+}
+
+/// Turns an LP solution's `α` values into an explicit schedule by packing,
+/// within every interval and machine, the non-zero fractions back to back
+/// from the interval start (the paper: "during any time interval It we can
+/// schedule in any order (and without idle times) the non-null fractions").
+///
+/// `bounds[t] = (inf, sup)` are the concrete interval bounds. Only valid
+/// for the **divisible** model — preemptive schedules need the
+/// Lawler–Labetoulle decomposition instead (see [`crate::decompose`]).
+pub fn pack_alpha_schedule<S: Scalar>(
+    inst: &Instance<S>,
+    bounds: &[(S, S)],
+    alpha: &[AlphaVar],
+    values: &[S],
+) -> crate::schedule::Schedule<S> {
+    use crate::schedule::{Schedule, ScheduleKind, Slice};
+    let mut sched = Schedule::empty(inst.n_machines(), ScheduleKind::Divisible);
+    // Cursor per (interval, machine).
+    let mut cursor: Vec<Vec<S>> = bounds
+        .iter()
+        .map(|(inf, _)| vec![inf.clone(); inst.n_machines()])
+        .collect();
+    for (t, i, j, v) in alpha {
+        let frac = &values[v.index()];
+        if !frac.is_positive_tol() {
+            continue;
+        }
+        let dur = frac.mul(inst.cost(*i, *j).finite().expect("alpha var implies finite cost"));
+        let start = cursor[*t][*i].clone();
+        let end = start.add(&dur);
+        debug_assert!(
+            end.le_tol(&bounds[*t].1),
+            "interval capacity exceeded while packing: end={end} sup={}",
+            bounds[*t].1
+        );
+        sched.push(*i, Slice { job: *j, start, end: end.clone() });
+        cursor[*t][*i] = end;
+    }
+    sched.normalize();
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use dlflow_lp::{solve, LpStatus};
+    use dlflow_num::Rat;
+
+    fn simple() -> Instance<f64> {
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.job(2.0, 1.0);
+        b.machine(vec![Some(4.0), Some(4.0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn makespan_lp_shape() {
+        let inst = simple();
+        let m = build_makespan_lp(&inst);
+        // Intervals: [0,2) finite + final. J1 everywhere, J2 only in final.
+        assert_eq!(m.intervals.n_intervals(), 1);
+        // α vars: (t0, m0, j0), (final, m0, j0), (final, m0, j1) = 3.
+        assert_eq!(m.alpha.len(), 3);
+        let sol = solve(&m.lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // One machine, 8 units of work, J2 released at 2; both fully
+        // processable: lower bound max(total work, r2 + c2) = 8 ≥ 2+4.
+        // Optimal Cmax = 8 → Δ = 8 − 2 = 6.
+        assert!((sol.objective.unwrap() - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn deadline_lp_feasible_and_not() {
+        let inst = simple();
+        // Deadlines generous: feasible.
+        let d = vec![10.0, 10.0];
+        let lp = build_deadline_lp(&inst, &d, false);
+        assert_eq!(solve(&lp.lp).status, LpStatus::Optimal);
+        // Impossible: both jobs due by 4 but 8 units of single-machine work.
+        let d = vec![4.0, 4.0];
+        let lp = build_deadline_lp(&inst, &d, false);
+        assert_eq!(solve(&lp.lp).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn deadline_lp_infeasible_when_window_empty() {
+        let mut b = InstanceBuilder::new();
+        b.job(5.0, 1.0);
+        b.machine(vec![Some(1.0)]);
+        let inst = b.build().unwrap();
+        // Deadline before release: no interval can host the job.
+        let lp = build_deadline_lp(&inst, &[3.0], false);
+        assert_eq!(solve(&lp.lp).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn preemptive_probe_is_stricter() {
+        // Two machines, one job of cost 2 on each, deadline 1 after release:
+        // divisible can split (half on each, done at 1); preemptive cannot
+        // (the job would need 2 wall-clock units in a 1-unit window).
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.machine(vec![Some(2.0)]);
+        b.machine(vec![Some(2.0)]);
+        let inst = b.build().unwrap();
+        let div = build_deadline_lp(&inst, &[1.0], false);
+        assert_eq!(solve(&div.lp).status, LpStatus::Optimal);
+        let pre = build_deadline_lp(&inst, &[1.0], true);
+        assert_eq!(solve(&pre.lp).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn range_lp_minimizes_f_exactly() {
+        // One machine, one job (r=0, w=1, c=4): optimum F* = 4.
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one());
+        b.machine(vec![Some(Rat::from_i64(4))]);
+        let inst = b.build().unwrap();
+        // No milestones (single job): range (0, ∞), reference 1.
+        let r = build_range_lp(&inst, &Rat::zero(), None, &Rat::one(), false);
+        let sol = solve(&r.lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective.unwrap(), Rat::from_i64(4));
+    }
+}

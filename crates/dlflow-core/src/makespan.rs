@@ -1,0 +1,167 @@
+//! Theorem 1 (§4.1): divisible makespan minimization in polynomial time.
+
+use crate::instance::Instance;
+use crate::lp_build::{build_makespan_lp, pack_alpha_schedule};
+use crate::schedule::Schedule;
+use dlflow_lp::solve;
+use dlflow_num::Scalar;
+
+/// Result of [`min_makespan`].
+#[derive(Clone, Debug)]
+pub struct MakespanOutcome<S> {
+    /// Optimal makespan `C_max = r_max + Δ_n*`.
+    pub makespan: S,
+    /// A schedule achieving it.
+    pub schedule: Schedule<S>,
+}
+
+/// Computes the optimal divisible makespan and an achieving schedule by
+/// solving Linear Program (1).
+///
+/// The LP is always feasible (all work can go to the final unbounded
+/// interval) and bounded (`Δ_n ≥ 0`), so this cannot fail on a validated
+/// [`Instance`].
+pub fn min_makespan<S: Scalar>(inst: &Instance<S>) -> MakespanOutcome<S> {
+    let built = build_makespan_lp(inst);
+    let sol = solve(&built.lp);
+    assert!(
+        sol.is_optimal(),
+        "System (1) must be feasible and bounded on a validated instance (got {:?})",
+        sol.status
+    );
+    let delta = sol.value(built.delta).clone();
+    let r_max = inst.max_release();
+    let makespan = r_max.add(&delta);
+
+    // Concrete interval bounds: the finite ones, then [r_max, r_max + Δ).
+    let mut bounds: Vec<(S, S)> = (0..built.intervals.n_intervals())
+        .map(|t| (built.intervals.inf(t).clone(), built.intervals.sup(t).clone()))
+        .collect();
+    bounds.push((r_max, makespan.clone()));
+
+    let schedule = pack_alpha_schedule(inst, &bounds, &built.alpha, &sol.values);
+    MakespanOutcome { makespan, schedule }
+}
+
+/// Simple analytic lower bounds on the divisible makespan, used by tests
+/// and the Theorem-1 experiment binary to sanity-check LP optima:
+///
+/// * every job must finish: `max_j (r_j + min_i c_{i,j})` is **not** a
+///   valid bound under divisibility (a job can be spread), but
+///   `max_j r_j` is, and so is the *uniform-pool* bound below;
+/// * on uniform machines (speeds `s_i = 1/cycle_i`), all the work released
+///   up to any instant must fit in the aggregate capacity after it.
+///
+/// Here we return the weakest universally valid bound for unrelated
+/// machines: `max(r_max, max_j (r_j + 1/Σ_i (1/c_{i,j})))` — job `j`
+/// processed simultaneously on all of its machines at full speed needs at
+/// least the harmonic aggregate of its costs.
+pub fn makespan_lower_bound<S: Scalar>(inst: &Instance<S>) -> S {
+    let mut bound = inst.max_release();
+    for j in 0..inst.n_jobs() {
+        let mut rate = S::zero(); // aggregate processing rate 1/c summed
+        for i in 0..inst.n_machines() {
+            if let Some(c) = inst.cost(i, j).finite() {
+                if c.is_negligible() {
+                    rate = S::zero();
+                    break; // zero-cost: completes instantly
+                }
+                rate = rate.add(&c.recip());
+            }
+        }
+        if rate.is_positive_tol() {
+            let t = inst.job(j).release.add(&rate.recip());
+            bound = S::max_val(bound, t);
+        }
+    }
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::validate::validate;
+    use dlflow_num::Rat;
+
+    #[test]
+    fn single_job_single_machine() {
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::from_i64(1), Rat::one());
+        b.machine(vec![Some(Rat::from_i64(5))]);
+        let inst = b.build().unwrap();
+        let out = min_makespan(&inst);
+        assert_eq!(out.makespan, Rat::from_i64(6));
+        validate(&inst, &out.schedule).unwrap();
+        assert_eq!(out.schedule.makespan(), Rat::from_i64(6));
+    }
+
+    #[test]
+    fn two_machines_split_job() {
+        // One job, cost 4 on each of two machines → split in half, done at 2.
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one());
+        b.machine(vec![Some(Rat::from_i64(4))]);
+        b.machine(vec![Some(Rat::from_i64(4))]);
+        let inst = b.build().unwrap();
+        let out = min_makespan(&inst);
+        assert_eq!(out.makespan, Rat::from_i64(2));
+        validate(&inst, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_split_matches_harmonic_bound() {
+        // Costs 2 and 6: optimal splits work so both finish together:
+        // 1/(1/2 + 1/6) = 3/2.
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one());
+        b.machine(vec![Some(Rat::from_i64(2))]);
+        b.machine(vec![Some(Rat::from_i64(6))]);
+        let inst = b.build().unwrap();
+        let out = min_makespan(&inst);
+        assert_eq!(out.makespan, Rat::from_ratio(3, 2));
+        assert_eq!(makespan_lower_bound(&inst), Rat::from_ratio(3, 2));
+        validate(&inst, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn staggered_releases_use_early_capacity() {
+        // M0 only. J1 (r=0, c=4), J2 (r=2, c=4): some of J1 fits before 2.
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one());
+        b.job(Rat::from_i64(2), Rat::one());
+        b.machine(vec![Some(Rat::from_i64(4)), Some(Rat::from_i64(4))]);
+        let inst = b.build().unwrap();
+        let out = min_makespan(&inst);
+        assert_eq!(out.makespan, Rat::from_i64(8));
+        validate(&inst, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn restricted_availability_respected() {
+        // J1 can only run on the slow machine.
+        let mut b = InstanceBuilder::<Rat>::new();
+        b.job(Rat::zero(), Rat::one());
+        b.job(Rat::zero(), Rat::one());
+        b.machine(vec![None, Some(Rat::one())]);
+        b.machine(vec![Some(Rat::from_i64(10)), None]);
+        let inst = b.build().unwrap();
+        let out = min_makespan(&inst);
+        assert_eq!(out.makespan, Rat::from_i64(10));
+        validate(&inst, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_optimum_f64() {
+        let mut b = InstanceBuilder::<f64>::new();
+        b.job(0.0, 1.0);
+        b.job(1.0, 1.0);
+        b.job(3.0, 1.0);
+        b.machine(vec![Some(5.0), Some(3.0), Some(8.0)]);
+        b.machine(vec![Some(2.0), None, Some(4.0)]);
+        let inst = b.build().unwrap();
+        let out = min_makespan(&inst);
+        assert!(makespan_lower_bound(&inst) <= out.makespan + 1e-9);
+        validate(&inst, &out.schedule).unwrap();
+    }
+}

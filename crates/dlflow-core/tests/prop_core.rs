@@ -1,0 +1,147 @@
+//! Property-based tests of the core algorithms' invariants.
+
+use dlflow_core::decompose::{decompose_interval, verify_phases};
+use dlflow_core::instance::{Cost, Instance, Job};
+use dlflow_core::matching::hopcroft_karp;
+use dlflow_core::maxflow::{feasible_at, min_max_weighted_flow_preemptive};
+use dlflow_core::uniform::{deadline_feasible_with_factors, uniform_factors};
+use dlflow_core::deadline::deadline_feasible_divisible;
+use dlflow_core::validate::validate;
+use dlflow_num::Rat;
+use proptest::prelude::*;
+
+fn ri(v: i64) -> Rat {
+    Rat::from_i64(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Gonzalez–Sahni decomposition: for any non-negative work matrix with
+    /// row/col sums ≤ len, the phases exactly reconstruct the matrix and
+    /// never double-book a machine or a job.
+    #[test]
+    fn decompose_reconstructs_any_feasible_matrix(
+        m in 1usize..4,
+        n in 1usize..5,
+        cells in proptest::collection::vec(0i64..4, 20),
+    ) {
+        let raw: Vec<Vec<i64>> = (0..m).map(|i| (0..n).map(|j| cells[(i * 5 + j) % 20]).collect()).collect();
+        // len = max(row sums, col sums) guarantees feasibility.
+        let row_max = raw.iter().map(|r| r.iter().sum::<i64>()).max().unwrap_or(0);
+        let col_max = (0..n).map(|j| raw.iter().map(|r| r[j]).sum::<i64>()).max().unwrap_or(0);
+        let len = ri(row_max.max(col_max).max(1));
+        let work: Vec<Vec<Rat>> = raw.iter().map(|r| r.iter().map(|&v| ri(v)).collect()).collect();
+        let phases = decompose_interval(&work, &len);
+        prop_assert!(verify_phases(&work, &len, &phases).is_ok());
+        prop_assert!(phases.len() <= (m + n) * (m + n));
+    }
+
+    /// Hopcroft–Karp matchings are consistent and maximal wrt simple
+    /// augmenting checks (no free-left-vertex adjacent to free-right).
+    #[test]
+    fn matching_is_maximal_and_consistent(
+        n in 1usize..8,
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..24),
+    ) {
+        let mut adj = vec![Vec::new(); n];
+        for (u, v) in edges {
+            if u < n && v < n && !adj[u].contains(&v) {
+                adj[u].push(v);
+            }
+        }
+        let (size, ml, mr) = hopcroft_karp(n, n, &adj);
+        // Consistency.
+        let mut count = 0;
+        for (u, &v) in ml.iter().enumerate() {
+            if v != usize::MAX {
+                prop_assert_eq!(mr[v], u);
+                prop_assert!(adj[u].contains(&v));
+                count += 1;
+            }
+        }
+        prop_assert_eq!(count, size);
+        // No trivially augmentable pair remains.
+        for u in 0..n {
+            if ml[u] == usize::MAX {
+                for &v in &adj[u] {
+                    prop_assert!(mr[v] != usize::MAX, "edge ({u},{v}) left unmatched both sides");
+                }
+            }
+        }
+    }
+
+    /// On uniform instances, the LP (Lemma 1) and the max-flow fast path
+    /// must agree on deadline feasibility for arbitrary deadlines.
+    #[test]
+    fn uniform_maxflow_agrees_with_lp(
+        works in proptest::collection::vec(1i64..6, 1..4),
+        speeds in proptest::collection::vec(1i64..4, 1..3),
+        rels in proptest::collection::vec(0i64..4, 4),
+        dls in proptest::collection::vec(1i64..16, 4),
+        holes in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let n = works.len();
+        let m = speeds.len();
+        let jobs: Vec<Job<Rat>> = (0..n)
+            .map(|j| Job { release: ri(rels[j % 4]), weight: Rat::one(), name: format!("J{j}") })
+            .collect();
+        let mut cost: Vec<Vec<Cost<Rat>>> = (0..m)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if holes[(i * 4 + j) % 12] && m > 1 {
+                            Cost::Infinite
+                        } else {
+                            Cost::Finite(ri(works[j] * speeds[i]))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        for j in 0..n {
+            if !(0..m).any(|i| cost[i][j].is_finite()) {
+                cost[0][j] = Cost::Finite(ri(works[j] * speeds[0]));
+            }
+        }
+        let inst = Instance::new(jobs, cost).unwrap();
+        let factors = uniform_factors(&inst).expect("constructed uniform");
+        let deadlines: Vec<Rat> = (0..n).map(|j| ri(dls[j % 4])).collect();
+        let lp = deadline_feasible_divisible(&inst, &deadlines);
+        let mf = deadline_feasible_with_factors(&inst, &deadlines, &factors);
+        prop_assert_eq!(lp.is_some(), mf.is_some());
+        if let Some(s) = mf {
+            prop_assert!(validate(&inst, &s).is_ok());
+            // Deadlines actually met.
+            for (j, c) in s.completion_times(n).into_iter().enumerate() {
+                if let Some(c) = c {
+                    prop_assert!(c <= deadlines[j]);
+                }
+            }
+        }
+    }
+
+    /// The preemptive optimum is feasible for the preemptive probe and
+    /// infeasible slightly below — and its schedule is legal.
+    #[test]
+    fn preemptive_optimum_is_tight(
+        costs in proptest::collection::vec(1i64..6, 2..4),
+        rels in proptest::collection::vec(0i64..3, 2..4),
+    ) {
+        let n = costs.len().min(rels.len());
+        let jobs: Vec<Job<Rat>> = (0..n)
+            .map(|j| Job { release: ri(rels[j]), weight: ri(1 + (j as i64 % 2)), name: format!("J{j}") })
+            .collect();
+        let cost: Vec<Vec<Cost<Rat>>> = (0..2)
+            .map(|i| (0..n).map(|j| Cost::Finite(ri(costs[j] * (i as i64 + 1)))).collect())
+            .collect();
+        let inst = Instance::new(jobs, cost).unwrap();
+        let out = min_max_weighted_flow_preemptive(&inst);
+        prop_assert!(validate(&inst, &out.schedule).is_ok());
+        prop_assert_eq!(out.schedule.max_weighted_flow(&inst), out.optimum.clone());
+        let below = out.optimum.mul_ref(&Rat::from_ratio(99, 100));
+        if below.is_positive() {
+            prop_assert!(!feasible_at(&inst, &below, true));
+        }
+    }
+}

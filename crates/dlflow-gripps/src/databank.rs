@@ -1,0 +1,186 @@
+//! Synthetic protein databanks.
+//!
+//! The paper's experiments use a reference databank of ≈38 000 protein
+//! sequences. We synthesize databanks with realistic residue composition
+//! ([`crate::alphabet::BACKGROUND_FREQ`]) and a right-skewed length
+//! distribution centred near 350 residues (typical of SwissProt), and we
+//! provide the same subsetting operations the paper's divisibility study
+//! performs (random subsets of 1/20, 2/20, … of the full bank).
+
+use crate::alphabet::{background_cdf, sample_residue};
+use crate::sequence::ProteinSequence;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A collection of protein sequences with summary statistics.
+#[derive(Clone, Debug)]
+pub struct Databank {
+    /// The sequences.
+    pub sequences: Vec<ProteinSequence>,
+}
+
+/// Parameters for synthetic databank generation.
+#[derive(Clone, Debug)]
+pub struct DatabankSpec {
+    /// Number of sequences.
+    pub n_sequences: usize,
+    /// Mean sequence length (residues).
+    pub mean_len: usize,
+    /// Minimum sequence length.
+    pub min_len: usize,
+    /// RNG seed (generation is fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl Default for DatabankSpec {
+    fn default() -> Self {
+        DatabankSpec { n_sequences: 1000, mean_len: 350, min_len: 40, seed: 0x5EED }
+    }
+}
+
+impl Databank {
+    /// Generates a synthetic databank.
+    ///
+    /// Lengths follow a geometric-ish right-skewed law: `min_len +
+    /// Exp(mean_len − min_len)` truncated at `6 × mean_len`, which
+    /// resembles real protein-length histograms closely enough for the
+    /// scan-cost experiments (cost is driven by total residue count).
+    pub fn generate(spec: &DatabankSpec) -> Databank {
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let cdf = background_cdf();
+        let scale = spec.mean_len.saturating_sub(spec.min_len).max(1) as f64;
+        let mut sequences = Vec::with_capacity(spec.n_sequences);
+        for k in 0..spec.n_sequences {
+            // Inverse-CDF exponential sample.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            let extra = (-u.ln() * scale) as usize;
+            let len = (spec.min_len + extra).min(spec.mean_len * 6).max(spec.min_len);
+            let residues: Vec<u8> = (0..len).map(|_| sample_residue(&cdf, rng.gen_range(0.0..1.0))).collect();
+            sequences.push(ProteinSequence {
+                id: format!("SYN{:06}", k),
+                residues,
+            });
+        }
+        Databank { sequences }
+    }
+
+    /// Number of sequences.
+    pub fn n_sequences(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Total residue count — the "size" that drives scan cost.
+    pub fn total_residues(&self) -> usize {
+        self.sequences.iter().map(|s| s.len()).sum()
+    }
+
+    /// A random subset of `k` sequences (without replacement), as in the
+    /// paper's sequence-partitioning experiment. Deterministic in `seed`.
+    pub fn random_subset(&self, k: usize, seed: u64) -> Databank {
+        assert!(k <= self.n_sequences(), "subset larger than databank");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Partial Fisher–Yates.
+        let mut idx: Vec<usize> = (0..self.n_sequences()).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        let sequences = idx[..k].iter().map(|&i| self.sequences[i].clone()).collect();
+        Databank { sequences }
+    }
+
+    /// Splits into `parts` contiguous chunks of near-equal sequence counts
+    /// (how a master would hand block ranges to servers).
+    pub fn partition(&self, parts: usize) -> Vec<Databank> {
+        assert!(parts > 0);
+        let n = self.n_sequences();
+        let base = n / parts;
+        let rem = n % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut pos = 0;
+        for p in 0..parts {
+            let take = base + usize::from(p < rem);
+            out.push(Databank { sequences: self.sequences[pos..pos + take].to_vec() });
+            pos += take;
+        }
+        out
+    }
+
+    /// FASTA serialization (used to make re-parsing a real, measurable cost).
+    pub fn to_fasta(&self) -> String {
+        crate::sequence::to_fasta(&self.sequences)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> DatabankSpec {
+        DatabankSpec { n_sequences: 200, mean_len: 100, min_len: 20, seed: 42 }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Databank::generate(&small_spec());
+        let b = Databank::generate(&small_spec());
+        assert_eq!(a.sequences, b.sequences);
+        assert_eq!(a.n_sequences(), 200);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Databank::generate(&small_spec());
+        let mut spec = small_spec();
+        spec.seed = 43;
+        let b = Databank::generate(&spec);
+        assert_ne!(a.sequences, b.sequences);
+    }
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let spec = small_spec();
+        let bank = Databank::generate(&spec);
+        for s in &bank.sequences {
+            assert!(s.len() >= spec.min_len);
+            assert!(s.len() <= spec.mean_len * 6);
+        }
+        // Mean should be in the right ballpark.
+        let mean = bank.total_residues() as f64 / bank.n_sequences() as f64;
+        assert!(mean > 50.0 && mean < 200.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn subset_sizes_and_determinism() {
+        let bank = Databank::generate(&small_spec());
+        let s1 = bank.random_subset(50, 7);
+        let s2 = bank.random_subset(50, 7);
+        assert_eq!(s1.sequences, s2.sequences);
+        assert_eq!(s1.n_sequences(), 50);
+        // No duplicates.
+        let mut ids: Vec<&str> = s1.sequences.iter().map(|s| s.id.as_str()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 50);
+    }
+
+    #[test]
+    fn partition_conserves_sequences() {
+        let bank = Databank::generate(&small_spec());
+        let parts = bank.partition(7);
+        assert_eq!(parts.len(), 7);
+        let total: usize = parts.iter().map(|p| p.n_sequences()).sum();
+        assert_eq!(total, bank.n_sequences());
+        // Near-equal sizes.
+        let sizes: Vec<usize> = parts.iter().map(|p| p.n_sequences()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn fasta_roundtrip_via_parser() {
+        let bank = Databank::generate(&DatabankSpec { n_sequences: 5, ..small_spec() });
+        let text = bank.to_fasta();
+        let back = crate::sequence::parse_fasta(&text).unwrap();
+        assert_eq!(back, bank.sequences);
+    }
+}

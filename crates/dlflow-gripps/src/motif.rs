@@ -1,0 +1,309 @@
+//! PROSITE-style motifs: syntax, parser, random generation.
+//!
+//! Supported grammar (a faithful subset of PROSITE patterns):
+//!
+//! ```text
+//! motif    := element ('-' element)*
+//! element  := atom repeat?
+//! atom     := residue            (e.g.  C)
+//!           | 'x'                (any residue)
+//!           | '[' residue+ ']'   (one of)
+//!           | '{' residue+ '}'   (none of)
+//! repeat   := '(' n ')' | '(' n ',' m ')'
+//! ```
+//!
+//! Example: `C-x(2,4)-[ST]-{P}-H` — cysteine, 2–4 arbitrary residues, Ser
+//! or Thr, anything but Pro, histidine.
+
+use crate::alphabet::{index_of, AMINO_ACIDS};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A single pattern position class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Atom {
+    /// Exactly this residue.
+    Exact(u8),
+    /// Any residue (`x`).
+    Any,
+    /// One of the listed residues (`[..]`), as a 20-bit mask.
+    OneOf(u32),
+    /// None of the listed residues (`{..}`), as a 20-bit mask.
+    NoneOf(u32),
+}
+
+impl Atom {
+    /// Does this class accept the residue?
+    #[inline]
+    pub fn matches(&self, residue: u8) -> bool {
+        match self {
+            Atom::Exact(c) => *c == residue,
+            Atom::Any => true,
+            Atom::OneOf(mask) => index_of(residue).is_some_and(|i| mask & (1 << i) != 0),
+            Atom::NoneOf(mask) => index_of(residue).is_some_and(|i| mask & (1 << i) == 0),
+        }
+    }
+}
+
+/// A pattern element: an atom with a repetition range `min..=max`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Element {
+    /// Position class.
+    pub atom: Atom,
+    /// Minimum repetitions.
+    pub min: u32,
+    /// Maximum repetitions (`min == max` for fixed counts).
+    pub max: u32,
+}
+
+/// A compiled motif.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Motif {
+    /// Ordered elements.
+    pub elements: Vec<Element>,
+    /// The source text (for display / reporting).
+    pub source: String,
+}
+
+impl Motif {
+    /// Parses PROSITE-like syntax.
+    pub fn parse(text: &str) -> Result<Motif, ParseMotifError> {
+        let mut elements = Vec::new();
+        for (k, part) in text.split('-').enumerate() {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(ParseMotifError::EmptyElement(k));
+            }
+            let bytes = part.as_bytes();
+            let (atom, consumed) = match bytes[0] {
+                b'x' | b'X' => (Atom::Any, 1),
+                b'[' => {
+                    let close = part.find(']').ok_or(ParseMotifError::UnterminatedClass(k))?;
+                    let mask = class_mask(&bytes[1..close], k)?;
+                    (Atom::OneOf(mask), close + 1)
+                }
+                b'{' => {
+                    let close = part.find('}').ok_or(ParseMotifError::UnterminatedClass(k))?;
+                    let mask = class_mask(&bytes[1..close], k)?;
+                    (Atom::NoneOf(mask), close + 1)
+                }
+                c => {
+                    let up = c.to_ascii_uppercase();
+                    if index_of(up).is_none() {
+                        return Err(ParseMotifError::BadResidue(k, c as char));
+                    }
+                    (Atom::Exact(up), 1)
+                }
+            };
+            let rest = &part[consumed..];
+            let (min, max) = if rest.is_empty() {
+                (1, 1)
+            } else {
+                let inner = rest
+                    .strip_prefix('(')
+                    .and_then(|r| r.strip_suffix(')'))
+                    .ok_or(ParseMotifError::BadRepeat(k))?;
+                match inner.split_once(',') {
+                    Some((a, b)) => {
+                        let lo: u32 = a.trim().parse().map_err(|_| ParseMotifError::BadRepeat(k))?;
+                        let hi: u32 = b.trim().parse().map_err(|_| ParseMotifError::BadRepeat(k))?;
+                        if lo > hi {
+                            return Err(ParseMotifError::BadRepeat(k));
+                        }
+                        (lo, hi)
+                    }
+                    None => {
+                        let v: u32 = inner.trim().parse().map_err(|_| ParseMotifError::BadRepeat(k))?;
+                        (v, v)
+                    }
+                }
+            };
+            elements.push(Element { atom, min, max });
+        }
+        if elements.is_empty() {
+            return Err(ParseMotifError::Empty);
+        }
+        Ok(Motif { elements, source: text.to_string() })
+    }
+
+    /// Minimum span (residues) a match can cover.
+    pub fn min_span(&self) -> usize {
+        self.elements.iter().map(|e| e.min as usize).sum()
+    }
+
+    /// Maximum span a match can cover.
+    pub fn max_span(&self) -> usize {
+        self.elements.iter().map(|e| e.max as usize).sum()
+    }
+
+    /// Generates a random motif with `n_elements` positions.
+    ///
+    /// The element mix (60% exact, 15% any-with-gap, 15% one-of,
+    /// 10% none-of) gives hit rates comparable to curated PROSITE entries
+    /// on background-composition sequences: rare but nonzero.
+    pub fn random(n_elements: usize, seed: u64) -> Motif {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut parts: Vec<String> = Vec::with_capacity(n_elements);
+        for _ in 0..n_elements.max(1) {
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            if roll < 0.60 {
+                let aa = AMINO_ACIDS[rng.gen_range(0..20)] as char;
+                parts.push(aa.to_string());
+            } else if roll < 0.75 {
+                let lo = rng.gen_range(1..3u32);
+                let hi = lo + rng.gen_range(0..3u32);
+                if lo == hi {
+                    parts.push(format!("x({lo})"));
+                } else {
+                    parts.push(format!("x({lo},{hi})"));
+                }
+            } else if roll < 0.90 {
+                let k = rng.gen_range(2..5usize);
+                let set: String = (0..k).map(|_| AMINO_ACIDS[rng.gen_range(0..20)] as char).collect();
+                parts.push(format!("[{set}]"));
+            } else {
+                let aa = AMINO_ACIDS[rng.gen_range(0..20)] as char;
+                parts.push(format!("{{{aa}}}"));
+            }
+        }
+        let text = parts.join("-");
+        Motif::parse(&text).expect("generated motif is syntactically valid")
+    }
+
+    /// Generates a deterministic motif set, as the paper's ≈300-motif input.
+    pub fn random_set(count: usize, n_elements: usize, seed: u64) -> Vec<Motif> {
+        (0..count).map(|k| Motif::random(n_elements, seed.wrapping_add(k as u64 * 0x9E37))).collect()
+    }
+}
+
+fn class_mask(residues: &[u8], element: usize) -> Result<u32, ParseMotifError> {
+    if residues.is_empty() {
+        return Err(ParseMotifError::EmptyClass(element));
+    }
+    let mut mask = 0u32;
+    for &r in residues {
+        let idx = index_of(r.to_ascii_uppercase())
+            .ok_or(ParseMotifError::BadResidue(element, r as char))?;
+        mask |= 1 << idx;
+    }
+    Ok(mask)
+}
+
+impl fmt::Display for Motif {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.source)
+    }
+}
+
+/// Motif syntax errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseMotifError {
+    /// No elements at all.
+    Empty,
+    /// Element `k` was empty (`--`).
+    EmptyElement(usize),
+    /// Element `k` used a character outside the amino-acid alphabet.
+    BadResidue(usize, char),
+    /// `[` or `{` without its closing bracket in element `k`.
+    UnterminatedClass(usize),
+    /// `[]` or `{}` in element `k`.
+    EmptyClass(usize),
+    /// Malformed repetition suffix in element `k`.
+    BadRepeat(usize),
+}
+
+impl fmt::Display for ParseMotifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMotifError::Empty => write!(f, "empty motif"),
+            ParseMotifError::EmptyElement(k) => write!(f, "element {k} is empty"),
+            ParseMotifError::BadResidue(k, c) => write!(f, "element {k}: invalid residue {c:?}"),
+            ParseMotifError::UnterminatedClass(k) => write!(f, "element {k}: unterminated class"),
+            ParseMotifError::EmptyClass(k) => write!(f, "element {k}: empty class"),
+            ParseMotifError::BadRepeat(k) => write!(f, "element {k}: malformed repetition"),
+        }
+    }
+}
+
+impl std::error::Error for ParseMotifError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let m = Motif::parse("A-C-D").unwrap();
+        assert_eq!(m.elements.len(), 3);
+        assert_eq!(m.elements[0], Element { atom: Atom::Exact(b'A'), min: 1, max: 1 });
+        assert_eq!(m.min_span(), 3);
+        assert_eq!(m.max_span(), 3);
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let m = Motif::parse("C-x(2,4)-[ST]-{P}-H").unwrap();
+        assert_eq!(m.elements.len(), 5);
+        assert_eq!(m.elements[1], Element { atom: Atom::Any, min: 2, max: 4 });
+        assert!(matches!(m.elements[2].atom, Atom::OneOf(_)));
+        assert!(matches!(m.elements[3].atom, Atom::NoneOf(_)));
+        assert_eq!(m.min_span(), 6);
+        assert_eq!(m.max_span(), 8);
+        assert!(m.elements[2].atom.matches(b'S'));
+        assert!(m.elements[2].atom.matches(b'T'));
+        assert!(!m.elements[2].atom.matches(b'A'));
+        assert!(m.elements[3].atom.matches(b'A'));
+        assert!(!m.elements[3].atom.matches(b'P'));
+    }
+
+    #[test]
+    fn parse_fixed_repeat() {
+        let m = Motif::parse("x(3)").unwrap();
+        assert_eq!(m.elements[0], Element { atom: Atom::Any, min: 3, max: 3 });
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let m = Motif::parse("a-x-[st]").unwrap();
+        assert!(m.elements[0].atom.matches(b'A'));
+        assert!(m.elements[2].atom.matches(b'S'));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(Motif::parse("A--C"), Err(ParseMotifError::EmptyElement(1))));
+        assert!(matches!(Motif::parse("Z"), Err(ParseMotifError::BadResidue(0, 'Z'))));
+        assert!(matches!(Motif::parse("[ST"), Err(ParseMotifError::UnterminatedClass(0))));
+        assert!(matches!(Motif::parse("[]"), Err(ParseMotifError::EmptyClass(0))));
+        assert!(matches!(Motif::parse("A(2,1)"), Err(ParseMotifError::BadRepeat(0))));
+        assert!(matches!(Motif::parse("A(x)"), Err(ParseMotifError::BadRepeat(0))));
+    }
+
+    #[test]
+    fn atom_matching_rules() {
+        assert!(Atom::Any.matches(b'W'));
+        assert!(Atom::Exact(b'C').matches(b'C'));
+        assert!(!Atom::Exact(b'C').matches(b'G'));
+        // Non-residue never matches classes.
+        assert!(!Atom::OneOf(u32::MAX).matches(b'-'));
+        assert!(!Atom::NoneOf(0).matches(b'1'));
+    }
+
+    #[test]
+    fn random_motifs_parse_and_vary() {
+        let set = Motif::random_set(20, 6, 99);
+        assert_eq!(set.len(), 20);
+        for m in &set {
+            assert!(!m.elements.is_empty());
+            // Round-trips through its own source text.
+            assert_eq!(Motif::parse(&m.source).unwrap(), *m);
+        }
+        assert_ne!(set[0].source, set[1].source);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        assert_eq!(Motif::random(5, 7).source, Motif::random(5, 7).source);
+    }
+}

@@ -1,0 +1,194 @@
+//! Heterogeneous databank-server fleets → scheduling instances.
+//!
+//! This is the bridge from the application model (§2) to the scheduling
+//! model (§3): servers with different speeds each hold a subset of the
+//! databanks; a comparison request targets one databank and can only run
+//! where that databank is replicated; the resulting cost matrix is the
+//! *uniform machines with restricted availabilities* structure the paper
+//! identifies (a special case of unrelated machines).
+
+use crate::cost_model::CostModel;
+use dlflow_core::instance::{Instance, InstanceError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One sequence-comparison server.
+#[derive(Clone, Debug)]
+pub struct ServerSpec {
+    /// Relative cycle time: seconds per work unit (lower = faster).
+    pub cycle_time: f64,
+    /// Indices (into [`PlatformSpec::databank_residues`]) of locally
+    /// replicated databanks.
+    pub databanks: Vec<usize>,
+}
+
+/// A fleet of servers and the databanks they replicate.
+#[derive(Clone, Debug)]
+pub struct PlatformSpec {
+    /// Servers.
+    pub servers: Vec<ServerSpec>,
+    /// Size (total residues) of each databank.
+    pub databank_residues: Vec<f64>,
+}
+
+/// One motif-comparison request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Databank to compare against.
+    pub databank: usize,
+    /// Number of motifs in the query.
+    pub n_motifs: f64,
+    /// Release date (seconds).
+    pub release: f64,
+    /// Priority weight.
+    pub weight: f64,
+}
+
+impl PlatformSpec {
+    /// A deterministic random platform: `n_servers` with cycle times in
+    /// `[1, heterogeneity]`, `n_databanks` each replicated on a random
+    /// non-empty subset of servers.
+    pub fn random(n_servers: usize, n_databanks: usize, heterogeneity: f64, seed: u64) -> PlatformSpec {
+        assert!(n_servers > 0 && n_databanks > 0);
+        assert!(heterogeneity >= 1.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut servers: Vec<ServerSpec> = (0..n_servers)
+            .map(|_| ServerSpec { cycle_time: rng.gen_range(1.0..=heterogeneity), databanks: Vec::new() })
+            .collect();
+        let databank_residues: Vec<f64> =
+            (0..n_databanks).map(|_| rng.gen_range(1.0e5..2.0e7)).collect();
+        for d in 0..n_databanks {
+            // Each databank lands on every server with p = 1/2, but at
+            // least one replica is forced.
+            let mut any = false;
+            for s in servers.iter_mut() {
+                if rng.gen_bool(0.5) {
+                    s.databanks.push(d);
+                    any = true;
+                }
+            }
+            if !any {
+                let s = rng.gen_range(0..n_servers);
+                servers[s].databanks.push(d);
+            }
+        }
+        PlatformSpec { servers, databank_residues }
+    }
+
+    /// Does server `i` hold databank `d`?
+    pub fn holds(&self, server: usize, databank: usize) -> bool {
+        self.servers[server].databanks.contains(&databank)
+    }
+
+    /// Work volume (residues × motifs) of a request.
+    pub fn request_work(&self, req: &Request) -> f64 {
+        self.databank_residues[req.databank] * req.n_motifs
+    }
+
+    /// Builds the unrelated-machines [`Instance`] for a request batch under
+    /// a cost model. `c[i][j] = scan seconds on server i`, infinite where
+    /// the databank is absent. The per-invocation overhead is *not*
+    /// included: the scheduling model of §3 neglects it, as justified by
+    /// the §2 measurements (sequence-partitioning overhead ≈ 1 s ≪ scan
+    /// time) — the same simplification the paper makes.
+    pub fn instance(&self, requests: &[Request], model: &CostModel) -> Result<Instance<f64>, InstanceError> {
+        let sizes: Vec<f64> = requests
+            .iter()
+            .map(|r| self.request_work(r) * model.seconds_per_unit)
+            .collect();
+        let releases: Vec<f64> = requests.iter().map(|r| r.release).collect();
+        let weights: Vec<f64> = requests.iter().map(|r| r.weight).collect();
+        let cycle: Vec<f64> = self.servers.iter().map(|s| s.cycle_time).collect();
+        let avail: Vec<Vec<bool>> = self
+            .servers
+            .iter()
+            .map(|s| requests.iter().map(|r| s.databanks.contains(&r.databank)).collect())
+            .collect();
+        Instance::uniform_restricted(&sizes, &releases, &weights, &cycle, &avail)
+    }
+}
+
+/// A deterministic random request batch against a platform.
+pub fn random_requests(platform: &PlatformSpec, n: usize, horizon: f64, seed: u64) -> Vec<Request> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_banks = platform.databank_residues.len();
+    let mut reqs: Vec<Request> = (0..n)
+        .map(|_| Request {
+            databank: rng.gen_range(0..n_banks),
+            n_motifs: rng.gen_range(10.0..400.0),
+            release: rng.gen_range(0.0..horizon),
+            weight: *[1.0, 2.0, 5.0].get(rng.gen_range(0..3)).unwrap(),
+        })
+        .collect();
+    reqs.sort_by(|a, b| a.release.partial_cmp(&b.release).unwrap());
+    reqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlflow_core::instance::Cost;
+
+    #[test]
+    fn random_platform_always_places_databanks() {
+        for seed in 0..20 {
+            let p = PlatformSpec::random(4, 6, 3.0, seed);
+            for d in 0..6 {
+                assert!((0..4).any(|s| p.holds(s, d)), "databank {d} unplaced (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn instance_reflects_placement_and_speed() {
+        let p = PlatformSpec {
+            servers: vec![
+                ServerSpec { cycle_time: 1.0, databanks: vec![0] },
+                ServerSpec { cycle_time: 2.0, databanks: vec![0, 1] },
+            ],
+            databank_residues: vec![1.0e6, 2.0e6],
+        };
+        let model = CostModel::paper_scale();
+        let reqs = vec![
+            Request { databank: 0, n_motifs: 100.0, release: 0.0, weight: 1.0 },
+            Request { databank: 1, n_motifs: 50.0, release: 5.0, weight: 2.0 },
+        ];
+        let inst = p.instance(&reqs, &model).unwrap();
+        assert_eq!(inst.n_jobs(), 2);
+        assert_eq!(inst.n_machines(), 2);
+        // Request 0 runs on both; request 1 only on server 1.
+        assert!(inst.cost(0, 0).is_finite());
+        assert!(inst.cost(1, 0).is_finite());
+        assert_eq!(inst.cost(0, 1), &Cost::Infinite);
+        assert!(inst.cost(1, 1).is_finite());
+        // Server 1 is twice as slow on the shared request.
+        let c0 = *inst.cost(0, 0).finite().unwrap();
+        let c1 = *inst.cost(1, 0).finite().unwrap();
+        assert!((c1 / c0 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unplaceable_request_is_rejected() {
+        let p = PlatformSpec {
+            servers: vec![ServerSpec { cycle_time: 1.0, databanks: vec![0] }],
+            databank_residues: vec![1.0e6, 2.0e6],
+        };
+        let reqs = vec![Request { databank: 1, n_motifs: 10.0, release: 0.0, weight: 1.0 }];
+        assert!(p.instance(&reqs, &CostModel::paper_scale()).is_err());
+    }
+
+    #[test]
+    fn request_batches_are_sorted_and_deterministic() {
+        let p = PlatformSpec::random(3, 4, 2.0, 1);
+        let a = random_requests(&p, 10, 100.0, 9);
+        let b = random_requests(&p, 10, 100.0, 9);
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.release, y.release);
+            assert_eq!(x.databank, y.databank);
+        }
+        for w in a.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+    }
+}

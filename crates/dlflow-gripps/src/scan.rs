@@ -1,0 +1,241 @@
+//! The motif-scanning engine — the computational payload of GriPPS.
+//!
+//! A motif with variable-length gaps is matched at every anchor position
+//! by depth-first search over elements (equivalent to an NFA walk). The
+//! engine reports match positions and, crucially for the paper's Figure 1,
+//! the *work* it performed, which grows linearly in
+//! `total residues × number of motifs`.
+
+use crate::databank::Databank;
+use crate::motif::Motif;
+use crate::sequence::ProteinSequence;
+use rayon::prelude::*;
+
+/// One motif occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Match {
+    /// Index of the sequence in the scanned databank.
+    pub sequence: usize,
+    /// Index of the motif in the scanned motif set.
+    pub motif: usize,
+    /// Start offset (residues).
+    pub start: usize,
+    /// End offset (exclusive).
+    pub end: usize,
+}
+
+/// Scan outcome with the work accounting used by the cost experiments.
+#[derive(Clone, Debug, Default)]
+pub struct ScanReport {
+    /// All matches found (leftmost-shortest per anchor).
+    pub matches: Vec<Match>,
+    /// Residues visited by the matcher (the principal cost driver).
+    pub residues_scanned: u64,
+    /// `Σ_seq Σ_motif len(seq)` — the nominal work volume `W`.
+    pub work_units: u64,
+}
+
+/// Matches `motif` anchored at `pos`; returns the end offset of the
+/// shortest match, or `None`. Also counts visited residues into `steps`.
+fn match_at(seq: &[u8], pos: usize, motif: &Motif, steps: &mut u64) -> Option<usize> {
+    // Iterative DFS over (element index, offset) with per-element
+    // repetition choice min..=max, preferring the shortest expansion.
+    fn rec(seq: &[u8], motif: &Motif, elem: usize, off: usize, steps: &mut u64) -> Option<usize> {
+        if elem == motif.elements.len() {
+            return Some(off);
+        }
+        let e = &motif.elements[elem];
+        // Mandatory part: e.min repetitions.
+        let mut cur = off;
+        for _ in 0..e.min {
+            if cur >= seq.len() {
+                return None;
+            }
+            *steps += 1;
+            if !e.atom.matches(seq[cur]) {
+                return None;
+            }
+            cur += 1;
+        }
+        // Optional extras: try shortest first.
+        for extra in 0..=(e.max - e.min) {
+            if extra > 0 {
+                let idx = cur + extra as usize - 1;
+                if idx >= seq.len() {
+                    return None;
+                }
+                *steps += 1;
+                if !e.atom.matches(seq[idx]) {
+                    return None;
+                }
+            }
+            if let Some(end) = rec(seq, motif, elem + 1, cur + extra as usize, steps) {
+                return Some(end);
+            }
+        }
+        None
+    }
+    rec(seq, motif, 0, pos, steps)
+}
+
+/// Scans one sequence for one motif; returns matches (non-overlapping
+/// anchors are all tried; occurrences may overlap).
+pub fn scan_sequence(seq: &ProteinSequence, motif: &Motif, seq_idx: usize, motif_idx: usize) -> (Vec<Match>, u64) {
+    let mut out = Vec::new();
+    let mut steps = 0u64;
+    let residues = &seq.residues;
+    let min_span = motif.min_span();
+    if residues.len() < min_span {
+        // Still costs a look at the sequence header/length.
+        return (out, 1);
+    }
+    for pos in 0..=(residues.len() - min_span) {
+        if let Some(end) = match_at(residues, pos, motif, &mut steps) {
+            out.push(Match { sequence: seq_idx, motif: motif_idx, start: pos, end });
+        }
+    }
+    (out, steps)
+}
+
+/// Scans a whole databank against a motif set, in parallel over sequences.
+pub fn scan_databank(bank: &Databank, motifs: &[Motif]) -> ScanReport {
+    let per_seq: Vec<(Vec<Match>, u64)> = bank
+        .sequences
+        .par_iter()
+        .enumerate()
+        .map(|(si, seq)| {
+            let mut matches = Vec::new();
+            let mut steps = 0u64;
+            for (mi, motif) in motifs.iter().enumerate() {
+                let (mut ms, st) = scan_sequence(seq, motif, si, mi);
+                matches.append(&mut ms);
+                steps += st;
+            }
+            (matches, steps)
+        })
+        .collect();
+
+    let mut report = ScanReport::default();
+    for (mut ms, st) in per_seq {
+        report.matches.append(&mut ms);
+        report.residues_scanned += st;
+    }
+    report.work_units = bank.total_residues() as u64 * motifs.len() as u64;
+    report
+}
+
+/// A full GriPPS *invocation*: parse the databank from FASTA text, parse
+/// the motif set from source, scan. The FASTA re-parse is the fixed
+/// per-invocation overhead that dominates Figure 1(b)'s intercept.
+pub fn invoke(fasta_text: &str, motif_sources: &[&str]) -> Result<ScanReport, String> {
+    let sequences = crate::sequence::parse_fasta(fasta_text).map_err(|e| e.to_string())?;
+    let bank = Databank { sequences };
+    let motifs: Result<Vec<Motif>, _> = motif_sources.iter().map(|s| Motif::parse(s)).collect();
+    let motifs = motifs.map_err(|e| e.to_string())?;
+    Ok(scan_databank(&bank, &motifs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::databank::DatabankSpec;
+
+    fn seq(id: &str, s: &str) -> ProteinSequence {
+        ProteinSequence::new(id, s).unwrap()
+    }
+
+    #[test]
+    fn exact_motif_found() {
+        let s = seq("t", "AAACDEAAA");
+        let m = Motif::parse("C-D-E").unwrap();
+        let (ms, _) = scan_sequence(&s, &m, 0, 0);
+        assert_eq!(ms, vec![Match { sequence: 0, motif: 0, start: 3, end: 6 }]);
+    }
+
+    #[test]
+    fn variable_gap_matches_shortest() {
+        let s = seq("t", "CAAS");
+        let m = Motif::parse("C-x(1,3)-S").unwrap();
+        let (ms, _) = scan_sequence(&s, &m, 0, 0);
+        assert_eq!(ms.len(), 1);
+        assert_eq!((ms[0].start, ms[0].end), (0, 4));
+    }
+
+    #[test]
+    fn gap_backtracking_works() {
+        // C-x(1,2)-S on "CAS": gap of 1 → match; on "CAAS": gap of 2.
+        let m = Motif::parse("C-x(1,2)-S").unwrap();
+        let (ms, _) = scan_sequence(&seq("a", "CAS"), &m, 0, 0);
+        assert_eq!(ms.len(), 1);
+        let (ms, _) = scan_sequence(&seq("b", "CAAS"), &m, 0, 0);
+        assert_eq!(ms.len(), 1);
+        let (ms, _) = scan_sequence(&seq("c", "CAAAS"), &m, 0, 0);
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn classes_and_negations() {
+        let m = Motif::parse("[ST]-{P}-C").unwrap();
+        let (ms, _) = scan_sequence(&seq("a", "SAC"), &m, 0, 0);
+        assert_eq!(ms.len(), 1);
+        let (ms, _) = scan_sequence(&seq("b", "SPC"), &m, 0, 0);
+        assert!(ms.is_empty());
+        let (ms, _) = scan_sequence(&seq("c", "TGC"), &m, 0, 0);
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn multiple_occurrences() {
+        let s = seq("t", "ACAACAACA");
+        let m = Motif::parse("A-C").unwrap();
+        let (ms, _) = scan_sequence(&s, &m, 0, 0);
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn too_short_sequence() {
+        let s = seq("t", "AC");
+        let m = Motif::parse("A-C-D-E").unwrap();
+        let (ms, steps) = scan_sequence(&s, &m, 0, 0);
+        assert!(ms.is_empty());
+        assert_eq!(steps, 1);
+    }
+
+    #[test]
+    fn databank_scan_aggregates() {
+        let bank = Databank {
+            sequences: vec![seq("a", "ACDEF"), seq("b", "CCCCC"), seq("c", "ACACA")],
+        };
+        let motifs = vec![Motif::parse("A-C").unwrap(), Motif::parse("C-C").unwrap()];
+        let rep = scan_databank(&bank, &motifs);
+        let ac = rep.matches.iter().filter(|m| m.motif == 0).count();
+        let cc = rep.matches.iter().filter(|m| m.motif == 1).count();
+        assert_eq!(ac, 3); // "ACDEF" has 1, "ACACA" has 2
+        assert_eq!(cc, 4); // "CCCCC" has 4
+        assert_eq!(rep.work_units, 15 * 2);
+        assert!(rep.residues_scanned > 0);
+    }
+
+    #[test]
+    fn work_scales_linearly_with_subset_size() {
+        // The divisibility property of §2: nominal work ∝ residues × motifs.
+        let bank = Databank::generate(&DatabankSpec { n_sequences: 100, mean_len: 80, min_len: 20, seed: 3 });
+        let motifs = Motif::random_set(4, 5, 11);
+        let full = scan_databank(&bank, &motifs);
+        let half = scan_databank(&bank.random_subset(50, 1), &motifs);
+        // work_units are exactly proportional to residue counts.
+        let ratio = half.work_units as f64 / full.work_units as f64;
+        let residue_ratio =
+            bank.random_subset(50, 1).total_residues() as f64 / bank.total_residues() as f64;
+        assert!((ratio - residue_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invocation_parses_and_scans() {
+        let fasta = ">s1\nACDEF\n>s2\nGGCDE\n";
+        let rep = invoke(fasta, &["C-D-E"]).unwrap();
+        assert_eq!(rep.matches.len(), 2);
+        assert!(invoke(">s\nAC1\n", &["A"]).is_err());
+        assert!(invoke(fasta, &["A--"]).is_err());
+    }
+}

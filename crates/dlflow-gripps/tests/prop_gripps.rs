@@ -1,0 +1,123 @@
+//! Property-based tests of the GriPPS application model: the scanner
+//! against a naive reference matcher, parser round-trips, and the
+//! divisibility property the paper's §2 establishes.
+
+use dlflow_gripps::databank::{Databank, DatabankSpec};
+use dlflow_gripps::motif::{Atom, Motif};
+use dlflow_gripps::scan::{scan_databank, scan_sequence};
+use dlflow_gripps::sequence::{parse_fasta, to_fasta, ProteinSequence};
+use proptest::prelude::*;
+
+const AA: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+
+fn arb_protein(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..20, 0..max_len)
+        .prop_map(|v| v.into_iter().map(|i| AA[i] as char).collect())
+}
+
+/// Reference matcher: exhaustive recursion with *all* expansion orders,
+/// returning whether any match exists at `pos` (ignores shortest-match
+/// tie-breaking, which only affects reported end offsets).
+fn reference_match_at(seq: &[u8], pos: usize, motif: &Motif) -> bool {
+    fn rec(seq: &[u8], motif: &Motif, elem: usize, off: usize) -> bool {
+        if elem == motif.elements.len() {
+            return true;
+        }
+        let e = &motif.elements[elem];
+        for reps in e.min..=e.max {
+            let reps = reps as usize;
+            if off + reps > seq.len() {
+                break;
+            }
+            if (0..reps).all(|k| e.atom.matches(seq[off + k])) && rec(seq, motif, elem + 1, off + reps) {
+                return true;
+            }
+            // Keep trying longer expansions even if this one failed the
+            // class check only at the last residue? No: if residue k
+            // fails, longer reps also fail (prefix includes it).
+            if !(0..reps).all(|k| e.atom.matches(seq[off + k])) {
+                break;
+            }
+        }
+        // reps = e.min..: handle min = 0 case (reps loop starts at min).
+        false
+    }
+    rec(seq, motif, 0, pos)
+}
+
+fn arb_motif() -> impl Strategy<Value = Motif> {
+    (1usize..6, any::<u64>()).prop_map(|(n, seed)| Motif::random(n, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scanner_agrees_with_reference(seq_s in arb_protein(60), motif in arb_motif()) {
+        let seq = ProteinSequence::new("p", &seq_s).unwrap();
+        let (matches, _) = scan_sequence(&seq, &motif, 0, 0);
+        let anchors: Vec<usize> = matches.iter().map(|m| m.start).collect();
+        let min_span = motif.min_span();
+        if seq.len() >= min_span {
+            for pos in 0..=(seq.len() - min_span) {
+                let expect = reference_match_at(&seq.residues, pos, &motif);
+                let got = anchors.contains(&pos);
+                prop_assert_eq!(got, expect, "pos {} motif {}", pos, motif.source);
+            }
+        } else {
+            prop_assert!(anchors.is_empty());
+        }
+    }
+
+    #[test]
+    fn match_spans_are_within_bounds(seq_s in arb_protein(80), motif in arb_motif()) {
+        let seq = ProteinSequence::new("p", &seq_s).unwrap();
+        let (matches, _) = scan_sequence(&seq, &motif, 0, 0);
+        for m in matches {
+            prop_assert!(m.end <= seq.len());
+            prop_assert!(m.end - m.start >= motif.min_span());
+            prop_assert!(m.end - m.start <= motif.max_span());
+        }
+    }
+
+    #[test]
+    fn fasta_roundtrip_arbitrary(seqs in proptest::collection::vec(arb_protein(50), 1..6)) {
+        let bank: Vec<ProteinSequence> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ProteinSequence::new(format!("id{i}"), s).unwrap())
+            .collect();
+        let text = to_fasta(&bank);
+        let back = parse_fasta(&text).unwrap();
+        prop_assert_eq!(back, bank);
+    }
+
+    #[test]
+    fn random_motifs_always_roundtrip(n in 1usize..8, seed in any::<u64>()) {
+        let m = Motif::random(n, seed);
+        let re = Motif::parse(&m.source).unwrap();
+        prop_assert_eq!(re, m);
+    }
+
+    #[test]
+    fn atom_negation_is_complement_on_residues(idx in 0usize..20, mask in any::<u32>()) {
+        let residue = AA[idx];
+        let mask = mask & ((1 << 20) - 1);
+        let one = Atom::OneOf(mask).matches(residue);
+        let none = Atom::NoneOf(mask).matches(residue);
+        prop_assert_ne!(one, none);
+    }
+
+    #[test]
+    fn work_units_additive_under_partition(parts in 2usize..6) {
+        let bank = Databank::generate(&DatabankSpec { n_sequences: 60, mean_len: 60, min_len: 20, seed: 5 });
+        let motifs = vec![Motif::parse("A-x-C").unwrap()];
+        let full = scan_databank(&bank, &motifs);
+        let split = bank.partition(parts);
+        let sum: u64 = split.iter().map(|p| scan_databank(p, &motifs).work_units).sum();
+        prop_assert_eq!(sum, full.work_units);
+        // Matches are also conserved (partition is by whole sequences).
+        let msum: usize = split.iter().map(|p| scan_databank(p, &motifs).matches.len()).sum();
+        prop_assert_eq!(msum, full.matches.len());
+    }
+}

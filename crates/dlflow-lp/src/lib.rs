@@ -1,0 +1,45 @@
+//! # dlflow-lp — linear-programming substrate
+//!
+//! A self-contained two-phase primal simplex solver, generic over the
+//! [`dlflow_num::Scalar`] field. The paper reduces every scheduling
+//! question to a linear program (Systems (1), (2), (3) and (5)); no LP
+//! crate is available in the offline dependency set, so this one is built
+//! from scratch.
+//!
+//! Two instantiations matter:
+//!
+//! * **`LpProblem<Rat>`** — exact rational arithmetic with Bland's rule:
+//!   terminates, never cycles, returns *the* optimum. Used by the
+//!   Theorem 2 milestone search, where "optimal max weighted flow" is an
+//!   exact rational number.
+//! * **`LpProblem<f64>`** — fast approximate mode for large parameter
+//!   sweeps in the benchmark harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlflow_lp::{LpProblem, LinExpr, Rel, Sense, solve, LpStatus};
+//!
+//! // max 3x + 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18
+//! let mut lp: LpProblem<f64> = LpProblem::new(Sense::Maximize);
+//! let x = lp.add_var("x");
+//! let y = lp.add_var("y");
+//! lp.set_objective(LinExpr::from_iter([(x, 3.0), (y, 5.0)]));
+//! lp.add_constraint(LinExpr::term(x, 1.0), Rel::Le, 4.0);
+//! lp.add_constraint(LinExpr::term(y, 2.0), Rel::Le, 12.0);
+//! lp.add_constraint(LinExpr::from_iter([(x, 3.0), (y, 2.0)]), Rel::Le, 18.0);
+//! let sol = solve(&lp);
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective.unwrap() - 36.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // dense tableau code indexes several arrays in lockstep
+
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use problem::{Constraint, LinExpr, LpProblem, Rel, Sense, VarId};
+pub use simplex::solve;
+pub use solution::{LpSolution, LpStatus};

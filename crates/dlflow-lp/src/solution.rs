@@ -1,0 +1,66 @@
+//! Solver results.
+
+use dlflow_num::Scalar;
+
+/// Outcome category of an LP solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+/// Result of [`crate::solve`].
+#[derive(Clone, Debug)]
+pub struct LpSolution<S> {
+    /// Outcome category.
+    pub status: LpStatus,
+    /// Optimal objective value (present iff `status == Optimal`).
+    pub objective: Option<S>,
+    /// Primal values, indexed by [`crate::VarId::index`]. All zeros unless
+    /// `status == Optimal`.
+    pub values: Vec<S>,
+}
+
+impl<S: Scalar> LpSolution<S> {
+    pub(crate) fn optimal(objective: S, values: Vec<S>) -> Self {
+        LpSolution { status: LpStatus::Optimal, objective: Some(objective), values }
+    }
+
+    pub(crate) fn infeasible(n_vars: usize) -> Self {
+        LpSolution { status: LpStatus::Infeasible, objective: None, values: vec![S::zero(); n_vars] }
+    }
+
+    pub(crate) fn unbounded(n_vars: usize) -> Self {
+        LpSolution { status: LpStatus::Unbounded, objective: None, values: vec![S::zero(); n_vars] }
+    }
+
+    /// `true` iff an optimum was found.
+    pub fn is_optimal(&self) -> bool {
+        self.status == LpStatus::Optimal
+    }
+
+    /// Value of a variable; panics when the solve was not optimal.
+    pub fn value(&self, var: crate::VarId) -> &S {
+        assert!(self.is_optimal(), "LpSolution::value on non-optimal solution");
+        &self.values[var.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s: LpSolution<f64> = LpSolution::optimal(3.0, vec![1.0, 2.0]);
+        assert!(s.is_optimal());
+        assert_eq!(*s.value(crate::VarId(1)), 2.0);
+        let i: LpSolution<f64> = LpSolution::infeasible(2);
+        assert!(!i.is_optimal());
+        assert_eq!(i.values, vec![0.0, 0.0]);
+    }
+}

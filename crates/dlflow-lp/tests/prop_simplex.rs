@@ -1,0 +1,147 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate small random LPs with integer data, solve them with
+//! both the exact-rational and the f64 instantiations, and check
+//! (a) agreement of statuses and objective values,
+//! (b) primal feasibility of the returned point,
+//! (c) optimality against brute-force vertex enumeration in 2 variables.
+
+use dlflow_lp::{solve, LinExpr, LpProblem, LpStatus, Rel, Sense};
+use dlflow_num::Rat;
+use proptest::prelude::*;
+
+/// Random small LP over integer coefficients:
+/// max cᵀx s.t. Ax ≤ b with b ≥ 0 — always feasible (x = 0) and bounded
+/// when we also add Σx ≤ B.
+fn build_pair(
+    n: usize,
+    c: &[i64],
+    rows: &[Vec<i64>],
+    b: &[i64],
+    cap: i64,
+) -> (LpProblem<f64>, LpProblem<Rat>) {
+    let mut lp_f: LpProblem<f64> = LpProblem::new(Sense::Maximize);
+    let mut lp_r: LpProblem<Rat> = LpProblem::new(Sense::Maximize);
+    let vf: Vec<_> = (0..n).map(|i| lp_f.add_var(format!("x{i}"))).collect();
+    let vr: Vec<_> = (0..n).map(|i| lp_r.add_var(format!("x{i}"))).collect();
+    lp_f.set_objective(LinExpr::from_iter(vf.iter().zip(c).map(|(&v, &ci)| (v, ci as f64))));
+    lp_r.set_objective(LinExpr::from_iter(vr.iter().zip(c).map(|(&v, &ci)| (v, Rat::from_i64(ci)))));
+    for (row, &bi) in rows.iter().zip(b) {
+        lp_f.add_constraint(
+            LinExpr::from_iter(vf.iter().zip(row).map(|(&v, &a)| (v, a as f64))),
+            Rel::Le,
+            bi as f64,
+        );
+        lp_r.add_constraint(
+            LinExpr::from_iter(vr.iter().zip(row).map(|(&v, &a)| (v, Rat::from_i64(a)))),
+            Rel::Le,
+            Rat::from_i64(bi),
+        );
+    }
+    // Bounding box keeps everything bounded.
+    lp_f.add_constraint(LinExpr::from_iter(vf.iter().map(|&v| (v, 1.0))), Rel::Le, cap as f64);
+    lp_r.add_constraint(
+        LinExpr::from_iter(vr.iter().map(|&v| (v, Rat::one()))),
+        Rel::Le,
+        Rat::from_i64(cap),
+    );
+    (lp_f, lp_r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn f64_and_exact_agree(
+        n in 1usize..4,
+        m in 1usize..4,
+        seed_c in proptest::collection::vec(-5i64..=5, 3),
+        seed_a in proptest::collection::vec(-4i64..=6, 9),
+        seed_b in proptest::collection::vec(0i64..=10, 3),
+        cap in 1i64..=20,
+    ) {
+        let c: Vec<i64> = seed_c[..n].to_vec();
+        let rows: Vec<Vec<i64>> = (0..m).map(|i| (0..n).map(|j| seed_a[(i * 3 + j) % 9]).collect()).collect();
+        let b: Vec<i64> = seed_b[..m].to_vec();
+        let (lp_f, lp_r) = build_pair(n, &c, &rows, &b, cap);
+        let sf = solve(&lp_f);
+        let sr = solve(&lp_r);
+        // Feasible (x = 0) and bounded by construction.
+        prop_assert_eq!(sf.status, LpStatus::Optimal);
+        prop_assert_eq!(sr.status, LpStatus::Optimal);
+        let of = sf.objective.unwrap();
+        let or = sr.objective.unwrap().to_f64();
+        prop_assert!((of - or).abs() < 1e-6, "objectives disagree: f64={of}, exact={or}");
+        // Returned points must be primal feasible.
+        prop_assert!(lp_f.check_feasible(&sf.values).is_ok());
+        prop_assert!(lp_r.check_feasible(&sr.values).is_ok());
+    }
+
+    #[test]
+    fn two_var_matches_vertex_enumeration(
+        c0 in -5i64..=5, c1 in -5i64..=5,
+        a in proptest::collection::vec((-4i64..=6, -4i64..=6, 0i64..=12), 1..4),
+    ) {
+        // max c·x over {x ≥ 0, a_i·x ≤ b_i, x0 + x1 ≤ 15}
+        let mut rows: Vec<Vec<i64>> = a.iter().map(|&(p, q, _)| vec![p, q]).collect();
+        let mut b: Vec<i64> = a.iter().map(|&(_, _, r)| r).collect();
+        rows.push(vec![1, 1]);
+        b.push(15);
+        let (lp_f, _) = build_pair(2, &[c0, c1], &rows[..rows.len() - 1], &b[..b.len() - 1], 15);
+        let sol = solve(&lp_f);
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        let got = sol.objective.unwrap();
+
+        // Brute force: enumerate pairwise constraint intersections
+        // (including axes) and keep feasible ones.
+        let mut lines: Vec<(f64, f64, f64)> = rows
+            .iter()
+            .zip(&b)
+            .map(|(r, &bi)| (r[0] as f64, r[1] as f64, bi as f64))
+            .collect();
+        lines.push((1.0, 0.0, 0.0)); // x0 = 0  (as ≥, handled via equality here)
+        lines.push((0.0, 1.0, 0.0)); // x1 = 0
+        let feasible = |x: f64, y: f64| -> bool {
+            x >= -1e-7 && y >= -1e-7
+                && rows.iter().zip(&b).all(|(r, &bi)| r[0] as f64 * x + r[1] as f64 * y <= bi as f64 + 1e-7)
+        };
+        let mut best = f64::NEG_INFINITY;
+        if feasible(0.0, 0.0) {
+            best = 0.0;
+        }
+        for i in 0..lines.len() {
+            for j in (i + 1)..lines.len() {
+                let (a1, b1, c1l) = lines[i];
+                let (a2, b2, c2l) = lines[j];
+                let det = a1 * b2 - a2 * b1;
+                if det.abs() < 1e-12 {
+                    continue;
+                }
+                let x = (c1l * b2 - c2l * b1) / det;
+                let y = (a1 * c2l - a2 * c1l) / det;
+                if feasible(x, y) {
+                    best = best.max(c0 as f64 * x + c1 as f64 * y);
+                }
+            }
+        }
+        prop_assert!((got - best).abs() < 1e-5, "simplex={got} brute={best}");
+    }
+
+    #[test]
+    fn exact_solution_is_truly_optimal_vs_perturbation(
+        c in proptest::collection::vec(1i64..=5, 2),
+        b in proptest::collection::vec(1i64..=10, 2),
+    ) {
+        // max c·x s.t. x_i ≤ b_i: optimum is c·b, trivially checkable.
+        let mut lp: LpProblem<Rat> = LpProblem::new(Sense::Maximize);
+        let xs: Vec<_> = (0..2).map(|i| lp.add_var(format!("x{i}"))).collect();
+        lp.set_objective(LinExpr::from_iter(xs.iter().zip(&c).map(|(&v, &ci)| (v, Rat::from_i64(ci)))));
+        for (&v, &bi) in xs.iter().zip(&b) {
+            lp.add_constraint(LinExpr::term(v, Rat::one()), Rel::Le, Rat::from_i64(bi));
+        }
+        let sol = solve(&lp);
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        let expect = Rat::from_i64(c[0] * b[0] + c[1] * b[1]);
+        prop_assert_eq!(sol.objective.unwrap(), expect);
+    }
+}

@@ -1,0 +1,513 @@
+//! Exact rational numbers over arbitrary-precision integers.
+
+use crate::ibig::{IBig, Sign};
+use crate::ubig::UBig;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number.
+///
+/// Invariants: the denominator is ≥ 1 and `gcd(|num|, den) = 1`
+/// (fully reduced); the sign lives on the numerator.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: IBig,
+    den: UBig,
+}
+
+impl Rat {
+    /// The value 0.
+    #[inline]
+    pub fn zero() -> Self {
+        Rat { num: IBig::zero(), den: UBig::one() }
+    }
+
+    /// The value 1.
+    #[inline]
+    pub fn one() -> Self {
+        Rat { num: IBig::one(), den: UBig::one() }
+    }
+
+    /// Builds and normalizes `num / den`; panics when `den` is zero.
+    pub fn new(num: IBig, den: IBig) -> Self {
+        assert!(!den.is_zero(), "Rat::new zero denominator");
+        let num = if den.is_negative() { num.neg_ref() } else { num };
+        Rat::from_parts(num, den.into_magnitude())
+    }
+
+    /// Builds and normalizes a signed numerator over an unsigned denominator.
+    pub fn from_parts(num: IBig, den: UBig) -> Self {
+        assert!(!den.is_zero(), "Rat::from_parts zero denominator");
+        if num.is_zero() {
+            return Rat::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        if g.is_one() {
+            Rat { num, den }
+        } else {
+            let nm = num.magnitude().div_rem(&g).0;
+            let dn = den.div_rem(&g).0;
+            Rat { num: IBig::from_sign_mag(num.sign(), nm), den: dn }
+        }
+    }
+
+    /// Builds from an integer.
+    pub fn from_i64(v: i64) -> Self {
+        Rat { num: IBig::from_i64(v), den: UBig::one() }
+    }
+
+    /// Builds from an integer ratio; panics when `den == 0`.
+    pub fn from_ratio(num: i64, den: i64) -> Self {
+        Rat::new(IBig::from_i64(num), IBig::from_i64(den))
+    }
+
+    /// Builds from an [`IBig`] integer.
+    pub fn from_ibig(v: IBig) -> Self {
+        Rat { num: v, den: UBig::one() }
+    }
+
+    /// The (signed) numerator.
+    #[inline]
+    pub fn numer(&self) -> &IBig {
+        &self.num
+    }
+
+    /// The (positive) denominator.
+    #[inline]
+    pub fn denom(&self) -> &UBig {
+        &self.den
+    }
+
+    /// `true` iff the value is 0.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff the value is strictly negative.
+    #[inline]
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// `true` iff the value is strictly positive.
+    #[inline]
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// `true` iff the value is an integer.
+    #[inline]
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sum.
+    pub fn add_ref(&self, o: &Rat) -> Rat {
+        // a/b + c/d = (a·d + c·b) / (b·d), normalized afterwards.
+        let n = self.num.mul_ref(&IBig::from(o.den.clone())).add_ref(&o.num.mul_ref(&IBig::from(self.den.clone())));
+        Rat::from_parts(n, self.den.mul(&o.den))
+    }
+
+    /// Difference.
+    pub fn sub_ref(&self, o: &Rat) -> Rat {
+        self.add_ref(&o.neg_ref())
+    }
+
+    /// Product.
+    pub fn mul_ref(&self, o: &Rat) -> Rat {
+        Rat::from_parts(self.num.mul_ref(&o.num), self.den.mul(&o.den))
+    }
+
+    /// Quotient; panics when `o` is zero.
+    pub fn div_ref(&self, o: &Rat) -> Rat {
+        assert!(!o.is_zero(), "Rat::div_ref division by zero");
+        let n = self.num.mul_ref(&IBig::from(o.den.clone()));
+        let d = IBig::from(self.den.clone()).mul_ref(&o.num);
+        Rat::new(n, d)
+    }
+
+    /// Negation.
+    pub fn neg_ref(&self) -> Rat {
+        Rat { num: self.num.neg_ref(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "Rat::recip of zero");
+        Rat::new(IBig::from(self.den.clone()), self.num.clone())
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Exponentiation by a (possibly negative) integer power.
+    pub fn powi(&self, exp: i32) -> Rat {
+        if exp >= 0 {
+            Rat::from_parts(self.num.pow(exp as u32), self.den.pow(exp as u32))
+        } else {
+            self.recip().powi(-exp)
+        }
+    }
+
+    /// Midpoint `(self + other) / 2` — used by the milestone binary search.
+    pub fn midpoint(&self, other: &Rat) -> Rat {
+        self.add_ref(other).div_ref(&Rat::from_i64(2))
+    }
+
+    /// Minimum of two values by reference.
+    pub fn min_ref<'a>(&'a self, other: &'a Rat) -> &'a Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two values by reference.
+    pub fn max_ref<'a>(&'a self, other: &'a Rat) -> &'a Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Lossy conversion to `f64`, robust to magnitudes far outside the
+    /// `f64` range of either numerator or denominator alone.
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let nbits = self.num.magnitude().bit_len() as i64;
+        let dbits = self.den.bit_len() as i64;
+        // Scale the numerator so the integer quotient has ~64 significant bits.
+        let shift = dbits + 64 - nbits;
+        let scaled = if shift >= 0 {
+            self.num.magnitude().shl(shift as u64)
+        } else {
+            self.num.magnitude().shr((-shift) as u64)
+        };
+        let q = scaled.div_rem(&self.den).0;
+        let mag = mul_pow2(q.to_f64(), -shift);
+        if self.num.is_negative() {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Builds the exact rational equal to a finite `f64`.
+    ///
+    /// Panics on NaN or infinity.
+    pub fn from_f64(v: f64) -> Rat {
+        assert!(v.is_finite(), "Rat::from_f64 of non-finite value");
+        if v == 0.0 {
+            return Rat::zero();
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { Sign::Minus } else { Sign::Plus };
+        let exp_bits = ((bits >> 52) & 0x7FF) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mantissa, exp) = if exp_bits == 0 {
+            (frac, -1074i64) // subnormal
+        } else {
+            (frac | (1u64 << 52), exp_bits - 1075)
+        };
+        let m = IBig::from_sign_mag(sign, UBig::from_u64(mantissa));
+        if exp >= 0 {
+            Rat::from_parts(
+                IBig::from_sign_mag(m.sign(), m.magnitude().shl(exp as u64)),
+                UBig::one(),
+            )
+        } else {
+            Rat::from_parts(m, UBig::one().shl((-exp) as u64))
+        }
+    }
+
+    /// Parses `"a/b"` or `"a"` (decimal integers, optional sign).
+    pub fn from_str_ratio(s: &str) -> Result<Rat, crate::ubig::ParseUBigError> {
+        match s.split_once('/') {
+            Some((n, d)) => Ok(Rat::new(IBig::from_decimal_str(n.trim())?, IBig::from_decimal_str(d.trim())?)),
+            None => Ok(Rat::from_ibig(IBig::from_decimal_str(s.trim())?)),
+        }
+    }
+
+    /// Floor (greatest integer ≤ self) as an [`IBig`].
+    pub fn floor(&self) -> IBig {
+        let (q, r) = self.num.div_rem(&IBig::from(self.den.clone()));
+        if self.num.is_negative() && !r.is_zero() {
+            q.sub_ref(&IBig::one())
+        } else {
+            q
+        }
+    }
+
+    /// Ceiling (least integer ≥ self) as an [`IBig`].
+    pub fn ceil(&self) -> IBig {
+        self.neg_ref().floor().neg_ref()
+    }
+}
+
+/// Multiplies by 2^e in steps that keep every intermediate factor a
+/// *normal* f64, so precision is not lost to subnormal intermediates.
+fn mul_pow2(mut x: f64, mut e: i64) -> f64 {
+    const STEP: i64 = 900; // comfortably below the f64 exponent range
+    while e > STEP {
+        x *= 2f64.powi(STEP as i32);
+        e -= STEP;
+    }
+    while e < -STEP {
+        x *= 2f64.powi(-STEP as i32);
+        e += STEP;
+    }
+    x * 2f64.powi(e as i32)
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  ⇔  a·d ? c·b   (b, d > 0)
+        let lhs = self.num.mul_ref(&IBig::from(other.den.clone()));
+        let rhs = other.num.mul_ref(&IBig::from(self.den.clone()));
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat::from_i64(v)
+    }
+}
+
+impl From<IBig> for Rat {
+    fn from(v: IBig) -> Self {
+        Rat::from_ibig(v)
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        self.neg_ref()
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        self.neg_ref()
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($trait:ident, $method:ident, $inner:ident) => {
+        impl $trait for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$inner(&rhs)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                self.$inner(rhs)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$inner(&rhs)
+            }
+        }
+        impl $trait for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                self.$inner(rhs)
+            }
+        }
+    };
+}
+
+forward_rat_binop!(Add, add, add_ref);
+forward_rat_binop!(Sub, sub, sub_ref);
+forward_rat_binop!(Mul, mul, mul_ref);
+forward_rat_binop!(Div, div, div_ref);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = self.sub_ref(rhs);
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl DivAssign<&Rat> for Rat {
+    fn div_assign(&mut self, rhs: &Rat) {
+        *self = self.div_ref(rhs);
+    }
+}
+
+impl serde::Serialize for Rat {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Rat {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Rat::from_str_ratio(&s).map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::from_ratio(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(0, 5), Rat::zero());
+        assert_eq!(r(6, 3), Rat::from_i64(2));
+        assert!(r(1, -2).is_negative());
+        assert_eq!(r(-3, -6), r(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), Rat::from_i64(2));
+        assert_eq!(-r(1, 2), r(-1, 2));
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(2, 4) == r(1, 2));
+        assert!(r(7, 2) > Rat::from_i64(3));
+        assert!(Rat::zero() < r(1, 1_000_000));
+    }
+
+    #[test]
+    fn powi_and_midpoint() {
+        assert_eq!(r(2, 3).powi(2), r(4, 9));
+        assert_eq!(r(2, 3).powi(-1), r(3, 2));
+        assert_eq!(r(2, 3).powi(0), Rat::one());
+        assert_eq!(r(1, 2).midpoint(&r(1, 4)), r(3, 8));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), IBig::from_i64(3));
+        assert_eq!(r(7, 2).ceil(), IBig::from_i64(4));
+        assert_eq!(r(-7, 2).floor(), IBig::from_i64(-4));
+        assert_eq!(r(-7, 2).ceil(), IBig::from_i64(-3));
+        assert_eq!(Rat::from_i64(5).floor(), IBig::from_i64(5));
+        assert_eq!(Rat::from_i64(5).ceil(), IBig::from_i64(5));
+    }
+
+    #[test]
+    fn f64_roundtrip_exact() {
+        for v in [0.0, 1.0, -1.5, 0.1, 3.25, -1024.0, 1e-300, 1e300, f64::MIN_POSITIVE] {
+            let rat = Rat::from_f64(v);
+            assert_eq!(rat.to_f64(), v, "roundtrip {v}");
+        }
+    }
+
+    #[test]
+    fn from_f64_known_values() {
+        assert_eq!(Rat::from_f64(0.5), r(1, 2));
+        assert_eq!(Rat::from_f64(0.25), r(1, 4));
+        assert_eq!(Rat::from_f64(-3.0), Rat::from_i64(-3));
+    }
+
+    #[test]
+    fn to_f64_huge_magnitudes() {
+        // num and den both overflow f64 individually; the ratio must not.
+        let big = IBig::from_decimal_str(&("1".to_owned() + &"0".repeat(400))).unwrap();
+        let x = Rat::new(big.mul_ref(&IBig::from_i64(3)), big.clone());
+        assert!((x.to_f64() - 3.0).abs() < 1e-12);
+        let y = Rat::new(big.clone(), big.mul_ref(&IBig::from_i64(4)));
+        assert!((y.to_f64() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parse_ratio() {
+        assert_eq!(Rat::from_str_ratio("3/4").unwrap(), r(3, 4));
+        assert_eq!(Rat::from_str_ratio("-3/4").unwrap(), r(-3, 4));
+        assert_eq!(Rat::from_str_ratio("5").unwrap(), Rat::from_i64(5));
+        assert_eq!(Rat::from_str_ratio(" 1 / 2 ").unwrap(), r(1, 2));
+        assert!(Rat::from_str_ratio("x/2").is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(Rat::from_i64(-7).to_string(), "-7");
+        assert_eq!(Rat::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn min_max_ref() {
+        let a = r(1, 3);
+        let b = r(1, 2);
+        assert_eq!(a.min_ref(&b), &a);
+        assert_eq!(a.max_ref(&b), &b);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the bignum substrate: algebraic laws checked
+//! against `u128`/`i128` reference arithmetic and against themselves.
+
+use dlflow_num::{IBig, Rat, UBig};
+use proptest::prelude::*;
+
+fn arb_ubig() -> impl Strategy<Value = UBig> {
+    proptest::collection::vec(any::<u64>(), 0..6).prop_map(UBig::from_limbs)
+}
+
+fn arb_ibig() -> impl Strategy<Value = IBig> {
+    (arb_ubig(), any::<bool>()).prop_map(|(m, neg)| {
+        let v = IBig::from(m);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    (any::<i64>(), 1..=i64::MAX).prop_map(|(n, d)| Rat::from_ratio(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ubig_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let got = UBig::from_u64(a).add(&UBig::from_u64(b));
+        prop_assert_eq!(got, UBig::from_u128(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn ubig_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let got = UBig::from_u64(a).mul(&UBig::from_u64(b));
+        prop_assert_eq!(got, UBig::from_u128(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn ubig_add_commutative(a in arb_ubig(), b in arb_ubig()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn ubig_add_associative(a in arb_ubig(), b in arb_ubig(), c in arb_ubig()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn ubig_mul_commutative(a in arb_ubig(), b in arb_ubig()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn ubig_mul_distributes(a in arb_ubig(), b in arb_ubig(), c in arb_ubig()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn ubig_sub_inverts_add(a in arb_ubig(), b in arb_ubig()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn ubig_div_rem_identity(a in arb_ubig(), b in arb_ubig()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn ubig_gcd_divides_both(a in arb_ubig(), b in arb_ubig()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.div_rem(&g).1.is_zero());
+            prop_assert!(b.div_rem(&g).1.is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn ubig_shl_is_mul_pow2(a in arb_ubig(), bits in 0u64..130) {
+        let two_pow = UBig::from_u64(2).pow(bits as u32);
+        prop_assert_eq!(a.shl(bits), a.mul(&two_pow));
+    }
+
+    #[test]
+    fn ubig_decimal_roundtrip(a in arb_ubig()) {
+        let s = a.to_decimal_string();
+        prop_assert_eq!(UBig::from_decimal_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn ibig_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let got = IBig::from_i64(a) + IBig::from_i64(b);
+        prop_assert_eq!(got, IBig::from_i128(a as i128 + b as i128));
+    }
+
+    #[test]
+    fn ibig_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let got = IBig::from_i64(a) * IBig::from_i64(b);
+        prop_assert_eq!(got, IBig::from_i128(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn ibig_ring_laws(a in arb_ibig(), b in arb_ibig(), c in arb_ibig()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!((&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, IBig::zero());
+    }
+
+    #[test]
+    fn ibig_ordering_matches_sub(a in arb_ibig(), b in arb_ibig()) {
+        let d = &a - &b;
+        prop_assert_eq!(a < b, d.is_negative());
+        prop_assert_eq!(a == b, d.is_zero());
+    }
+
+    #[test]
+    fn rat_field_laws(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!((&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+        }
+    }
+
+    #[test]
+    fn rat_cmp_consistent_with_f64(n1 in -10_000i64..10_000, d1 in 1i64..10_000,
+                                   n2 in -10_000i64..10_000, d2 in 1i64..10_000) {
+        let a = Rat::from_ratio(n1, d1);
+        let b = Rat::from_ratio(n2, d2);
+        let fa = n1 as f64 / d1 as f64;
+        let fb = n2 as f64 / d2 as f64;
+        // Small integer ratios: f64 comparison is exact enough to agree
+        // unless the two rationals are genuinely equal.
+        if a != b {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn rat_f64_roundtrip(v in proptest::num::f64::NORMAL) {
+        prop_assert_eq!(Rat::from_f64(v).to_f64(), v);
+    }
+
+    #[test]
+    fn rat_floor_ceil_bracket(a in arb_rat()) {
+        let fl = Rat::from_ibig(a.floor());
+        let ce = Rat::from_ibig(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!((&ce - &fl) <= Rat::one());
+    }
+}

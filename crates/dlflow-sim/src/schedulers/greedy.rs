@@ -1,0 +1,254 @@
+//! Classical preemptive list heuristics (non-divisible: a job runs on at
+//! most one machine at a time, but may be migrated or interrupted at any
+//! event).
+
+use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
+use dlflow_core::instance::Instance;
+
+/// Assigns jobs (in the order produced by `priority`, *descending*) to
+/// their fastest still-free machine.
+fn assign_by_priority(
+    active: &[ActiveJob],
+    inst: &Instance<f64>,
+    mut priority: impl FnMut(&ActiveJob) -> f64,
+) -> Allocation {
+    let mut order: Vec<usize> = (0..active.len()).collect();
+    let prios: Vec<f64> = active.iter().map(&mut priority).collect();
+    order.sort_by(|&x, &y| prios[y].partial_cmp(&prios[x]).unwrap().then(active[x].id.cmp(&active[y].id)));
+
+    let mut free = vec![true; inst.n_machines()];
+    let mut alloc = Allocation::idle(inst.n_machines(), inst.n_jobs());
+    for k in order {
+        let job = &active[k];
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..inst.n_machines() {
+            if !free[i] {
+                continue;
+            }
+            if let Some(&c) = inst.cost(i, job.id).finite() {
+                if best.is_none() || c < best.unwrap().1 {
+                    best = Some((i, c));
+                }
+            }
+        }
+        if let Some((i, _)) = best {
+            free[i] = false;
+            alloc.rates[i][job.id] = 1.0;
+        }
+    }
+    alloc
+}
+
+/// Shortest Remaining Processing Time first (remaining work measured on
+/// the job's fastest machine).
+#[derive(Default)]
+pub struct Srpt;
+
+impl Srpt {
+    /// Fresh policy.
+    pub fn new() -> Self {
+        Srpt
+    }
+}
+
+impl OnlineScheduler for Srpt {
+    fn name(&self) -> String {
+        "SRPT".into()
+    }
+    fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
+        assign_by_priority(active, inst, |a| -(a.remaining * inst.fastest_cost(a.id)))
+    }
+}
+
+/// Largest *weighted age* first: prioritizes the job whose weighted flow
+/// is currently largest (`w_j · (now − r_j)`), an online greedy proxy for
+/// the max-weighted-flow objective.
+#[derive(Default)]
+pub struct WeightedAge {
+    now: f64,
+}
+
+impl WeightedAge {
+    /// Fresh policy.
+    pub fn new() -> Self {
+        WeightedAge::default()
+    }
+}
+
+impl OnlineScheduler for WeightedAge {
+    fn name(&self) -> String {
+        "WeightedAge".into()
+    }
+    fn plan(&mut self, now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
+        self.now = now;
+        assign_by_priority(active, inst, |a| {
+            let j = inst.job(a.id);
+            // Weighted flow the job would reach if it finished right now,
+            // plus its remaining fastest time (a lookahead tie-breaker).
+            j.weight * (now - j.release + a.remaining * inst.fastest_cost(a.id))
+        })
+    }
+}
+
+/// First-in-first-out: earliest release first, fastest free machine.
+#[derive(Default)]
+pub struct FifoFastest;
+
+impl FifoFastest {
+    /// Fresh policy.
+    pub fn new() -> Self {
+        FifoFastest
+    }
+}
+
+impl OnlineScheduler for FifoFastest {
+    fn name(&self) -> String {
+        "FIFO".into()
+    }
+    fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
+        assign_by_priority(active, inst, |a| -inst.job(a.id).release)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use dlflow_core::instance::InstanceBuilder;
+
+    fn two_jobs_one_machine() -> Instance<f64> {
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0); // long: 10
+        b.job(1.0, 1.0); // short: 2
+        b.machine(vec![Some(10.0), Some(2.0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn srpt_preempts_for_short_job() {
+        let inst = two_jobs_one_machine();
+        let res = simulate(&inst, &mut Srpt::new()).unwrap();
+        // At t=1 the short job (2) preempts the long one (9 remaining).
+        assert!((res.completions[1] - 3.0).abs() < 1e-6);
+        assert!((res.completions[0] - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fifo_does_not_preempt_for_later_arrival() {
+        let inst = two_jobs_one_machine();
+        let res = simulate(&inst, &mut FifoFastest::new()).unwrap();
+        assert!((res.completions[0] - 10.0).abs() < 1e-6);
+        assert!((res.completions[1] - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_age_favours_heavy_jobs() {
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0); // light
+        b.job(0.0, 100.0); // heavy
+        b.machine(vec![Some(4.0), Some(4.0)]);
+        let inst = b.build().unwrap();
+        let res = simulate(&inst, &mut WeightedAge::new()).unwrap();
+        // Heavy job must be served first.
+        assert!(res.completions[1] < res.completions[0]);
+    }
+
+    #[test]
+    fn jobs_never_run_on_two_machines() {
+        // assign_by_priority gives each job at most one machine per plan;
+        // verify via a two-machine instance where splitting would help.
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.machine(vec![Some(4.0)]);
+        b.machine(vec![Some(4.0)]);
+        let inst = b.build().unwrap();
+        let res = simulate(&inst, &mut Srpt::new()).unwrap();
+        // Non-divisible: 4, not the divisible 2.
+        assert!((res.completions[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_policies_complete_on_restricted_platform() {
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.job(0.5, 2.0);
+        b.job(1.0, 1.0);
+        b.machine(vec![Some(2.0), None, Some(3.0)]);
+        b.machine(vec![None, Some(1.5), Some(6.0)]);
+        let inst = b.build().unwrap();
+        for policy in [&mut Srpt::new() as &mut dyn OnlineScheduler, &mut WeightedAge::new(), &mut FifoFastest::new()] {
+            let res = simulate(&inst, policy).unwrap();
+            assert!(res.completions.iter().all(|c| c.is_finite()));
+        }
+    }
+}
+
+/// Equal-share processor sharing ("round robin" in the fluid limit):
+/// every machine divides its capacity equally among the active jobs it
+/// can serve — the classical fairness baseline.
+#[derive(Default)]
+pub struct RoundRobin;
+
+impl RoundRobin {
+    /// Fresh policy.
+    pub fn new() -> Self {
+        RoundRobin
+    }
+}
+
+impl OnlineScheduler for RoundRobin {
+    fn name(&self) -> String {
+        "RoundRobin".into()
+    }
+    fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
+        let mut alloc = Allocation::idle(inst.n_machines(), inst.n_jobs());
+        for i in 0..inst.n_machines() {
+            let eligible: Vec<usize> = active
+                .iter()
+                .filter(|a| inst.cost(i, a.id).is_finite())
+                .map(|a| a.id)
+                .collect();
+            if eligible.is_empty() {
+                continue;
+            }
+            let share = 1.0 / eligible.len() as f64;
+            for id in eligible {
+                alloc.rates[i][id] = share;
+            }
+        }
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod round_robin_tests {
+    use super::*;
+    use crate::engine::simulate;
+    use dlflow_core::instance::InstanceBuilder;
+
+    #[test]
+    fn equal_shares_on_one_machine() {
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.job(0.0, 1.0);
+        b.machine(vec![Some(2.0), Some(2.0)]);
+        let inst = b.build().unwrap();
+        let res = simulate(&inst, &mut RoundRobin::new()).unwrap();
+        // Both progress at rate 1/4 until one finishes; identical jobs
+        // finish together at t = 4 (processor sharing).
+        assert!((res.completions[0] - 4.0).abs() < 1e-6);
+        assert!((res.completions[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn round_robin_completes_restricted_instances() {
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.job(1.0, 2.0);
+        b.machine(vec![Some(2.0), None]);
+        b.machine(vec![Some(3.0), Some(1.5)]);
+        let inst = b.build().unwrap();
+        let res = simulate(&inst, &mut RoundRobin::new()).unwrap();
+        assert!(res.completions.iter().all(|c| c.is_finite()));
+    }
+}

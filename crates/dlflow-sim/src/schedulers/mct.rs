@@ -1,0 +1,157 @@
+//! Minimum Completion Time (MCT).
+//!
+//! Each arriving job is immediately and irrevocably assigned, whole, to
+//! the machine on which it would complete earliest given the work already
+//! queued there. Machines serve their queues FIFO, one job at a time —
+//! non-preemptive, non-divisible: exactly the "classical scheduling
+//! heuristic" the paper's conclusion compares against.
+
+use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
+use dlflow_core::instance::Instance;
+
+/// MCT policy state.
+#[derive(Default)]
+pub struct Mct {
+    /// Machine assigned to each seen job.
+    assigned: Vec<Option<usize>>,
+    /// FIFO queue per machine.
+    queues: Vec<Vec<usize>>,
+}
+
+impl Mct {
+    /// Fresh policy.
+    pub fn new() -> Self {
+        Mct::default()
+    }
+
+    fn ensure_sizes(&mut self, inst: &Instance<f64>) {
+        if self.assigned.len() < inst.n_jobs() {
+            self.assigned.resize(inst.n_jobs(), None);
+        }
+        if self.queues.len() < inst.n_machines() {
+            self.queues.resize(inst.n_machines(), Vec::new());
+        }
+    }
+}
+
+impl OnlineScheduler for Mct {
+    fn name(&self) -> String {
+        "MCT".into()
+    }
+
+    fn reset(&mut self) {
+        self.assigned.clear();
+        self.queues.clear();
+    }
+
+    fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
+        self.ensure_sizes(inst);
+        let remaining_of = |id: usize, active: &[ActiveJob]| -> f64 {
+            active.iter().find(|a| a.id == id).map_or(0.0, |a| a.remaining)
+        };
+
+        // Assign any newly seen jobs, in release order (ties by id).
+        let mut newcomers: Vec<usize> = active
+            .iter()
+            .filter(|a| self.assigned[a.id].is_none())
+            .map(|a| a.id)
+            .collect();
+        newcomers.sort_by(|&a, &b| {
+            inst.job(a)
+                .release
+                .partial_cmp(&inst.job(b).release)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        for j in newcomers {
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..inst.n_machines() {
+                let Some(&c) = inst.cost(i, j).finite() else { continue };
+                // Backlog of still-active queued jobs on machine i.
+                let backlog: f64 = self.queues[i]
+                    .iter()
+                    .map(|&k| {
+                        let rem = remaining_of(k, active);
+                        rem * inst.cost(i, k).finite().copied().unwrap_or(0.0)
+                    })
+                    .sum();
+                let completion = backlog + c; // relative to now
+                if best.is_none() || completion < best.unwrap().1 {
+                    best = Some((i, completion));
+                }
+            }
+            let (i, _) = best.expect("validated instance: some machine runs the job");
+            self.assigned[j] = Some(i);
+            self.queues[i].push(j);
+        }
+
+        // Purge finished jobs from queue heads and serve the first active.
+        let mut alloc = Allocation::idle(inst.n_machines(), inst.n_jobs());
+        for i in 0..inst.n_machines() {
+            self.queues[i].retain(|&k| active.iter().any(|a| a.id == k));
+            if let Some(&head) = self.queues[i].first() {
+                alloc.rates[i][head] = 1.0;
+            }
+        }
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use dlflow_core::instance::InstanceBuilder;
+
+    #[test]
+    fn picks_machine_with_earliest_completion() {
+        // M0 fast but will be busy; M1 slow but free.
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0); // J0: 10 on M0, 100 on M1 → M0
+        b.job(0.0, 1.0); // J1: 10 on M0 (behind J0 → 20), 15 on M1 → M1
+        b.machine(vec![Some(10.0), Some(10.0)]);
+        b.machine(vec![Some(100.0), Some(15.0)]);
+        let inst = b.build().unwrap();
+        let res = simulate(&inst, &mut Mct::new()).unwrap();
+        assert!((res.completions[0] - 10.0).abs() < 1e-6);
+        assert!((res.completions[1] - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fifo_within_machine() {
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.job(0.0, 1.0);
+        b.machine(vec![Some(4.0), Some(4.0)]);
+        let inst = b.build().unwrap();
+        let res = simulate(&inst, &mut Mct::new()).unwrap();
+        let mut c = res.completions.clone();
+        c.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((c[0] - 4.0).abs() < 1e-6);
+        assert!((c[1] - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_availability() {
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.machine(vec![None]);
+        b.machine(vec![Some(3.0)]);
+        let inst = b.build().unwrap();
+        let res = simulate(&inst, &mut Mct::new()).unwrap();
+        assert!((res.completions[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignment_is_irrevocable() {
+        // A later fast arrival does not displace an earlier slow job.
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0); // long job on the only useful machine
+        b.job(1.0, 10.0); // urgent short job, same machine
+        b.machine(vec![Some(10.0), Some(1.0)]);
+        let inst = b.build().unwrap();
+        let res = simulate(&inst, &mut Mct::new()).unwrap();
+        // J1 waits for J0: completes at 11.
+        assert!((res.completions[1] - 11.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,17 @@
+//! Online scheduling policies.
+//!
+//! * [`mct::Mct`] — Minimum Completion Time, the classical heuristic the
+//!   paper's conclusion names as the baseline its online adaptation beats.
+//! * [`greedy::Srpt`], [`greedy::WeightedAge`], [`greedy::FifoFastest`] —
+//!   further classical list heuristics (preemptive, non-divisible).
+//! * [`offline_adapt::OfflineAdapt`] — the paper's proposal: re-solve the
+//!   offline divisible max-weighted-flow problem at every event and follow
+//!   its first-interval rates (divisibility gives preemption for free).
+
+pub mod greedy;
+pub mod mct;
+pub mod offline_adapt;
+
+pub use greedy::{FifoFastest, RoundRobin, Srpt, WeightedAge};
+pub use mct::Mct;
+pub use offline_adapt::OfflineAdapt;

@@ -1,0 +1,155 @@
+//! Random workload generation for the online-scheduling experiments.
+
+use dlflow_core::instance::Instance;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for random instance generation.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Number of jobs.
+    pub n_jobs: usize,
+    /// Number of machines.
+    pub n_machines: usize,
+    /// Mean inter-arrival time (exponential arrivals).
+    pub mean_interarrival: f64,
+    /// Job base cost range (on a speed-1 machine), log-uniform.
+    pub cost_range: (f64, f64),
+    /// Machine cycle-time heterogeneity: cycle ∈ `[1, heterogeneity]`.
+    pub heterogeneity: f64,
+    /// Probability a machine holds a given job's databank (≥ one forced).
+    pub availability: f64,
+    /// Job weights drawn uniformly from this palette.
+    pub weights: Vec<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            n_jobs: 10,
+            n_machines: 3,
+            mean_interarrival: 2.0,
+            cost_range: (1.0, 20.0),
+            heterogeneity: 3.0,
+            availability: 0.6,
+            weights: vec![1.0, 2.0, 5.0],
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a random unrelated-machines instance with the *uniform
+/// machines + restricted availabilities* structure of the GriPPS platform
+/// (§3): `c[i][j] = size_j · cycle_i` where available.
+pub fn generate(spec: &WorkloadSpec) -> Instance<f64> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let n = spec.n_jobs;
+    let m = spec.n_machines;
+    assert!(n > 0 && m > 0);
+
+    // Poisson arrivals.
+    let mut releases = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        releases.push(t);
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t += -u.ln() * spec.mean_interarrival;
+    }
+
+    // Log-uniform sizes.
+    let (lo, hi) = spec.cost_range;
+    assert!(lo > 0.0 && hi >= lo);
+    let sizes: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            lo * (hi / lo).powf(u)
+        })
+        .collect();
+
+    let weights: Vec<f64> = (0..n)
+        .map(|_| spec.weights[rng.gen_range(0..spec.weights.len())])
+        .collect();
+    let cycles: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0..=spec.heterogeneity.max(1.0))).collect();
+
+    let mut avail: Vec<Vec<bool>> = (0..m)
+        .map(|_| (0..n).map(|_| rng.gen_bool(spec.availability.clamp(0.0, 1.0))).collect())
+        .collect();
+    // Force at least one machine per job.
+    for j in 0..n {
+        if !(0..m).any(|i| avail[i][j]) {
+            let i = rng.gen_range(0..m);
+            avail[i][j] = true;
+        }
+    }
+
+    Instance::uniform_restricted(&sizes, &releases, &weights, &cycles, &avail)
+        .expect("generator produces valid instances")
+}
+
+/// An ensemble of instances differing only by seed.
+pub fn ensemble(spec: &WorkloadSpec, count: usize) -> Vec<Instance<f64>> {
+    (0..count)
+        .map(|k| {
+            let mut s = spec.clone();
+            s.seed = spec.seed.wrapping_add(k as u64 * 0x9E3779B9);
+            generate(&s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let spec = WorkloadSpec::default();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.n_jobs(), 10);
+        assert_eq!(a.n_machines(), 3);
+        for j in 0..a.n_jobs() {
+            assert_eq!(a.job(j).release, b.job(j).release);
+            assert!(a.job(j).release >= 0.0);
+            assert!(a.job(j).weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn releases_are_sorted() {
+        let inst = generate(&WorkloadSpec { n_jobs: 50, ..Default::default() });
+        for j in 1..inst.n_jobs() {
+            assert!(inst.job(j).release >= inst.job(j - 1).release);
+        }
+    }
+
+    #[test]
+    fn every_job_placeable_even_with_low_availability() {
+        for seed in 0..10 {
+            let spec = WorkloadSpec { availability: 0.05, seed, ..Default::default() };
+            let inst = generate(&spec); // would panic if unplaceable
+            assert_eq!(inst.n_jobs(), 10);
+        }
+    }
+
+    #[test]
+    fn uniform_structure_holds() {
+        // c[i][j] / c[i'][j] must be constant across jobs available on both.
+        let inst = generate(&WorkloadSpec { availability: 1.0, ..Default::default() });
+        let r0 = inst.cost(0, 0).finite().unwrap() / inst.cost(1, 0).finite().unwrap();
+        for j in 1..inst.n_jobs() {
+            let r = inst.cost(0, j).finite().unwrap() / inst.cost(1, j).finite().unwrap();
+            assert!((r - r0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ensemble_varies() {
+        let e = ensemble(&WorkloadSpec::default(), 3);
+        assert_eq!(e.len(), 3);
+        // Different seeds ⇒ different job sizes (fastest cost always exists).
+        assert_ne!(e[0].fastest_cost(0), e[1].fastest_cost(0));
+    }
+}

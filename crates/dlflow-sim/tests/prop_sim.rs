@@ -1,0 +1,100 @@
+//! Property-based tests of the simulator and online policies: every
+//! policy terminates, completes all jobs, respects release dates, and
+//! never beats the clairvoyant offline optimum.
+
+use dlflow_core::maxflow::min_max_weighted_flow_divisible;
+use dlflow_sim::engine::{simulate, OnlineScheduler, RunMetrics};
+use dlflow_sim::schedulers::{FifoFastest, Mct, OfflineAdapt, RoundRobin, Srpt, WeightedAge};
+use dlflow_sim::workload::{generate, WorkloadSpec};
+use proptest::prelude::*;
+
+fn policies() -> Vec<Box<dyn OnlineScheduler>> {
+    vec![
+        Box::new(Mct::new()),
+        Box::new(FifoFastest::new()),
+        Box::new(Srpt::new()),
+        Box::new(RoundRobin::new()),
+        Box::new(WeightedAge::new()),
+        Box::new(OfflineAdapt::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_policy_completes_and_respects_bounds(
+        seed in 0u64..10_000,
+        n_jobs in 2usize..7,
+        n_machines in 1usize..4,
+        availability in 0.3f64..1.0,
+    ) {
+        let spec = WorkloadSpec {
+            n_jobs,
+            n_machines,
+            availability,
+            seed,
+            ..Default::default()
+        };
+        let inst = generate(&spec);
+        let offline = min_max_weighted_flow_divisible(&inst).optimum;
+        for mut p in policies() {
+            let res = simulate(&inst, p.as_mut());
+            let res = res.expect("policy must complete");
+            // All jobs complete, none before its release + fastest time / m.
+            for (j, &c) in res.completions.iter().enumerate() {
+                prop_assert!(c.is_finite(), "{}: job {j} unfinished", p.name());
+                prop_assert!(
+                    c >= inst.job(j).release - 1e-9,
+                    "{}: job {j} completed before release",
+                    p.name()
+                );
+            }
+            let m = RunMetrics::from_completions(&inst, &res.completions);
+            // No online policy may beat the clairvoyant offline optimum.
+            prop_assert!(
+                m.max_weighted_flow >= offline * (1.0 - 1e-4) - 1e-9,
+                "{}: {} < offline {}",
+                p.name(),
+                m.max_weighted_flow,
+                offline
+            );
+            prop_assert!(m.makespan >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay(seed in 0u64..1000) {
+        let spec = WorkloadSpec { n_jobs: 5, n_machines: 2, seed, ..Default::default() };
+        let inst = generate(&spec);
+        let a = simulate(&inst, &mut Srpt::new()).unwrap();
+        let b = simulate(&inst, &mut Srpt::new()).unwrap();
+        prop_assert_eq!(a.completions, b.completions);
+        let c = simulate(&inst, &mut OfflineAdapt::new()).unwrap();
+        let d = simulate(&inst, &mut OfflineAdapt::new()).unwrap();
+        prop_assert_eq!(c.completions, d.completions);
+    }
+
+    #[test]
+    fn single_machine_non_preemptive_flows_match_queueing(seed in 0u64..500) {
+        // On one machine with full availability, MCT degenerates to FIFO
+        // queueing: completions are the prefix sums of costs after releases.
+        let spec = WorkloadSpec {
+            n_jobs: 4,
+            n_machines: 1,
+            availability: 1.0,
+            seed,
+            ..Default::default()
+        };
+        let inst = generate(&spec);
+        let res = simulate(&inst, &mut Mct::new()).unwrap();
+        let mut t = 0.0f64;
+        for j in 0..inst.n_jobs() {
+            // Jobs are generated in release order.
+            let c = inst.cost(0, j).finite().copied().unwrap();
+            t = t.max(inst.job(j).release) + c;
+            prop_assert!((res.completions[j] - t).abs() < 1e-6,
+                "job {j}: sim {} vs queueing {t}", res.completions[j]);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # dlflow — off-line scheduling of divisible requests on an
+//! # heterogeneous collection of databanks
+//!
+//! A complete Rust reproduction of Legrand, Su & Vivien (IPPS/HCW 2005;
+//! INRIA RR-5386). This façade crate re-exports the workspace:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`num`] | arbitrary-precision integers & exact rationals (from scratch) |
+//! | [`lp`] | two-phase primal simplex, generic over `f64` / exact `Rat` |
+//! | [`core`] | the paper: Systems (1)(2)(3)(5), milestones, Theorem 1 & 2, §4.4 |
+//! | [`gripps`] | the GriPPS application model: databanks, motifs, scanner, costs |
+//! | [`sim`] | online-scheduling simulator: MCT, FIFO, SRPT, weighted-age, OLA |
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record of
+//! every figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dlflow::core::instance::InstanceBuilder;
+//! use dlflow::core::maxflow::min_max_weighted_flow_divisible;
+//! use dlflow::num::Rat;
+//!
+//! let mut b = InstanceBuilder::<Rat>::new();
+//! b.job(Rat::zero(), Rat::one());
+//! b.job(Rat::from_i64(1), Rat::from_i64(2));
+//! b.machine(vec![Some(Rat::from_i64(4)), Some(Rat::from_i64(2))]);
+//! b.machine(vec![Some(Rat::from_i64(8)), None]);
+//! let inst = b.build().unwrap();
+//! let out = min_max_weighted_flow_divisible(&inst);
+//! assert_eq!(out.schedule.max_weighted_flow(&inst), out.optimum);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dlflow_core as core;
+pub use dlflow_gripps as gripps;
+pub use dlflow_lp as lp;
+pub use dlflow_num as num;
+pub use dlflow_sim as sim;

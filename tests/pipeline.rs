@@ -1,0 +1,114 @@
+//! End-to-end pipeline: GriPPS application model → platform instance →
+//! offline optimum → online simulation, all cross-checked.
+
+use dlflow::core::maxflow::min_max_weighted_flow_divisible;
+use dlflow::core::validate::validate;
+use dlflow::gripps::motif::Motif;
+use dlflow::gripps::scan::{invoke, scan_databank};
+use dlflow::gripps::{random_requests, CostModel, Databank, DatabankSpec, PlatformSpec};
+use dlflow::sim::engine::{simulate, RunMetrics};
+use dlflow::sim::schedulers::{Mct, OfflineAdapt};
+
+#[test]
+fn gripps_platform_to_offline_optimum() {
+    let platform = PlatformSpec::random(3, 4, 2.5, 77);
+    let requests = random_requests(&platform, 6, 60.0, 5);
+    let inst = platform.instance(&requests, &CostModel::paper_scale()).unwrap();
+    assert_eq!(inst.n_jobs(), 6);
+
+    let out = min_max_weighted_flow_divisible(&inst);
+    validate(&inst, &out.schedule).unwrap();
+    assert!(out.optimum > 0.0);
+    let realized = out.schedule.max_weighted_flow(&inst);
+    assert!((realized - out.optimum).abs() < 1e-6 * out.optimum.max(1.0));
+}
+
+#[test]
+fn online_policies_bounded_by_offline_optimum() {
+    let platform = PlatformSpec::random(3, 4, 2.5, 101);
+    let requests = random_requests(&platform, 5, 80.0, 3);
+    let inst = platform.instance(&requests, &CostModel::paper_scale()).unwrap();
+    let offline = min_max_weighted_flow_divisible(&inst);
+
+    for policy in [
+        &mut Mct::new() as &mut dyn dlflow::sim::OnlineScheduler,
+        &mut OfflineAdapt::new(),
+    ] {
+        let res = simulate(&inst, policy).unwrap();
+        let m = RunMetrics::from_completions(&inst, &res.completions);
+        assert!(
+            m.max_weighted_flow >= offline.optimum * (1.0 - 1e-4),
+            "{}: online {} beat offline optimum {}",
+            policy.name(),
+            m.max_weighted_flow,
+            offline.optimum
+        );
+    }
+}
+
+#[test]
+fn ola_tracks_offline_optimum_closely() {
+    // On a stream with gaps between arrivals, OLA should be near-optimal.
+    let platform = PlatformSpec::random(2, 3, 2.0, 55);
+    let requests = random_requests(&platform, 4, 200.0, 9);
+    let inst = platform.instance(&requests, &CostModel::paper_scale()).unwrap();
+    let offline = min_max_weighted_flow_divisible(&inst);
+    let res = simulate(&inst, &mut OfflineAdapt::new()).unwrap();
+    let m = RunMetrics::from_completions(&inst, &res.completions);
+    assert!(
+        m.max_weighted_flow <= offline.optimum * 1.25 + 1e-6,
+        "OLA {} vs offline {}",
+        m.max_weighted_flow,
+        offline.optimum
+    );
+}
+
+#[test]
+fn scan_work_is_the_instance_cost_driver() {
+    // The cost the scheduler sees must be proportional to the work the
+    // scanner actually performs (nominal work units).
+    let bank = Databank::generate(&DatabankSpec { n_sequences: 120, mean_len: 120, min_len: 30, seed: 4 });
+    let motifs = Motif::random_set(6, 5, 8);
+    let full = scan_databank(&bank, &motifs);
+    let half_bank = bank.random_subset(60, 2);
+    let half = scan_databank(&half_bank, &motifs);
+    let work_ratio = half.work_units as f64 / full.work_units as f64;
+    let residue_ratio = half_bank.total_residues() as f64 / bank.total_residues() as f64;
+    assert!((work_ratio - residue_ratio).abs() < 1e-12);
+}
+
+#[test]
+fn invocation_roundtrip_through_fasta() {
+    let bank = Databank::generate(&DatabankSpec { n_sequences: 30, mean_len: 80, min_len: 20, seed: 12 });
+    let fasta = bank.to_fasta();
+    let motifs = Motif::random_set(3, 5, 21);
+    let sources: Vec<String> = motifs.iter().map(|m| m.source.clone()).collect();
+    let source_refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let via_invoke = invoke(&fasta, &source_refs).unwrap();
+    let direct = scan_databank(&bank, &motifs);
+    assert_eq!(via_invoke.matches, direct.matches);
+    assert_eq!(via_invoke.work_units, direct.work_units);
+}
+
+#[test]
+fn cost_model_drives_realistic_instances() {
+    // Instance costs must scale with databank size and motif count.
+    let platform = PlatformSpec {
+        servers: vec![
+            dlflow::gripps::ServerSpec { cycle_time: 1.0, databanks: vec![0, 1] },
+        ],
+        databank_residues: vec![1.0e6, 2.0e6],
+    };
+    let model = CostModel::paper_scale();
+    let reqs = vec![
+        dlflow::gripps::Request { databank: 0, n_motifs: 100.0, release: 0.0, weight: 1.0 },
+        dlflow::gripps::Request { databank: 1, n_motifs: 100.0, release: 0.0, weight: 1.0 },
+        dlflow::gripps::Request { databank: 0, n_motifs: 200.0, release: 0.0, weight: 1.0 },
+    ];
+    let inst = platform.instance(&reqs, &model).unwrap();
+    let c0 = *inst.cost(0, 0).finite().unwrap();
+    let c1 = *inst.cost(0, 1).finite().unwrap();
+    let c2 = *inst.cost(0, 2).finite().unwrap();
+    assert!((c1 / c0 - 2.0).abs() < 1e-9, "2x databank ⇒ 2x cost");
+    assert!((c2 / c0 - 2.0).abs() < 1e-9, "2x motifs ⇒ 2x cost");
+}

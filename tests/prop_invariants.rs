@@ -1,0 +1,95 @@
+//! Property-based integration tests: the paper's invariants on randomly
+//! generated exact-rational instances.
+
+use dlflow::core::instance::{Cost, Instance, Job};
+use dlflow::core::makespan::{makespan_lower_bound, min_makespan};
+use dlflow::core::maxflow::{feasible_at, min_max_weighted_flow_divisible};
+use dlflow::core::validate::validate;
+use dlflow::num::Rat;
+use proptest::prelude::*;
+
+/// Small random exact instance: 1–4 jobs, 1–3 machines, integer data.
+fn arb_instance() -> impl Strategy<Value = Instance<Rat>> {
+    (1usize..=4, 1usize..=3).prop_flat_map(|(n, m)| {
+        let jobs = proptest::collection::vec((0i64..=6, 1i64..=4), n..=n);
+        let costs = proptest::collection::vec(
+            proptest::collection::vec(proptest::option::weighted(0.8, 1i64..=8), n..=n),
+            m..=m,
+        );
+        (jobs, costs).prop_map(move |(jobs, costs)| {
+            let jobs: Vec<Job<Rat>> = jobs
+                .into_iter()
+                .enumerate()
+                .map(|(j, (r, w))| Job {
+                    release: Rat::from_i64(r),
+                    weight: Rat::from_i64(w),
+                    name: format!("J{j}"),
+                })
+                .collect();
+            let mut cost: Vec<Vec<Cost<Rat>>> = costs
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|c| c.map_or(Cost::Infinite, |v| Cost::Finite(Rat::from_i64(v))))
+                        .collect()
+                })
+                .collect();
+            // Ensure each job is placeable: force machine 0 when needed.
+            for j in 0..jobs.len() {
+                if !cost.iter().any(|row: &Vec<Cost<Rat>>| row[j].is_finite()) {
+                    cost[0][j] = Cost::Finite(Rat::from_i64(3));
+                }
+            }
+            Instance::new(jobs, cost).expect("constructed instance is valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn makespan_schedule_is_valid_and_tight(inst in arb_instance()) {
+        let out = min_makespan(&inst);
+        prop_assert!(validate(&inst, &out.schedule).is_ok());
+        prop_assert_eq!(out.schedule.makespan(), out.makespan.clone());
+        prop_assert!(makespan_lower_bound(&inst) <= out.makespan);
+    }
+
+    #[test]
+    fn maxflow_divisible_optimum_is_achieved_and_minimal(inst in arb_instance()) {
+        let out = min_max_weighted_flow_divisible(&inst);
+        prop_assert!(validate(&inst, &out.schedule).is_ok());
+        prop_assert_eq!(out.schedule.max_weighted_flow(&inst), out.optimum.clone());
+        // Minimality: 0.1% below the optimum must be infeasible.
+        let below = out.optimum.mul_ref(&Rat::from_ratio(999, 1000));
+        if below.is_positive() {
+            prop_assert!(!feasible_at(&inst, &below, false));
+        }
+    }
+
+    #[test]
+    fn makespan_bounds_maxflow_from_below_per_job(inst in arb_instance()) {
+        // For each job, F* ≥ w_j · (time to fully process j if alone
+        // starting at r_j with ALL machines) is NOT generally valid under
+        // contention — but F* ≥ w_j · (harmonic processing time of j) IS,
+        // because even alone j cannot finish faster.
+        let out = min_max_weighted_flow_divisible(&inst);
+        for j in 0..inst.n_jobs() {
+            let mut rate = Rat::zero();
+            let mut zero_cost = false;
+            for i in 0..inst.n_machines() {
+                if let Some(c) = inst.cost(i, j).finite() {
+                    if c.is_zero() { zero_cost = true; break; }
+                    rate = rate.add_ref(&c.recip());
+                }
+            }
+            if zero_cost || rate.is_zero() {
+                continue;
+            }
+            let min_time = rate.recip();
+            let lb = inst.job(j).weight.mul_ref(&min_time);
+            prop_assert!(out.optimum >= lb, "job {j}: F*={} < lb={}", out.optimum, lb);
+        }
+    }
+}

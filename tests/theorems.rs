@@ -1,0 +1,141 @@
+//! Cross-crate integration tests of the paper's theorems on batteries of
+//! random and structured instances.
+
+use dlflow::core::baselines::{baseline_max_weighted_flow, ListOrder};
+use dlflow::core::instance::{Instance, InstanceBuilder};
+use dlflow::core::makespan::{makespan_lower_bound, min_makespan};
+use dlflow::core::maxflow::{
+    feasible_at, min_max_weighted_flow_divisible, min_max_weighted_flow_preemptive,
+};
+use dlflow::core::milestones::{milestone_bound, milestones};
+use dlflow::core::validate::{validate, validate_with_objective};
+use dlflow::num::{Rat, Scalar};
+use dlflow::sim::workload::{generate, WorkloadSpec};
+
+/// Random f64 instance converted to exact rationals.
+fn random_exact(seed: u64, n_jobs: usize, n_machines: usize) -> Instance<Rat> {
+    let spec = WorkloadSpec {
+        n_jobs,
+        n_machines,
+        mean_interarrival: 2.0,
+        cost_range: (1.0, 10.0),
+        heterogeneity: 3.0,
+        availability: 0.7,
+        weights: vec![1.0, 2.0, 5.0],
+        seed,
+    };
+    // Round to rationals with small denominators to keep exact LPs fast.
+    generate(&spec).map_scalar(|v| Rat::from_ratio((v * 16.0).round() as i64, 16))
+}
+
+#[test]
+fn theorem1_makespan_dominates_lower_bound_and_schedules_validate() {
+    for seed in 0..6 {
+        let inst = random_exact(seed, 4, 2);
+        let out = min_makespan(&inst);
+        validate(&inst, &out.schedule).unwrap();
+        assert_eq!(out.schedule.makespan(), out.makespan, "seed {seed}");
+        assert!(makespan_lower_bound(&inst) <= out.makespan, "seed {seed}");
+    }
+}
+
+#[test]
+fn theorem2_optimum_is_tight_and_achieved() {
+    for seed in 0..6 {
+        let inst = random_exact(seed, 4, 2);
+        let out = min_max_weighted_flow_divisible(&inst);
+        // (a) the schedule is valid and achieves the claimed optimum;
+        validate_with_objective(&inst, &out.schedule, &out.optimum).unwrap();
+        assert_eq!(out.schedule.max_weighted_flow(&inst), out.optimum, "seed {seed}");
+        // (b) the optimum really is a lower bound: slightly below is infeasible;
+        let below = out.optimum.mul(&Rat::from_ratio(9999, 10000));
+        if below.is_positive() {
+            assert!(!feasible_at(&inst, &below, false), "seed {seed}: {below} feasible below optimum");
+        }
+        // (c) at the optimum itself it is feasible;
+        assert!(feasible_at(&inst, &out.optimum, false), "seed {seed}");
+        // (d) milestone count within the paper's n²−n bound.
+        assert!(out.stats.n_milestones <= milestone_bound(inst.n_jobs()), "seed {seed}");
+    }
+}
+
+#[test]
+fn execution_model_chain_divisible_preemptive_baseline() {
+    for seed in 10..16 {
+        let inst = random_exact(seed, 4, 2);
+        let div = min_max_weighted_flow_divisible(&inst);
+        let pre = min_max_weighted_flow_preemptive(&inst);
+        let fifo = baseline_max_weighted_flow(&inst, ListOrder::ReleaseDate);
+        assert!(div.optimum <= pre.optimum, "seed {seed}: divisible > preemptive");
+        assert!(pre.optimum <= fifo, "seed {seed}: preemptive > FIFO baseline");
+        validate(&inst, &div.schedule).unwrap();
+        validate(&inst, &pre.schedule).unwrap();
+        // Preemptive schedules must respect single-machine execution,
+        // which `validate` checks because of the schedule kind.
+        assert_eq!(pre.schedule.max_weighted_flow(&inst), pre.optimum, "seed {seed}");
+    }
+}
+
+#[test]
+fn feasibility_is_monotone_in_objective() {
+    let inst = random_exact(3, 4, 2);
+    let out = min_max_weighted_flow_divisible(&inst);
+    let probes = [
+        out.optimum.mul(&Rat::from_ratio(1, 2)),
+        out.optimum.mul(&Rat::from_ratio(999, 1000)),
+        out.optimum.clone(),
+        out.optimum.mul(&Rat::from_ratio(1001, 1000)),
+        out.optimum.mul(&Rat::from_i64(2)),
+    ];
+    let results: Vec<bool> = probes.iter().map(|f| feasible_at(&inst, f, false)).collect();
+    // Once feasible, always feasible.
+    for w in results.windows(2) {
+        assert!(w[1] || !w[0], "feasibility must be monotone: {results:?}");
+    }
+    assert!(results[2], "optimum itself must be feasible");
+}
+
+#[test]
+fn stretch_weighting_single_job_is_one() {
+    let mut b = InstanceBuilder::<Rat>::new();
+    b.job(Rat::zero(), Rat::one());
+    b.machine(vec![Some(Rat::from_i64(7))]);
+    let inst = b.build().unwrap();
+    let out = dlflow::core::maxflow::min_max_stretch_divisible(&inst);
+    assert_eq!(out.optimum, Rat::one());
+}
+
+#[test]
+fn weighted_flow_generalizes_makespan_when_single_release() {
+    // With all releases 0 and unit weights, max weighted flow == makespan.
+    let mut b = InstanceBuilder::<Rat>::new();
+    b.job(Rat::zero(), Rat::one());
+    b.job(Rat::zero(), Rat::one());
+    b.machine(vec![Some(Rat::from_i64(4)), Some(Rat::from_i64(2))]);
+    b.machine(vec![Some(Rat::from_i64(4)), Some(Rat::from_i64(6))]);
+    let inst = b.build().unwrap();
+    let mk = min_makespan(&inst);
+    let fl = min_max_weighted_flow_divisible(&inst);
+    assert_eq!(mk.makespan, fl.optimum);
+}
+
+#[test]
+fn milestones_respect_paper_bound_at_scale() {
+    for n in [2usize, 4, 6, 8] {
+        let inst = random_exact(n as u64, n, 3);
+        let ms = milestones(&inst);
+        assert!(ms.len() <= milestone_bound(n), "n = {n}: {} > {}", ms.len(), milestone_bound(n));
+    }
+}
+
+#[test]
+fn f64_and_exact_pipelines_agree() {
+    for seed in 20..24 {
+        let exact_inst = random_exact(seed, 3, 2);
+        let f64_inst = exact_inst.map_scalar(|v| v.to_f64());
+        let e = min_max_weighted_flow_divisible(&exact_inst);
+        let f = min_max_weighted_flow_divisible(&f64_inst);
+        let rel = (f.optimum - e.optimum.to_f64()).abs() / e.optimum.to_f64().max(1e-12);
+        assert!(rel < 1e-6, "seed {seed}: f64 {} vs exact {}", f.optimum, e.optimum);
+    }
+}
