@@ -13,7 +13,12 @@ use dlflow_sim::workload::{generate, WorkloadSpec};
 fn bench_milestones(c: &mut Criterion) {
     let mut g = c.benchmark_group("milestones");
     for n in [8usize, 16, 32, 64] {
-        let inst = generate(&WorkloadSpec { n_jobs: n, n_machines: 3, seed: 3, ..Default::default() });
+        let inst = generate(&WorkloadSpec {
+            n_jobs: n,
+            n_machines: 3,
+            seed: 3,
+            ..Default::default()
+        });
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| std::hint::black_box(milestones(&inst).len()));
         });
@@ -25,7 +30,12 @@ fn bench_theorem1(c: &mut Criterion) {
     let mut g = c.benchmark_group("theorem1_min_makespan");
     g.sample_size(20);
     for n in [4usize, 8, 16] {
-        let inst = generate(&WorkloadSpec { n_jobs: n, n_machines: 3, seed: 4, ..Default::default() });
+        let inst = generate(&WorkloadSpec {
+            n_jobs: n,
+            n_machines: 3,
+            seed: 4,
+            ..Default::default()
+        });
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| std::hint::black_box(min_makespan(&inst).makespan));
         });
@@ -37,14 +47,24 @@ fn bench_theorem2(c: &mut Criterion) {
     let mut g = c.benchmark_group("theorem2_min_maxflow");
     g.sample_size(10);
     for n in [4usize, 8, 12] {
-        let inst = generate(&WorkloadSpec { n_jobs: n, n_machines: 3, seed: 5, ..Default::default() });
+        let inst = generate(&WorkloadSpec {
+            n_jobs: n,
+            n_machines: 3,
+            seed: 5,
+            ..Default::default()
+        });
         g.bench_with_input(BenchmarkId::new("divisible_f64", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(min_max_weighted_flow_divisible(&inst).optimum));
         });
     }
     // The exact pipeline on a small instance: the headline cost of exactness.
-    let inst4 = generate(&WorkloadSpec { n_jobs: 4, n_machines: 2, seed: 6, ..Default::default() })
-        .map_scalar(|v| Rat::from_ratio((v * 16.0).round() as i64, 16));
+    let inst4 = generate(&WorkloadSpec {
+        n_jobs: 4,
+        n_machines: 2,
+        seed: 6,
+        ..Default::default()
+    })
+    .map_scalar(|v| Rat::from_ratio((v * 16.0).round() as i64, 16));
     g.bench_function("divisible_exact_n4", |b| {
         b.iter(|| std::hint::black_box(min_max_weighted_flow_divisible(&inst4).optimum.to_f64()));
     });
@@ -59,11 +79,19 @@ fn bench_decompose(c: &mut Criterion) {
     for &(m, n) in &[(2usize, 4usize), (4, 8), (6, 12)] {
         let len = (n * m) as f64;
         let work: Vec<Vec<f64>> = (0..m)
-            .map(|i| (0..n).map(|j| (((i * 7 + j * 3) % 5) + 1) as f64 / 2.0).collect())
+            .map(|i| {
+                (0..n)
+                    .map(|j| (((i * 7 + j * 3) % 5) + 1) as f64 / 2.0)
+                    .collect()
+            })
             .collect();
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &(m, n), |b, _| {
-            b.iter(|| std::hint::black_box(decompose_interval(&work, &len).len()));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &(m, n),
+            |b, _| {
+                b.iter(|| std::hint::black_box(decompose_interval(&work, &len).len()));
+            },
+        );
     }
     g.finish();
 }
@@ -72,9 +100,7 @@ fn bench_matching(c: &mut Criterion) {
     let mut g = c.benchmark_group("hopcroft_karp");
     for n in [16usize, 64, 256] {
         // Ring + chords graph: perfect matching exists.
-        let adj: Vec<Vec<usize>> = (0..n)
-            .map(|u| vec![u, (u + 1) % n, (u + 7) % n])
-            .collect();
+        let adj: Vec<Vec<usize>> = (0..n).map(|u| vec![u, (u + 1) % n, (u + 7) % n]).collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| std::hint::black_box(hopcroft_karp(n, n, &adj).0));
         });
@@ -82,5 +108,12 @@ fn bench_matching(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_milestones, bench_theorem1, bench_theorem2, bench_decompose, bench_matching);
+criterion_group!(
+    benches,
+    bench_milestones,
+    bench_theorem1,
+    bench_theorem2,
+    bench_decompose,
+    bench_matching
+);
 criterion_main!(benches);

@@ -10,7 +10,12 @@ use dlflow_gripps::sequence::parse_fasta;
 fn bench_scan(c: &mut Criterion) {
     let mut g = c.benchmark_group("scan_throughput");
     g.sample_size(10);
-    let bank = Databank::generate(&DatabankSpec { n_sequences: 400, mean_len: 300, min_len: 40, seed: 9 });
+    let bank = Databank::generate(&DatabankSpec {
+        n_sequences: 400,
+        mean_len: 300,
+        min_len: 40,
+        seed: 9,
+    });
     let residues = bank.total_residues() as u64;
     for n_motifs in [5usize, 20] {
         let motifs = Motif::random_set(n_motifs, 6, 77);
@@ -25,7 +30,12 @@ fn bench_scan(c: &mut Criterion) {
 fn bench_fasta(c: &mut Criterion) {
     let mut g = c.benchmark_group("fasta_parse");
     g.sample_size(20);
-    let bank = Databank::generate(&DatabankSpec { n_sequences: 2000, mean_len: 300, min_len: 40, seed: 10 });
+    let bank = Databank::generate(&DatabankSpec {
+        n_sequences: 2000,
+        mean_len: 300,
+        min_len: 40,
+        seed: 10,
+    });
     let text = bank.to_fasta();
     g.throughput(Throughput::Bytes(text.len() as u64));
     g.bench_function("parse_2000_seqs", |b| {
@@ -35,10 +45,16 @@ fn bench_fasta(c: &mut Criterion) {
 }
 
 fn bench_motif_parse(c: &mut Criterion) {
-    let sources: Vec<String> = Motif::random_set(100, 8, 5).iter().map(|m| m.source.clone()).collect();
+    let sources: Vec<String> = Motif::random_set(100, 8, 5)
+        .iter()
+        .map(|m| m.source.clone())
+        .collect();
     c.bench_function("motif_parse_100", |b| {
         b.iter(|| {
-            let n: usize = sources.iter().map(|s| Motif::parse(s).unwrap().elements.len()).sum();
+            let n: usize = sources
+                .iter()
+                .map(|s| Motif::parse(s).unwrap().elements.len())
+                .sum();
             std::hint::black_box(n)
         });
     });

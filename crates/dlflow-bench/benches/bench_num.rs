@@ -7,7 +7,9 @@ fn mk_ubig(limbs: usize, seed: u64) -> UBig {
     let mut state = seed | 1;
     let v: Vec<u64> = (0..limbs)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         })
         .collect();
@@ -37,10 +39,16 @@ fn bench_rat(c: &mut Criterion) {
     let mut g = c.benchmark_group("rat");
     let a = Rat::from_ratio(123456789, 987654321);
     let b = Rat::from_ratio(555555557, 333333331);
-    g.bench_function("add", |bch| bch.iter(|| std::hint::black_box(a.add_ref(&b))));
-    g.bench_function("mul", |bch| bch.iter(|| std::hint::black_box(a.mul_ref(&b))));
+    g.bench_function("add", |bch| {
+        bch.iter(|| std::hint::black_box(a.add_ref(&b)))
+    });
+    g.bench_function("mul", |bch| {
+        bch.iter(|| std::hint::black_box(a.mul_ref(&b)))
+    });
     g.bench_function("cmp", |bch| bch.iter(|| std::hint::black_box(a < b)));
-    g.bench_function("to_f64", |bch| bch.iter(|| std::hint::black_box(a.to_f64())));
+    g.bench_function("to_f64", |bch| {
+        bch.iter(|| std::hint::black_box(a.to_f64()))
+    });
     g.finish();
 }
 

@@ -9,7 +9,12 @@ use dlflow_sim::workload::{generate, WorkloadSpec};
 fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("online_run");
     g.sample_size(10);
-    let inst = generate(&WorkloadSpec { n_jobs: 10, n_machines: 3, seed: 13, ..Default::default() });
+    let inst = generate(&WorkloadSpec {
+        n_jobs: 10,
+        n_machines: 3,
+        seed: 13,
+        ..Default::default()
+    });
     g.bench_function("mct", |b| {
         b.iter(|| std::hint::black_box(simulate(&inst, &mut Mct::new()).unwrap().n_events));
     });
@@ -17,7 +22,9 @@ fn bench_policies(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(simulate(&inst, &mut Srpt::new()).unwrap().n_events));
     });
     g.bench_function("ola", |b| {
-        b.iter(|| std::hint::black_box(simulate(&inst, &mut OfflineAdapt::new()).unwrap().n_events));
+        b.iter(|| {
+            std::hint::black_box(simulate(&inst, &mut OfflineAdapt::new()).unwrap().n_events)
+        });
     });
     g.finish();
 }

@@ -10,7 +10,12 @@ use dlflow_sim::workload::{generate, WorkloadSpec};
 fn bench_system1(c: &mut Criterion) {
     let mut g = c.benchmark_group("system1_makespan_lp");
     for n in [4usize, 8, 16] {
-        let inst = generate(&WorkloadSpec { n_jobs: n, n_machines: 3, seed: 1, ..Default::default() });
+        let inst = generate(&WorkloadSpec {
+            n_jobs: n,
+            n_machines: 3,
+            seed: 1,
+            ..Default::default()
+        });
         g.bench_with_input(BenchmarkId::new("f64", n), &n, |b, _| {
             b.iter(|| {
                 let built = build_makespan_lp(&inst);
@@ -33,7 +38,12 @@ fn bench_system1(c: &mut Criterion) {
 fn bench_system2(c: &mut Criterion) {
     let mut g = c.benchmark_group("system2_deadline_lp");
     for n in [4usize, 8, 16] {
-        let inst = generate(&WorkloadSpec { n_jobs: n, n_machines: 3, seed: 2, ..Default::default() });
+        let inst = generate(&WorkloadSpec {
+            n_jobs: n,
+            n_machines: 3,
+            seed: 2,
+            ..Default::default()
+        });
         let deadlines: Vec<f64> = (0..n).map(|j| inst.job(j).release + 100.0).collect();
         g.bench_with_input(BenchmarkId::new("divisible", n), &n, |b, _| {
             b.iter(|| {

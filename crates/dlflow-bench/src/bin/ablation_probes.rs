@@ -27,7 +27,12 @@ fn main() {
     for &n in &[4usize, 6, 8, 12, 16] {
         // The workload generator produces uniform-with-restricted-
         // availabilities instances, so the max-flow probe applies.
-        let inst = generate(&WorkloadSpec { n_jobs: n, n_machines: 3, seed: 99, ..Default::default() });
+        let inst = generate(&WorkloadSpec {
+            n_jobs: n,
+            n_machines: 3,
+            seed: 99,
+            ..Default::default()
+        });
         assert!(uniform_factors(&inst).is_some(), "workload must be uniform");
 
         let t0 = Instant::now();

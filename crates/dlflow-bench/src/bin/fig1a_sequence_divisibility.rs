@@ -23,7 +23,12 @@ fn main() {
     println!("=== Figure 1(a): sequence databank divisibility ===\n");
 
     // ---------- Measured series (scaled-down, real scanning) ----------
-    let spec = DatabankSpec { n_sequences: 1900, mean_len: 350, min_len: 40, seed: 2005 };
+    let spec = DatabankSpec {
+        n_sequences: 1900,
+        mean_len: 350,
+        min_len: 40,
+        seed: 2005,
+    };
     let bank = Databank::generate(&spec);
     let motifs = Motif::random_set(30, 6, 1987);
     let iters = 3;
@@ -49,8 +54,16 @@ fn main() {
         rows.push(vec![size.to_string(), residues.to_string(), f3(mean * 1e3)]);
     }
     let (slope, intercept, r2) = linear_regression(&xs, &ys);
-    println!("measured (scaled: {} seqs, {} motifs, {} iters/point):", bank.n_sequences(), motifs.len(), iters);
-    println!("{}", render_table(&["block (seqs)", "residues", "mean time (ms)"], &rows));
+    println!(
+        "measured (scaled: {} seqs, {} motifs, {} iters/point):",
+        bank.n_sequences(),
+        motifs.len(),
+        iters
+    );
+    println!(
+        "{}",
+        render_table(&["block (seqs)", "residues", "mean time (ms)"], &rows)
+    );
     println!(
         "linear fit: time = {:.3e}·residues + {:.4}s   (r² = {:.6})",
         slope, intercept, r2
@@ -73,9 +86,24 @@ fn main() {
     }
     let (ms, mi, mr2) = linear_regression(&mxs, &mys);
     println!("model at paper scale (38 000 seqs × 350 aa, 300 motifs):");
-    println!("{}", render_table(&["block", "residues", "time (s)"], &mrows));
-    println!("linear fit: slope {:.3e} s/residue, intercept {:.2} s, r² = {:.6}", ms, mi, mr2);
+    println!(
+        "{}",
+        render_table(&["block", "residues", "time (s)"], &mrows)
+    );
+    println!(
+        "linear fit: slope {:.3e} s/residue, intercept {:.2} s, r² = {:.6}",
+        ms, mi, mr2
+    );
     println!("paper reports: linear, intercept ≈ 1.1 s, full scan ≈ 100–120 s.");
 
-    println!("\nCSV (model series):\n{}", render_csv(&["residues", "seconds"], &mrows.iter().map(|r| vec![r[1].clone(), r[2].clone()]).collect::<Vec<_>>()));
+    println!(
+        "\nCSV (model series):\n{}",
+        render_csv(
+            &["residues", "seconds"],
+            &mrows
+                .iter()
+                .map(|r| vec![r[1].clone(), r[2].clone()])
+                .collect::<Vec<_>>()
+        )
+    );
 }

@@ -23,7 +23,12 @@ fn main() {
     println!("=== Figure 1(b): motif set divisibility ===\n");
 
     // ---------- Measured series (scaled-down, real invocations) ----------
-    let spec = DatabankSpec { n_sequences: 1500, mean_len: 350, min_len: 40, seed: 2005 };
+    let spec = DatabankSpec {
+        n_sequences: 1500,
+        mean_len: 350,
+        min_len: 40,
+        seed: 2005,
+    };
     let bank = Databank::generate(&spec);
     let fasta = bank.to_fasta(); // the "databank on disk"
     let motifs = Motif::random_set(40, 6, 1987);
@@ -55,8 +60,16 @@ fn main() {
         motifs.len(),
         iters
     );
-    println!("{}", render_table(&["motif subset", "mean time (ms)"], &rows));
-    println!("linear fit: time = {:.3}ms/motif · n + {:.3}ms overhead (r² = {:.4})", slope * 1e3, intercept * 1e3, r2);
+    println!(
+        "{}",
+        render_table(&["motif subset", "mean time (ms)"], &rows)
+    );
+    println!(
+        "linear fit: time = {:.3}ms/motif · n + {:.3}ms overhead (r² = {:.4})",
+        slope * 1e3,
+        intercept * 1e3,
+        r2
+    );
     let full_scan = ys.last().unwrap();
     println!(
         "overhead is {:.0}% of a full-subset invocation — the motif axis is NOT freely divisible.\n",
@@ -79,8 +92,14 @@ fn main() {
     let (ms, mi, mr2) = linear_regression(&mxs, &mys);
     println!("model at paper scale (full bank re-parsed per invocation):");
     println!("{}", render_table(&["motifs", "time (s)"], &mrows));
-    println!("linear fit: slope {:.4} s/motif, intercept {:.2} s, r² = {:.6}", ms, mi, mr2);
+    println!(
+        "linear fit: slope {:.4} s/motif, intercept {:.2} s, r² = {:.6}",
+        ms, mi, mr2
+    );
     println!("paper reports: linear, intercept ≈ 10.5 s (vs 1.1 s along the sequence axis).");
 
-    println!("\nCSV (model series):\n{}", render_csv(&["motifs", "seconds"], &mrows));
+    println!(
+        "\nCSV (model series):\n{}",
+        render_csv(&["motifs", "seconds"], &mrows)
+    );
 }

@@ -79,12 +79,22 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["policy", "mean maxWF/opt", "worst maxWF/opt", "within 2% of opt", "mean maxStretch"],
+            &[
+                "policy",
+                "mean maxWF/opt",
+                "worst maxWF/opt",
+                "within 2% of opt",
+                "mean maxStretch"
+            ],
             &rows
         )
     );
 
-    let ola = summary.iter().find(|(n, _)| n.starts_with("OLA")).unwrap().1;
+    let ola = summary
+        .iter()
+        .find(|(n, _)| n.starts_with("OLA"))
+        .unwrap()
+        .1;
     let mct = summary.iter().find(|(n, _)| n == "MCT").unwrap().1;
     println!(
         "OLA mean ratio {:.3} vs MCT {:.3}: OLA is {:.1}% closer to the offline optimum.",
@@ -92,7 +102,10 @@ fn main() {
         mct,
         (mct - ola) / mct * 100.0
     );
-    assert!(ola < mct, "the paper's claim must reproduce: OLA beats MCT on mean max weighted flow");
+    assert!(
+        ola < mct,
+        "the paper's claim must reproduce: OLA beats MCT on mean max weighted flow"
+    );
     println!("\npaper's qualitative claim REPRODUCED: the online adaptation of the offline");
     println!("algorithm dominates Minimum Completion Time on the max weighted flow objective.");
 }

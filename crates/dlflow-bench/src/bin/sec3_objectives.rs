@@ -31,7 +31,7 @@ fn starvation_instance(k: usize) -> Instance<f64> {
         b.job(0.5 + i as f64, 1.0); // short jobs: cost 1, arriving every 1s
     }
     let mut costs = vec![Some(10.0)];
-    costs.extend(std::iter::repeat(Some(1.0)).take(k));
+    costs.extend(std::iter::repeat_n(Some(1.0), k));
     b.machine(costs);
     b.build().unwrap()
 }
@@ -54,10 +54,24 @@ fn main() {
             f3(m.mean_flow),
             f3(m.max_stretch),
         ]);
-        assert!(long_flow >= prev_long_flow, "long job's flow must not shrink as the stream grows");
+        assert!(
+            long_flow >= prev_long_flow,
+            "long job's flow must not shrink as the stream grows"
+        );
         prev_long_flow = long_flow;
     }
-    println!("{}", render_table(&["short jobs k", "long job's flow", "mean flow", "max stretch"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "short jobs k",
+                "long job's flow",
+                "mean flow",
+                "max stretch"
+            ],
+            &rows
+        )
+    );
     println!("the long job's flow grows LINEARLY in k (starvation) while the mean stays small —");
     println!("exactly the §3 argument against optimizing average flow.\n");
 
@@ -80,7 +94,18 @@ fn main() {
             f3(worst_short),
         ]);
     }
-    println!("{}", render_table(&["short jobs k", "optimal max stretch", "long job stretch", "worst short flow"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "short jobs k",
+                "optimal max stretch",
+                "long job stretch",
+                "worst short flow"
+            ],
+            &rows
+        )
+    );
     println!("with stretch weights the optimum balances both populations: the long job is no");
     println!("longer starved, and no short job pays more than the shared optimal stretch.");
 }

@@ -21,8 +21,13 @@ fn main() {
     println!("divisible vs preemptive optima (exact arithmetic):");
     let mut rows = Vec::new();
     for seed in 0..8u64 {
-        let inst = generate(&WorkloadSpec { n_jobs: 4, n_machines: 2, seed: 200 + seed, ..Default::default() })
-            .map_scalar(|v| Rat::from_ratio((v * 16.0).round() as i64, 16));
+        let inst = generate(&WorkloadSpec {
+            n_jobs: 4,
+            n_machines: 2,
+            seed: 200 + seed,
+            ..Default::default()
+        })
+        .map_scalar(|v| Rat::from_ratio((v * 16.0).round() as i64, 16));
         let div = min_max_weighted_flow_divisible(&inst);
         let pre = min_max_weighted_flow_preemptive(&inst);
         validate(&inst, &div.schedule).unwrap();
@@ -45,7 +50,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["seed", "F* divisible", "F* preemptive", "pre/div", "preemptions", "slices"],
+            &[
+                "seed",
+                "F* divisible",
+                "F* preemptive",
+                "pre/div",
+                "preemptions",
+                "slices"
+            ],
             &rows
         )
     );
@@ -77,7 +89,10 @@ fn main() {
             f3(dt * 1e3),
         ]);
     }
-    println!("{}", render_table(&["matrix", "phases", "(m+n)² bound", "time (ms)"], &rows));
+    println!(
+        "{}",
+        render_table(&["matrix", "phases", "(m+n)² bound", "time (ms)"], &rows)
+    );
     println!("\nall preemptive schedules validated: no job ever on two machines at once,");
     println!("work conservation per (machine, job) pair exact to the rational.");
 }

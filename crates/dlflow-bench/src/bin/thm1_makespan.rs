@@ -79,32 +79,56 @@ fn main() {
             "exact match".into(),
         ]);
     }
-    println!("{}", render_table(&["family", "LP optimum", "analytic", "verdict"], &rows));
+    println!(
+        "{}",
+        render_table(&["family", "LP optimum", "analytic", "verdict"], &rows)
+    );
 
     // ---------- (b) random instances, bound check ----------
     println!("random instances (f64): LP optimum vs analytic lower bound");
     let mut rows = Vec::new();
     for seed in 0..8u64 {
-        let inst = generate(&WorkloadSpec { n_jobs: 8, n_machines: 3, seed, ..Default::default() });
+        let inst = generate(&WorkloadSpec {
+            n_jobs: 8,
+            n_machines: 3,
+            seed,
+            ..Default::default()
+        });
         let out = min_makespan(&inst);
         validate(&inst, &out.schedule).unwrap();
         let lb = makespan_lower_bound(&inst);
         assert!(lb <= out.makespan + 1e-7);
-        rows.push(vec![seed.to_string(), f3(out.makespan), f3(lb), f3(out.makespan / lb.max(1e-12))]);
+        rows.push(vec![
+            seed.to_string(),
+            f3(out.makespan),
+            f3(lb),
+            f3(out.makespan / lb.max(1e-12)),
+        ]);
     }
-    println!("{}", render_table(&["seed", "C_max*", "lower bound", "ratio"], &rows));
+    println!(
+        "{}",
+        render_table(&["seed", "C_max*", "lower bound", "ratio"], &rows)
+    );
 
     // ---------- (c) scaling ----------
     println!("scaling (f64 pipeline; time per solve):");
     let mut rows = Vec::new();
     for &(n, m) in &[(4usize, 2usize), (8, 2), (12, 3), (16, 3), (24, 4), (32, 4)] {
-        let inst = generate(&WorkloadSpec { n_jobs: n, n_machines: m, seed: 1, ..Default::default() });
+        let inst = generate(&WorkloadSpec {
+            n_jobs: n,
+            n_machines: m,
+            seed: 1,
+            ..Default::default()
+        });
         let t0 = Instant::now();
         let out = min_makespan(&inst);
         let dt = t0.elapsed().as_secs_f64();
         std::hint::black_box(out.makespan);
         rows.push(vec![n.to_string(), m.to_string(), f3(dt * 1e3)]);
     }
-    println!("{}", render_table(&["n jobs", "m machines", "solve (ms)"], &rows));
+    println!(
+        "{}",
+        render_table(&["n jobs", "m machines", "solve (ms)"], &rows)
+    );
     println!("growth is polynomial (LP size O(n²m)); no combinatorial blow-up.");
 }

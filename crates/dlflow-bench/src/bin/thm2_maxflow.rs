@@ -10,7 +10,9 @@
 
 use dlflow_bench::{f3, render_table};
 use dlflow_core::baselines::{baseline_max_weighted_flow, ListOrder};
-use dlflow_core::maxflow::{feasible_at, min_max_weighted_flow_divisible, min_max_weighted_flow_preemptive};
+use dlflow_core::maxflow::{
+    feasible_at, min_max_weighted_flow_divisible, min_max_weighted_flow_preemptive,
+};
 use dlflow_core::milestones::{milestone_bound, milestones};
 use dlflow_core::validate::validate;
 use dlflow_num::Rat;
@@ -18,8 +20,13 @@ use dlflow_sim::workload::{generate, WorkloadSpec};
 use std::time::Instant;
 
 fn exact_instance(seed: u64, n: usize, m: usize) -> dlflow_core::instance::Instance<Rat> {
-    generate(&WorkloadSpec { n_jobs: n, n_machines: m, seed, ..Default::default() })
-        .map_scalar(|v| Rat::from_ratio((v * 16.0).round() as i64, 16))
+    generate(&WorkloadSpec {
+        n_jobs: n,
+        n_machines: m,
+        seed,
+        ..Default::default()
+    })
+    .map_scalar(|v| Rat::from_ratio((v * 16.0).round() as i64, 16))
 }
 
 fn main() {
@@ -45,7 +52,16 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["n jobs", "milestones", "bound n²−n", "probes", "probe bound"], &rows)
+        render_table(
+            &[
+                "n jobs",
+                "milestones",
+                "bound n²−n",
+                "probes",
+                "probe bound"
+            ],
+            &rows
+        )
     );
 
     // ---------- (b) optimality & model chain ----------
@@ -74,7 +90,16 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["seed", "F* divisible", "F* preemptive", "FIFO baseline", "verdict"], &rows)
+        render_table(
+            &[
+                "seed",
+                "F* divisible",
+                "F* preemptive",
+                "FIFO baseline",
+                "verdict"
+            ],
+            &rows
+        )
     );
     println!("chain divisible ≤ preemptive ≤ baseline holds on every instance.\n");
 
@@ -82,7 +107,12 @@ fn main() {
     println!("scaling of the full Theorem-2 pipeline:");
     let mut rows = Vec::new();
     for &(n, m) in &[(3usize, 2usize), (5, 2), (8, 3), (12, 3), (16, 4)] {
-        let inst_f = generate(&WorkloadSpec { n_jobs: n, n_machines: m, seed: 5, ..Default::default() });
+        let inst_f = generate(&WorkloadSpec {
+            n_jobs: n,
+            n_machines: m,
+            seed: 5,
+            ..Default::default()
+        });
         let t0 = Instant::now();
         let f = min_max_weighted_flow_divisible(&inst_f);
         let t_f64 = t0.elapsed().as_secs_f64();
@@ -99,6 +129,9 @@ fn main() {
         };
         rows.push(vec![n.to_string(), m.to_string(), f3(t_f64 * 1e3), t_exact]);
     }
-    println!("{}", render_table(&["n", "m", "f64 (ms)", "exact (ms)"], &rows));
+    println!(
+        "{}",
+        render_table(&["n", "m", "f64 (ms)", "exact (ms)"], &rows)
+    );
     println!("polynomial growth in both arithmetic modes, as Theorem 2 promises.");
 }

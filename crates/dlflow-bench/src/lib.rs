@@ -35,7 +35,11 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &width, &mut out);
+    line(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &width,
+        &mut out,
+    );
     let total: usize = width.iter().sum::<usize>() + 2 * (ncol - 1);
     out.push_str(&"-".repeat(total));
     out.push('\n');
@@ -72,7 +76,13 @@ mod tests {
 
     #[test]
     fn table_alignment() {
-        let t = render_table(&["a", "bb"], &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]]);
+        let t = render_table(
+            &["a", "bb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "200".into()],
+            ],
+        );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains('a') && lines[0].contains("bb"));

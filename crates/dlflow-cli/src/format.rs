@@ -45,7 +45,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, msg: impl Into<String>) -> ParseError {
-    ParseError { line, msg: msg.into() }
+    ParseError {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Parses one numeric token as an exact rational (`"3/2"`, `"0.25"`, `"7"`).
@@ -56,11 +59,14 @@ pub fn parse_rat(tok: &str, line: usize) -> Result<Rat, ParseError> {
     // Decimal form a.b → a + b/10^k.
     if let Some((int, frac)) = tok.split_once('.') {
         let sign = if int.starts_with('-') { -1i64 } else { 1 };
-        let whole = Rat::from_str_ratio(int).map_err(|_| err(line, format!("bad number {tok:?}")))?;
+        let whole =
+            Rat::from_str_ratio(int).map_err(|_| err(line, format!("bad number {tok:?}")))?;
         if frac.is_empty() || !frac.bytes().all(|b| b.is_ascii_digit()) {
             return Err(err(line, format!("bad number {tok:?}")));
         }
-        let num: i64 = frac.parse().map_err(|_| err(line, format!("bad number {tok:?}")))?;
+        let num: i64 = frac
+            .parse()
+            .map_err(|_| err(line, format!("bad number {tok:?}")))?;
         let den = 10i64
             .checked_pow(frac.len() as u32)
             .ok_or_else(|| err(line, format!("too many decimals in {tok:?}")))?;
@@ -92,8 +98,16 @@ pub fn parse_instance(text: &str) -> Result<Instance<Rat>, ParseError> {
         let mut toks = line.split_whitespace();
         match toks.next() {
             Some("job") => {
-                let release = parse_rat(toks.next().ok_or_else(|| err(lineno, "job: missing release"))?, lineno)?;
-                let weight = parse_rat(toks.next().ok_or_else(|| err(lineno, "job: missing weight"))?, lineno)?;
+                let release = parse_rat(
+                    toks.next()
+                        .ok_or_else(|| err(lineno, "job: missing release"))?,
+                    lineno,
+                )?;
+                let weight = parse_rat(
+                    toks.next()
+                        .ok_or_else(|| err(lineno, "job: missing weight"))?,
+                    lineno,
+                )?;
                 let name = toks
                     .next()
                     .map(str::to_string)
@@ -101,7 +115,11 @@ pub fn parse_instance(text: &str) -> Result<Instance<Rat>, ParseError> {
                 if toks.next().is_some() {
                     return Err(err(lineno, "job: trailing tokens"));
                 }
-                jobs.push(Job { release, weight, name });
+                jobs.push(Job {
+                    release,
+                    weight,
+                    name,
+                });
             }
             Some("machine") => {
                 let costs: Result<Vec<_>, _> = toks.map(|t| parse_cost(t, lineno)).collect();
@@ -119,7 +137,13 @@ pub fn parse_instance(text: &str) -> Result<Instance<Rat>, ParseError> {
     let mut rows = Vec::with_capacity(machines.len());
     for (lineno, row) in machines {
         if row.len() != n {
-            return Err(err(lineno, format!("machine has {} costs, expected {n} (one per job)", row.len())));
+            return Err(err(
+                lineno,
+                format!(
+                    "machine has {} costs, expected {n} (one per job)",
+                    row.len()
+                ),
+            ));
         }
         rows.push(row);
     }

@@ -19,9 +19,7 @@ use dlflow_core::deadline::{deadline_feasible_divisible, deadline_feasible_preem
 use dlflow_core::gantt::render_gantt;
 use dlflow_core::instance::Instance;
 use dlflow_core::makespan::min_makespan;
-use dlflow_core::maxflow::{
-    min_max_weighted_flow_divisible, min_max_weighted_flow_preemptive,
-};
+use dlflow_core::maxflow::{min_max_weighted_flow_divisible, min_max_weighted_flow_preemptive};
 use dlflow_core::milestones::{milestone_bound, milestones};
 use dlflow_core::schedule::Schedule;
 use dlflow_core::validate::validate;
@@ -48,7 +46,12 @@ struct Opts {
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut o = Opts { preemptive: false, stretch: false, gantt: None, positional: Vec::new() };
+    let mut o = Opts {
+        preemptive: false,
+        stretch: false,
+        gantt: None,
+        positional: Vec::new(),
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -97,7 +100,11 @@ fn run() -> Result<(), String> {
             let inst = load(path)?;
             let out = min_makespan(&inst);
             validate(&inst, &out.schedule).map_err(|e| e.to_string())?;
-            println!("optimal makespan: {} (≈ {:.6})", out.makespan, out.makespan.to_f64());
+            println!(
+                "optimal makespan: {} (≈ {:.6})",
+                out.makespan,
+                out.makespan.to_f64()
+            );
             show_schedule(&inst, &out.schedule, opts.gantt);
         }
         "maxflow" => {
@@ -114,8 +121,16 @@ fn run() -> Result<(), String> {
                 min_max_weighted_flow_divisible(&inst)
             };
             validate(&inst, &out.schedule).map_err(|e| e.to_string())?;
-            let label = if opts.stretch { "max stretch" } else { "max weighted flow" };
-            let model = if opts.preemptive { "preemptive (§4.4)" } else { "divisible (Theorem 2)" };
+            let label = if opts.stretch {
+                "max stretch"
+            } else {
+                "max weighted flow"
+            };
+            let model = if opts.preemptive {
+                "preemptive (§4.4)"
+            } else {
+                "divisible (Theorem 2)"
+            };
             println!(
                 "optimal {label} [{model}]: {} (≈ {:.6})",
                 out.optimum,

@@ -56,7 +56,9 @@ pub fn list_schedule<S: Scalar>(inst: &Instance<S>, order: ListOrder) -> Schedul
         let rel = &inst.job(j).release;
         let mut best: Option<(usize, S, S)> = None; // (machine, start, end)
         for i in 0..inst.n_machines() {
-            let Some(c) = inst.cost(i, j).finite() else { continue };
+            let Some(c) = inst.cost(i, j).finite() else {
+                continue;
+            };
             let start = S::max_val(free_at[i].clone(), rel.clone());
             let end = start.add(c);
             let better = match &best {
@@ -83,9 +85,9 @@ pub fn baseline_max_weighted_flow<S: Scalar>(inst: &Instance<S>, order: ListOrde
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instance::InstanceBuilder;
     use crate::maxflow::{min_max_weighted_flow_divisible, min_max_weighted_flow_preemptive};
     use crate::validate::validate;
-    use crate::instance::InstanceBuilder;
     use dlflow_num::Rat;
 
     fn ri(v: i64) -> Rat {
@@ -105,7 +107,11 @@ mod tests {
     #[test]
     fn baselines_produce_valid_schedules() {
         let inst = sample();
-        for order in [ListOrder::ReleaseDate, ListOrder::ShortestFirst, ListOrder::WeightedFirst] {
+        for order in [
+            ListOrder::ReleaseDate,
+            ListOrder::ShortestFirst,
+            ListOrder::WeightedFirst,
+        ] {
             let s = list_schedule(&inst, order);
             validate(&inst, &s).unwrap();
             // Non-preemptive single-assignment: one slice per job.
@@ -120,7 +126,10 @@ mod tests {
         let pre = min_max_weighted_flow_preemptive(&inst);
         let base = baseline_max_weighted_flow(&inst, ListOrder::ReleaseDate);
         assert!(div.optimum <= pre.optimum, "divisible ≤ preemptive");
-        assert!(pre.optimum <= base, "preemptive optimum ≤ FIFO-MCT baseline");
+        assert!(
+            pre.optimum <= base,
+            "preemptive optimum ≤ FIFO-MCT baseline"
+        );
     }
 
     #[test]

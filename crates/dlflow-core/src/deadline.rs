@@ -11,23 +11,39 @@ use dlflow_num::Scalar;
 /// Returns an achieving schedule when feasible (Lemma 1: System (2) has a
 /// solution iff such a schedule exists, and packing fractions in any order
 /// inside each interval realizes it).
-pub fn deadline_feasible_divisible<S: Scalar>(inst: &Instance<S>, deadlines: &[S]) -> Option<Schedule<S>> {
+pub fn deadline_feasible_divisible<S: Scalar>(
+    inst: &Instance<S>,
+    deadlines: &[S],
+) -> Option<Schedule<S>> {
     let built = build_deadline_lp(inst, deadlines, false);
     let sol = solve(&built.lp);
     if !sol.is_optimal() {
         return None;
     }
     let bounds: Vec<(S, S)> = (0..built.intervals.n_intervals())
-        .map(|t| (built.intervals.inf(t).clone(), built.intervals.sup(t).clone()))
+        .map(|t| {
+            (
+                built.intervals.inf(t).clone(),
+                built.intervals.sup(t).clone(),
+            )
+        })
         .collect();
-    Some(pack_alpha_schedule(inst, &bounds, &built.alpha, &sol.values))
+    Some(pack_alpha_schedule(
+        inst,
+        &bounds,
+        &built.alpha,
+        &sol.values,
+    ))
 }
 
 /// Is there a **preemptive** (non-divisible) schedule meeting every window?
 /// Uses System (5) restricted to a concrete objective (System (2) plus the
 /// per-job-per-interval bound (5b)), then rebuilds an explicit schedule
 /// with the Lawler–Labetoulle decomposition applied interval by interval.
-pub fn deadline_feasible_preemptive<S: Scalar>(inst: &Instance<S>, deadlines: &[S]) -> Option<Schedule<S>> {
+pub fn deadline_feasible_preemptive<S: Scalar>(
+    inst: &Instance<S>,
+    deadlines: &[S],
+) -> Option<Schedule<S>> {
     let built = build_deadline_lp(inst, deadlines, true);
     let sol = solve(&built.lp);
     if !sol.is_optimal() {
@@ -43,7 +59,10 @@ pub fn deadline_feasible_preemptive<S: Scalar>(inst: &Instance<S>, deadlines: &[
             if *tt == t {
                 let frac = sol.value(*v);
                 if frac.is_positive_tol() {
-                    let c = inst.cost(*i, *j).finite().expect("alpha implies finite cost");
+                    let c = inst
+                        .cost(*i, *j)
+                        .finite()
+                        .expect("alpha implies finite cost");
                     work[*i][*j] = work[*i][*j].add(&frac.mul(c));
                 }
             }
@@ -55,7 +74,14 @@ pub fn deadline_feasible_preemptive<S: Scalar>(inst: &Instance<S>, deadlines: &[
         for phase in phases {
             let end = clock.add(&phase.duration);
             for (i, j) in phase.assignment {
-                sched.push(i, Slice { job: j, start: clock.clone(), end: end.clone() });
+                sched.push(
+                    i,
+                    Slice {
+                        job: j,
+                        start: clock.clone(),
+                        end: end.clone(),
+                    },
+                );
             }
             clock = end;
         }

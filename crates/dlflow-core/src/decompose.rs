@@ -147,7 +147,10 @@ pub fn decompose_interval<S: Scalar>(work: &[Vec<S>], len: &S) -> Vec<Phase<S>> 
         if remaining.is_negligible() {
             remaining = S::zero();
         }
-        phases.push(Phase { duration: delta, assignment });
+        phases.push(Phase {
+            duration: delta,
+            assignment,
+        });
     }
     assert!(
         !remaining.is_positive_tol(),
@@ -161,7 +164,11 @@ pub fn decompose_interval<S: Scalar>(work: &[Vec<S>], len: &S) -> Vec<Phase<S>> 
 /// 1. total phase duration equals `len`;
 /// 2. each machine/job appears at most once per phase;
 /// 3. summing phase durations per `(machine, job)` reproduces `work`.
-pub fn verify_phases<S: Scalar>(work: &[Vec<S>], len: &S, phases: &[Phase<S>]) -> Result<(), String> {
+pub fn verify_phases<S: Scalar>(
+    work: &[Vec<S>],
+    len: &S,
+    phases: &[Phase<S>],
+) -> Result<(), String> {
     let m = work.len();
     let n = if m == 0 { 0 } else { work[0].len() };
     let mut total = S::zero();

@@ -30,7 +30,10 @@ pub struct FlowNetwork<S> {
 impl<S: Scalar> FlowNetwork<S> {
     /// A network with `n_nodes` nodes and no edges.
     pub fn new(n_nodes: usize) -> Self {
-        FlowNetwork { edges: Vec::new(), adj: vec![Vec::new(); n_nodes] }
+        FlowNetwork {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n_nodes],
+        }
     }
 
     /// Number of nodes.
@@ -44,9 +47,17 @@ impl<S: Scalar> FlowNetwork<S> {
     pub fn add_edge(&mut self, u: usize, v: usize, cap: S) -> usize {
         assert!(!cap.is_negative_tol(), "negative capacity");
         let id = self.edges.len();
-        self.edges.push(Edge { to: v, cap, flow: S::zero() });
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            flow: S::zero(),
+        });
         self.adj[u].push(id);
-        self.edges.push(Edge { to: u, cap: S::zero(), flow: S::zero() });
+        self.edges.push(Edge {
+            to: u,
+            cap: S::zero(),
+            flow: S::zero(),
+        });
         self.adj[v].push(id + 1);
         id
     }

@@ -50,8 +50,22 @@ mod tests {
     #[test]
     fn renders_rows_and_axis() {
         let mut s = Schedule::<f64>::empty(2, ScheduleKind::Divisible);
-        s.push(0, Slice { job: 0, start: 0.0, end: 5.0 });
-        s.push(1, Slice { job: 1, start: 5.0, end: 10.0 });
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 0.0,
+                end: 5.0,
+            },
+        );
+        s.push(
+            1,
+            Slice {
+                job: 1,
+                start: 5.0,
+                end: 10.0,
+            },
+        );
         let g = render_gantt(&s, 20);
         let lines: Vec<&str> = g.lines().collect();
         assert_eq!(lines.len(), 3);

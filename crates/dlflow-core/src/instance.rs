@@ -77,7 +77,10 @@ impl fmt::Display for InstanceError {
             InstanceError::NonPositiveWeight(j) => write!(f, "job {j} has a non-positive weight"),
             InstanceError::NegativeCost(i, j) => write!(f, "cost[{i}][{j}] is negative"),
             InstanceError::Unplaceable(j) => {
-                write!(f, "job {j} has no machine with a finite cost (databank nowhere replicated)")
+                write!(
+                    f,
+                    "job {j} has no machine with a finite cost (databank nowhere replicated)"
+                )
             }
         }
     }
@@ -250,7 +253,9 @@ impl<S: Scalar> Instance<S> {
     /// The deadline `d̄_j(F) = r_j + F / w_j` induced by a max-weighted-flow
     /// objective value `F` (§4.3.1).
     pub fn deadline(&self, j: usize, objective: &S) -> S {
-        self.jobs[j].release.add(&objective.div(&self.jobs[j].weight))
+        self.jobs[j]
+            .release
+            .add(&objective.div(&self.jobs[j].weight))
     }
 
     /// A trivially feasible upper bound on the optimal max weighted flow:
@@ -279,7 +284,11 @@ impl<S: Scalar> Instance<S> {
             jobs: self
                 .jobs
                 .iter()
-                .map(|j| Job { release: f(&j.release), weight: f(&j.weight), name: j.name.clone() })
+                .map(|j| Job {
+                    release: f(&j.release),
+                    weight: f(&j.weight),
+                    name: j.name.clone(),
+                })
                 .collect(),
             cost: self
                 .cost
@@ -306,13 +315,20 @@ pub struct InstanceBuilder<S> {
 impl<S: Scalar> InstanceBuilder<S> {
     /// Starts an empty builder.
     pub fn new() -> Self {
-        InstanceBuilder { jobs: Vec::new(), rows: Vec::new() }
+        InstanceBuilder {
+            jobs: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a job (`release`, `weight`); returns its index.
     pub fn job(&mut self, release: S, weight: S) -> usize {
         let idx = self.jobs.len();
-        self.jobs.push(Job { release, weight, name: format!("J{}", idx + 1) });
+        self.jobs.push(Job {
+            release,
+            weight,
+            name: format!("J{}", idx + 1),
+        });
         idx
     }
 
@@ -393,10 +409,10 @@ mod tests {
     #[test]
     fn uniform_restricted_expands_costs() {
         let inst = Instance::uniform_restricted(
-            &[10.0, 20.0],                      // sizes
-            &[0.0, 1.0],                        // releases
-            &[1.0, 1.0],                        // weights
-            &[0.5, 2.0],                        // cycle times
+            &[10.0, 20.0], // sizes
+            &[0.0, 1.0],   // releases
+            &[1.0, 1.0],   // weights
+            &[0.5, 2.0],   // cycle times
             &[vec![true, true], vec![true, false]],
         )
         .unwrap();

@@ -85,7 +85,10 @@ impl<S: Scalar> AffineF<S> {
 
     /// Pointwise difference `self − other` (still affine).
     pub fn sub(&self, other: &AffineF<S>) -> AffineF<S> {
-        AffineF { a: self.a.sub(&other.a), b: self.b.sub(&other.b) }
+        AffineF {
+            a: self.a.sub(&other.a),
+            b: self.b.sub(&other.b),
+        }
     }
 
     /// `true` when both functions are identical (equal everywhere).
@@ -118,7 +121,12 @@ impl<S: Scalar> SymbolicIntervals<S> {
         let mut merged: Vec<AffineF<S>> = Vec::with_capacity(points.len());
         for p in points {
             match merged.last() {
-                Some(last) if last.eval(&reference).sub(&p.eval(&reference)).is_negligible() => {
+                Some(last)
+                    if last
+                        .eval(&reference)
+                        .sub(&p.eval(&reference))
+                        .is_negligible() =>
+                {
                     // Same epochal time at the reference point. Keep the
                     // first; distinct functions meeting here would mean the
                     // reference sits on a milestone.
@@ -131,7 +139,10 @@ impl<S: Scalar> SymbolicIntervals<S> {
                 _ => merged.push(p),
             }
         }
-        SymbolicIntervals { points: merged, reference }
+        SymbolicIntervals {
+            points: merged,
+            reference,
+        }
     }
 
     /// Number of finite intervals.
@@ -209,8 +220,14 @@ mod tests {
         let pts = vec![
             AffineF::constant(Rat::from_i64(0)),
             AffineF::constant(Rat::from_i64(2)),
-            AffineF { a: Rat::from_i64(0), b: Rat::one() },
-            AffineF { a: Rat::from_i64(2), b: Rat::from_ratio(1, 2) },
+            AffineF {
+                a: Rat::from_i64(0),
+                b: Rat::one(),
+            },
+            AffineF {
+                a: Rat::from_i64(2),
+                b: Rat::from_ratio(1, 2),
+            },
         ];
         let iv = SymbolicIntervals::from_points(pts, Rat::from_i64(3));
         assert_eq!(iv.n_intervals(), 3);
@@ -226,7 +243,10 @@ mod tests {
         let pts = vec![
             AffineF::constant(Rat::from_i64(1)),
             AffineF::constant(Rat::from_i64(1)),
-            AffineF { a: Rat::zero(), b: Rat::one() },
+            AffineF {
+                a: Rat::zero(),
+                b: Rat::one(),
+            },
         ];
         let iv = SymbolicIntervals::from_points(pts, Rat::from_i64(5));
         assert_eq!(iv.points().len(), 2);

@@ -74,7 +74,12 @@ pub fn build_makespan_lp<S: Scalar>(inst: &Instance<S>) -> MakespanLp<S> {
             }
             if t < n_fin {
                 if !expr.is_empty() {
-                    lp.add_constraint_labelled(format!("cap[t{t}][m{i}]"), expr, Rel::Le, intervals.len(t));
+                    lp.add_constraint_labelled(
+                        format!("cap[t{t}][m{i}]"),
+                        expr,
+                        Rel::Le,
+                        intervals.len(t),
+                    );
                 }
             } else {
                 // Σ α·c − Δ ≤ 0
@@ -95,7 +100,12 @@ pub fn build_makespan_lp<S: Scalar>(inst: &Instance<S>) -> MakespanLp<S> {
         lp.add_constraint_labelled(format!("done[j{j}]"), expr, Rel::Eq, S::one());
     }
 
-    MakespanLp { lp, alpha, delta, intervals }
+    MakespanLp {
+        lp,
+        alpha,
+        delta,
+        intervals,
+    }
 }
 
 /// System (2): deadline feasibility with concrete per-job deadlines.
@@ -155,7 +165,12 @@ pub fn build_deadline_lp<S: Scalar>(
                 }
             }
             if !expr.is_empty() {
-                lp.add_constraint_labelled(format!("cap[t{t}][m{i}]"), expr, Rel::Le, intervals.len(t));
+                lp.add_constraint_labelled(
+                    format!("cap[t{t}][m{i}]"),
+                    expr,
+                    Rel::Le,
+                    intervals.len(t),
+                );
             }
         }
     }
@@ -171,7 +186,12 @@ pub fn build_deadline_lp<S: Scalar>(
                     }
                 }
                 if !expr.is_empty() {
-                    lp.add_constraint_labelled(format!("jobcap[t{t}][j{j}]"), expr, Rel::Le, intervals.len(t));
+                    lp.add_constraint_labelled(
+                        format!("jobcap[t{t}][j{j}]"),
+                        expr,
+                        Rel::Le,
+                        intervals.len(t),
+                    );
                 }
             }
         }
@@ -189,7 +209,11 @@ pub fn build_deadline_lp<S: Scalar>(
         lp.add_constraint_labelled(format!("done[j{j}]"), expr, Rel::Eq, S::one());
     }
 
-    DeadlineLp { lp, alpha, intervals }
+    DeadlineLp {
+        lp,
+        alpha,
+        intervals,
+    }
 }
 
 /// Systems (3)/(5): minimize `F` over a milestone range.
@@ -221,7 +245,10 @@ pub fn build_range_lp<S: Scalar>(
     let mut points: Vec<AffineF<S>> = Vec::with_capacity(2 * inst.n_jobs());
     for job in inst.jobs() {
         points.push(AffineF::constant(job.release.clone()));
-        points.push(AffineF { a: job.release.clone(), b: job.weight.recip() });
+        points.push(AffineF {
+            a: job.release.clone(),
+            b: job.weight.recip(),
+        });
     }
     let intervals = SymbolicIntervals::from_points(points, reference.clone());
     let n_int = intervals.n_intervals();
@@ -275,7 +302,12 @@ pub fn build_range_lp<S: Scalar>(
             }
             if !expr.is_empty() {
                 expr.push(f_var, len.b.neg());
-                lp.add_constraint_labelled(format!("cap[t{t}][m{i}]"), expr, Rel::Le, len.a.clone());
+                lp.add_constraint_labelled(
+                    format!("cap[t{t}][m{i}]"),
+                    expr,
+                    Rel::Le,
+                    len.a.clone(),
+                );
             }
         }
     }
@@ -293,7 +325,12 @@ pub fn build_range_lp<S: Scalar>(
                 }
                 if !expr.is_empty() {
                     expr.push(f_var, len.b.neg());
-                    lp.add_constraint_labelled(format!("jobcap[t{t}][j{j}]"), expr, Rel::Le, len.a.clone());
+                    lp.add_constraint_labelled(
+                        format!("jobcap[t{t}][j{j}]"),
+                        expr,
+                        Rel::Le,
+                        len.a.clone(),
+                    );
                 }
             }
         }
@@ -310,7 +347,12 @@ pub fn build_range_lp<S: Scalar>(
         lp.add_constraint_labelled(format!("done[j{j}]"), expr, Rel::Eq, S::one());
     }
 
-    RangeLp { lp, alpha, f_var, intervals }
+    RangeLp {
+        lp,
+        alpha,
+        f_var,
+        intervals,
+    }
 }
 
 /// Turns an LP solution's `α` values into an explicit schedule by packing,
@@ -339,7 +381,11 @@ pub fn pack_alpha_schedule<S: Scalar>(
         if !frac.is_positive_tol() {
             continue;
         }
-        let dur = frac.mul(inst.cost(*i, *j).finite().expect("alpha var implies finite cost"));
+        let dur = frac.mul(
+            inst.cost(*i, *j)
+                .finite()
+                .expect("alpha var implies finite cost"),
+        );
         let start = cursor[*t][*i].clone();
         let end = start.add(&dur);
         debug_assert!(
@@ -347,7 +393,14 @@ pub fn pack_alpha_schedule<S: Scalar>(
             "interval capacity exceeded while packing: end={end} sup={}",
             bounds[*t].1
         );
-        sched.push(*i, Slice { job: *j, start, end: end.clone() });
+        sched.push(
+            *i,
+            Slice {
+                job: *j,
+                start,
+                end: end.clone(),
+            },
+        );
         cursor[*t][*i] = end;
     }
     sched.normalize();

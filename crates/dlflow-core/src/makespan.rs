@@ -35,7 +35,12 @@ pub fn min_makespan<S: Scalar>(inst: &Instance<S>) -> MakespanOutcome<S> {
 
     // Concrete interval bounds: the finite ones, then [r_max, r_max + Δ).
     let mut bounds: Vec<(S, S)> = (0..built.intervals.n_intervals())
-        .map(|t| (built.intervals.inf(t).clone(), built.intervals.sup(t).clone()))
+        .map(|t| {
+            (
+                built.intervals.inf(t).clone(),
+                built.intervals.sup(t).clone(),
+            )
+        })
         .collect();
     bounds.push((r_max, makespan.clone()));
 

@@ -9,7 +9,11 @@
 /// `adj[u]` lists the right-side vertices adjacent to left vertex `u`.
 /// Returns `(size, match_left, match_right)` where `match_left[u]` is the
 /// right partner of `u` (or `usize::MAX`), and symmetrically.
-pub fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> (usize, Vec<usize>, Vec<usize>) {
+pub fn hopcroft_karp(
+    n_left: usize,
+    n_right: usize,
+    adj: &[Vec<usize>],
+) -> (usize, Vec<usize>, Vec<usize>) {
     assert_eq!(adj.len(), n_left, "adjacency list length must equal n_left");
     const NIL: usize = usize::MAX;
     let mut ml = vec![NIL; n_left];

@@ -54,7 +54,10 @@ pub fn feasible_at<S: Scalar>(inst: &Instance<S>, f: &S, preemptive: bool) -> bo
 /// probing feasibility with `probe` (monotone in `F`), and returns
 /// `(f_lo, f_hi, reference, probes)`; `f_hi = None` means the unbounded
 /// final range.
-fn locate_range<S: Scalar>(ms: &[S], mut probe: impl FnMut(&S) -> bool) -> (S, Option<S>, S, usize) {
+fn locate_range<S: Scalar>(
+    ms: &[S],
+    mut probe: impl FnMut(&S) -> bool,
+) -> (S, Option<S>, S, usize) {
     let mut probes = 0usize;
     if ms.is_empty() {
         // No milestones: the epochal order is constant on all of (0, ∞).
@@ -151,7 +154,12 @@ fn solve_min_flow_with<S: Scalar>(
     let optimum = sol.value(built.f_var).clone();
 
     let bounds: Vec<(S, S)> = (0..built.intervals.n_intervals())
-        .map(|t| (built.intervals.inf(t).eval(&optimum), built.intervals.sup(t).eval(&optimum)))
+        .map(|t| {
+            (
+                built.intervals.inf(t).eval(&optimum),
+                built.intervals.sup(t).eval(&optimum),
+            )
+        })
         .collect();
     let fractions = built
         .alpha
@@ -165,7 +173,10 @@ fn solve_min_flow_with<S: Scalar>(
         optimum,
         fractions,
         bounds,
-        stats: FlowStats { n_milestones: ms.len(), n_probes: probes },
+        stats: FlowStats {
+            n_milestones: ms.len(),
+            n_probes: probes,
+        },
     }
 }
 
@@ -180,15 +191,29 @@ pub fn min_max_weighted_flow_divisible<S: Scalar>(inst: &Instance<S>) -> FlowOut
         .map(|(inf, _)| vec![inf.clone(); inst.n_machines()])
         .collect();
     for (t, i, j, frac) in &rs.fractions {
-        let c = inst.cost(*i, *j).finite().expect("fraction implies finite cost");
+        let c = inst
+            .cost(*i, *j)
+            .finite()
+            .expect("fraction implies finite cost");
         let dur = frac.mul(c);
         let start = cursor[*t][*i].clone();
         let end = start.add(&dur);
-        sched.push(*i, Slice { job: *j, start, end: end.clone() });
+        sched.push(
+            *i,
+            Slice {
+                job: *j,
+                start,
+                end: end.clone(),
+            },
+        );
         cursor[*t][*i] = end;
     }
     sched.normalize();
-    FlowOutcome { optimum: rs.optimum, schedule: sched, stats: rs.stats }
+    FlowOutcome {
+        optimum: rs.optimum,
+        schedule: sched,
+        stats: rs.stats,
+    }
 }
 
 /// §4.4: exact optimal max weighted flow with **preemption but no
@@ -214,13 +239,24 @@ pub fn min_max_weighted_flow_preemptive<S: Scalar>(inst: &Instance<S>) -> FlowOu
         for phase in phases {
             let end = clock.add(&phase.duration);
             for (i, j) in phase.assignment {
-                sched.push(i, Slice { job: j, start: clock.clone(), end: end.clone() });
+                sched.push(
+                    i,
+                    Slice {
+                        job: j,
+                        start: clock.clone(),
+                        end: end.clone(),
+                    },
+                );
             }
             clock = end;
         }
     }
     sched.normalize();
-    FlowOutcome { optimum: rs.optimum, schedule: sched, stats: rs.stats }
+    FlowOutcome {
+        optimum: rs.optimum,
+        schedule: sched,
+        stats: rs.stats,
+    }
 }
 
 /// Convenience: exact optimal **max stretch** (divisible), i.e. max
@@ -247,15 +283,29 @@ pub fn min_max_weighted_flow_divisible_with<S: Scalar>(
         .map(|(inf, _)| vec![inf.clone(); inst.n_machines()])
         .collect();
     for (t, i, j, frac) in &rs.fractions {
-        let c = inst.cost(*i, *j).finite().expect("fraction implies finite cost");
+        let c = inst
+            .cost(*i, *j)
+            .finite()
+            .expect("fraction implies finite cost");
         let dur = frac.mul(c);
         let start = cursor[*t][*i].clone();
         let end = start.add(&dur);
-        sched.push(*i, Slice { job: *j, start, end: end.clone() });
+        sched.push(
+            *i,
+            Slice {
+                job: *j,
+                start,
+                end: end.clone(),
+            },
+        );
         cursor[*t][*i] = end;
     }
     sched.normalize();
-    FlowOutcome { optimum: rs.optimum, schedule: sched, stats: rs.stats }
+    FlowOutcome {
+        optimum: rs.optimum,
+        schedule: sched,
+        stats: rs.stats,
+    }
 }
 
 /// Outcome of the ε-bisection strawman ([`min_max_weighted_flow_bisection`]).
@@ -286,7 +336,11 @@ pub fn min_max_weighted_flow_bisection<S: Scalar>(
     let mut hi = inst.naive_flow_upper_bound();
     if !hi.is_positive_tol() {
         // Degenerate: everything completes instantly.
-        return BisectionOutcome { approx_optimum: S::zero(), iterations: 0, bracket: (S::zero(), S::zero()) };
+        return BisectionOutcome {
+            approx_optimum: S::zero(),
+            iterations: 0,
+            bracket: (S::zero(), S::zero()),
+        };
     }
     // The naive bound is feasible by construction; 0 may or may not be.
     let mut lo = S::zero();
@@ -308,7 +362,11 @@ pub fn min_max_weighted_flow_bisection<S: Scalar>(
             break; // safety net for pathological eps with exact arithmetic
         }
     }
-    BisectionOutcome { approx_optimum: hi.clone(), iterations, bracket: (lo, hi) }
+    BisectionOutcome {
+        approx_optimum: hi.clone(),
+        iterations,
+        bracket: (lo, hi),
+    }
 }
 
 #[cfg(test)]

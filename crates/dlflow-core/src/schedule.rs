@@ -52,7 +52,10 @@ pub struct Schedule<S> {
 impl<S: Scalar> Schedule<S> {
     /// An empty schedule on `m` machines.
     pub fn empty(m: usize, kind: ScheduleKind) -> Self {
-        Schedule { machines: vec![Vec::new(); m], kind }
+        Schedule {
+            machines: vec![Vec::new(); m],
+            kind,
+        }
     }
 
     /// Appends a slice to machine `i` (dropping zero-length slices).
@@ -234,8 +237,22 @@ mod tests {
 
     fn sched() -> Schedule<f64> {
         let mut s = Schedule::empty(2, ScheduleKind::Divisible);
-        s.push(0, Slice { job: 0, start: 0.0, end: 2.0 }); // J0 fully on M0
-        s.push(1, Slice { job: 1, start: 1.0, end: 3.0 }); // J1 fully on M1
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 0.0,
+                end: 2.0,
+            },
+        ); // J0 fully on M0
+        s.push(
+            1,
+            Slice {
+                job: 1,
+                start: 1.0,
+                end: 3.0,
+            },
+        ); // J1 fully on M1
         s
     }
 
@@ -257,27 +274,83 @@ mod tests {
     #[test]
     fn zero_length_slices_dropped() {
         let mut s = Schedule::<f64>::empty(1, ScheduleKind::Divisible);
-        s.push(0, Slice { job: 0, start: 1.0, end: 1.0 });
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 1.0,
+                end: 1.0,
+            },
+        );
         assert_eq!(s.n_slices(), 0);
     }
 
     #[test]
     fn normalize_merges_adjacent() {
         let mut s = Schedule::<f64>::empty(1, ScheduleKind::Preemptive);
-        s.push(0, Slice { job: 0, start: 2.0, end: 3.0 });
-        s.push(0, Slice { job: 0, start: 0.0, end: 2.0 });
-        s.push(0, Slice { job: 1, start: 3.0, end: 4.0 });
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 2.0,
+                end: 3.0,
+            },
+        );
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 0.0,
+                end: 2.0,
+            },
+        );
+        s.push(
+            0,
+            Slice {
+                job: 1,
+                start: 3.0,
+                end: 4.0,
+            },
+        );
         s.normalize();
         assert_eq!(s.machines[0].len(), 2);
-        assert_eq!(s.machines[0][0], Slice { job: 0, start: 0.0, end: 3.0 });
+        assert_eq!(
+            s.machines[0][0],
+            Slice {
+                job: 0,
+                start: 0.0,
+                end: 3.0
+            }
+        );
     }
 
     #[test]
     fn preemption_count() {
         let mut s = Schedule::<f64>::empty(2, ScheduleKind::Preemptive);
-        s.push(0, Slice { job: 0, start: 0.0, end: 1.0 });
-        s.push(1, Slice { job: 0, start: 2.0, end: 3.0 });
-        s.push(0, Slice { job: 1, start: 1.0, end: 2.0 });
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 0.0,
+                end: 1.0,
+            },
+        );
+        s.push(
+            1,
+            Slice {
+                job: 0,
+                start: 2.0,
+                end: 3.0,
+            },
+        );
+        s.push(
+            0,
+            Slice {
+                job: 1,
+                start: 1.0,
+                end: 2.0,
+            },
+        );
         assert_eq!(s.n_preemptions(2), 1);
     }
 
@@ -285,7 +358,14 @@ mod tests {
     fn partial_fraction_detected() {
         let i = inst();
         let mut s = Schedule::<f64>::empty(2, ScheduleKind::Divisible);
-        s.push(0, Slice { job: 0, start: 0.0, end: 1.0 }); // half of J0
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 0.0,
+                end: 1.0,
+            },
+        ); // half of J0
         assert_eq!(s.processed_fractions(&i), vec![0.5, 0.0]);
     }
 }

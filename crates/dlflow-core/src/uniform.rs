@@ -49,7 +49,9 @@ pub fn uniform_factors<S: Scalar>(inst: &Instance<S>) -> Option<UniformFactors<S
         let mut changed = false;
         // Seed any untouched component: first machine with a finite cost
         // to an unassigned job, or an entirely fresh machine.
-        if let Some(i) = (0..m).find(|&i| speed[i].is_none() && (0..n).any(|j| inst.cost(i, j).is_finite())) {
+        if let Some(i) =
+            (0..m).find(|&i| speed[i].is_none() && (0..n).any(|j| inst.cost(i, j).is_finite()))
+        {
             let fresh = (0..n).all(|j| !inst.cost(i, j).is_finite() || work[j].is_none());
             if fresh {
                 speed[i] = Some(S::one());
@@ -58,7 +60,9 @@ pub fn uniform_factors<S: Scalar>(inst: &Instance<S>) -> Option<UniformFactors<S
         }
         for i in 0..m {
             for j in 0..n {
-                let Some(c) = inst.cost(i, j).finite() else { continue };
+                let Some(c) = inst.cost(i, j).finite() else {
+                    continue;
+                };
                 match (&speed[i], &work[j]) {
                     (Some(s), None) => {
                         if s.is_negligible() {
@@ -93,7 +97,10 @@ pub fn uniform_factors<S: Scalar>(inst: &Instance<S>) -> Option<UniformFactors<S
     }
     // Machines with no finite entries get speed 1 (they are never used);
     // jobs must all be assigned (every job has a finite machine).
-    let speed: Vec<S> = speed.into_iter().map(|s| s.unwrap_or_else(S::one)).collect();
+    let speed: Vec<S> = speed
+        .into_iter()
+        .map(|s| s.unwrap_or_else(S::one))
+        .collect();
     let work: Vec<S> = work
         .into_iter()
         .map(|w| w.expect("validated instance: every job has a finite cost"))
@@ -193,7 +200,14 @@ pub fn deadline_feasible_with_factors<S: Scalar>(
         let dur = shipped.mul(&factors.speed[i]);
         let start = cursor[t][i].clone();
         let end = start.add(&dur);
-        sched.push(i, Slice { job: j, start, end: end.clone() });
+        sched.push(
+            i,
+            Slice {
+                job: j,
+                start,
+                end: end.clone(),
+            },
+        );
         cursor[t][i] = end;
     }
     sched.normalize();
@@ -309,6 +323,9 @@ mod tests {
         let inst = uniform_inst();
         let factors = uniform_factors(&inst).unwrap();
         // J1's deadline before its release.
-        assert!(deadline_feasible_with_factors(&inst, &[ri(8), Rat::from_ratio(1, 2)], &factors).is_none());
+        assert!(
+            deadline_feasible_with_factors(&inst, &[ri(8), Rat::from_ratio(1, 2)], &factors)
+                .is_none()
+        );
     }
 }

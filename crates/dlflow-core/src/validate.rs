@@ -38,19 +38,31 @@ impl fmt::Display for ValidationError {
                 write!(f, "machine {machine}, slice {index}: negative duration")
             }
             ValidationError::MachineOverlap { machine, index } => {
-                write!(f, "machine {machine}: slice {index} overlaps its predecessor")
+                write!(
+                    f,
+                    "machine {machine}: slice {index} overlaps its predecessor"
+                )
             }
             ValidationError::ReleaseViolated { machine, job } => {
-                write!(f, "job {job} starts before its release date on machine {machine}")
+                write!(
+                    f,
+                    "job {job} starts before its release date on machine {machine}"
+                )
             }
             ValidationError::Unavailable { machine, job } => {
-                write!(f, "job {job} scheduled on machine {machine} where its databank is absent")
+                write!(
+                    f,
+                    "job {job} scheduled on machine {machine} where its databank is absent"
+                )
             }
             ValidationError::IncompleteJob { job, fraction_str } => {
                 write!(f, "job {job} processed fraction {fraction_str} ≠ 1")
             }
             ValidationError::SimultaneousExecution { job } => {
-                write!(f, "job {job} runs on two machines at the same time (preemptive model)")
+                write!(
+                    f,
+                    "job {job} runs on two machines at the same time (preemptive model)"
+                )
             }
             ValidationError::UnknownJob { machine, job } => {
                 write!(f, "machine {machine} references unknown job {job}")
@@ -71,22 +83,37 @@ pub fn validate<S: Scalar>(inst: &Instance<S>, sched: &Schedule<S>) -> Result<()
         let mut prev_end: Option<&S> = None;
         for (k, s) in tl.iter().enumerate() {
             if s.job >= n {
-                return Err(ValidationError::UnknownJob { machine: i, job: s.job });
+                return Err(ValidationError::UnknownJob {
+                    machine: i,
+                    job: s.job,
+                });
             }
             if s.end.lt_tol(&s.start) {
-                return Err(ValidationError::NegativeSlice { machine: i, index: k });
+                return Err(ValidationError::NegativeSlice {
+                    machine: i,
+                    index: k,
+                });
             }
             if let Some(pe) = prev_end {
                 if s.start.lt_tol(pe) {
-                    return Err(ValidationError::MachineOverlap { machine: i, index: k });
+                    return Err(ValidationError::MachineOverlap {
+                        machine: i,
+                        index: k,
+                    });
                 }
             }
             prev_end = Some(&s.end);
             if s.start.lt_tol(&inst.job(s.job).release) {
-                return Err(ValidationError::ReleaseViolated { machine: i, job: s.job });
+                return Err(ValidationError::ReleaseViolated {
+                    machine: i,
+                    job: s.job,
+                });
             }
             if !inst.cost(i, s.job).is_finite() {
-                return Err(ValidationError::Unavailable { machine: i, job: s.job });
+                return Err(ValidationError::Unavailable {
+                    machine: i,
+                    job: s.job,
+                });
             }
         }
     }
@@ -96,7 +123,10 @@ pub fn validate<S: Scalar>(inst: &Instance<S>, sched: &Schedule<S>) -> Result<()
     let fractions = sched.processed_fractions(inst);
     for (j, frac) in fractions.iter().enumerate() {
         if !frac.sub(&S::one()).is_negligible() {
-            return Err(ValidationError::IncompleteJob { job: j, fraction_str: format!("{frac}") });
+            return Err(ValidationError::IncompleteJob {
+                job: j,
+                fraction_str: format!("{frac}"),
+            });
         }
     }
 
@@ -130,7 +160,9 @@ pub fn validate_with_objective<S: Scalar>(
     validate(inst, sched).map_err(|e| e.to_string())?;
     let realized = sched.max_weighted_flow(inst);
     if realized.gt_tol(claimed) {
-        return Err(format!("realized max weighted flow {realized} exceeds claimed {claimed}"));
+        return Err(format!(
+            "realized max weighted flow {realized} exceeds claimed {claimed}"
+        ));
     }
     Ok(())
 }
@@ -154,8 +186,22 @@ mod tests {
     fn valid_divisible_schedule_passes() {
         let i = inst();
         let mut s = Schedule::empty(2, ScheduleKind::Divisible);
-        s.push(0, Slice { job: 0, start: 1.0, end: 3.0 });
-        s.push(1, Slice { job: 1, start: 0.0, end: 4.0 });
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 1.0,
+                end: 3.0,
+            },
+        );
+        s.push(
+            1,
+            Slice {
+                job: 1,
+                start: 0.0,
+                end: 4.0,
+            },
+        );
         validate(&i, &s).unwrap();
     }
 
@@ -163,8 +209,22 @@ mod tests {
     fn release_violation_caught() {
         let i = inst();
         let mut s = Schedule::empty(2, ScheduleKind::Divisible);
-        s.push(0, Slice { job: 0, start: 0.5, end: 2.5 }); // released at 1
-        s.push(1, Slice { job: 1, start: 0.0, end: 4.0 });
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 0.5,
+                end: 2.5,
+            },
+        ); // released at 1
+        s.push(
+            1,
+            Slice {
+                job: 1,
+                start: 0.0,
+                end: 4.0,
+            },
+        );
         assert_eq!(
             validate(&i, &s).unwrap_err(),
             ValidationError::ReleaseViolated { machine: 0, job: 0 }
@@ -175,7 +235,14 @@ mod tests {
     fn availability_violation_caught() {
         let i = inst();
         let mut s = Schedule::empty(2, ScheduleKind::Divisible);
-        s.push(1, Slice { job: 0, start: 1.0, end: 2.0 }); // J0 forbidden on M1
+        s.push(
+            1,
+            Slice {
+                job: 0,
+                start: 1.0,
+                end: 2.0,
+            },
+        ); // J0 forbidden on M1
         assert_eq!(
             validate(&i, &s).unwrap_err(),
             ValidationError::Unavailable { machine: 1, job: 0 }
@@ -186,20 +253,54 @@ mod tests {
     fn machine_overlap_caught() {
         let i = inst();
         let mut s = Schedule::empty(2, ScheduleKind::Divisible);
-        s.push(0, Slice { job: 0, start: 1.0, end: 3.0 });
-        s.push(0, Slice { job: 1, start: 2.0, end: 3.0 });
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 1.0,
+                end: 3.0,
+            },
+        );
+        s.push(
+            0,
+            Slice {
+                job: 1,
+                start: 2.0,
+                end: 3.0,
+            },
+        );
         // normalize() sorts; overlap remains.
         s.normalize();
-        assert!(matches!(validate(&i, &s), Err(ValidationError::MachineOverlap { .. })));
+        assert!(matches!(
+            validate(&i, &s),
+            Err(ValidationError::MachineOverlap { .. })
+        ));
     }
 
     #[test]
     fn incomplete_job_caught() {
         let i = inst();
         let mut s = Schedule::empty(2, ScheduleKind::Divisible);
-        s.push(0, Slice { job: 0, start: 1.0, end: 2.0 }); // half of J0
-        s.push(1, Slice { job: 1, start: 0.0, end: 4.0 });
-        assert!(matches!(validate(&i, &s), Err(ValidationError::IncompleteJob { job: 0, .. })));
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 1.0,
+                end: 2.0,
+            },
+        ); // half of J0
+        s.push(
+            1,
+            Slice {
+                job: 1,
+                start: 0.0,
+                end: 4.0,
+            },
+        );
+        assert!(matches!(
+            validate(&i, &s),
+            Err(ValidationError::IncompleteJob { job: 0, .. })
+        ));
     }
 
     #[test]
@@ -210,8 +311,22 @@ mod tests {
         b.machine(vec![Some(4.0)]);
         let i = b.build().unwrap();
         let mut s = Schedule::empty(2, ScheduleKind::Preemptive);
-        s.push(0, Slice { job: 0, start: 0.0, end: 2.0 });
-        s.push(1, Slice { job: 0, start: 0.0, end: 2.0 });
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 0.0,
+                end: 2.0,
+            },
+        );
+        s.push(
+            1,
+            Slice {
+                job: 0,
+                start: 0.0,
+                end: 2.0,
+            },
+        );
         assert_eq!(
             validate(&i, &s).unwrap_err(),
             ValidationError::SimultaneousExecution { job: 0 }
@@ -226,8 +341,22 @@ mod tests {
     fn objective_check() {
         let i = inst();
         let mut s = Schedule::empty(2, ScheduleKind::Divisible);
-        s.push(0, Slice { job: 0, start: 1.0, end: 3.0 });
-        s.push(1, Slice { job: 1, start: 0.0, end: 4.0 });
+        s.push(
+            0,
+            Slice {
+                job: 0,
+                start: 1.0,
+                end: 3.0,
+            },
+        );
+        s.push(
+            1,
+            Slice {
+                job: 1,
+                start: 0.0,
+                end: 4.0,
+            },
+        );
         // Flows: J0 = 2, J1 = 4 → max weighted flow 4.
         validate_with_objective(&i, &s, &4.0).unwrap();
         assert!(validate_with_objective(&i, &s, &3.0).is_err());

@@ -1,11 +1,11 @@
 //! Property-based tests of the core algorithms' invariants.
 
+use dlflow_core::deadline::deadline_feasible_divisible;
 use dlflow_core::decompose::{decompose_interval, verify_phases};
 use dlflow_core::instance::{Cost, Instance, Job};
 use dlflow_core::matching::hopcroft_karp;
 use dlflow_core::maxflow::{feasible_at, min_max_weighted_flow_preemptive};
 use dlflow_core::uniform::{deadline_feasible_with_factors, uniform_factors};
-use dlflow_core::deadline::deadline_feasible_divisible;
 use dlflow_core::validate::validate;
 use dlflow_num::Rat;
 use proptest::prelude::*;

@@ -2,21 +2,23 @@
 
 /// The 20 standard amino acids, one-letter codes, in a fixed order.
 pub const AMINO_ACIDS: [u8; 20] = [
-    b'A', b'C', b'D', b'E', b'F', b'G', b'H', b'I', b'K', b'L', b'M', b'N', b'P', b'Q', b'R',
-    b'S', b'T', b'V', b'W', b'Y',
+    b'A', b'C', b'D', b'E', b'F', b'G', b'H', b'I', b'K', b'L', b'M', b'N', b'P', b'Q', b'R', b'S',
+    b'T', b'V', b'W', b'Y',
 ];
 
 /// Approximate natural abundance of each amino acid (UniProt-like), in the
 /// order of [`AMINO_ACIDS`]. Sums to ~1; used to synthesize realistic
 /// sequence composition so motif hit-rates resemble real databank scans.
 pub const BACKGROUND_FREQ: [f64; 20] = [
-    0.0826, 0.0137, 0.0546, 0.0675, 0.0386, 0.0708, 0.0227, 0.0593, 0.0582, 0.0965, 0.0241,
-    0.0406, 0.0472, 0.0393, 0.0553, 0.0660, 0.0535, 0.0687, 0.0110, 0.0292,
+    0.0826, 0.0137, 0.0546, 0.0675, 0.0386, 0.0708, 0.0227, 0.0593, 0.0582, 0.0965, 0.0241, 0.0406,
+    0.0472, 0.0393, 0.0553, 0.0660, 0.0535, 0.0687, 0.0110, 0.0292,
 ];
 
 /// Index of a one-letter code in [`AMINO_ACIDS`], or `None` for non-residues.
 pub fn index_of(code: u8) -> Option<usize> {
-    AMINO_ACIDS.iter().position(|&c| c == code.to_ascii_uppercase())
+    AMINO_ACIDS
+        .iter()
+        .position(|&c| c == code.to_ascii_uppercase())
 }
 
 /// `true` iff `code` is a standard amino-acid one-letter code.

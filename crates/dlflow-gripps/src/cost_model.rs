@@ -26,7 +26,11 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     assert!(sxx > 0.0, "regression needs at least two distinct x values");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (slope, intercept, r2)
 }
 
@@ -71,7 +75,9 @@ impl CostModel {
 
     /// Predicted wall-clock of one invocation.
     pub fn invocation_time(&self, work_units: f64, bank_residues: f64) -> f64 {
-        self.invocation_overhead + self.bank_parse_per_residue * bank_residues + self.seconds_per_unit * work_units
+        self.invocation_overhead
+            + self.bank_parse_per_residue * bank_residues
+            + self.seconds_per_unit * work_units
     }
 
     /// Sequence-partitioning series (Figure 1a): the motif set is fixed at
@@ -115,7 +121,18 @@ mod tests {
     #[test]
     fn regression_with_noise_keeps_high_r2() {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 10.0 + if (x as u64).is_multiple_of(2) { 0.5 } else { -0.5 }).collect::<Vec<_>>();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                3.0 * x
+                    + 10.0
+                    + if (x as u64).is_multiple_of(2) {
+                        0.5
+                    } else {
+                        -0.5
+                    }
+            })
+            .collect::<Vec<_>>();
         let (m, b, r2) = linear_regression(&xs, &ys);
         assert!((m - 3.0).abs() < 0.01);
         assert!((b - 10.0).abs() < 0.5);
@@ -136,16 +153,28 @@ mod tests {
 
         // Figure 1(a): sweep block size, fixed motif set; regress on residues.
         let blocks: Vec<f64> = (1..=20).map(|k| bank * k as f64 / 20.0).collect();
-        let times: Vec<f64> = blocks.iter().map(|&b| m.sequence_partition_time(b, motifs)).collect();
+        let times: Vec<f64> = blocks
+            .iter()
+            .map(|&b| m.sequence_partition_time(b, motifs))
+            .collect();
         let (_, intercept_a, r2a) = linear_regression(&blocks, &times);
-        assert!((intercept_a - 1.1).abs() < 0.2, "seq intercept {intercept_a}");
+        assert!(
+            (intercept_a - 1.1).abs() < 0.2,
+            "seq intercept {intercept_a}"
+        );
         assert!(r2a > 0.9999);
 
         // Figure 1(b): sweep motif subset, fixed full bank.
         let subsets: Vec<f64> = (1..=20).map(|k| motifs * k as f64 / 20.0).collect();
-        let times: Vec<f64> = subsets.iter().map(|&s| m.motif_partition_time(s, bank)).collect();
+        let times: Vec<f64> = subsets
+            .iter()
+            .map(|&s| m.motif_partition_time(s, bank))
+            .collect();
         let (_, intercept_b, r2b) = linear_regression(&subsets, &times);
-        assert!((intercept_b - 10.5).abs() < 0.5, "motif intercept {intercept_b}");
+        assert!(
+            (intercept_b - 10.5).abs() < 0.5,
+            "motif intercept {intercept_b}"
+        );
         assert!(r2b > 0.9999);
 
         // Full-size scan lands near the figure's ~100 s scale.
@@ -176,7 +205,9 @@ mod tests {
             .collect();
         let (slope, overhead, r2) = CostModel::fit_fixed_bank(&samples);
         assert!((slope - m.seconds_per_unit * bank).abs() / slope < 1e-9);
-        assert!((overhead - (m.invocation_overhead + m.bank_parse_per_residue * bank)).abs() < 1e-9);
+        assert!(
+            (overhead - (m.invocation_overhead + m.bank_parse_per_residue * bank)).abs() < 1e-9
+        );
         assert!((r2 - 1.0).abs() < 1e-12);
     }
 }

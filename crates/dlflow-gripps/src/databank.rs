@@ -34,7 +34,12 @@ pub struct DatabankSpec {
 
 impl Default for DatabankSpec {
     fn default() -> Self {
-        DatabankSpec { n_sequences: 1000, mean_len: 350, min_len: 40, seed: 0x5EED }
+        DatabankSpec {
+            n_sequences: 1000,
+            mean_len: 350,
+            min_len: 40,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -54,8 +59,12 @@ impl Databank {
             // Inverse-CDF exponential sample.
             let u: f64 = rng.gen_range(1e-12..1.0);
             let extra = (-u.ln() * scale) as usize;
-            let len = (spec.min_len + extra).min(spec.mean_len * 6).max(spec.min_len);
-            let residues: Vec<u8> = (0..len).map(|_| sample_residue(&cdf, rng.gen_range(0.0..1.0))).collect();
+            let len = (spec.min_len + extra)
+                .min(spec.mean_len * 6)
+                .max(spec.min_len);
+            let residues: Vec<u8> = (0..len)
+                .map(|_| sample_residue(&cdf, rng.gen_range(0.0..1.0)))
+                .collect();
             sequences.push(ProteinSequence {
                 id: format!("SYN{:06}", k),
                 residues,
@@ -85,7 +94,10 @@ impl Databank {
             let j = rng.gen_range(i..idx.len());
             idx.swap(i, j);
         }
-        let sequences = idx[..k].iter().map(|&i| self.sequences[i].clone()).collect();
+        let sequences = idx[..k]
+            .iter()
+            .map(|&i| self.sequences[i].clone())
+            .collect();
         Databank { sequences }
     }
 
@@ -100,7 +112,9 @@ impl Databank {
         let mut pos = 0;
         for p in 0..parts {
             let take = base + usize::from(p < rem);
-            out.push(Databank { sequences: self.sequences[pos..pos + take].to_vec() });
+            out.push(Databank {
+                sequences: self.sequences[pos..pos + take].to_vec(),
+            });
             pos += take;
         }
         out
@@ -117,7 +131,12 @@ mod tests {
     use super::*;
 
     fn small_spec() -> DatabankSpec {
-        DatabankSpec { n_sequences: 200, mean_len: 100, min_len: 20, seed: 42 }
+        DatabankSpec {
+            n_sequences: 200,
+            mean_len: 100,
+            min_len: 20,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -178,7 +197,10 @@ mod tests {
 
     #[test]
     fn fasta_roundtrip_via_parser() {
-        let bank = Databank::generate(&DatabankSpec { n_sequences: 5, ..small_spec() });
+        let bank = Databank::generate(&DatabankSpec {
+            n_sequences: 5,
+            ..small_spec()
+        });
         let text = bank.to_fasta();
         let back = crate::sequence::parse_fasta(&text).unwrap();
         assert_eq!(back, bank.sequences);

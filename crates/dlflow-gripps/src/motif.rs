@@ -79,12 +79,16 @@ impl Motif {
             let (atom, consumed) = match bytes[0] {
                 b'x' | b'X' => (Atom::Any, 1),
                 b'[' => {
-                    let close = part.find(']').ok_or(ParseMotifError::UnterminatedClass(k))?;
+                    let close = part
+                        .find(']')
+                        .ok_or(ParseMotifError::UnterminatedClass(k))?;
                     let mask = class_mask(&bytes[1..close], k)?;
                     (Atom::OneOf(mask), close + 1)
                 }
                 b'{' => {
-                    let close = part.find('}').ok_or(ParseMotifError::UnterminatedClass(k))?;
+                    let close = part
+                        .find('}')
+                        .ok_or(ParseMotifError::UnterminatedClass(k))?;
                     let mask = class_mask(&bytes[1..close], k)?;
                     (Atom::NoneOf(mask), close + 1)
                 }
@@ -106,15 +110,24 @@ impl Motif {
                     .ok_or(ParseMotifError::BadRepeat(k))?;
                 match inner.split_once(',') {
                     Some((a, b)) => {
-                        let lo: u32 = a.trim().parse().map_err(|_| ParseMotifError::BadRepeat(k))?;
-                        let hi: u32 = b.trim().parse().map_err(|_| ParseMotifError::BadRepeat(k))?;
+                        let lo: u32 = a
+                            .trim()
+                            .parse()
+                            .map_err(|_| ParseMotifError::BadRepeat(k))?;
+                        let hi: u32 = b
+                            .trim()
+                            .parse()
+                            .map_err(|_| ParseMotifError::BadRepeat(k))?;
                         if lo > hi {
                             return Err(ParseMotifError::BadRepeat(k));
                         }
                         (lo, hi)
                     }
                     None => {
-                        let v: u32 = inner.trim().parse().map_err(|_| ParseMotifError::BadRepeat(k))?;
+                        let v: u32 = inner
+                            .trim()
+                            .parse()
+                            .map_err(|_| ParseMotifError::BadRepeat(k))?;
                         (v, v)
                     }
                 }
@@ -124,7 +137,10 @@ impl Motif {
         if elements.is_empty() {
             return Err(ParseMotifError::Empty);
         }
-        Ok(Motif { elements, source: text.to_string() })
+        Ok(Motif {
+            elements,
+            source: text.to_string(),
+        })
     }
 
     /// Minimum span (residues) a match can cover.
@@ -148,7 +164,7 @@ impl Motif {
         for _ in 0..n_elements.max(1) {
             let roll: f64 = rng.gen_range(0.0..1.0);
             if roll < 0.60 {
-                let aa = AMINO_ACIDS[rng.gen_range(0..20)] as char;
+                let aa = AMINO_ACIDS[rng.gen_range(0..20usize)] as char;
                 parts.push(aa.to_string());
             } else if roll < 0.75 {
                 let lo = rng.gen_range(1..3u32);
@@ -160,10 +176,12 @@ impl Motif {
                 }
             } else if roll < 0.90 {
                 let k = rng.gen_range(2..5usize);
-                let set: String = (0..k).map(|_| AMINO_ACIDS[rng.gen_range(0..20)] as char).collect();
+                let set: String = (0..k)
+                    .map(|_| AMINO_ACIDS[rng.gen_range(0..20usize)] as char)
+                    .collect();
                 parts.push(format!("[{set}]"));
             } else {
-                let aa = AMINO_ACIDS[rng.gen_range(0..20)] as char;
+                let aa = AMINO_ACIDS[rng.gen_range(0..20usize)] as char;
                 parts.push(format!("{{{aa}}}"));
             }
         }
@@ -173,7 +191,9 @@ impl Motif {
 
     /// Generates a deterministic motif set, as the paper's ≈300-motif input.
     pub fn random_set(count: usize, n_elements: usize, seed: u64) -> Vec<Motif> {
-        (0..count).map(|k| Motif::random(n_elements, seed.wrapping_add(k as u64 * 0x9E37))).collect()
+        (0..count)
+            .map(|k| Motif::random(n_elements, seed.wrapping_add(k as u64 * 0x9E37)))
+            .collect()
     }
 }
 
@@ -236,7 +256,14 @@ mod tests {
     fn parse_simple() {
         let m = Motif::parse("A-C-D").unwrap();
         assert_eq!(m.elements.len(), 3);
-        assert_eq!(m.elements[0], Element { atom: Atom::Exact(b'A'), min: 1, max: 1 });
+        assert_eq!(
+            m.elements[0],
+            Element {
+                atom: Atom::Exact(b'A'),
+                min: 1,
+                max: 1
+            }
+        );
         assert_eq!(m.min_span(), 3);
         assert_eq!(m.max_span(), 3);
     }
@@ -245,7 +272,14 @@ mod tests {
     fn parse_full_grammar() {
         let m = Motif::parse("C-x(2,4)-[ST]-{P}-H").unwrap();
         assert_eq!(m.elements.len(), 5);
-        assert_eq!(m.elements[1], Element { atom: Atom::Any, min: 2, max: 4 });
+        assert_eq!(
+            m.elements[1],
+            Element {
+                atom: Atom::Any,
+                min: 2,
+                max: 4
+            }
+        );
         assert!(matches!(m.elements[2].atom, Atom::OneOf(_)));
         assert!(matches!(m.elements[3].atom, Atom::NoneOf(_)));
         assert_eq!(m.min_span(), 6);
@@ -260,7 +294,14 @@ mod tests {
     #[test]
     fn parse_fixed_repeat() {
         let m = Motif::parse("x(3)").unwrap();
-        assert_eq!(m.elements[0], Element { atom: Atom::Any, min: 3, max: 3 });
+        assert_eq!(
+            m.elements[0],
+            Element {
+                atom: Atom::Any,
+                min: 3,
+                max: 3
+            }
+        );
     }
 
     #[test]
@@ -272,12 +313,30 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert!(matches!(Motif::parse("A--C"), Err(ParseMotifError::EmptyElement(1))));
-        assert!(matches!(Motif::parse("Z"), Err(ParseMotifError::BadResidue(0, 'Z'))));
-        assert!(matches!(Motif::parse("[ST"), Err(ParseMotifError::UnterminatedClass(0))));
-        assert!(matches!(Motif::parse("[]"), Err(ParseMotifError::EmptyClass(0))));
-        assert!(matches!(Motif::parse("A(2,1)"), Err(ParseMotifError::BadRepeat(0))));
-        assert!(matches!(Motif::parse("A(x)"), Err(ParseMotifError::BadRepeat(0))));
+        assert!(matches!(
+            Motif::parse("A--C"),
+            Err(ParseMotifError::EmptyElement(1))
+        ));
+        assert!(matches!(
+            Motif::parse("Z"),
+            Err(ParseMotifError::BadResidue(0, 'Z'))
+        ));
+        assert!(matches!(
+            Motif::parse("[ST"),
+            Err(ParseMotifError::UnterminatedClass(0))
+        ));
+        assert!(matches!(
+            Motif::parse("[]"),
+            Err(ParseMotifError::EmptyClass(0))
+        ));
+        assert!(matches!(
+            Motif::parse("A(2,1)"),
+            Err(ParseMotifError::BadRepeat(0))
+        ));
+        assert!(matches!(
+            Motif::parse("A(x)"),
+            Err(ParseMotifError::BadRepeat(0))
+        ));
     }
 
     #[test]

@@ -48,15 +48,24 @@ impl PlatformSpec {
     /// A deterministic random platform: `n_servers` with cycle times in
     /// `[1, heterogeneity]`, `n_databanks` each replicated on a random
     /// non-empty subset of servers.
-    pub fn random(n_servers: usize, n_databanks: usize, heterogeneity: f64, seed: u64) -> PlatformSpec {
+    pub fn random(
+        n_servers: usize,
+        n_databanks: usize,
+        heterogeneity: f64,
+        seed: u64,
+    ) -> PlatformSpec {
         assert!(n_servers > 0 && n_databanks > 0);
         assert!(heterogeneity >= 1.0);
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut servers: Vec<ServerSpec> = (0..n_servers)
-            .map(|_| ServerSpec { cycle_time: rng.gen_range(1.0..=heterogeneity), databanks: Vec::new() })
+            .map(|_| ServerSpec {
+                cycle_time: rng.gen_range(1.0..=heterogeneity),
+                databanks: Vec::new(),
+            })
             .collect();
-        let databank_residues: Vec<f64> =
-            (0..n_databanks).map(|_| rng.gen_range(1.0e5..2.0e7)).collect();
+        let databank_residues: Vec<f64> = (0..n_databanks)
+            .map(|_| rng.gen_range(1.0e5..2.0e7))
+            .collect();
         for d in 0..n_databanks {
             // Each databank lands on every server with p = 1/2, but at
             // least one replica is forced.
@@ -72,7 +81,10 @@ impl PlatformSpec {
                 servers[s].databanks.push(d);
             }
         }
-        PlatformSpec { servers, databank_residues }
+        PlatformSpec {
+            servers,
+            databank_residues,
+        }
     }
 
     /// Does server `i` hold databank `d`?
@@ -91,7 +103,11 @@ impl PlatformSpec {
     /// included: the scheduling model of §3 neglects it, as justified by
     /// the §2 measurements (sequence-partitioning overhead ≈ 1 s ≪ scan
     /// time) — the same simplification the paper makes.
-    pub fn instance(&self, requests: &[Request], model: &CostModel) -> Result<Instance<f64>, InstanceError> {
+    pub fn instance(
+        &self,
+        requests: &[Request],
+        model: &CostModel,
+    ) -> Result<Instance<f64>, InstanceError> {
         let sizes: Vec<f64> = requests
             .iter()
             .map(|r| self.request_work(r) * model.seconds_per_unit)
@@ -102,7 +118,12 @@ impl PlatformSpec {
         let avail: Vec<Vec<bool>> = self
             .servers
             .iter()
-            .map(|s| requests.iter().map(|r| s.databanks.contains(&r.databank)).collect())
+            .map(|s| {
+                requests
+                    .iter()
+                    .map(|r| s.databanks.contains(&r.databank))
+                    .collect()
+            })
             .collect();
         Instance::uniform_restricted(&sizes, &releases, &weights, &cycle, &avail)
     }
@@ -117,7 +138,7 @@ pub fn random_requests(platform: &PlatformSpec, n: usize, horizon: f64, seed: u6
             databank: rng.gen_range(0..n_banks),
             n_motifs: rng.gen_range(10.0..400.0),
             release: rng.gen_range(0.0..horizon),
-            weight: *[1.0, 2.0, 5.0].get(rng.gen_range(0..3)).unwrap(),
+            weight: *[1.0, 2.0, 5.0].get(rng.gen_range(0..3usize)).unwrap(),
         })
         .collect();
     reqs.sort_by(|a, b| a.release.partial_cmp(&b.release).unwrap());
@@ -134,7 +155,10 @@ mod tests {
         for seed in 0..20 {
             let p = PlatformSpec::random(4, 6, 3.0, seed);
             for d in 0..6 {
-                assert!((0..4).any(|s| p.holds(s, d)), "databank {d} unplaced (seed {seed})");
+                assert!(
+                    (0..4).any(|s| p.holds(s, d)),
+                    "databank {d} unplaced (seed {seed})"
+                );
             }
         }
     }
@@ -143,15 +167,31 @@ mod tests {
     fn instance_reflects_placement_and_speed() {
         let p = PlatformSpec {
             servers: vec![
-                ServerSpec { cycle_time: 1.0, databanks: vec![0] },
-                ServerSpec { cycle_time: 2.0, databanks: vec![0, 1] },
+                ServerSpec {
+                    cycle_time: 1.0,
+                    databanks: vec![0],
+                },
+                ServerSpec {
+                    cycle_time: 2.0,
+                    databanks: vec![0, 1],
+                },
             ],
             databank_residues: vec![1.0e6, 2.0e6],
         };
         let model = CostModel::paper_scale();
         let reqs = vec![
-            Request { databank: 0, n_motifs: 100.0, release: 0.0, weight: 1.0 },
-            Request { databank: 1, n_motifs: 50.0, release: 5.0, weight: 2.0 },
+            Request {
+                databank: 0,
+                n_motifs: 100.0,
+                release: 0.0,
+                weight: 1.0,
+            },
+            Request {
+                databank: 1,
+                n_motifs: 50.0,
+                release: 5.0,
+                weight: 2.0,
+            },
         ];
         let inst = p.instance(&reqs, &model).unwrap();
         assert_eq!(inst.n_jobs(), 2);
@@ -170,10 +210,18 @@ mod tests {
     #[test]
     fn unplaceable_request_is_rejected() {
         let p = PlatformSpec {
-            servers: vec![ServerSpec { cycle_time: 1.0, databanks: vec![0] }],
+            servers: vec![ServerSpec {
+                cycle_time: 1.0,
+                databanks: vec![0],
+            }],
             databank_residues: vec![1.0e6, 2.0e6],
         };
-        let reqs = vec![Request { databank: 1, n_motifs: 10.0, release: 0.0, weight: 1.0 }];
+        let reqs = vec![Request {
+            databank: 1,
+            n_motifs: 10.0,
+            release: 0.0,
+            weight: 1.0,
+        }];
         assert!(p.instance(&reqs, &CostModel::paper_scale()).is_err());
     }
 

@@ -80,7 +80,12 @@ fn match_at(seq: &[u8], pos: usize, motif: &Motif, steps: &mut u64) -> Option<us
 
 /// Scans one sequence for one motif; returns matches (non-overlapping
 /// anchors are all tried; occurrences may overlap).
-pub fn scan_sequence(seq: &ProteinSequence, motif: &Motif, seq_idx: usize, motif_idx: usize) -> (Vec<Match>, u64) {
+pub fn scan_sequence(
+    seq: &ProteinSequence,
+    motif: &Motif,
+    seq_idx: usize,
+    motif_idx: usize,
+) -> (Vec<Match>, u64) {
     let mut out = Vec::new();
     let mut steps = 0u64;
     let residues = &seq.residues;
@@ -91,7 +96,12 @@ pub fn scan_sequence(seq: &ProteinSequence, motif: &Motif, seq_idx: usize, motif
     }
     for pos in 0..=(residues.len() - min_span) {
         if let Some(end) = match_at(residues, pos, motif, &mut steps) {
-            out.push(Match { sequence: seq_idx, motif: motif_idx, start: pos, end });
+            out.push(Match {
+                sequence: seq_idx,
+                motif: motif_idx,
+                start: pos,
+                end,
+            });
         }
     }
     (out, steps)
@@ -149,7 +159,15 @@ mod tests {
         let s = seq("t", "AAACDEAAA");
         let m = Motif::parse("C-D-E").unwrap();
         let (ms, _) = scan_sequence(&s, &m, 0, 0);
-        assert_eq!(ms, vec![Match { sequence: 0, motif: 0, start: 3, end: 6 }]);
+        assert_eq!(
+            ms,
+            vec![Match {
+                sequence: 0,
+                motif: 0,
+                start: 3,
+                end: 6
+            }]
+        );
     }
 
     #[test]
@@ -219,7 +237,12 @@ mod tests {
     #[test]
     fn work_scales_linearly_with_subset_size() {
         // The divisibility property of §2: nominal work ∝ residues × motifs.
-        let bank = Databank::generate(&DatabankSpec { n_sequences: 100, mean_len: 80, min_len: 20, seed: 3 });
+        let bank = Databank::generate(&DatabankSpec {
+            n_sequences: 100,
+            mean_len: 80,
+            min_len: 20,
+            seed: 3,
+        });
         let motifs = Motif::random_set(4, 5, 11);
         let full = scan_databank(&bank, &motifs);
         let half = scan_databank(&bank.random_subset(50, 1), &motifs);

@@ -21,7 +21,10 @@ impl ProteinSequence {
                 return Err(ParseFastaError::BadResidue { pos, byte: b });
             }
         }
-        Ok(ProteinSequence { id: id.into(), residues: bytes })
+        Ok(ProteinSequence {
+            id: id.into(),
+            residues: bytes,
+        })
     }
 
     /// Sequence length in residues.
@@ -39,7 +42,11 @@ impl fmt::Display for ProteinSequence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, ">{}", self.id)?;
         for chunk in self.residues.chunks(60) {
-            writeln!(f, "{}", std::str::from_utf8(chunk).expect("residues are ASCII"))?;
+            writeln!(
+                f,
+                "{}",
+                std::str::from_utf8(chunk).expect("residues are ASCII")
+            )?;
         }
         Ok(())
     }
@@ -88,7 +95,10 @@ pub fn parse_fasta(text: &str) -> Result<Vec<ProteinSequence>, ParseFastaError> 
         }
         if let Some(hdr) = line.strip_prefix('>') {
             if let Some(id) = cur_id.take() {
-                out.push(ProteinSequence { id, residues: std::mem::take(&mut cur_res) });
+                out.push(ProteinSequence {
+                    id,
+                    residues: std::mem::take(&mut cur_res),
+                });
             }
             cur_id = Some(hdr.trim().to_string());
         } else {
@@ -105,7 +115,10 @@ pub fn parse_fasta(text: &str) -> Result<Vec<ProteinSequence>, ParseFastaError> 
         }
     }
     if let Some(id) = cur_id {
-        out.push(ProteinSequence { id, residues: cur_res });
+        out.push(ProteinSequence {
+            id,
+            residues: cur_res,
+        });
     }
     Ok(out)
 }
@@ -157,7 +170,10 @@ mod tests {
 
     #[test]
     fn fasta_errors() {
-        assert_eq!(parse_fasta("ACD\n").unwrap_err(), ParseFastaError::MissingHeader);
+        assert_eq!(
+            parse_fasta("ACD\n").unwrap_err(),
+            ParseFastaError::MissingHeader
+        );
         assert!(matches!(
             parse_fasta(">s\nAC1\n").unwrap_err(),
             ParseFastaError::BadResidue { .. }

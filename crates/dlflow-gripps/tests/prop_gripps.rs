@@ -29,7 +29,9 @@ fn reference_match_at(seq: &[u8], pos: usize, motif: &Motif) -> bool {
             if off + reps > seq.len() {
                 break;
             }
-            if (0..reps).all(|k| e.atom.matches(seq[off + k])) && rec(seq, motif, elem + 1, off + reps) {
+            if (0..reps).all(|k| e.atom.matches(seq[off + k]))
+                && rec(seq, motif, elem + 1, off + reps)
+            {
                 return true;
             }
             // Keep trying longer expansions even if this one failed the

@@ -64,7 +64,9 @@ impl<S: Scalar> LinExpr<S> {
 
     /// Single-term expression `coeff · var`.
     pub fn term(var: VarId, coeff: S) -> Self {
-        LinExpr { terms: vec![(var, coeff)] }
+        LinExpr {
+            terms: vec![(var, coeff)],
+        }
     }
 
     /// Adds `coeff · var` to the expression.
@@ -98,7 +100,9 @@ impl<S: Scalar> Default for LinExpr<S> {
 
 impl<S: Scalar> FromIterator<(VarId, S)> for LinExpr<S> {
     fn from_iter<T: IntoIterator<Item = (VarId, S)>>(iter: T) -> Self {
-        LinExpr { terms: iter.into_iter().collect() }
+        LinExpr {
+            terms: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -183,12 +187,28 @@ impl<S: Scalar> LpProblem<S> {
 
     /// Adds a constraint `expr rel rhs`.
     pub fn add_constraint(&mut self, expr: LinExpr<S>, rel: Rel, rhs: S) {
-        self.constraints.push(Constraint { expr, rel, rhs, label: None });
+        self.constraints.push(Constraint {
+            expr,
+            rel,
+            rhs,
+            label: None,
+        });
     }
 
     /// Adds a labelled constraint (label shows up in pretty-printing).
-    pub fn add_constraint_labelled(&mut self, label: impl Into<String>, expr: LinExpr<S>, rel: Rel, rhs: S) {
-        self.constraints.push(Constraint { expr, rel, rhs, label: Some(label.into()) });
+    pub fn add_constraint_labelled(
+        &mut self,
+        label: impl Into<String>,
+        expr: LinExpr<S>,
+        rel: Rel,
+        rhs: S,
+    ) {
+        self.constraints.push(Constraint {
+            expr,
+            rel,
+            rhs,
+            label: Some(label.into()),
+        });
     }
 
     /// Upper bound `var ≤ ub` as a constraint row.
@@ -214,11 +234,18 @@ impl<S: Scalar> LpProblem<S> {
     /// Returns the label/index of the first violated constraint.
     pub fn check_feasible(&self, values: &[S]) -> Result<(), String> {
         if values.len() != self.n_vars() {
-            return Err(format!("value vector has length {}, expected {}", values.len(), self.n_vars()));
+            return Err(format!(
+                "value vector has length {}, expected {}",
+                values.len(),
+                self.n_vars()
+            ));
         }
         for (i, v) in values.iter().enumerate() {
             if v.is_negative_tol() {
-                return Err(format!("variable {} = {} is negative", self.var_names[i], v));
+                return Err(format!(
+                    "variable {} = {} is negative",
+                    self.var_names[i], v
+                ));
             }
         }
         for (i, c) in self.constraints.iter().enumerate() {
@@ -230,7 +257,10 @@ impl<S: Scalar> LpProblem<S> {
             };
             if !ok {
                 let label = c.label.clone().unwrap_or_else(|| format!("#{i}"));
-                return Err(format!("constraint {label} violated: {lhs} {} {}", c.rel, c.rhs));
+                return Err(format!(
+                    "constraint {label} violated: {lhs} {} {}",
+                    c.rel, c.rhs
+                ));
             }
         }
         Ok(())

@@ -85,16 +85,20 @@ impl<S: Scalar> Tableau<S> {
             needs_art.push(art);
             // Record: we stash the slack column index + sign in place of Option<usize>
             // by extending later; temporarily keep dense/rhs.
-            rows.push((dense, rhs, slack.map(|(i, s)| {
-                // encode sign in the coefficient during assembly below
-                // (positive => basic slack candidate)
-                debug_assert!(s == S::one() || s == S::one().neg());
-                if s == S::one() {
-                    i << 1
-                } else {
-                    (i << 1) | 1
-                }
-            })));
+            rows.push((
+                dense,
+                rhs,
+                slack.map(|(i, s)| {
+                    // encode sign in the coefficient during assembly below
+                    // (positive => basic slack candidate)
+                    debug_assert!(s == S::one() || s == S::one().neg());
+                    if s == S::one() {
+                        i << 1
+                    } else {
+                        (i << 1) | 1
+                    }
+                }),
+            ));
         }
         debug_assert_eq!(n_slack, slack_idx);
 
@@ -128,7 +132,14 @@ impl<S: Scalar> Tableau<S> {
             debug_assert_ne!(basis[i], usize::MAX);
         }
 
-        Tableau { a, b, basis, n_struct: n, n_total, art_start }
+        Tableau {
+            a,
+            b,
+            basis,
+            n_struct: n,
+            n_total,
+            art_start,
+        }
     }
 
     fn solve(mut self, p: &LpProblem<S>) -> LpSolution<S> {
@@ -435,7 +446,12 @@ mod tests {
         let x5 = lp.add_var("x5");
         let x6 = lp.add_var("x6");
         let x7 = lp.add_var("x7");
-        lp.set_objective(LinExpr::from_iter([(x4, -0.75), (x5, 150.0), (x6, -0.02), (x7, 6.0)]));
+        lp.set_objective(LinExpr::from_iter([
+            (x4, -0.75),
+            (x5, 150.0),
+            (x6, -0.02),
+            (x7, 6.0),
+        ]));
         lp.add_constraint(
             LinExpr::from_iter([(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)]),
             Rel::Le,

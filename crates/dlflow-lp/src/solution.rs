@@ -27,15 +27,27 @@ pub struct LpSolution<S> {
 
 impl<S: Scalar> LpSolution<S> {
     pub(crate) fn optimal(objective: S, values: Vec<S>) -> Self {
-        LpSolution { status: LpStatus::Optimal, objective: Some(objective), values }
+        LpSolution {
+            status: LpStatus::Optimal,
+            objective: Some(objective),
+            values,
+        }
     }
 
     pub(crate) fn infeasible(n_vars: usize) -> Self {
-        LpSolution { status: LpStatus::Infeasible, objective: None, values: vec![S::zero(); n_vars] }
+        LpSolution {
+            status: LpStatus::Infeasible,
+            objective: None,
+            values: vec![S::zero(); n_vars],
+        }
     }
 
     pub(crate) fn unbounded(n_vars: usize) -> Self {
-        LpSolution { status: LpStatus::Unbounded, objective: None, values: vec![S::zero(); n_vars] }
+        LpSolution {
+            status: LpStatus::Unbounded,
+            objective: None,
+            values: vec![S::zero(); n_vars],
+        }
     }
 
     /// `true` iff an optimum was found.
@@ -45,7 +57,10 @@ impl<S: Scalar> LpSolution<S> {
 
     /// Value of a variable; panics when the solve was not optimal.
     pub fn value(&self, var: crate::VarId) -> &S {
-        assert!(self.is_optimal(), "LpSolution::value on non-optimal solution");
+        assert!(
+            self.is_optimal(),
+            "LpSolution::value on non-optimal solution"
+        );
         &self.values[var.index()]
     }
 }

@@ -24,8 +24,12 @@ fn build_pair(
     let mut lp_r: LpProblem<Rat> = LpProblem::new(Sense::Maximize);
     let vf: Vec<_> = (0..n).map(|i| lp_f.add_var(format!("x{i}"))).collect();
     let vr: Vec<_> = (0..n).map(|i| lp_r.add_var(format!("x{i}"))).collect();
-    lp_f.set_objective(LinExpr::from_iter(vf.iter().zip(c).map(|(&v, &ci)| (v, ci as f64))));
-    lp_r.set_objective(LinExpr::from_iter(vr.iter().zip(c).map(|(&v, &ci)| (v, Rat::from_i64(ci)))));
+    lp_f.set_objective(LinExpr::from_iter(
+        vf.iter().zip(c).map(|(&v, &ci)| (v, ci as f64)),
+    ));
+    lp_r.set_objective(LinExpr::from_iter(
+        vr.iter().zip(c).map(|(&v, &ci)| (v, Rat::from_i64(ci))),
+    ));
     for (row, &bi) in rows.iter().zip(b) {
         lp_f.add_constraint(
             LinExpr::from_iter(vf.iter().zip(row).map(|(&v, &a)| (v, a as f64))),
@@ -39,7 +43,11 @@ fn build_pair(
         );
     }
     // Bounding box keeps everything bounded.
-    lp_f.add_constraint(LinExpr::from_iter(vf.iter().map(|&v| (v, 1.0))), Rel::Le, cap as f64);
+    lp_f.add_constraint(
+        LinExpr::from_iter(vf.iter().map(|&v| (v, 1.0))),
+        Rel::Le,
+        cap as f64,
+    );
     lp_r.add_constraint(
         LinExpr::from_iter(vr.iter().map(|&v| (v, Rat::one()))),
         Rel::Le,

@@ -50,19 +50,28 @@ impl IBig {
     /// The value 0.
     #[inline]
     pub fn zero() -> Self {
-        IBig { sign: Sign::Plus, mag: UBig::zero() }
+        IBig {
+            sign: Sign::Plus,
+            mag: UBig::zero(),
+        }
     }
 
     /// The value 1.
     #[inline]
     pub fn one() -> Self {
-        IBig { sign: Sign::Plus, mag: UBig::one() }
+        IBig {
+            sign: Sign::Plus,
+            mag: UBig::one(),
+        }
     }
 
     /// The value −1.
     #[inline]
     pub fn neg_one() -> Self {
-        IBig { sign: Sign::Minus, mag: UBig::one() }
+        IBig {
+            sign: Sign::Minus,
+            mag: UBig::one(),
+        }
     }
 
     /// Builds from sign and magnitude, normalizing the sign of zero.
@@ -77,18 +86,30 @@ impl IBig {
     /// Builds from an `i64`.
     pub fn from_i64(v: i64) -> Self {
         if v >= 0 {
-            IBig { sign: Sign::Plus, mag: UBig::from_u64(v as u64) }
+            IBig {
+                sign: Sign::Plus,
+                mag: UBig::from_u64(v as u64),
+            }
         } else {
-            IBig { sign: Sign::Minus, mag: UBig::from_u64(v.unsigned_abs()) }
+            IBig {
+                sign: Sign::Minus,
+                mag: UBig::from_u64(v.unsigned_abs()),
+            }
         }
     }
 
     /// Builds from an `i128`.
     pub fn from_i128(v: i128) -> Self {
         if v >= 0 {
-            IBig { sign: Sign::Plus, mag: UBig::from_u128(v as u128) }
+            IBig {
+                sign: Sign::Plus,
+                mag: UBig::from_u128(v as u128),
+            }
         } else {
-            IBig { sign: Sign::Minus, mag: UBig::from_u128(v.unsigned_abs()) }
+            IBig {
+                sign: Sign::Minus,
+                mag: UBig::from_u128(v.unsigned_abs()),
+            }
         }
     }
 
@@ -136,7 +157,10 @@ impl IBig {
 
     /// Absolute value.
     pub fn abs(&self) -> IBig {
-        IBig { sign: Sign::Plus, mag: self.mag.clone() }
+        IBig {
+            sign: Sign::Plus,
+            mag: self.mag.clone(),
+        }
     }
 
     /// Sum.
@@ -437,7 +461,12 @@ mod tests {
 
     #[test]
     fn parse_display_roundtrip() {
-        for s in ["0", "-1", "12345678901234567890123", "-999999999999999999999"] {
+        for s in [
+            "0",
+            "-1",
+            "12345678901234567890123",
+            "-999999999999999999999",
+        ] {
             let v = IBig::from_decimal_str(s).unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -20,19 +20,29 @@ impl Rat {
     /// The value 0.
     #[inline]
     pub fn zero() -> Self {
-        Rat { num: IBig::zero(), den: UBig::one() }
+        Rat {
+            num: IBig::zero(),
+            den: UBig::one(),
+        }
     }
 
     /// The value 1.
     #[inline]
     pub fn one() -> Self {
-        Rat { num: IBig::one(), den: UBig::one() }
+        Rat {
+            num: IBig::one(),
+            den: UBig::one(),
+        }
     }
 
     /// Builds and normalizes `num / den`; panics when `den` is zero.
     pub fn new(num: IBig, den: IBig) -> Self {
         assert!(!den.is_zero(), "Rat::new zero denominator");
-        let num = if den.is_negative() { num.neg_ref() } else { num };
+        let num = if den.is_negative() {
+            num.neg_ref()
+        } else {
+            num
+        };
         Rat::from_parts(num, den.into_magnitude())
     }
 
@@ -48,13 +58,19 @@ impl Rat {
         } else {
             let nm = num.magnitude().div_rem(&g).0;
             let dn = den.div_rem(&g).0;
-            Rat { num: IBig::from_sign_mag(num.sign(), nm), den: dn }
+            Rat {
+                num: IBig::from_sign_mag(num.sign(), nm),
+                den: dn,
+            }
         }
     }
 
     /// Builds from an integer.
     pub fn from_i64(v: i64) -> Self {
-        Rat { num: IBig::from_i64(v), den: UBig::one() }
+        Rat {
+            num: IBig::from_i64(v),
+            den: UBig::one(),
+        }
     }
 
     /// Builds from an integer ratio; panics when `den == 0`.
@@ -64,7 +80,10 @@ impl Rat {
 
     /// Builds from an [`IBig`] integer.
     pub fn from_ibig(v: IBig) -> Self {
-        Rat { num: v, den: UBig::one() }
+        Rat {
+            num: v,
+            den: UBig::one(),
+        }
     }
 
     /// The (signed) numerator.
@@ -106,7 +125,10 @@ impl Rat {
     /// Sum.
     pub fn add_ref(&self, o: &Rat) -> Rat {
         // a/b + c/d = (a·d + c·b) / (b·d), normalized afterwards.
-        let n = self.num.mul_ref(&IBig::from(o.den.clone())).add_ref(&o.num.mul_ref(&IBig::from(self.den.clone())));
+        let n = self
+            .num
+            .mul_ref(&IBig::from(o.den.clone()))
+            .add_ref(&o.num.mul_ref(&IBig::from(self.den.clone())));
         Rat::from_parts(n, self.den.mul(&o.den))
     }
 
@@ -130,7 +152,10 @@ impl Rat {
 
     /// Negation.
     pub fn neg_ref(&self) -> Rat {
-        Rat { num: self.num.neg_ref(), den: self.den.clone() }
+        Rat {
+            num: self.num.neg_ref(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse; panics on zero.
@@ -141,7 +166,10 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den.clone() }
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Exponentiation by a (possibly negative) integer power.
@@ -209,7 +237,11 @@ impl Rat {
             return Rat::zero();
         }
         let bits = v.to_bits();
-        let sign = if bits >> 63 == 1 { Sign::Minus } else { Sign::Plus };
+        let sign = if bits >> 63 == 1 {
+            Sign::Minus
+        } else {
+            Sign::Plus
+        };
         let exp_bits = ((bits >> 52) & 0x7FF) as i64;
         let frac = bits & ((1u64 << 52) - 1);
         let (mantissa, exp) = if exp_bits == 0 {
@@ -231,7 +263,10 @@ impl Rat {
     /// Parses `"a/b"` or `"a"` (decimal integers, optional sign).
     pub fn from_str_ratio(s: &str) -> Result<Rat, crate::ubig::ParseUBigError> {
         match s.split_once('/') {
-            Some((n, d)) => Ok(Rat::new(IBig::from_decimal_str(n.trim())?, IBig::from_decimal_str(d.trim())?)),
+            Some((n, d)) => Ok(Rat::new(
+                IBig::from_decimal_str(n.trim())?,
+                IBig::from_decimal_str(d.trim())?,
+            )),
             None => Ok(Rat::from_ibig(IBig::from_decimal_str(s.trim())?)),
         }
     }
@@ -388,18 +423,10 @@ impl DivAssign<&Rat> for Rat {
     }
 }
 
-impl serde::Serialize for Rat {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_string())
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Rat {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Rat::from_str_ratio(&s).map_err(serde::de::Error::custom)
-    }
-}
+// Serialization: `Rat` round-trips losslessly through its `Display` form
+// (`"n/d"`) and `Rat::from_str_ratio`, so callers that need serde support
+// can wrap it in a newtype with string-based impls. The build environment
+// has no registry access, so serde itself is not a dependency here.
 
 #[cfg(test)]
 mod tests {
@@ -464,7 +491,17 @@ mod tests {
 
     #[test]
     fn f64_roundtrip_exact() {
-        for v in [0.0, 1.0, -1.5, 0.1, 3.25, -1024.0, 1e-300, 1e300, f64::MIN_POSITIVE] {
+        for v in [
+            0.0,
+            1.0,
+            -1.5,
+            0.1,
+            3.25,
+            -1024.0,
+            1e-300,
+            1e300,
+            f64::MIN_POSITIVE,
+        ] {
             let rat = Rat::from_f64(v);
             assert_eq!(rat.to_f64(), v, "roundtrip {v}");
         }

@@ -43,7 +43,8 @@ pub trait Scalar: Clone + PartialEq + PartialOrd + Debug + Display + Send + Sync
     fn from_f64_approx(v: f64) -> Self;
     /// Total-order comparison; panics on incomparable values (float NaN).
     fn cmp_total(&self, o: &Self) -> Ordering {
-        self.partial_cmp(o).expect("Scalar::cmp_total: incomparable values")
+        self.partial_cmp(o)
+            .expect("Scalar::cmp_total: incomparable values")
     }
 
     /// Multiplicative inverse.
@@ -246,7 +247,10 @@ mod tests {
     fn min_max_val() {
         assert_eq!(f64::min_val(2.0, 1.0), 1.0);
         assert_eq!(f64::max_val(2.0, 1.0), 2.0);
-        assert_eq!(Rat::min_val(Rat::from_i64(2), Rat::from_i64(1)), Rat::from_i64(1));
+        assert_eq!(
+            Rat::min_val(Rat::from_i64(2), Rat::from_i64(1)),
+            Rat::from_i64(1)
+        );
     }
 
     #[test]

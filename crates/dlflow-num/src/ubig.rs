@@ -52,7 +52,9 @@ impl UBig {
         if hi == 0 {
             Self::from_u64(lo)
         } else {
-            UBig { limbs: vec![lo, hi] }
+            UBig {
+                limbs: vec![lo, hi],
+            }
         }
     }
 
@@ -92,7 +94,9 @@ impl UBig {
     pub fn bit_len(&self) -> u64 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => (self.limbs.len() as u64 - 1) * BITS as u64 + (BITS - top.leading_zeros()) as u64,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * BITS as u64 + (BITS - top.leading_zeros()) as u64
+            }
         }
     }
 
@@ -677,7 +681,9 @@ mod tests {
         // A battery of division identities with pseudo-random values.
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         for nl in 1..6usize {
@@ -740,7 +746,14 @@ mod tests {
 
     #[test]
     fn decimal_roundtrip() {
-        for s in ["0", "1", "9", "10", "18446744073709551616", "123456789012345678901234567890123456789"] {
+        for s in [
+            "0",
+            "1",
+            "9",
+            "10",
+            "18446744073709551616",
+            "123456789012345678901234567890123456789",
+        ] {
             let v = UBig::from_decimal_str(s).unwrap();
             assert_eq!(v.to_decimal_string(), s);
         }

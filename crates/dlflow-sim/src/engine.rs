@@ -29,7 +29,9 @@ pub struct Allocation {
 impl Allocation {
     /// The all-idle allocation.
     pub fn idle(n_machines: usize, n_jobs: usize) -> Self {
-        Allocation { rates: vec![vec![0.0; n_jobs]; n_machines] }
+        Allocation {
+            rates: vec![vec![0.0; n_jobs]; n_machines],
+        }
     }
 }
 
@@ -94,7 +96,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "machine {machine} oversubscribed: Σ shares = {total}")
             }
             SimError::ForbiddenAssignment { machine, job } => {
-                write!(f, "job {job} assigned to machine {machine} without its databank")
+                write!(
+                    f,
+                    "job {job} assigned to machine {machine} without its databank"
+                )
             }
             SimError::Stalled { at } => write!(f, "simulation stalled at t = {at}"),
         }
@@ -104,17 +109,29 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Runs a policy on an instance to completion.
-pub fn simulate(inst: &Instance<f64>, policy: &mut dyn OnlineScheduler) -> Result<SimResult, SimError> {
+pub fn simulate(
+    inst: &Instance<f64>,
+    policy: &mut dyn OnlineScheduler,
+) -> Result<SimResult, SimError> {
     policy.reset();
     let n = inst.n_jobs();
     let m = inst.n_machines();
 
     // Arrival order.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| inst.job(a).release.partial_cmp(&inst.job(b).release).unwrap());
+    order.sort_by(|&a, &b| {
+        inst.job(a)
+            .release
+            .partial_cmp(&inst.job(b).release)
+            .unwrap()
+    });
 
     let mut next_arrival = 0usize;
-    let mut now = if n > 0 { inst.job(order[0]).release } else { 0.0 };
+    let mut now = if n > 0 {
+        inst.job(order[0]).release
+    } else {
+        0.0
+    };
     let mut active: Vec<ActiveJob> = Vec::new();
     let mut completions = vec![f64::NAN; n];
     let mut n_events = 0usize;
@@ -122,7 +139,10 @@ pub fn simulate(inst: &Instance<f64>, policy: &mut dyn OnlineScheduler) -> Resul
 
     // Admit initial arrivals.
     while next_arrival < n && inst.job(order[next_arrival]).release <= now + EPS {
-        active.push(ActiveJob { id: order[next_arrival], remaining: 1.0 });
+        active.push(ActiveJob {
+            id: order[next_arrival],
+            remaining: 1.0,
+        });
         next_arrival += 1;
         n_events += 1;
     }
@@ -130,13 +150,20 @@ pub fn simulate(inst: &Instance<f64>, policy: &mut dyn OnlineScheduler) -> Resul
     let max_iters = 100_000 + 200 * n * (m + 2);
     for _ in 0..max_iters {
         if active.is_empty() && next_arrival >= n {
-            return Ok(SimResult { completions, n_events, n_plans });
+            return Ok(SimResult {
+                completions,
+                n_events,
+                n_plans,
+            });
         }
         if active.is_empty() {
             // Jump to the next arrival.
             now = inst.job(order[next_arrival]).release;
             while next_arrival < n && inst.job(order[next_arrival]).release <= now + EPS {
-                active.push(ActiveJob { id: order[next_arrival], remaining: 1.0 });
+                active.push(ActiveJob {
+                    id: order[next_arrival],
+                    remaining: 1.0,
+                });
                 next_arrival += 1;
                 n_events += 1;
             }
@@ -151,12 +178,20 @@ pub fn simulate(inst: &Instance<f64>, policy: &mut dyn OnlineScheduler) -> Resul
         for i in 0..m {
             let mut total = 0.0;
             for (aj, a) in active.iter().enumerate() {
-                let share = alloc.rates.get(i).and_then(|r| r.get(a.id)).copied().unwrap_or(0.0);
+                let share = alloc
+                    .rates
+                    .get(i)
+                    .and_then(|r| r.get(a.id))
+                    .copied()
+                    .unwrap_or(0.0);
                 if share <= EPS {
                     continue;
                 }
                 let Some(&c) = inst.cost(i, a.id).finite() else {
-                    return Err(SimError::ForbiddenAssignment { machine: i, job: a.id });
+                    return Err(SimError::ForbiddenAssignment {
+                        machine: i,
+                        job: a.id,
+                    });
                 };
                 total += share;
                 if c <= EPS {
@@ -175,7 +210,11 @@ pub fn simulate(inst: &Instance<f64>, policy: &mut dyn OnlineScheduler) -> Resul
         let mut t_complete: Option<f64> = None;
         for (aj, a) in active.iter().enumerate() {
             if rate[aj] > 0.0 {
-                let t = if rate[aj].is_infinite() { now } else { now + a.remaining / rate[aj] };
+                let t = if rate[aj].is_infinite() {
+                    now
+                } else {
+                    now + a.remaining / rate[aj]
+                };
                 t_complete = Some(t_complete.map_or(t, |cur: f64| cur.min(t)));
             }
         }
@@ -212,7 +251,10 @@ pub fn simulate(inst: &Instance<f64>, policy: &mut dyn OnlineScheduler) -> Resul
 
         // Arrivals at t_next.
         while next_arrival < n && inst.job(order[next_arrival]).release <= now + EPS {
-            active.push(ActiveJob { id: order[next_arrival], remaining: 1.0 });
+            active.push(ActiveJob {
+                id: order[next_arrival],
+                remaining: 1.0,
+            });
             next_arrival += 1;
             n_events += 1;
         }
@@ -325,7 +367,10 @@ mod tests {
         }
         let inst = inst2();
         let err = simulate(&inst, &mut Bad).unwrap_err();
-        assert!(matches!(err, SimError::MachineOversubscribed { machine: 0, .. }));
+        assert!(matches!(
+            err,
+            SimError::MachineOversubscribed { machine: 0, .. }
+        ));
     }
 
     #[test]
@@ -362,7 +407,10 @@ mod tests {
             }
         }
         let inst = inst2();
-        assert!(matches!(simulate(&inst, &mut Idle).unwrap_err(), SimError::Stalled { .. }));
+        assert!(matches!(
+            simulate(&inst, &mut Idle).unwrap_err(),
+            SimError::Stalled { .. }
+        ));
     }
 
     #[test]

@@ -36,5 +36,7 @@ pub mod engine;
 pub mod schedulers;
 pub mod workload;
 
-pub use engine::{simulate, ActiveJob, Allocation, OnlineScheduler, RunMetrics, SimError, SimResult};
+pub use engine::{
+    simulate, ActiveJob, Allocation, OnlineScheduler, RunMetrics, SimError, SimResult,
+};
 pub use workload::{ensemble, generate, WorkloadSpec};

@@ -14,7 +14,12 @@ fn assign_by_priority(
 ) -> Allocation {
     let mut order: Vec<usize> = (0..active.len()).collect();
     let prios: Vec<f64> = active.iter().map(&mut priority).collect();
-    order.sort_by(|&x, &y| prios[y].partial_cmp(&prios[x]).unwrap().then(active[x].id.cmp(&active[y].id)));
+    order.sort_by(|&x, &y| {
+        prios[y]
+            .partial_cmp(&prios[x])
+            .unwrap()
+            .then(active[x].id.cmp(&active[y].id))
+    });
 
     let mut free = vec![true; inst.n_machines()];
     let mut alloc = Allocation::idle(inst.n_machines(), inst.n_jobs());
@@ -176,7 +181,11 @@ mod tests {
         b.machine(vec![Some(2.0), None, Some(3.0)]);
         b.machine(vec![None, Some(1.5), Some(6.0)]);
         let inst = b.build().unwrap();
-        for policy in [&mut Srpt::new() as &mut dyn OnlineScheduler, &mut WeightedAge::new(), &mut FifoFastest::new()] {
+        for policy in [
+            &mut Srpt::new() as &mut dyn OnlineScheduler,
+            &mut WeightedAge::new(),
+            &mut FifoFastest::new(),
+        ] {
             let res = simulate(&inst, policy).unwrap();
             assert!(res.completions.iter().all(|c| c.is_finite()));
         }

@@ -47,7 +47,10 @@ impl OnlineScheduler for Mct {
     fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
         self.ensure_sizes(inst);
         let remaining_of = |id: usize, active: &[ActiveJob]| -> f64 {
-            active.iter().find(|a| a.id == id).map_or(0.0, |a| a.remaining)
+            active
+                .iter()
+                .find(|a| a.id == id)
+                .map_or(0.0, |a| a.remaining)
         };
 
         // Assign any newly seen jobs, in release order (ties by id).
@@ -66,7 +69,9 @@ impl OnlineScheduler for Mct {
         for j in newcomers {
             let mut best: Option<(usize, f64)> = None;
             for i in 0..inst.n_machines() {
-                let Some(&c) = inst.cost(i, j).finite() else { continue };
+                let Some(&c) = inst.cost(i, j).finite() else {
+                    continue;
+                };
                 // Backlog of still-active queued jobs on machine i.
                 let backlog: f64 = self.queues[i]
                     .iter()

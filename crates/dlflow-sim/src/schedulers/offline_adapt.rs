@@ -28,7 +28,9 @@ pub struct OfflineAdapt {
 
 impl Default for OfflineAdapt {
     fn default() -> Self {
-        OfflineAdapt { bisection_iters: 40 }
+        OfflineAdapt {
+            bisection_iters: 40,
+        }
     }
 }
 
@@ -105,7 +107,10 @@ impl OnlineScheduler for OfflineAdapt {
             .map(|a| inst.job(a.id).weight * (now - inst.job(a.id).release))
             .fold(0.0f64, f64::max);
         // Upper bound: serialize everything on fastest machines.
-        let total_serial: f64 = active.iter().map(|a| a.remaining * sub_fastest(&sub, active, a)).sum();
+        let total_serial: f64 = active
+            .iter()
+            .map(|a| a.remaining * sub_fastest(&sub, active, a))
+            .sum();
         let mut hi = active
             .iter()
             .map(|a| inst.job(a.id).weight * (now + total_serial - inst.job(a.id).release))
@@ -194,7 +199,11 @@ mod tests {
         let inst = b.build().unwrap();
         let res = simulate(&inst, &mut OfflineAdapt::new()).unwrap();
         // Divisible optimum: both machines half each → done at 2.
-        assert!((res.completions[0] - 2.0).abs() < 1e-4, "got {}", res.completions[0]);
+        assert!(
+            (res.completions[0] - 2.0).abs() < 1e-4,
+            "got {}",
+            res.completions[0]
+        );
     }
 
     #[test]

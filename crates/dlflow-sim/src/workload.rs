@@ -71,10 +71,16 @@ pub fn generate(spec: &WorkloadSpec) -> Instance<f64> {
     let weights: Vec<f64> = (0..n)
         .map(|_| spec.weights[rng.gen_range(0..spec.weights.len())])
         .collect();
-    let cycles: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0..=spec.heterogeneity.max(1.0))).collect();
+    let cycles: Vec<f64> = (0..m)
+        .map(|_| rng.gen_range(1.0..=spec.heterogeneity.max(1.0)))
+        .collect();
 
     let mut avail: Vec<Vec<bool>> = (0..m)
-        .map(|_| (0..n).map(|_| rng.gen_bool(spec.availability.clamp(0.0, 1.0))).collect())
+        .map(|_| {
+            (0..n)
+                .map(|_| rng.gen_bool(spec.availability.clamp(0.0, 1.0)))
+                .collect()
+        })
         .collect();
     // Force at least one machine per job.
     for j in 0..n {
@@ -119,7 +125,10 @@ mod tests {
 
     #[test]
     fn releases_are_sorted() {
-        let inst = generate(&WorkloadSpec { n_jobs: 50, ..Default::default() });
+        let inst = generate(&WorkloadSpec {
+            n_jobs: 50,
+            ..Default::default()
+        });
         for j in 1..inst.n_jobs() {
             assert!(inst.job(j).release >= inst.job(j - 1).release);
         }
@@ -128,7 +137,11 @@ mod tests {
     #[test]
     fn every_job_placeable_even_with_low_availability() {
         for seed in 0..10 {
-            let spec = WorkloadSpec { availability: 0.05, seed, ..Default::default() };
+            let spec = WorkloadSpec {
+                availability: 0.05,
+                seed,
+                ..Default::default()
+            };
             let inst = generate(&spec); // would panic if unplaceable
             assert_eq!(inst.n_jobs(), 10);
         }
@@ -137,7 +150,10 @@ mod tests {
     #[test]
     fn uniform_structure_holds() {
         // c[i][j] / c[i'][j] must be constant across jobs available on both.
-        let inst = generate(&WorkloadSpec { availability: 1.0, ..Default::default() });
+        let inst = generate(&WorkloadSpec {
+            availability: 1.0,
+            ..Default::default()
+        });
         let r0 = inst.cost(0, 0).finite().unwrap() / inst.cost(1, 0).finite().unwrap();
         for j in 1..inst.n_jobs() {
             let r = inst.cost(0, j).finite().unwrap() / inst.cost(1, j).finite().unwrap();

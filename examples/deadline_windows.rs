@@ -26,7 +26,10 @@ fn main() {
     let inst = b.build().unwrap();
 
     let f = uniform_factors(&inst).expect("platform factorizes");
-    println!("uniform factorization: speeds = {:?}, works = {:?}\n", f.speed, f.work);
+    println!(
+        "uniform factorization: speeds = {:?}, works = {:?}\n",
+        f.speed, f.work
+    );
 
     for (label, d1, d2, d3) in [
         ("generous", 12i64, 12i64, 12i64),

@@ -23,13 +23,20 @@ fn main() {
     let inst = b.build().unwrap();
 
     let ms = milestones(&inst);
-    println!("milestones ({} of at most {}):", ms.len(), milestone_bound(inst.n_jobs()));
+    println!(
+        "milestones ({} of at most {}):",
+        ms.len(),
+        milestone_bound(inst.n_jobs())
+    );
     for m in &ms {
         println!("  F = {m}");
     }
 
     let exact = min_max_weighted_flow_divisible(&inst);
-    println!("\nexact optimum:  F* = {}   (numerator/denominator form)", exact.optimum);
+    println!(
+        "\nexact optimum:  F* = {}   (numerator/denominator form)",
+        exact.optimum
+    );
     println!("as float:       F* ≈ {:.17}", exact.optimum.to_f64());
 
     let approx = min_max_weighted_flow_divisible(&inst.map_scalar(|v| v.to_f64()));

@@ -13,7 +13,12 @@ use dlflow::gripps::{random_requests, CostModel, Databank, DatabankSpec, Platfor
 
 fn main() {
     // --- The application layer: a real scan, to show the payload. -------
-    let bank = Databank::generate(&DatabankSpec { n_sequences: 300, mean_len: 300, min_len: 50, seed: 7 });
+    let bank = Databank::generate(&DatabankSpec {
+        n_sequences: 300,
+        mean_len: 300,
+        min_len: 50,
+        seed: 7,
+    });
     let motifs = Motif::random_set(20, 6, 99);
     let report = dlflow::gripps::scan_databank(&bank, &motifs);
     println!("== GriPPS scan payload ==");
@@ -32,7 +37,12 @@ fn main() {
     let model = CostModel::paper_scale();
     println!("\n== Platform ==");
     for (i, s) in platform.servers.iter().enumerate() {
-        println!("  server {}: cycle {:.2}, databanks {:?}", i + 1, s.cycle_time, s.databanks);
+        println!(
+            "  server {}: cycle {:.2}, databanks {:?}",
+            i + 1,
+            s.cycle_time,
+            s.databanks
+        );
     }
     println!("== Requests ==");
     for (j, r) in requests.iter().enumerate() {
@@ -46,7 +56,9 @@ fn main() {
         );
     }
 
-    let inst = platform.instance(&requests, &model).expect("valid platform instance");
+    let inst = platform
+        .instance(&requests, &model)
+        .expect("valid platform instance");
 
     // --- The scheduling layer: exact offline optimum vs baselines. ------
     let opt = min_max_weighted_flow_divisible(&inst);
@@ -64,7 +76,14 @@ fn main() {
         ("Weight-MCT", ListOrder::WeightedFirst),
     ] {
         let f = baseline_max_weighted_flow(&inst, order);
-        println!("  {label:<11} max weighted flow = {:.2}  ({:.2}x optimal)", f, f / opt.optimum);
-        assert!(f >= opt.optimum * (1.0 - 1e-6), "baseline cannot beat the optimum");
+        println!(
+            "  {label:<11} max weighted flow = {:.2}  ({:.2}x optimal)",
+            f,
+            f / opt.optimum
+        );
+        assert!(
+            f >= opt.optimum * (1.0 - 1e-6),
+            "baseline cannot beat the optimum"
+        );
     }
 }

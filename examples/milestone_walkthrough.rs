@@ -81,5 +81,8 @@ fn main() {
         bi.approx_optimum.to_f64(),
         (bi.approx_optimum.to_f64() - out.optimum.to_f64()).abs()
     );
-    println!("the milestone search needed {} probes and returned the exact rational.", out.stats.n_probes);
+    println!(
+        "the milestone search needed {} probes and returned the exact rational.",
+        out.stats.n_probes
+    );
 }

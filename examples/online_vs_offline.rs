@@ -22,13 +22,21 @@ fn main() {
         seed: 42,
     };
     let inst = generate(&spec);
-    println!("instance: {} jobs on {} machines (seed {})", inst.n_jobs(), inst.n_machines(), spec.seed);
+    println!(
+        "instance: {} jobs on {} machines (seed {})",
+        inst.n_jobs(),
+        inst.n_machines(),
+        spec.seed
+    );
 
     // The offline clairvoyant bound (Theorem 2).
     let offline = min_max_weighted_flow_divisible(&inst);
     println!("\noffline divisible optimum F* = {:.3}\n", offline.optimum);
 
-    println!("{:<22} {:>12} {:>10} {:>10} {:>10}", "policy", "maxWF", "vs opt", "maxStretch", "meanFlow");
+    println!(
+        "{:<22} {:>12} {:>10} {:>10} {:>10}",
+        "policy", "maxWF", "vs opt", "maxStretch", "meanFlow"
+    );
     let mut policies: Vec<Box<dyn OnlineScheduler>> = vec![
         Box::new(Mct::new()),
         Box::new(FifoFastest::new()),
@@ -66,6 +74,10 @@ fn main() {
         "\nOLA vs MCT: {:.3} vs {:.3} ({})",
         ola_wf,
         mct_wf,
-        if ola_wf <= mct_wf { "OLA wins or ties, as the paper reports" } else { "MCT won on this seed" }
+        if ola_wf <= mct_wf {
+            "OLA wins or ties, as the paper reports"
+        } else {
+            "MCT won on this seed"
+        }
     );
 }

@@ -27,7 +27,11 @@ fn main() {
     let inst = b.build().expect("valid instance");
 
     println!("== Instance ==");
-    println!("{} jobs on {} machines (c[i][j] in seconds):", inst.n_jobs(), inst.n_machines());
+    println!(
+        "{} jobs on {} machines (c[i][j] in seconds):",
+        inst.n_jobs(),
+        inst.n_machines()
+    );
     for i in 0..inst.n_machines() {
         let row: Vec<String> = (0..inst.n_jobs())
             .map(|j| match inst.cost(i, j).finite() {
@@ -42,7 +46,11 @@ fn main() {
     let mk = min_makespan(&inst);
     validate(&inst, &mk.schedule).expect("makespan schedule valid");
     println!("\n== Theorem 1: divisible makespan ==");
-    println!("optimal C_max = {} (= {:.4})", mk.makespan, mk.makespan.to_f64());
+    println!(
+        "optimal C_max = {} (= {:.4})",
+        mk.makespan,
+        mk.makespan.to_f64()
+    );
 
     // Theorem 2: divisible max weighted flow.
     let div = min_max_weighted_flow_divisible(&inst);
@@ -76,6 +84,10 @@ fn main() {
     println!("max weighted flow = {} (= {:.4})", fifo, fifo.to_f64());
 
     assert!(div.optimum <= pre.optimum && pre.optimum <= fifo);
-    println!("\nchain verified: divisible {} <= preemptive {} <= baseline {}",
-        div.optimum.to_f64(), pre.optimum.to_f64(), fifo.to_f64());
+    println!(
+        "\nchain verified: divisible {} <= preemptive {} <= baseline {}",
+        div.optimum.to_f64(),
+        pre.optimum.to_f64(),
+        fifo.to_f64()
+    );
 }

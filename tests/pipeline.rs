@@ -13,7 +13,9 @@ use dlflow::sim::schedulers::{Mct, OfflineAdapt};
 fn gripps_platform_to_offline_optimum() {
     let platform = PlatformSpec::random(3, 4, 2.5, 77);
     let requests = random_requests(&platform, 6, 60.0, 5);
-    let inst = platform.instance(&requests, &CostModel::paper_scale()).unwrap();
+    let inst = platform
+        .instance(&requests, &CostModel::paper_scale())
+        .unwrap();
     assert_eq!(inst.n_jobs(), 6);
 
     let out = min_max_weighted_flow_divisible(&inst);
@@ -27,7 +29,9 @@ fn gripps_platform_to_offline_optimum() {
 fn online_policies_bounded_by_offline_optimum() {
     let platform = PlatformSpec::random(3, 4, 2.5, 101);
     let requests = random_requests(&platform, 5, 80.0, 3);
-    let inst = platform.instance(&requests, &CostModel::paper_scale()).unwrap();
+    let inst = platform
+        .instance(&requests, &CostModel::paper_scale())
+        .unwrap();
     let offline = min_max_weighted_flow_divisible(&inst);
 
     for policy in [
@@ -51,7 +55,9 @@ fn ola_tracks_offline_optimum_closely() {
     // On a stream with gaps between arrivals, OLA should be near-optimal.
     let platform = PlatformSpec::random(2, 3, 2.0, 55);
     let requests = random_requests(&platform, 4, 200.0, 9);
-    let inst = platform.instance(&requests, &CostModel::paper_scale()).unwrap();
+    let inst = platform
+        .instance(&requests, &CostModel::paper_scale())
+        .unwrap();
     let offline = min_max_weighted_flow_divisible(&inst);
     let res = simulate(&inst, &mut OfflineAdapt::new()).unwrap();
     let m = RunMetrics::from_completions(&inst, &res.completions);
@@ -67,7 +73,12 @@ fn ola_tracks_offline_optimum_closely() {
 fn scan_work_is_the_instance_cost_driver() {
     // The cost the scheduler sees must be proportional to the work the
     // scanner actually performs (nominal work units).
-    let bank = Databank::generate(&DatabankSpec { n_sequences: 120, mean_len: 120, min_len: 30, seed: 4 });
+    let bank = Databank::generate(&DatabankSpec {
+        n_sequences: 120,
+        mean_len: 120,
+        min_len: 30,
+        seed: 4,
+    });
     let motifs = Motif::random_set(6, 5, 8);
     let full = scan_databank(&bank, &motifs);
     let half_bank = bank.random_subset(60, 2);
@@ -79,7 +90,12 @@ fn scan_work_is_the_instance_cost_driver() {
 
 #[test]
 fn invocation_roundtrip_through_fasta() {
-    let bank = Databank::generate(&DatabankSpec { n_sequences: 30, mean_len: 80, min_len: 20, seed: 12 });
+    let bank = Databank::generate(&DatabankSpec {
+        n_sequences: 30,
+        mean_len: 80,
+        min_len: 20,
+        seed: 12,
+    });
     let fasta = bank.to_fasta();
     let motifs = Motif::random_set(3, 5, 21);
     let sources: Vec<String> = motifs.iter().map(|m| m.source.clone()).collect();
@@ -94,16 +110,32 @@ fn invocation_roundtrip_through_fasta() {
 fn cost_model_drives_realistic_instances() {
     // Instance costs must scale with databank size and motif count.
     let platform = PlatformSpec {
-        servers: vec![
-            dlflow::gripps::ServerSpec { cycle_time: 1.0, databanks: vec![0, 1] },
-        ],
+        servers: vec![dlflow::gripps::ServerSpec {
+            cycle_time: 1.0,
+            databanks: vec![0, 1],
+        }],
         databank_residues: vec![1.0e6, 2.0e6],
     };
     let model = CostModel::paper_scale();
     let reqs = vec![
-        dlflow::gripps::Request { databank: 0, n_motifs: 100.0, release: 0.0, weight: 1.0 },
-        dlflow::gripps::Request { databank: 1, n_motifs: 100.0, release: 0.0, weight: 1.0 },
-        dlflow::gripps::Request { databank: 0, n_motifs: 200.0, release: 0.0, weight: 1.0 },
+        dlflow::gripps::Request {
+            databank: 0,
+            n_motifs: 100.0,
+            release: 0.0,
+            weight: 1.0,
+        },
+        dlflow::gripps::Request {
+            databank: 1,
+            n_motifs: 100.0,
+            release: 0.0,
+            weight: 1.0,
+        },
+        dlflow::gripps::Request {
+            databank: 0,
+            n_motifs: 200.0,
+            release: 0.0,
+            weight: 1.0,
+        },
     ];
     let inst = platform.instance(&reqs, &model).unwrap();
     let c0 = *inst.cost(0, 0).finite().unwrap();

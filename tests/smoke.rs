@@ -1,0 +1,46 @@
+//! End-to-end smoke test: the Quickstart example must run to completion.
+//!
+//! Cargo builds example binaries before running integration tests but
+//! exposes no `CARGO_BIN_EXE_*`-style variable for them, so the test
+//! locates `target/<profile>/examples/quickstart` relative to its own
+//! executable (`target/<profile>/deps/smoke-*`). This also exercises the
+//! example's internal `assert!` that the divisible ≤ preemptive ≤ baseline
+//! optimum chain holds.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn example_binary(name: &str) -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // deps/
+    path.pop(); // <profile>/
+    path.push("examples");
+    path.push(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+#[test]
+fn quickstart_example_runs_to_completion() {
+    let bin = example_binary("quickstart");
+    assert!(
+        bin.exists(),
+        "example binary missing at {} — cargo builds examples before \
+         running integration tests, so this indicates a target-layout change",
+        bin.display()
+    );
+    let out = Command::new(&bin).output().expect("example runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "quickstart failed:\n{stdout}\n{stderr}"
+    );
+    assert!(
+        stdout.contains("chain verified"),
+        "quickstart did not reach its final verification line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("optimal F* = 8"),
+        "expected the exact optimum F* = 8 in:\n{stdout}"
+    );
+}

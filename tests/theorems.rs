@@ -46,16 +46,26 @@ fn theorem2_optimum_is_tight_and_achieved() {
         let out = min_max_weighted_flow_divisible(&inst);
         // (a) the schedule is valid and achieves the claimed optimum;
         validate_with_objective(&inst, &out.schedule, &out.optimum).unwrap();
-        assert_eq!(out.schedule.max_weighted_flow(&inst), out.optimum, "seed {seed}");
+        assert_eq!(
+            out.schedule.max_weighted_flow(&inst),
+            out.optimum,
+            "seed {seed}"
+        );
         // (b) the optimum really is a lower bound: slightly below is infeasible;
         let below = out.optimum.mul(&Rat::from_ratio(9999, 10000));
         if below.is_positive() {
-            assert!(!feasible_at(&inst, &below, false), "seed {seed}: {below} feasible below optimum");
+            assert!(
+                !feasible_at(&inst, &below, false),
+                "seed {seed}: {below} feasible below optimum"
+            );
         }
         // (c) at the optimum itself it is feasible;
         assert!(feasible_at(&inst, &out.optimum, false), "seed {seed}");
         // (d) milestone count within the paper's n²−n bound.
-        assert!(out.stats.n_milestones <= milestone_bound(inst.n_jobs()), "seed {seed}");
+        assert!(
+            out.stats.n_milestones <= milestone_bound(inst.n_jobs()),
+            "seed {seed}"
+        );
     }
 }
 
@@ -66,13 +76,23 @@ fn execution_model_chain_divisible_preemptive_baseline() {
         let div = min_max_weighted_flow_divisible(&inst);
         let pre = min_max_weighted_flow_preemptive(&inst);
         let fifo = baseline_max_weighted_flow(&inst, ListOrder::ReleaseDate);
-        assert!(div.optimum <= pre.optimum, "seed {seed}: divisible > preemptive");
-        assert!(pre.optimum <= fifo, "seed {seed}: preemptive > FIFO baseline");
+        assert!(
+            div.optimum <= pre.optimum,
+            "seed {seed}: divisible > preemptive"
+        );
+        assert!(
+            pre.optimum <= fifo,
+            "seed {seed}: preemptive > FIFO baseline"
+        );
         validate(&inst, &div.schedule).unwrap();
         validate(&inst, &pre.schedule).unwrap();
         // Preemptive schedules must respect single-machine execution,
         // which `validate` checks because of the schedule kind.
-        assert_eq!(pre.schedule.max_weighted_flow(&inst), pre.optimum, "seed {seed}");
+        assert_eq!(
+            pre.schedule.max_weighted_flow(&inst),
+            pre.optimum,
+            "seed {seed}"
+        );
     }
 }
 
@@ -87,7 +107,10 @@ fn feasibility_is_monotone_in_objective() {
         out.optimum.mul(&Rat::from_ratio(1001, 1000)),
         out.optimum.mul(&Rat::from_i64(2)),
     ];
-    let results: Vec<bool> = probes.iter().map(|f| feasible_at(&inst, f, false)).collect();
+    let results: Vec<bool> = probes
+        .iter()
+        .map(|f| feasible_at(&inst, f, false))
+        .collect();
     // Once feasible, always feasible.
     for w in results.windows(2) {
         assert!(w[1] || !w[0], "feasibility must be monotone: {results:?}");
@@ -124,7 +147,12 @@ fn milestones_respect_paper_bound_at_scale() {
     for n in [2usize, 4, 6, 8] {
         let inst = random_exact(n as u64, n, 3);
         let ms = milestones(&inst);
-        assert!(ms.len() <= milestone_bound(n), "n = {n}: {} > {}", ms.len(), milestone_bound(n));
+        assert!(
+            ms.len() <= milestone_bound(n),
+            "n = {n}: {} > {}",
+            ms.len(),
+            milestone_bound(n)
+        );
     }
 }
 
@@ -136,6 +164,11 @@ fn f64_and_exact_pipelines_agree() {
         let e = min_max_weighted_flow_divisible(&exact_inst);
         let f = min_max_weighted_flow_divisible(&f64_inst);
         let rel = (f.optimum - e.optimum.to_f64()).abs() / e.optimum.to_f64().max(1e-12);
-        assert!(rel < 1e-6, "seed {seed}: f64 {} vs exact {}", f.optimum, e.optimum);
+        assert!(
+            rel < 1e-6,
+            "seed {seed}: f64 {} vs exact {}",
+            f.optimum,
+            e.optimum
+        );
     }
 }

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The dlflow build environment has no registry access, so this vendored
+//! crate supplies the benchmarking API surface the workspace's
+//! `harness = false` bench targets use: `Criterion`, `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `sample_size`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is auto-calibrated to roughly
+//! `sample_size` × 5 ms of wall time (bounded batches), then reports
+//! mean ns/iteration and, when a throughput was declared, elements or
+//! bytes per second. No warm-up discard, outlier analysis, or HTML
+//! reports — swap the workspace `criterion` dependency to a registry
+//! version for those.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declared work per iteration, used to report a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs closures and accumulates elapsed time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count to the target
+    /// measurement budget recorded by the caller.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One calibration pass to size batches, then measured batches.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        let per_batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64;
+        let budget = self.target_budget();
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.iterations += per_batch;
+        }
+        self.elapsed += start.elapsed() + once;
+        self.iterations += 1;
+    }
+
+    fn target_budget(&self) -> Duration {
+        Duration::from_millis(5)
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.iterations == 0 {
+            return;
+        }
+        let ns_per_iter = self.elapsed.as_nanos() as f64 / self.iterations as f64;
+        let mut line = format!("{label:<40} {ns_per_iter:>14.1} ns/iter");
+        if let Some(tp) = throughput {
+            let per_sec = |units: u64| units as f64 / (ns_per_iter * 1e-9);
+            match tp {
+                Throughput::Elements(n) => {
+                    let _ = write!(line, "  ({:.3e} elem/s)", per_sec(n));
+                }
+                Throughput::Bytes(n) => {
+                    let _ = write!(line, "  ({:.3e} B/s)", per_sec(n));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim's budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration work for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&label, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&label, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id.into(), None);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

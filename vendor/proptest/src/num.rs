@@ -1,0 +1,43 @@
+//! Numeric strategies beyond plain ranges.
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates normal (finite, non-zero-exponent-class) `f64` values of
+    /// either sign, mirroring `proptest::num::f64::NORMAL`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct NormalF64;
+
+    /// All normal `f64` values.
+    pub const NORMAL: NormalF64 = NormalF64;
+
+    impl Strategy for NormalF64 {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let sign = rng.next_u64() & (1 << 63);
+            // Biased exponent in [1, 2046] — excludes zero/subnormal (0)
+            // and inf/NaN (2047), so the result is always normal.
+            let exponent = 1 + rng.next_u64() % 2046;
+            let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+            f64::from_bits(sign | (exponent << 52) | mantissa)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::test_runner::TestRng;
+
+        #[test]
+        fn always_normal() {
+            let mut rng = TestRng::from_name("always_normal");
+            for _ in 0..10_000 {
+                let v = NORMAL.generate(&mut rng);
+                assert!(v.is_normal(), "{v} is not normal");
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Strategies for `Option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`weighted`].
+pub struct WeightedOption<S> {
+    some_probability: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for WeightedOption<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if unit < self.some_probability {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Yields `Some(inner)` with probability `some_probability`, else `None`.
+pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> WeightedOption<S> {
+    assert!(
+        (0.0..=1.0).contains(&some_probability),
+        "weighted: probability {some_probability} outside [0, 1]"
+    );
+    WeightedOption {
+        some_probability,
+        inner,
+    }
+}

@@ -1,0 +1,65 @@
+//! Test-runner plumbing: configuration, case outcomes, and the RNG.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// How a single generated case ended, other than plain success.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's inputs violated a `prop_assume!` precondition; the runner
+    /// redraws without counting the case.
+    Reject(String),
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+}
+
+/// Runner configuration. Only `cases` is honoured by this shim; the struct
+/// is non-exhaustive-by-convention so `with_cases` is the supported
+/// constructor.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic RNG driving strategy generation.
+///
+/// Seeded from the test function's name (FNV-1a), so every `cargo test` run
+/// replays the same inputs — failures are reproducible without a
+/// `proptest-regressions` persistence file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for the named test function.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,55 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The dlflow build environment has no registry access, so this vendored
+//! crate supplies the API slice the workspace uses — currently just
+//! `par_iter()` on slices and `Vec`s. Iteration is **sequential**: the
+//! adapter returns the standard slice iterator, so `.enumerate().map(...)
+//! .collect()` chains compile and behave identically, minus the
+//! parallelism. A later perf-focused PR can either swap in the real rayon
+//! (point the workspace dependency at a registry version) or teach this
+//! shim `std::thread::scope`-based chunking.
+
+#![warn(missing_docs)]
+
+/// Traits that make `.par_iter()` available, mirroring `rayon::prelude`.
+pub mod prelude {
+    /// Types that can be iterated "in parallel" by reference.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type returned by [`par_iter`](Self::par_iter).
+        type Iter: Iterator;
+
+        /// Returns an iterator over `&self`'s elements. Sequential in this
+        /// shim; parallel under the real rayon.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let indexed: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(indexed.len(), 4);
+    }
+}
