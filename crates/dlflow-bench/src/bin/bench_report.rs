@@ -1,0 +1,182 @@
+//! `bench-report` — quick-mode perf probe emitting machine-readable JSON.
+//!
+//! Runs a fixed, representative subset of the criterion suites
+//! (`bench_num`, `bench_simplex`, `bench_core`, `bench_gripps`) with a
+//! small measurement budget and writes per-bench **median** ns/iter to
+//! `BENCH_PR3.json` (override with `--out <path>`), establishing the perf
+//! trajectory across PRs. The Theorem-2 entry also records the
+//! `FlowStats` warm/cold probe split, the headline of the warm-start
+//! work.
+//!
+//! Usage: `cargo run --release -p dlflow-bench --bin bench-report`
+
+use dlflow_core::lp_build::{build_deadline_lp, build_makespan_lp};
+use dlflow_core::maxflow::min_max_weighted_flow_divisible;
+use dlflow_core::milestones::milestones;
+use dlflow_gripps::databank::{Databank, DatabankSpec};
+use dlflow_gripps::motif::Motif;
+use dlflow_gripps::scan::scan_databank;
+use dlflow_num::Rat;
+use dlflow_sim::workload::{generate, WorkloadSpec};
+use std::time::Instant;
+
+/// Samples per benchmark; the median is reported.
+const SAMPLES: usize = 7;
+/// Target wall-clock per sample.
+const SAMPLE_BUDGET_NS: u128 = 10_000_000; // 10 ms
+
+/// Times `routine` and returns the median ns per iteration.
+fn median_ns<O>(mut routine: impl FnMut() -> O) -> f64 {
+    // Calibrate the per-sample iteration count on one warm-up run.
+    let t0 = Instant::now();
+    std::hint::black_box(routine());
+    let once = t0.elapsed().as_nanos().max(1);
+    let iters = (SAMPLE_BUDGET_NS / once).clamp(1, 100_000) as usize;
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[SAMPLES / 2]
+}
+
+fn main() {
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_PR3.json".to_string())
+    };
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: &str, ns: f64| {
+        println!("{name:<44} {ns:>14.1} ns/iter (median of {SAMPLES})");
+        entries.push((name.to_string(), ns));
+    };
+
+    // --- bench_num: the Rat fast path. ---
+    let a = Rat::from_ratio(123456789, 987654321);
+    let b = Rat::from_ratio(555555557, 333333331);
+    push("num/rat_add", median_ns(|| a.add_ref(&b)));
+    push("num/rat_mul", median_ns(|| a.mul_ref(&b)));
+    push("num/rat_cmp", median_ns(|| a < b));
+    let big = Rat::from_i64(i64::MAX).powi(2); // bignum-path operand
+    push("num/rat_add_bignum", median_ns(|| big.add_ref(&b)));
+
+    // --- bench_simplex: the exact-Rat suite (the PR's 5× target). ---
+    for n in [4usize, 8] {
+        let inst = generate(&WorkloadSpec {
+            n_jobs: n,
+            n_machines: 3,
+            seed: 1,
+            ..Default::default()
+        })
+        .map_scalar(|v| Rat::from_ratio((v * 16.0).round() as i64, 16));
+        push(
+            &format!("simplex/system1_exact_{n}"),
+            median_ns(|| {
+                let built = build_makespan_lp(&inst);
+                dlflow_lp::solve(&built.lp).status
+            }),
+        );
+    }
+    let inst16 = generate(&WorkloadSpec {
+        n_jobs: 16,
+        n_machines: 3,
+        seed: 2,
+        ..Default::default()
+    });
+    let deadlines: Vec<f64> = (0..16).map(|j| inst16.job(j).release + 100.0).collect();
+    push(
+        "simplex/system2_preemptive_f64_16",
+        median_ns(|| {
+            let built = build_deadline_lp(&inst16, &deadlines, true);
+            dlflow_lp::solve(&built.lp).status
+        }),
+    );
+
+    // --- bench_core: milestones + the warm-started Theorem-2 path. ---
+    let inst64 = generate(&WorkloadSpec {
+        n_jobs: 64,
+        n_machines: 3,
+        seed: 3,
+        ..Default::default()
+    });
+    push(
+        "core/milestones_64",
+        median_ns(|| milestones(&inst64).len()),
+    );
+    let exact4 = generate(&WorkloadSpec {
+        n_jobs: 4,
+        n_machines: 2,
+        seed: 6,
+        ..Default::default()
+    })
+    .map_scalar(|v| Rat::from_ratio((v * 16.0).round() as i64, 16));
+    push(
+        "core/theorem2_divisible_exact_4",
+        median_ns(|| min_max_weighted_flow_divisible(&exact4).optimum.to_f64()),
+    );
+    // A deeper search so the warm-start split is visible in the stats.
+    let exact8 = generate(&WorkloadSpec {
+        n_jobs: 8,
+        n_machines: 3,
+        seed: 5,
+        ..Default::default()
+    })
+    .map_scalar(|v| Rat::from_ratio((v * 8.0).round() as i64, 8));
+    let stats = min_max_weighted_flow_divisible(&exact8).stats;
+    push(
+        "core/theorem2_divisible_exact_8",
+        median_ns(|| min_max_weighted_flow_divisible(&exact8).optimum.to_f64()),
+    );
+    println!(
+        "  theorem2 n=8 probes: {} total = {} warm + {} cold ({} milestones)",
+        stats.n_probes, stats.n_warm_probes, stats.n_cold_probes, stats.n_milestones
+    );
+
+    // --- bench_gripps: the (now genuinely parallel) scanner. ---
+    let bank = Databank::generate(&DatabankSpec {
+        n_sequences: 64,
+        mean_len: 120,
+        min_len: 30,
+        seed: 7,
+    });
+    let motifs = Motif::random_set(6, 5, 11);
+    push(
+        "gripps/scan_databank_64x6",
+        median_ns(|| scan_databank(&bank, &motifs).matches.len()),
+    );
+
+    // --- JSON emission (no serde in the offline dependency set). ---
+    let mut json = String::from("{\n  \"pr\": 3,\n  \"mode\": \"quick\",\n");
+    json.push_str(&format!(
+        "  \"samples_per_bench\": {SAMPLES},\n  \"theorem2_probe_stats\": {{\n    \"n_milestones\": {},\n    \"n_probes\": {},\n    \"n_warm_probes\": {},\n    \"n_cold_probes\": {}\n  }},\n",
+        stats.n_milestones, stats.n_probes, stats.n_warm_probes, stats.n_cold_probes
+    ));
+    json.push_str("  \"median_ns\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("\nwrote {out_path}");
+
+    // Sanity: the warm-start machinery must actually fire on the deep search.
+    assert!(
+        stats.n_probes == stats.n_warm_probes + stats.n_cold_probes,
+        "probe accounting is inconsistent: {stats:?}"
+    );
+    if stats.n_probes >= 3 {
+        assert!(
+            stats.n_warm_probes > 0,
+            "expected warm-started probes on the Theorem-2 path: {stats:?}"
+        );
+    }
+}

@@ -46,7 +46,10 @@ fn main() {
             n.to_string(),
             ms.len().to_string(),
             milestone_bound(n).to_string(),
-            out.stats.n_probes.to_string(),
+            format!(
+                "{} ({}w/{}c)",
+                out.stats.n_probes, out.stats.n_warm_probes, out.stats.n_cold_probes
+            ),
             log_bound.to_string(),
         ]);
     }
@@ -57,7 +60,7 @@ fn main() {
                 "n jobs",
                 "milestones",
                 "bound n²−n",
-                "probes",
+                "probes (warm/cold)",
                 "probe bound"
             ],
             &rows

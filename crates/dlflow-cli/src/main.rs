@@ -137,8 +137,11 @@ fn run() -> Result<(), String> {
                 out.optimum.to_f64()
             );
             println!(
-                "milestones: {}, feasibility probes: {}",
-                out.stats.n_milestones, out.stats.n_probes
+                "milestones: {}, feasibility probes: {} ({} warm-started, {} cold)",
+                out.stats.n_milestones,
+                out.stats.n_probes,
+                out.stats.n_warm_probes,
+                out.stats.n_cold_probes
             );
             show_schedule(&inst, &out.schedule, opts.gantt);
         }

@@ -216,6 +216,107 @@ pub fn build_deadline_lp<S: Scalar>(
     }
 }
 
+/// System (2) in **probe form**: a deadline-feasibility LP whose *shape*
+/// — variable count, variable order and constraint-relation pattern — is
+/// independent of the deadline vector.
+///
+/// The filtered builder ([`build_deadline_lp`]) keeps LPs minimal by not
+/// creating variables that equations (a)–(e) force to zero, but that makes
+/// LPs at different objective values structurally different, so the
+/// Theorem-2 binary search cannot carry a simplex basis from one probe to
+/// the next. This builder instead fixes the frame:
+///
+/// * intervals are the `2n − 1` gaps between the sorted (NOT deduplicated)
+///   epochal times — coincident times yield zero-length intervals whose
+///   capacity rows force their `α` to 0;
+/// * every `(t, i, j)` with finite cost gets a variable in a fixed order;
+///   inadmissible combinations simply appear in **no** constraint (an
+///   empty column can only sit at 0 in a basic solution, so feasibility
+///   is unchanged);
+/// * every capacity/completion row is emitted even when its expression is
+///   empty.
+///
+/// Feasibility status is identical to [`build_deadline_lp`]'s; the payoff
+/// is that any two probes of the same instance are
+/// [`dlflow_lp::WarmBasis`]-compatible, enabling warm-started probes.
+pub fn build_deadline_probe_lp<S: Scalar>(
+    inst: &Instance<S>,
+    deadlines: &[S],
+    per_job_interval_bound: bool,
+) -> LpProblem<S> {
+    assert_eq!(deadlines.len(), inst.n_jobs());
+    let mut pts: Vec<S> = inst.jobs().iter().map(|j| j.release.clone()).collect();
+    pts.extend(deadlines.iter().cloned());
+    pts.sort_by(|a, b| a.cmp_total(b));
+    let n_int = pts.len() - 1;
+
+    let (m, n) = (inst.n_machines(), inst.n_jobs());
+    let mut lp: LpProblem<S> = LpProblem::new(Sense::Minimize);
+    // This builder runs once per probe of the binary search, so constraint
+    // expressions are bucketed during variable creation (one pass) instead
+    // of rescanning the α list per row.
+    let mut cap_expr: Vec<LinExpr<S>> = vec![LinExpr::new(); n_int * m];
+    let mut jobcap_expr: Vec<LinExpr<S>> = vec![LinExpr::new(); n_int * n];
+    let mut done_expr: Vec<LinExpr<S>> = vec![LinExpr::new(); n];
+    for t in 0..n_int {
+        let (inf, sup) = (&pts[t], &pts[t + 1]);
+        let degenerate = !sup.sub(inf).is_positive_tol();
+        for i in 0..m {
+            for j in 0..n {
+                if !inst.cost(i, j).is_finite() {
+                    continue; // availability is deadline-independent
+                }
+                let v = lp.add_var(format!("a[{t}][{i}][{j}]"));
+                let admissible =
+                    !degenerate && inst.job(j).release.le_tol(inf) && deadlines[j].ge_tol(sup);
+                if admissible {
+                    let c = inst.cost(i, j).finite().unwrap();
+                    cap_expr[t * m + i].push(v, c.clone());
+                    jobcap_expr[t * n + j].push(v, c.clone());
+                    done_expr[j].push(v, S::one());
+                }
+            }
+        }
+    }
+
+    // (2c) machine capacity — one row per (t, i), even when empty.
+    let mut cap_expr = cap_expr.into_iter();
+    for t in 0..n_int {
+        let len = pts[t + 1].sub(&pts[t]);
+        for i in 0..m {
+            lp.add_constraint_labelled(
+                format!("cap[t{t}][m{i}]"),
+                cap_expr.next().unwrap(),
+                Rel::Le,
+                len.clone(),
+            );
+        }
+    }
+
+    // (5b) per-job wall-clock bound — one row per (t, j) when requested.
+    if per_job_interval_bound {
+        let mut jobcap_expr = jobcap_expr.into_iter();
+        for t in 0..n_int {
+            let len = pts[t + 1].sub(&pts[t]);
+            for j in 0..n {
+                lp.add_constraint_labelled(
+                    format!("jobcap[t{t}][j{j}]"),
+                    jobcap_expr.next().unwrap(),
+                    Rel::Le,
+                    len.clone(),
+                );
+            }
+        }
+    }
+
+    // (2d) completion — an empty expression yields `0 = 1`: infeasible.
+    for (j, expr) in done_expr.into_iter().enumerate() {
+        lp.add_constraint_labelled(format!("done[j{j}]"), expr, Rel::Eq, S::one());
+    }
+
+    lp
+}
+
 /// Systems (3)/(5): minimize `F` over a milestone range.
 pub struct RangeLp<S> {
     /// The assembled program (minimize `F`).
@@ -460,6 +561,39 @@ mod tests {
         // Deadline before release: no interval can host the job.
         let lp = build_deadline_lp(&inst, &[3.0], false);
         assert_eq!(solve(&lp.lp).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn probe_form_matches_filtered_builder() {
+        // The uniform-shape probe LP must agree with the filtered System-(2)
+        // builder on feasibility, for assorted deadline vectors and both
+        // the divisible and preemptive (5b) variants.
+        let inst = simple();
+        for d in [
+            vec![10.0, 10.0],
+            vec![4.0, 4.0],
+            vec![8.0, 8.0],
+            vec![3.0, 9.0],
+            vec![9.0, 3.0],
+        ] {
+            for pre in [false, true] {
+                let filtered = solve(&build_deadline_lp(&inst, &d, pre).lp).status;
+                let probe = solve(&build_deadline_probe_lp(&inst, &d, pre)).status;
+                assert_eq!(filtered, probe, "deadlines {d:?} preemptive={pre}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_form_shape_is_deadline_independent() {
+        let inst = simple();
+        let a = build_deadline_probe_lp(&inst, &[10.0, 10.0], false);
+        let b = build_deadline_probe_lp(&inst, &[3.0, 7.5], false);
+        assert_eq!(a.n_vars(), b.n_vars());
+        assert_eq!(a.n_constraints(), b.n_constraints());
+        for (ca, cb) in a.constraints().iter().zip(b.constraints()) {
+            assert_eq!(ca.rel, cb.rel);
+        }
     }
 
     #[test]

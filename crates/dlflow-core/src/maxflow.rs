@@ -19,7 +19,7 @@ use crate::instance::Instance;
 use crate::lp_build::{build_deadline_lp, build_range_lp};
 use crate::milestones::milestones;
 use crate::schedule::{Schedule, ScheduleKind, Slice};
-use dlflow_lp::solve;
+use dlflow_lp::{solve, solve_warm, WarmBasis};
 use dlflow_num::Scalar;
 
 /// Search statistics (reported by the Theorem-2 experiment binary).
@@ -27,8 +27,60 @@ use dlflow_num::Scalar;
 pub struct FlowStats {
     /// Number of distinct milestones (≤ n²−n).
     pub n_milestones: usize,
-    /// Feasibility LPs solved during the binary search.
+    /// Feasibility probes run during the binary search.
     pub n_probes: usize,
+    /// LP probes warm-started from the previous probe's optimal basis
+    /// (successive probes differ only in the flow-bound RHS, so the basis
+    /// usually carries over; see `dlflow_lp::solve_warm`).
+    pub n_warm_probes: usize,
+    /// LP probes solved from scratch (first probe, or warm-start
+    /// fallback). With [`ProbeMethod::MaxFlowUniform`] on a uniform
+    /// instance no simplex runs at all, so both LP counters stay 0 even
+    /// though `n_probes` counts the max-flow checks.
+    pub n_cold_probes: usize,
+}
+
+/// Stateful LP feasibility prober: carries the optimal basis of the last
+/// feasible probe into the next one and counts warm vs cold solves.
+struct LpProber<'a, S: Scalar> {
+    inst: &'a Instance<S>,
+    preemptive: bool,
+    warm: Option<WarmBasis>,
+    n_warm: usize,
+    n_cold: usize,
+}
+
+impl<'a, S: Scalar> LpProber<'a, S> {
+    fn new(inst: &'a Instance<S>, preemptive: bool) -> Self {
+        LpProber {
+            inst,
+            preemptive,
+            warm: None,
+            n_warm: 0,
+            n_cold: 0,
+        }
+    }
+
+    fn probe(&mut self, f: &S) -> bool {
+        let deadlines: Vec<S> = (0..self.inst.n_jobs())
+            .map(|j| self.inst.deadline(j, f))
+            .collect();
+        // The probe-form builder keeps every probe structurally identical,
+        // so the basis of the previous probe seeds this one.
+        let lp = crate::lp_build::build_deadline_probe_lp(self.inst, &deadlines, self.preemptive);
+        let out = solve_warm(&lp, self.warm.as_ref());
+        if out.warm_used {
+            self.n_warm += 1;
+        } else {
+            self.n_cold += 1;
+        }
+        if let Some(basis) = out.basis {
+            // Only optimal (feasible) probes yield a basis; keep the last
+            // one across infeasible probes — it often still matches.
+            self.warm = Some(basis);
+        }
+        out.solution.is_optimal()
+    }
 }
 
 /// Result of an exact max-weighted-flow minimization.
@@ -138,9 +190,20 @@ fn solve_min_flow_with<S: Scalar>(
         ProbeMethod::MaxFlowUniform if !preemptive => crate::uniform::uniform_factors(inst),
         _ => None,
     };
-    let (f_lo, f_hi, reference, probes) = match &factors {
-        Some(fac) => locate_range(&ms, |f| crate::uniform::feasible_at_uniform(inst, f, fac)),
-        None => locate_range(&ms, |f| feasible_at(inst, f, preemptive)),
+    let (f_lo, f_hi, reference, probes, warm_probes, cold_probes) = match &factors {
+        Some(fac) => {
+            // Closed-form max-flow probes: no simplex runs, so neither LP
+            // counter moves.
+            let (lo, hi, rf, p) =
+                locate_range(&ms, |f| crate::uniform::feasible_at_uniform(inst, f, fac));
+            (lo, hi, rf, p, 0, 0)
+        }
+        None => {
+            let mut prober = LpProber::new(inst, preemptive);
+            let (lo, hi, rf, p) = locate_range(&ms, |f| prober.probe(f));
+            debug_assert_eq!(prober.n_warm + prober.n_cold, p);
+            (lo, hi, rf, p, prober.n_warm, prober.n_cold)
+        }
     };
     let built = build_range_lp(inst, &f_lo, f_hi.as_ref(), &reference, preemptive);
     let sol = solve(&built.lp);
@@ -176,6 +239,8 @@ fn solve_min_flow_with<S: Scalar>(
         stats: FlowStats {
             n_milestones: ms.len(),
             n_probes: probes,
+            n_warm_probes: warm_probes,
+            n_cold_probes: cold_probes,
         },
     }
 }
@@ -464,6 +529,36 @@ mod tests {
         assert!(!feasible_at(&inst, &below, false));
         assert!(feasible_at(&inst, &out.optimum, false));
         assert!(out.stats.n_milestones <= crate::milestones::milestone_bound(3));
+    }
+
+    #[test]
+    fn warm_probes_reduce_cold_solves() {
+        // Enough distinct releases/weights that the binary search runs
+        // several probes; all probes after the first must warm-start
+        // (probe LPs share one shape thanks to build_deadline_probe_lp).
+        let mut b = InstanceBuilder::<Rat>::new();
+        let data = [(0i64, 1i64), (1, 2), (3, 1), (5, 3), (8, 2)];
+        for (rel, w) in data {
+            b.job(ri(rel), ri(w));
+        }
+        for i in 0..2 {
+            b.machine(
+                (0..data.len())
+                    .map(|j| Some(ri(2 + ((i + j) % 3) as i64)))
+                    .collect(),
+            );
+        }
+        let inst = b.build().unwrap();
+        let out = min_max_weighted_flow_divisible(&inst);
+        validate(&inst, &out.schedule).unwrap();
+        let st = &out.stats;
+        assert_eq!(st.n_probes, st.n_warm_probes + st.n_cold_probes);
+        assert!(st.n_probes >= 3, "expected a nontrivial search, got {st:?}");
+        assert!(
+            st.n_warm_probes >= st.n_probes - 2,
+            "probes after the first feasible one must warm-start: {st:?}"
+        );
+        assert!(st.n_cold_probes < st.n_probes, "{st:?}");
     }
 
     #[test]

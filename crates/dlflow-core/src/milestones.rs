@@ -51,8 +51,15 @@ pub fn milestones<S: Scalar>(inst: &Instance<S>) -> Vec<S> {
         }
     }
 
-    out.sort_by(|a, b| a.cmp_total(b));
-    out.dedup_by(|a, b| a.sub(b).is_negligible());
+    // Unstable sort on the total order + equality dedup: unlike the
+    // previous `sort_by` + subtraction-based `dedup_by`, this allocates
+    // nothing and compares without forming `a − b` rationals per pair.
+    // Equality dedup is exact: identical to the old behaviour over `Rat`
+    // (tolerance 0); over `f64` a crossing computed by two formulas may
+    // now survive as two ulp-apart milestones, which costs at most one
+    // extra (monotone) probe and never affects correctness.
+    out.sort_unstable_by(|a, b| a.cmp_total(b));
+    out.dedup();
     out
 }
 

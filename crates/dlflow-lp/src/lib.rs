@@ -1,10 +1,15 @@
 //! # dlflow-lp — linear-programming substrate
 //!
-//! A self-contained two-phase primal simplex solver, generic over the
+//! A self-contained simplex solver, generic over the
 //! [`dlflow_num::Scalar`] field. The paper reduces every scheduling
 //! question to a linear program (Systems (1), (2), (3) and (5)); no LP
 //! crate is available in the offline dependency set, so this one is built
 //! from scratch.
+//!
+//! The default [`solve`] is a **sparse-column revised simplex** (Dantzig
+//! pricing, Bland anti-cycling fallback, warm-startable via
+//! [`solve_warm`]); the seed's dense two-phase tableau survives as
+//! [`solve_dense`] and serves as the reference oracle in property tests.
 //!
 //! Two instantiations matter:
 //!
@@ -37,9 +42,11 @@
 #![allow(clippy::needless_range_loop)] // dense tableau code indexes several arrays in lockstep
 
 pub mod problem;
+pub mod revised;
 pub mod simplex;
 pub mod solution;
 
 pub use problem::{Constraint, LinExpr, LpProblem, Rel, Sense, VarId};
-pub use simplex::solve;
+pub use revised::{solve, solve_warm, WarmBasis, WarmSolve};
+pub use simplex::solve as solve_dense;
 pub use solution::{LpSolution, LpStatus};

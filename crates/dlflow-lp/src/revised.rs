@@ -1,0 +1,857 @@
+//! Sparse-column revised simplex — the default solver.
+//!
+//! The paper's LPs (Systems (1), (2), (3), (5)) are extremely sparse:
+//! every `α⁽ᵗ⁾ᵢⱼ` variable appears in at most three constraints. The seed
+//! solver kept a dense `rows × cols` tableau and touched every cell on
+//! every pivot; this module stores the tableau **column-wise** as sorted
+//! `(row, value)` pairs and skips structural zeros in pivoting, pricing
+//! and the ratio test.
+//!
+//! * **Pricing**: Dantzig (most negative reduced cost) by default — fast
+//!   in practice but can cycle on degenerate bases. After
+//!   [`DEGENERACY_STREAK`] consecutive pivots without objective progress
+//!   the solver switches to **Bland's rule** until progress resumes,
+//!   which restores the termination guarantee (exactness over `Rat` makes
+//!   "no progress" detectable without tolerances).
+//! * **Warm starts**: [`solve_warm`] accepts the optimal basis of a
+//!   structurally identical LP (same variables, same constraint
+//!   relations). The basis is re-realized by Gaussian pivoting — skipping
+//!   phase 1 outright — and primal feasibility is reinstated by a bounded
+//!   **dual simplex** repair (valid whenever the warm basis is dual
+//!   feasible, which always holds for pure feasibility probes with a zero
+//!   objective). On any mismatch or failure it falls back to a cold solve.
+//!
+//! The seed's dense two-phase solver survives as
+//! [`crate::simplex::solve_dense`] and is the reference oracle in the
+//! property tests.
+
+use crate::problem::{LpProblem, Rel, Sense};
+use crate::solution::LpSolution;
+use dlflow_num::Scalar;
+
+/// Hard cap on simplex pivots, as a defence against implementation bugs.
+const MAX_PIVOTS_FACTOR: usize = 2000;
+
+/// Consecutive degenerate (no-progress) pivots tolerated under Dantzig
+/// pricing before switching to Bland's anti-cycling rule.
+const DEGENERACY_STREAK: usize = 1;
+
+/// A reusable snapshot of an optimal basis, for warm-starting the solve
+/// of a *structurally identical* problem (same variable count, same
+/// constraint relations in the same order) whose coefficients or
+/// right-hand sides changed.
+#[derive(Clone, Debug)]
+pub struct WarmBasis {
+    n_vars: usize,
+    rels: Vec<Rel>,
+    /// Basic column per row, in the structural+slack column space.
+    basis: Vec<usize>,
+}
+
+impl WarmBasis {
+    /// `true` when this basis can seed a solve of `p`.
+    pub fn compatible_with<S: Scalar>(&self, p: &LpProblem<S>) -> bool {
+        self.n_vars == p.n_vars()
+            && self.rels.len() == p.n_constraints()
+            && p.constraints()
+                .iter()
+                .zip(&self.rels)
+                .all(|(c, r)| c.rel == *r)
+    }
+}
+
+/// Result of [`solve_warm`]: the solution, a basis snapshot for the next
+/// warm start (present iff the solve ended optimal), and whether the
+/// provided hint was actually used.
+#[derive(Clone, Debug)]
+pub struct WarmSolve<S> {
+    /// The LP solution.
+    pub solution: LpSolution<S>,
+    /// Basis snapshot to seed the next structurally identical solve.
+    pub basis: Option<WarmBasis>,
+    /// `true` iff the hint was compatible and the warm path succeeded.
+    pub warm_used: bool,
+}
+
+/// Solves the problem with the sparse revised simplex (cold start).
+pub fn solve<S: Scalar>(problem: &LpProblem<S>) -> LpSolution<S> {
+    solve_warm(problem, None).solution
+}
+
+/// Solves the problem, optionally warm-starting from a previous basis.
+pub fn solve_warm<S: Scalar>(p: &LpProblem<S>, hint: Option<&WarmBasis>) -> WarmSolve<S> {
+    if let Some(h) = hint {
+        if h.compatible_with(p) {
+            if let Some(out) = try_warm(p, h) {
+                return out;
+            }
+        }
+    }
+    let (solution, basis) = Tab::build_cold(p).solve_cold(p);
+    WarmSolve {
+        solution,
+        basis,
+        warm_used: false,
+    }
+}
+
+/// Sparse column-major tableau.
+struct Tab<S> {
+    /// Per column: sorted `(row, value)` pairs, structural zeros omitted.
+    cols: Vec<Vec<(u32, S)>>,
+    /// Right-hand side (basic variable values).
+    b: Vec<S>,
+    /// Basic column of each row (`usize::MAX` while unassigned).
+    basis: Vec<usize>,
+    /// Number of structural (original) variables.
+    n_struct: usize,
+    /// Total columns (structural + slack [+ artificial]).
+    n_total: usize,
+    /// Column index where artificial variables start (== n_total when none).
+    art_start: usize,
+    /// Recycled merge buffer (see [`Tab::pivot`]).
+    scratch: Vec<(u32, S)>,
+}
+
+impl<S: Scalar> Tab<S> {
+    /// Shared column assembly: structural columns from the constraint
+    /// expressions (duplicates summed, zeros dropped) and slack/surplus
+    /// columns. `flip[i]` negates row `i` on the fly.
+    fn structural_cols(p: &LpProblem<S>, flip: &[bool]) -> Vec<Vec<(u32, S)>> {
+        let n = p.n_vars();
+        let mut cols: Vec<Vec<(u32, S)>> = vec![Vec::new(); n];
+        for (i, c) in p.constraints().iter().enumerate() {
+            for (v, coeff) in &c.expr.terms {
+                let val = if flip[i] { coeff.neg() } else { coeff.clone() };
+                cols[v.index()].push((i as u32, val));
+            }
+        }
+        for col in cols.iter_mut() {
+            col.sort_by_key(|(r, _)| *r);
+            // Sum duplicate rows, drop exact/negligible zeros.
+            let mut out: Vec<(u32, S)> = Vec::with_capacity(col.len());
+            for (r, v) in col.drain(..) {
+                match out.last_mut() {
+                    Some((lr, lv)) if *lr == r => *lv = lv.add(&v),
+                    _ => out.push((r, v)),
+                }
+            }
+            out.retain(|(_, v)| !v.is_negligible());
+            *col = out;
+        }
+        cols
+    }
+
+    /// Standard form with artificials and `b ≥ 0` (cold start, phase 1).
+    fn build_cold(p: &LpProblem<S>) -> Tab<S> {
+        let m = p.n_constraints();
+        let n = p.n_vars();
+        let flip: Vec<bool> = p
+            .constraints()
+            .iter()
+            .map(|c| c.rhs.is_negative_tol())
+            .collect();
+        let mut cols = Self::structural_cols(p, &flip);
+
+        let mut b = Vec::with_capacity(m);
+        let mut basis = vec![usize::MAX; m];
+        let mut needs_art = Vec::with_capacity(m);
+        // Slack/surplus columns, in constraint order.
+        for (i, c) in p.constraints().iter().enumerate() {
+            b.push(if flip[i] { c.rhs.neg() } else { c.rhs.clone() });
+            let rel = match (c.rel, flip[i]) {
+                (Rel::Le, true) => Rel::Ge,
+                (Rel::Ge, true) => Rel::Le,
+                (r, _) => r,
+            };
+            match rel {
+                Rel::Le => {
+                    basis[i] = cols.len();
+                    cols.push(vec![(i as u32, S::one())]);
+                    needs_art.push(false);
+                }
+                Rel::Ge => {
+                    cols.push(vec![(i as u32, S::one().neg())]);
+                    needs_art.push(true);
+                }
+                Rel::Eq => needs_art.push(true),
+            }
+        }
+        let art_start = cols.len();
+        for (i, &need) in needs_art.iter().enumerate() {
+            if need {
+                basis[i] = cols.len();
+                cols.push(vec![(i as u32, S::one())]);
+            }
+        }
+        let n_total = cols.len();
+        debug_assert!(basis.iter().all(|&bv| bv != usize::MAX));
+        Tab {
+            cols,
+            b,
+            basis,
+            n_struct: n,
+            n_total,
+            art_start,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Standard form without artificials and without sign normalization
+    /// (warm start; negative `b` entries are repaired by dual simplex).
+    fn build_warm(p: &LpProblem<S>) -> Tab<S> {
+        let m = p.n_constraints();
+        let n = p.n_vars();
+        let flip = vec![false; m];
+        let mut cols = Self::structural_cols(p, &flip);
+        let mut b = Vec::with_capacity(m);
+        for (i, c) in p.constraints().iter().enumerate() {
+            b.push(c.rhs.clone());
+            match c.rel {
+                Rel::Le => cols.push(vec![(i as u32, S::one())]),
+                Rel::Ge => cols.push(vec![(i as u32, S::one().neg())]),
+                Rel::Eq => {}
+            }
+        }
+        let n_total = cols.len();
+        Tab {
+            cols,
+            b,
+            basis: vec![usize::MAX; m],
+            n_struct: n,
+            n_total,
+            art_start: n_total,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Value at `(row, col)`, `None` when structurally zero.
+    #[inline]
+    fn at(&self, row: usize, col: usize) -> Option<&S> {
+        let c = &self.cols[col];
+        c.binary_search_by_key(&(row as u32), |(r, _)| *r)
+            .ok()
+            .map(|k| &c[k].1)
+    }
+
+    /// The pivot row as sparse `(col, value)` pairs.
+    fn extract_row(&self, row: usize) -> Vec<(usize, S)> {
+        let mut out = Vec::new();
+        for j in 0..self.n_total {
+            if let Some(v) = self.at(row, j) {
+                out.push((j, v.clone()));
+            }
+        }
+        out
+    }
+
+    /// Pivots on `(row, col)`: `col` enters the basis, the basic variable
+    /// of `row` leaves. `rc` is the maintained reduced-cost row and
+    /// negated objective, updated sparsely when present. `raw_prow` lets a
+    /// caller that already extracted the pivot row (dual ratio test) hand
+    /// it over instead of paying the scan again.
+    fn pivot(
+        &mut self,
+        row: usize,
+        col: usize,
+        rc: Option<(&mut [S], &mut S)>,
+        raw_prow: Option<Vec<(usize, S)>>,
+    ) {
+        let pcol = self.cols[col].clone();
+        let piv = self.at(row, col).expect("pivot on structural zero").clone();
+        debug_assert!(!piv.is_negligible());
+        // Pivot row with the elimination factor `a_rj / piv` cached, so
+        // the column update and the reduced-cost update share one division.
+        let prow: Vec<(usize, S)> = raw_prow
+            .unwrap_or_else(|| self.extract_row(row))
+            .into_iter()
+            .map(|(j, arj)| (j, arj.div(&piv)))
+            .collect();
+
+        let b_row_new = self.b[row].div(&piv);
+        // RHS update, touching only the pivot column's nonzero rows.
+        for (i, e) in &pcol {
+            let i = *i as usize;
+            if i == row {
+                continue;
+            }
+            let v = self.b[i].sub(&b_row_new.mul(e));
+            self.b[i] = if v.is_negligible() { S::zero() } else { v };
+        }
+        self.b[row] = b_row_new.clone();
+
+        // Column updates, touching only columns with a nonzero pivot-row
+        // entry (and in them only the pivot column's nonzero rows). The
+        // merge moves entries out of the old column and recycles its
+        // buffer as the next column's scratch — no steady-state allocation.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (j, f) in &prow {
+            if *j == col {
+                continue;
+            }
+            let mut old = std::mem::replace(&mut self.cols[*j], scratch);
+            let merged = &mut self.cols[*j];
+            merged.clear();
+            merged.reserve(old.len() + pcol.len());
+            {
+                let mut a = old.drain(..).peekable();
+                let mut c = pcol.iter().peekable();
+                loop {
+                    match (a.peek(), c.peek()) {
+                        (Some((ra, _)), Some((rc2, _))) if ra == rc2 => {
+                            let (r, va) = a.next().unwrap();
+                            let (_, ve) = c.next().unwrap();
+                            if r as usize == row {
+                                merged.push((r, f.clone()));
+                            } else {
+                                let v = va.sub(&f.mul(ve));
+                                if !v.is_negligible() {
+                                    merged.push((r, v));
+                                }
+                            }
+                        }
+                        (Some((ra, _)), Some((rc2, _))) if ra < rc2 => {
+                            merged.push(a.next().unwrap());
+                        }
+                        (Some(_), Some(_)) | (None, Some(_)) => {
+                            let (r, ve) = c.next().unwrap();
+                            if *r as usize == row {
+                                merged.push((*r, f.clone()));
+                            } else {
+                                let v = f.mul(ve).neg();
+                                if !v.is_negligible() {
+                                    merged.push((*r, v));
+                                }
+                            }
+                        }
+                        (Some(_), None) => {
+                            merged.push(a.next().unwrap());
+                        }
+                        (None, None) => break,
+                    }
+                }
+            }
+            scratch = old;
+        }
+        self.scratch = scratch;
+        // The entering column becomes a unit vector.
+        self.cols[col] = vec![(row as u32, S::one())];
+
+        if let Some((r, z)) = rc {
+            let re = r[col].clone();
+            if !re.is_negligible() {
+                for (j, f) in &prow {
+                    if *j == col {
+                        continue;
+                    }
+                    let v = r[*j].sub(&re.mul(f));
+                    r[*j] = if v.is_negligible() { S::zero() } else { v };
+                }
+                *z = z.sub(&re.mul(&self.b[row]));
+                r[col] = S::zero();
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Reduced costs `r_j = c_j − c_B · B⁻¹A_j` and the negated objective
+    /// value, computed sparsely per column.
+    fn reduced_costs(&self, cost: &[S]) -> (Vec<S>, S) {
+        let cb: Vec<S> = self.basis.iter().map(|&bv| cost[bv].clone()).collect();
+        let mut r = cost.to_vec();
+        for j in 0..self.n_total {
+            let mut acc = S::zero();
+            for (i, v) in &self.cols[j] {
+                let c = &cb[*i as usize];
+                if !c.is_negligible() {
+                    acc = acc.add(&c.mul(v));
+                }
+            }
+            if !acc.is_negligible() {
+                r[j] = r[j].sub(&acc);
+            }
+        }
+        let mut z = S::zero();
+        for (i, c) in cb.iter().enumerate() {
+            if !c.is_negligible() {
+                z = z.sub(&c.mul(&self.b[i]));
+            }
+        }
+        (r, z)
+    }
+
+    /// Primal simplex until optimal (`true`) or unbounded (`false`).
+    /// Dantzig pricing with a Bland fallback after a degeneracy streak.
+    fn run_primal(&mut self, r: &mut [S], z: &mut S) -> bool {
+        let m = self.b.len();
+        let max_pivots = MAX_PIVOTS_FACTOR * (m + self.n_total + 1);
+        let mut streak = 0usize;
+        for _ in 0..max_pivots {
+            let bland = streak >= DEGENERACY_STREAK;
+            let enter = if bland {
+                (0..self.n_total).find(|&j| r[j].is_negative_tol())
+            } else {
+                let mut best: Option<usize> = None;
+                for j in 0..self.n_total {
+                    if r[j].is_negative_tol()
+                        && best.is_none_or(|bj| r[j].cmp_total(&r[bj]) == std::cmp::Ordering::Less)
+                    {
+                        best = Some(j);
+                    }
+                }
+                best
+            };
+            let Some(enter) = enter else {
+                return true; // optimal
+            };
+            // Ratio test over the entering column's nonzeros only;
+            // smallest-basis-index tie-break (required in Bland mode).
+            let mut leave: Option<usize> = None;
+            let mut best: Option<S> = None;
+            for (i, v) in &self.cols[enter] {
+                let i = *i as usize;
+                if v.is_positive_tol() {
+                    let ratio = self.b[i].div(v);
+                    let better = match &best {
+                        None => true,
+                        Some(cur) => {
+                            ratio.lt_tol(cur)
+                                || (!ratio.gt_tol(cur)
+                                    && self.basis[i] < self.basis[leave.unwrap()])
+                        }
+                    };
+                    if better {
+                        best = Some(ratio);
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return false; // unbounded
+            };
+            // enter was selected with r[enter] strictly negative, so the
+            // pivot is degenerate iff the leaving basic variable sits at 0.
+            let degenerate = !self.b[leave].is_positive_tol();
+            self.pivot(leave, enter, Some((r, z)), None);
+            streak = if degenerate { streak + 1 } else { 0 };
+        }
+        panic!("sparse simplex exceeded pivot cap — this indicates a bug");
+    }
+
+    /// Dual simplex repair: assumes `r ≥ 0` (dual feasible) and drives
+    /// `b ≥ 0`. Returns `Some(true)` when primal feasibility was reached,
+    /// `Some(false)` on a primal-infeasibility certificate, `None` when
+    /// the pivot budget ran out (caller should fall back to a cold solve).
+    fn run_dual(&mut self, r: &mut [S], z: &mut S) -> Option<bool> {
+        let m = self.b.len();
+        let max_pivots = MAX_PIVOTS_FACTOR * (m + self.n_total + 1);
+        for _ in 0..max_pivots {
+            // Leaving row: most negative b, tie-break smallest basis index.
+            let mut leave: Option<usize> = None;
+            for i in 0..m {
+                if self.b[i].is_negative_tol()
+                    && (leave.is_none()
+                        || self.b[i].cmp_total(&self.b[leave.unwrap()]) == std::cmp::Ordering::Less
+                        || (self.b[i].cmp_total(&self.b[leave.unwrap()])
+                            == std::cmp::Ordering::Equal
+                            && self.basis[i] < self.basis[leave.unwrap()]))
+                {
+                    leave = Some(i);
+                }
+            }
+            let Some(leave) = leave else {
+                return Some(true); // primal feasible
+            };
+            // Entering column: dual ratio test over the leaving row's
+            // negative entries; smallest-index tie-break.
+            let prow = self.extract_row(leave);
+            let mut enter: Option<usize> = None;
+            let mut best: Option<S> = None;
+            for (j, arj) in &prow {
+                if *j == self.basis[leave] || !arj.is_negative_tol() {
+                    continue;
+                }
+                let ratio = r[*j].div(&arj.neg());
+                let better = match &best {
+                    None => true,
+                    Some(cur) => ratio.lt_tol(cur) || (!ratio.gt_tol(cur) && *j < enter.unwrap()),
+                };
+                if better {
+                    best = Some(ratio);
+                    enter = Some(*j);
+                }
+            }
+            let Some(enter) = enter else {
+                return Some(false); // row ≥ 0 with b < 0: infeasible
+            };
+            self.pivot(leave, enter, Some((r, z)), Some(prow));
+        }
+        None
+    }
+
+    /// Removes row `row` (swap-remove semantics across `b`, `basis` and
+    /// every column's row indices).
+    fn remove_row(&mut self, row: usize) {
+        let last = self.b.len() - 1;
+        for col in self.cols.iter_mut() {
+            col.retain(|(r, _)| *r as usize != row);
+            if row != last {
+                for (r, _) in col.iter_mut() {
+                    if *r as usize == last {
+                        *r = row as u32;
+                    }
+                }
+                col.sort_by_key(|(r, _)| *r);
+            }
+        }
+        self.b.swap_remove(row);
+        self.basis.swap_remove(row);
+    }
+
+    /// After phase 1: pivot zero-level artificials out of the basis, drop
+    /// rows that prove redundant, and delete artificial columns.
+    fn purge_artificials(&mut self) {
+        let mut row = 0;
+        while row < self.b.len() {
+            if self.basis[row] >= self.art_start {
+                let col = (0..self.art_start)
+                    .find(|&j| self.at(row, j).is_some_and(|v| !v.is_negligible()));
+                match col {
+                    Some(col) => {
+                        // Degenerate pivot (b[row] == 0): keeps b ≥ 0.
+                        self.pivot(row, col, None, None);
+                        row += 1;
+                    }
+                    None => self.remove_row(row),
+                }
+            } else {
+                row += 1;
+            }
+        }
+        self.cols.truncate(self.art_start);
+        self.n_total = self.art_start;
+    }
+
+    /// Phase-2 cost vector in the minimization convention.
+    fn phase2_cost(&self, p: &LpProblem<S>) -> (Vec<S>, bool) {
+        let mut cost = vec![S::zero(); self.n_total];
+        let negate = p.sense() == Sense::Maximize;
+        for (v, c) in &p.objective().terms {
+            let cur = cost[v.index()].clone();
+            cost[v.index()] = if negate { cur.sub(c) } else { cur.add(c) };
+        }
+        (cost, negate)
+    }
+
+    /// Extracts the solution after an optimal phase 2.
+    fn extract(&self, p: &LpProblem<S>, z: S, negate: bool) -> LpSolution<S> {
+        let mut values = vec![S::zero(); p.n_vars()];
+        for (i, &bv) in self.basis.iter().enumerate() {
+            if bv < self.n_struct {
+                values[bv] = self.b[i].clone();
+            }
+        }
+        let min_val = z.neg();
+        let objective = if negate { min_val.neg() } else { min_val };
+        LpSolution::optimal(objective, values)
+    }
+
+    fn snapshot_basis(&self, p: &LpProblem<S>) -> WarmBasis {
+        WarmBasis {
+            n_vars: p.n_vars(),
+            rels: p.constraints().iter().map(|c| c.rel).collect(),
+            basis: self.basis.clone(),
+        }
+    }
+
+    /// Two-phase cold solve.
+    fn solve_cold(mut self, p: &LpProblem<S>) -> (LpSolution<S>, Option<WarmBasis>) {
+        if self.art_start < self.n_total {
+            let mut cost = vec![S::zero(); self.n_total];
+            for c in cost.iter_mut().skip(self.art_start) {
+                *c = S::one();
+            }
+            let (mut r, mut z) = self.reduced_costs(&cost);
+            if !self.run_primal(&mut r, &mut z) {
+                unreachable!("phase-1 simplex reported unbounded");
+            }
+            if z.neg().is_positive_tol() {
+                return (LpSolution::infeasible(p.n_vars()), None);
+            }
+            self.purge_artificials();
+        }
+        let (cost, negate) = self.phase2_cost(p);
+        let (mut r, mut z) = self.reduced_costs(&cost);
+        if !self.run_primal(&mut r, &mut z) {
+            return (LpSolution::unbounded(p.n_vars()), None);
+        }
+        let basis = self.snapshot_basis(p);
+        (self.extract(p, z, negate), Some(basis))
+    }
+}
+
+/// Attempts the warm-start path; `None` means "fall back to cold".
+fn try_warm<S: Scalar>(p: &LpProblem<S>, hint: &WarmBasis) -> Option<WarmSolve<S>> {
+    let mut tab = Tab::build_warm(p);
+    let m = tab.b.len();
+
+    // Re-realize the hinted basis by Gaussian pivoting: for each hinted
+    // column pick the not-yet-assigned row with the largest pivot.
+    let mut assigned = vec![false; m];
+    for &c in &hint.basis {
+        if c >= tab.n_total || tab.basis.contains(&c) {
+            continue;
+        }
+        let mut pick: Option<(usize, S)> = None;
+        for (i, v) in &tab.cols[c] {
+            let i = *i as usize;
+            if assigned[i] || v.is_negligible() {
+                continue;
+            }
+            let mag = v.abs();
+            if pick.as_ref().is_none_or(|(_, pm)| mag.gt_tol(pm)) {
+                pick = Some((i, mag));
+            }
+        }
+        if let Some((row, _)) = pick {
+            tab.pivot(row, c, None, None);
+            assigned[row] = true;
+        }
+    }
+    // Cover leftover rows (hint shorter than m, or singular realization)
+    // with any usable non-basic column, preferring the row's own slack.
+    for row in 0..m {
+        if assigned[row] {
+            continue;
+        }
+        let cand = (tab.n_struct..tab.n_total)
+            .chain(0..tab.n_struct)
+            .find(|&j| {
+                !tab.basis.contains(&j) && tab.at(row, j).is_some_and(|v| !v.is_negligible())
+            });
+        let Some(col) = cand else {
+            return None; // cannot complete a basis — cold solve
+        };
+        tab.pivot(row, col, None, None);
+        assigned[row] = true;
+    }
+
+    let (cost, negate) = tab.phase2_cost(p);
+    let (mut r, mut z) = tab.reduced_costs(&cost);
+    let dual_feasible = r.iter().all(|v| !v.is_negative_tol());
+    let primal_feasible = tab.b.iter().all(|v| !v.is_negative_tol());
+    if dual_feasible {
+        match tab.run_dual(&mut r, &mut z) {
+            Some(true) => {}
+            Some(false) => {
+                return Some(WarmSolve {
+                    solution: LpSolution::infeasible(p.n_vars()),
+                    basis: None,
+                    warm_used: true,
+                })
+            }
+            None => return None, // budget exhausted — cold solve
+        }
+    } else if !primal_feasible {
+        return None; // neither primal nor dual feasible — cold solve
+    }
+    if !tab.run_primal(&mut r, &mut z) {
+        return Some(WarmSolve {
+            solution: LpSolution::unbounded(p.n_vars()),
+            basis: None,
+            warm_used: true,
+        });
+    }
+    let basis = tab.snapshot_basis(p);
+    Some(WarmSolve {
+        solution: tab.extract(p, z, negate),
+        basis: Some(basis),
+        warm_used: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::LinExpr;
+    use crate::solution::LpStatus;
+    use dlflow_num::Rat;
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → opt 36 at (2, 6).
+        let mut lp: LpProblem<f64> = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(LinExpr::from_iter([(x, 3.0), (y, 5.0)]));
+        lp.add_constraint(LinExpr::term(x, 1.0), Rel::Le, 4.0);
+        lp.add_constraint(LinExpr::term(y, 2.0), Rel::Le, 12.0);
+        lp.add_constraint(LinExpr::from_iter([(x, 3.0), (y, 2.0)]), Rel::Le, 18.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective.unwrap() - 36.0).abs() < 1e-9);
+        assert!((sol.values[0] - 2.0).abs() < 1e-9);
+        assert!((sol.values[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded() {
+        let mut lp: LpProblem<f64> = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x");
+        lp.set_objective(LinExpr::term(x, 1.0));
+        lp.add_constraint(LinExpr::term(x, 1.0), Rel::Le, 1.0);
+        lp.add_constraint(LinExpr::term(x, 1.0), Rel::Ge, 2.0);
+        assert_eq!(solve(&lp).status, LpStatus::Infeasible);
+
+        let mut lp: LpProblem<f64> = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x");
+        lp.set_objective(LinExpr::term(x, 1.0));
+        lp.add_constraint(LinExpr::term(x, 1.0), Rel::Ge, 1.0);
+        assert_eq!(solve(&lp).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn exact_rational_solution() {
+        // max x + y s.t. 3x + y ≤ 1, x + 3y ≤ 1 → x = y = 1/4, opt 1/2.
+        let mut lp: LpProblem<Rat> = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(LinExpr::from_iter([(x, Rat::one()), (y, Rat::one())]));
+        lp.add_constraint(
+            LinExpr::from_iter([(x, Rat::from_i64(3)), (y, Rat::one())]),
+            Rel::Le,
+            Rat::one(),
+        );
+        lp.add_constraint(
+            LinExpr::from_iter([(x, Rat::one()), (y, Rat::from_i64(3))]),
+            Rel::Le,
+            Rat::one(),
+        );
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective.unwrap(), Rat::from_ratio(1, 2));
+        assert_eq!(sol.values[0], Rat::from_ratio(1, 4));
+        assert_eq!(sol.values[1], Rat::from_ratio(1, 4));
+    }
+
+    #[test]
+    fn beale_cycling_instance_terminates() {
+        // Beale's cycling example: Dantzig pricing alone cycles; the
+        // degeneracy-streak fallback to Bland must terminate it.
+        let mut lp: LpProblem<f64> = LpProblem::new(Sense::Minimize);
+        let x4 = lp.add_var("x4");
+        let x5 = lp.add_var("x5");
+        let x6 = lp.add_var("x6");
+        let x7 = lp.add_var("x7");
+        lp.set_objective(LinExpr::from_iter([
+            (x4, -0.75),
+            (x5, 150.0),
+            (x6, -0.02),
+            (x7, 6.0),
+        ]));
+        lp.add_constraint(
+            LinExpr::from_iter([(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)]),
+            Rel::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            LinExpr::from_iter([(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)]),
+            Rel::Le,
+            0.0,
+        );
+        lp.add_constraint(LinExpr::term(x6, 1.0), Rel::Le, 1.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective.unwrap() - (-0.05)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_equality_with_redundant_row() {
+        let mut lp: LpProblem<f64> = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective(LinExpr::from_iter([(x, 1.0), (y, 1.0)]));
+        lp.add_constraint(LinExpr::from_iter([(x, 1.0), (y, 1.0)]), Rel::Eq, 2.0);
+        lp.add_constraint(LinExpr::from_iter([(x, 2.0), (y, 2.0)]), Rel::Eq, 4.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective.unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_rhs_change_reuses_basis() {
+        // Feasibility-style LP (zero objective); tighten the RHS and
+        // re-solve warm: the dual repair must succeed.
+        fn probe(rhs: f64) -> LpProblem<f64> {
+            let mut lp: LpProblem<f64> = LpProblem::new(Sense::Minimize);
+            let x = lp.add_var("x");
+            let y = lp.add_var("y");
+            lp.add_constraint(LinExpr::from_iter([(x, 1.0), (y, 1.0)]), Rel::Eq, 2.0);
+            lp.add_constraint(LinExpr::from_iter([(x, 2.0), (y, 1.0)]), Rel::Le, rhs);
+            lp.add_constraint(LinExpr::term(y, 1.0), Rel::Le, rhs);
+            lp
+        }
+        let first = solve_warm(&probe(4.0), None);
+        assert_eq!(first.solution.status, LpStatus::Optimal);
+        assert!(!first.warm_used);
+        let basis = first.basis.expect("optimal solve must yield a basis");
+        let second = solve_warm(&probe(2.0), Some(&basis));
+        assert!(
+            second.warm_used,
+            "structurally identical LP must warm-start"
+        );
+        assert_eq!(second.solution.status, LpStatus::Optimal);
+        // And an infeasible tightening is detected on the warm path too.
+        let third = solve_warm(&probe(1.5), Some(&basis));
+        assert!(third.warm_used);
+        assert_eq!(third.solution.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_incompatible_hint_falls_back() {
+        let mut a: LpProblem<f64> = LpProblem::new(Sense::Minimize);
+        let x = a.add_var("x");
+        a.add_constraint(LinExpr::term(x, 1.0), Rel::Eq, 5.0);
+        let wa = solve_warm(&a, None);
+        let mut b: LpProblem<f64> = LpProblem::new(Sense::Minimize);
+        let x = b.add_var("x");
+        let y = b.add_var("y");
+        b.set_objective(LinExpr::term(y, 1.0));
+        b.add_constraint(LinExpr::from_iter([(x, 1.0), (y, 1.0)]), Rel::Ge, 3.0);
+        let wb = solve_warm(&b, wa.basis.as_ref());
+        assert!(!wb.warm_used);
+        assert_eq!(wb.solution.status, LpStatus::Optimal);
+    }
+
+    #[test]
+    fn warm_exact_rational_probe_chain() {
+        // A Rat chain mimicking the Theorem-2 binary search: same shape,
+        // shrinking deadline-like RHS.
+        fn probe(rhs: i64) -> LpProblem<Rat> {
+            let mut lp: LpProblem<Rat> = LpProblem::new(Sense::Minimize);
+            let a = lp.add_var("a");
+            let b = lp.add_var("b");
+            lp.add_constraint(
+                LinExpr::from_iter([(a, Rat::one()), (b, Rat::one())]),
+                Rel::Eq,
+                Rat::one(),
+            );
+            lp.add_constraint(
+                LinExpr::from_iter([(a, Rat::from_i64(4)), (b, Rat::from_i64(2))]),
+                Rel::Le,
+                Rat::from_i64(rhs),
+            );
+            lp
+        }
+        let mut basis = None;
+        for rhs in [8, 5, 3, 2] {
+            let out = solve_warm(&probe(rhs), basis.as_ref());
+            assert_eq!(out.solution.status, LpStatus::Optimal, "rhs={rhs}");
+            assert_eq!(out.warm_used, basis.is_some());
+            basis = out.basis;
+        }
+        let out = solve_warm(&probe(1), basis.as_ref());
+        assert!(out.warm_used);
+        assert_eq!(out.solution.status, LpStatus::Infeasible);
+    }
+}

@@ -23,6 +23,55 @@ fn arb_rat() -> impl Strategy<Value = Rat> {
     (any::<i64>(), 1..=i64::MAX).prop_map(|(n, d)| Rat::from_ratio(n, d))
 }
 
+/// A rational whose numerator straddles the `i64` boundary (within ±4 of
+/// `±i64::MAX`), over a small denominator — right where `Rat`'s inline
+/// fast path must hand over to (and take back from) the bignum path.
+fn arb_boundary_rat() -> impl Strategy<Value = Rat> {
+    (0i64..9, 1i64..64, any::<bool>()).prop_map(|(off, d, neg)| {
+        let n = i64::MAX as i128 - 4 + off as i128;
+        rat_i128(if neg { -n } else { n }, d)
+    })
+}
+
+fn rat_i128(n: i128, d: i64) -> Rat {
+    Rat::new(IBig::from_i128(n), IBig::from_i64(d))
+}
+
+/// Reference implementations computed purely on the bignum substrate
+/// (`IBig`/`UBig` cross-multiplication), independent of `Rat`'s
+/// overflow-checked inline arithmetic.
+mod reference {
+    use dlflow_num::{IBig, Rat};
+
+    pub fn add(a: &Rat, b: &Rat) -> Rat {
+        let n = a
+            .numer()
+            .mul_ref(&IBig::from(b.denom()))
+            .add_ref(&b.numer().mul_ref(&IBig::from(a.denom())));
+        Rat::from_parts(n, a.denom().mul(&b.denom()))
+    }
+
+    pub fn sub(a: &Rat, b: &Rat) -> Rat {
+        add(a, &b.neg_ref())
+    }
+
+    pub fn mul(a: &Rat, b: &Rat) -> Rat {
+        Rat::from_parts(a.numer().mul_ref(&b.numer()), a.denom().mul(&b.denom()))
+    }
+
+    pub fn div(a: &Rat, b: &Rat) -> Rat {
+        let n = a.numer().mul_ref(&IBig::from(b.denom()));
+        let d = IBig::from(a.denom()).mul_ref(&b.numer());
+        Rat::new(n, d)
+    }
+
+    pub fn cmp(a: &Rat, b: &Rat) -> std::cmp::Ordering {
+        let lhs = a.numer().mul_ref(&IBig::from(b.denom()));
+        let rhs = b.numer().mul_ref(&IBig::from(a.denom()));
+        lhs.cmp(&rhs)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -148,6 +197,51 @@ proptest! {
     #[test]
     fn rat_f64_roundtrip(v in proptest::num::f64::NORMAL) {
         prop_assert_eq!(Rat::from_f64(v).to_f64(), v);
+    }
+
+    #[test]
+    fn rat_ops_agree_with_bignum_reference_at_boundary(
+        a in arb_boundary_rat(),
+        b in arb_boundary_rat(),
+        small_n in -1000i64..1000,
+        small_d in 1i64..1000,
+    ) {
+        // Operand pairs chosen so every op crosses the inline/bignum
+        // promotion boundary in at least one direction.
+        let s = Rat::from_ratio(small_n, small_d);
+        for (x, y) in [(&a, &b), (&a, &s), (&s, &a)] {
+            prop_assert_eq!(x.add_ref(y), reference::add(x, y));
+            prop_assert_eq!(x.sub_ref(y), reference::sub(x, y));
+            prop_assert_eq!(x.mul_ref(y), reference::mul(x, y));
+            if !y.is_zero() {
+                prop_assert_eq!(x.div_ref(y), reference::div(x, y));
+            }
+            prop_assert_eq!(x.cmp(y), reference::cmp(x, y));
+        }
+    }
+
+    #[test]
+    fn rat_promotion_roundtrips(a in arb_boundary_rat(), b in arb_boundary_rat()) {
+        // Promote through an overflowing intermediate, then come back:
+        // the result must re-enter the inline representation when it fits.
+        prop_assert_eq!(a.add_ref(&b).sub_ref(&b), a.clone());
+        if !b.is_zero() {
+            prop_assert_eq!(a.mul_ref(&b).div_ref(&b), a.clone());
+        }
+        let one = a.add_ref(&Rat::one()).sub_ref(&a);
+        prop_assert_eq!(one.clone(), Rat::one());
+        prop_assert!(one.is_inline(), "demotion must restore the inline form");
+    }
+
+    #[test]
+    fn rat_canonical_repr_is_value_determined(n in -100_000i64..100_000, d in 1i64..100_000) {
+        // The same value built inline and via the bignum constructors must
+        // be structurally equal (same variant), so Eq/Hash stay canonical.
+        let inline = Rat::from_ratio(n, d);
+        let via_big = Rat::new(IBig::from_i64(n), IBig::from_i64(d));
+        prop_assert_eq!(inline.clone(), via_big.clone());
+        prop_assert_eq!(inline.is_inline(), via_big.is_inline());
+        prop_assert!(inline.is_inline());
     }
 
     #[test]

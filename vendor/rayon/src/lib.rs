@@ -1,41 +1,180 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The dlflow build environment has no registry access, so this vendored
-//! crate supplies the API slice the workspace uses — currently just
-//! `par_iter()` on slices and `Vec`s. Iteration is **sequential**: the
-//! adapter returns the standard slice iterator, so `.enumerate().map(...)
-//! .collect()` chains compile and behave identically, minus the
-//! parallelism. A later perf-focused PR can either swap in the real rayon
-//! (point the workspace dependency at a registry version) or teach this
-//! shim `std::thread::scope`-based chunking.
+//! crate supplies the API slice the workspace uses — `par_iter()` on
+//! slices and `Vec`s, followed by `enumerate()` / `map()` / `collect()`.
+//!
+//! Unlike the original sequential shim, iteration is now **genuinely
+//! parallel**: `collect()` splits the input into contiguous chunks, one
+//! per available core, and runs them under [`std::thread::scope`]. Each
+//! result is written into its input's slot, so the collected order is
+//! identical to sequential iteration (and to the real rayon's indexed
+//! collect) — determinism is preserved.
+//!
+//! Divergences from the real rayon:
+//!
+//! * only the combinators the workspace needs exist (`par_iter` →
+//!   optional `enumerate` → `map` → `collect`); there is no general
+//!   `ParallelIterator` trait, no `reduce`/`fold`/`for_each`, no bridge
+//!   to sequential iterators;
+//! * no work-stealing: the input is split into equal contiguous chunks
+//!   up front, so heavily skewed workloads balance worse than rayon;
+//! * no global thread pool: threads are spawned per `collect()` call
+//!   (scoped, so borrowing locals works exactly like rayon closures);
+//!   for tiny inputs the work runs inline on the caller's thread.
 
 #![warn(missing_docs)]
 
+/// Minimum number of items before `collect()` bothers spawning threads:
+/// below this, thread spawn/join overhead (tens of µs) dwarfs any win,
+/// so the work runs inline on the caller's thread.
+const PARALLEL_THRESHOLD: usize = 16;
+
+/// Runs `f` over every item, in parallel chunks, preserving input order.
+fn run_chunked<'data, T, R, F>(items: &'data [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'data T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if n < PARALLEL_THRESHOLD || threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let f = &f;
+    std::thread::scope(|s| {
+        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+            let base = ci * chunk;
+            s.spawn(move || {
+                for (k, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + k, &items[base + k]));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("chunk worker filled every slot"))
+        .collect()
+}
+
+/// Parallel iterator over `&[T]`, mirroring `rayon::slice::Iter`.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Pairs every item with its index, preserving order.
+    pub fn enumerate(self) -> ParEnumerate<'data, T> {
+        ParEnumerate { items: self.items }
+    }
+
+    /// Applies `f` to every item.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Index-paired parallel iterator (`par_iter().enumerate()`).
+pub struct ParEnumerate<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParEnumerate<'data, T> {
+    /// Applies `f` to every `(index, item)` pair.
+    pub fn map<R, F>(self, f: F) -> ParEnumerateMap<'data, T, F>
+    where
+        F: Fn((usize, &'data T)) -> R + Sync,
+        R: Send,
+    {
+        ParEnumerateMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator awaiting `collect()`.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Runs the pipeline in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_chunked(self.items, |_, t| (self.f)(t))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Mapped + enumerated parallel iterator awaiting `collect()`.
+pub struct ParEnumerateMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParEnumerateMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'data T)) -> R + Sync,
+{
+    /// Runs the pipeline in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_chunked(self.items, |i, t| (self.f)((i, t)))
+            .into_iter()
+            .collect()
+    }
+}
+
 /// Traits that make `.par_iter()` available, mirroring `rayon::prelude`.
 pub mod prelude {
-    /// Types that can be iterated "in parallel" by reference.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type returned by [`par_iter`](Self::par_iter).
-        type Iter: Iterator;
+    pub use super::{ParEnumerate, ParEnumerateMap, ParIter, ParMap};
 
-        /// Returns an iterator over `&self`'s elements. Sequential in this
-        /// shim; parallel under the real rayon.
+    /// Types that can be iterated in parallel by reference.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The parallel-iterator type returned by [`par_iter`](Self::par_iter).
+        type Iter;
+
+        /// Returns a parallel iterator over `&self`'s elements.
         fn par_iter(&'data self) -> Self::Iter;
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = ParIter<'data, T>;
 
         fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+            ParIter { items: self }
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = ParIter<'data, T>;
 
         fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+            ParIter {
+                items: self.as_slice(),
+            }
         }
     }
 }
@@ -50,6 +189,38 @@ mod tests {
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
         let indexed: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
-        assert_eq!(indexed.len(), 4);
+        assert_eq!(indexed, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn collected_order_is_deterministic_at_scale() {
+        // Large enough to fan out across every core; order must still be
+        // exactly the sequential order.
+        let v: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = v.iter().map(|x| x * x % 7919).collect();
+        let par: Vec<u64> = v.par_iter().map(|x| x * x % 7919).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn borrows_locals_like_rayon() {
+        let offsets = [10u64, 20, 30];
+        let v = vec![1u64, 2, 3];
+        let got: Vec<u64> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| x + offsets[i])
+            .collect();
+        assert_eq!(got, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let v: Vec<i32> = Vec::new();
+        let got: Vec<i32> = v.par_iter().map(|x| x + 1).collect();
+        assert!(got.is_empty());
+        let one = [7];
+        let got: Vec<i32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(got, vec![8]);
     }
 }
