@@ -1,7 +1,7 @@
 //! # dlflow-bench — experiment harness
 //!
 //! One binary per artefact of the paper's evaluation (see the experiment
-//! index in `DESIGN.md`), plus Criterion microbenches:
+//! index in `EXPERIMENTS.md`), plus Criterion microbenches:
 //!
 //! | binary | reproduces |
 //! |--------|-----------|
@@ -11,8 +11,25 @@
 //! | `thm1_makespan` | Theorem 1 validation + polynomial scaling |
 //! | `thm2_maxflow` | Theorem 2 validation, milestones, optimality chain |
 //! | `sec44_preemptive` | §4.4 reconstruction statistics |
+//! | `campaign` | the §6 tournament → `CAMPAIGN_PR4.json` / `.md` |
+//! | `bench-report` | quick-mode perf medians → `BENCH_PR3.json` |
 //!
 //! This library holds the small table/CSV rendering helpers they share.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlflow_bench::{f3, render_table};
+//!
+//! let table = render_table(
+//!     &["policy", "mean ratio"],
+//!     &[
+//!         vec!["MCT".into(), f3(5.646)],
+//!         vec!["OLA".into(), f3(1.003)],
+//!     ],
+//! );
+//! assert!(table.lines().count() == 4 && table.contains("OLA"));
+//! ```
 
 #![warn(missing_docs)]
 

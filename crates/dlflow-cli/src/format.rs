@@ -1,24 +1,10 @@
-//! The `.dlf` instance file format.
+//! Parser for the `.dlf` instance file format.
 //!
-//! A line-based plain-text description of a scheduling instance:
-//!
-//! ```text
-//! # comments and blank lines are ignored
-//! job <release> <weight> [name]     # one line per job, in any order
-//! machine <c1> <c2> ... <cn>        # one line per machine; one cost per job
-//! ```
-//!
-//! Costs are decimal numbers or exact rationals (`3/2`); `inf`, `-`, or
-//! `x` mark an absent databank (the job cannot run on that machine).
-//!
-//! Example (2 jobs, 2 machines):
-//!
-//! ```text
-//! job 0 1 blast-query
-//! job 1 2 prosite-scan
-//! machine 4 2
-//! machine 8 inf
-//! ```
+//! The format itself — grammar, number syntax, availability markers,
+//! semantics — is documented in `docs/FORMATS.md`, side by side with the
+//! campaign config format. In one line: `job <release> <weight> [name]`
+//! per job, then `machine <c1> … <cn>` per machine with `inf` marking an
+//! absent databank; numbers parse as exact rationals.
 
 use dlflow_core::instance::{Cost, Instance, Job};
 use dlflow_num::Rat;

@@ -1,0 +1,43 @@
+//! # dlflow-cli — the `dlflow` command-line front end
+//!
+//! One binary, five subcommands, mapping one-to-one onto the library's
+//! entry points:
+//!
+//! | subcommand | library entry point | paper artefact |
+//! |---|---|---|
+//! | `makespan` | `dlflow_core::makespan::min_makespan` | Theorem 1 |
+//! | `maxflow` (`--preemptive`, `--stretch`) | `dlflow_core::maxflow` | Theorem 2 / §4.4 |
+//! | `deadline` | `dlflow_core::deadline` | Lemma 1 |
+//! | `milestones` | `dlflow_core::milestones` | the Theorem-2 breakpoints |
+//! | `campaign` (`--out`, `--serial`) | `dlflow_sim::campaign` | the §6 tournament |
+//!
+//! Instances are read from `.dlf` text files (parsed by [`mod@format`]
+//! into exact-rational `Instance<Rat>` values) and campaigns from campaign
+//! config files; both formats are documented in `docs/FORMATS.md`.
+//! `--gantt [width]` renders ASCII charts for any schedule-producing
+//! subcommand.
+//!
+//! This crate's library target exists for the parser and for end-to-end
+//! tests; the binary (`src/main.rs`) is a thin argument-handling shell
+//! over it.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlflow_cli::format::parse_instance;
+//! use dlflow_core::maxflow::min_max_weighted_flow_divisible;
+//!
+//! let inst = parse_instance("
+//!     job 0 1 blast-query
+//!     job 1 2 prosite-scan
+//!     machine 4 2
+//!     machine 8 inf     # second databank absent here
+//! ").unwrap();
+//! let out = min_max_weighted_flow_divisible(&inst);
+//! dlflow_core::validate::validate(&inst, &out.schedule).unwrap();
+//! assert_eq!(out.schedule.max_weighted_flow(&inst), out.optimum);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod format;

@@ -8,12 +8,17 @@
 //! dlflow deadline  <instance.dlf> <d1> <d2> … [--preemptive]
 //!                                            Lemma 1: deadline feasibility
 //! dlflow milestones <instance.dlf>           list the Theorem-2 milestones
+//! dlflow campaign  <config> [options]        §6 scheduler tournament
+//!     --out <prefix>   write <prefix>.json + <prefix>.md
+//!     --serial         single-threaded (determinism oracle)
 //! Common options: --gantt [width]            draw an ASCII Gantt chart
 //! ```
 //!
-//! Instance files use the `.dlf` format documented in [`format`].
+//! Instance files use the `.dlf` format and campaign files the campaign
+//! config format, both documented in `docs/FORMATS.md` (and summarized
+//! in `dlflow_cli::format` / `dlflow_sim::campaign`).
 
-pub mod format;
+use dlflow_cli::format;
 
 use dlflow_core::deadline::{deadline_feasible_divisible, deadline_feasible_preemptive};
 use dlflow_core::gantt::render_gantt;
@@ -32,16 +37,21 @@ usage:
   dlflow maxflow    <instance.dlf> [--preemptive] [--stretch] [--gantt [width]]
   dlflow deadline   <instance.dlf> <d1> <d2> ... [--preemptive] [--gantt [width]]
   dlflow milestones <instance.dlf>
+  dlflow campaign   <config> [--out <prefix>] [--serial]
 
 instance format (.dlf):
   job <release> <weight> [name]        one line per job
   machine <c1> <c2> ... <cn>           one cost per job; 'inf' = unavailable
-  numbers: integers, decimals, or exact rationals like 3/2";
+  numbers: integers, decimals, or exact rationals like 3/2
+
+both formats are documented in docs/FORMATS.md";
 
 struct Opts {
     preemptive: bool,
     stretch: bool,
     gantt: Option<usize>,
+    out: Option<String>,
+    serial: bool,
     positional: Vec<String>,
 }
 
@@ -50,6 +60,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         preemptive: false,
         stretch: false,
         gantt: None,
+        out: None,
+        serial: false,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -57,6 +69,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         match args[i].as_str() {
             "--preemptive" => o.preemptive = true,
             "--stretch" => o.stretch = true,
+            "--serial" => o.serial = true,
+            "--out" => {
+                let Some(prefix) = args.get(i + 1) else {
+                    return Err("--out expects an output prefix".into());
+                };
+                o.out = Some(prefix.clone());
+                i += 1;
+            }
             "--gantt" => {
                 o.gantt = Some(60);
                 if let Some(w) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
@@ -192,6 +212,30 @@ fn run() -> Result<(), String> {
             );
             for f in ms {
                 println!("  F = {f}");
+            }
+        }
+        "campaign" => {
+            let [path] = &opts.positional[..] else {
+                return Err("campaign: expected exactly one config file".into());
+            };
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let cfg =
+                dlflow_sim::campaign::parse_campaign(&text).map_err(|e| format!("{path}: {e}"))?;
+            let report = if opts.serial {
+                dlflow_sim::campaign::run_campaign_serial(&cfg)
+            } else {
+                dlflow_sim::campaign::run_campaign(&cfg)
+            }?;
+            print!("{}", report.to_markdown());
+            if let Some(prefix) = &opts.out {
+                let json = format!("{prefix}.json");
+                let md = format!("{prefix}.md");
+                std::fs::write(&json, report.to_json())
+                    .map_err(|e| format!("cannot write {json}: {e}"))?;
+                std::fs::write(&md, report.to_markdown())
+                    .map_err(|e| format!("cannot write {md}: {e}"))?;
+                println!("\nwrote {json} and {md}");
             }
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),

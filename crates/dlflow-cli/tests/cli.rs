@@ -129,6 +129,51 @@ fn errors_are_reported_with_context() {
     assert!(stderr.contains("usage"), "{stderr}");
 }
 
+const CAMPAIGN_CFG: &str = "\
+name clitest
+seeds 2
+sigbits 10
+platform p servers=2 banks=3 heterogeneity=2
+workload w jobs=4 load=1.0
+scheduler mct
+scheduler srpt
+";
+
+#[test]
+fn campaign_subcommand_prints_and_writes_reports() {
+    let f = write_instance(CAMPAIGN_CFG);
+    let prefix = std::env::temp_dir().join(format!("dlflow-cli-camp-{}", std::process::id()));
+    let prefix = prefix.to_str().unwrap().to_string();
+    let (ok, stdout, stderr) = run(&["campaign", f.as_str()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Campaign `clitest`"), "{stdout}");
+    assert!(stdout.contains("Head-to-head"), "{stdout}");
+
+    // --serial produces byte-identical output.
+    let (ok2, stdout2, _) = run(&["campaign", f.as_str(), "--serial"]);
+    assert!(ok2);
+    assert_eq!(stdout, stdout2);
+
+    let (ok3, _, stderr3) = run(&["campaign", f.as_str(), "--out", &prefix]);
+    assert!(ok3, "{stderr3}");
+    let json = std::fs::read_to_string(format!("{prefix}.json")).unwrap();
+    assert!(json.contains("\"campaign\": \"clitest\""));
+    assert!(json.contains("\"stretch_ratio\""));
+    let md = std::fs::read_to_string(format!("{prefix}.md")).unwrap();
+    assert!(md.contains("| scheduler |"));
+    let _ = std::fs::remove_file(format!("{prefix}.json"));
+    let _ = std::fs::remove_file(format!("{prefix}.md"));
+}
+
+#[test]
+fn campaign_config_errors_have_context() {
+    let bad = write_instance("name x\nfrob 1\n");
+    let (ok, _, stderr) = run(&["campaign", bad.as_str()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(stderr.contains("frob"), "{stderr}");
+}
+
 #[test]
 fn stretch_flag_reweights() {
     let f = write_instance(DEMO);

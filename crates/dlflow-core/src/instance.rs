@@ -5,7 +5,7 @@
 //! `M_i` to process the whole of job `J_j`, possibly infinite when the
 //! databank required by `J_j` is not replicated on `M_i`.
 
-use dlflow_num::Scalar;
+use dlflow_num::{Rat, Scalar};
 use std::fmt;
 
 /// Per-job data.
@@ -279,6 +279,8 @@ impl<S: Scalar> Instance<S> {
     }
 
     /// Maps the instance's scalar type (e.g. `f64` instance → exact `Rat`).
+    /// See [`Instance::quantize_dyadic`] / [`Instance::to_exact`] for the
+    /// round-tripping pair built on top of this.
     pub fn map_scalar<T: Scalar>(&self, f: impl Fn(&S) -> T) -> Instance<T> {
         Instance {
             jobs: self
@@ -303,6 +305,84 @@ impl<S: Scalar> Instance<S> {
                 })
                 .collect(),
         }
+    }
+}
+
+/// Rounds a non-negative `f64` to `bits` significand bits: the result is
+/// `k · 2^e` with `k < 2^bits`, exactly representable in `f64` and as a
+/// small dyadic rational. Non-positive values round to 0.
+pub fn round_sig_bits(v: f64, bits: u32) -> f64 {
+    assert!((1..=52).contains(&bits), "bits must be in 1..=52");
+    if v <= 0.0 {
+        return 0.0;
+    }
+    let e = (v.log2().floor() as i32) - (bits as i32 - 1);
+    let scale = (e as f64).exp2();
+    (v / scale).round() * scale
+}
+
+impl Instance<f64> {
+    /// Rounds every release, weight, and finite cost to the dyadic grid
+    /// `k / denom` (clamping positive values that would round to zero up
+    /// to `1/denom`). Every resulting value is exactly representable in
+    /// `f64` *and* converts losslessly to a small-denominator [`Rat`], so
+    /// a quantized instance can be simulated in `f64` and solved exactly
+    /// with Theorem 2 — on *the same* instance. This is how campaign runs
+    /// obtain an exact offline yardstick for float simulations.
+    pub fn quantize_dyadic(&self, denom: i64) -> Instance<f64> {
+        assert!(denom > 0, "grid denominator must be positive");
+        let g = denom as f64;
+        let q = |v: &f64| -> f64 {
+            let k = (v * g).round();
+            if *v > 0.0 && k == 0.0 {
+                1.0 / g
+            } else {
+                k / g
+            }
+        };
+        self.map_scalar(q)
+    }
+
+    /// Converts an (already dyadic-quantized) instance to exact rationals
+    /// with denominator `denom`. Panics (in debug builds) if a value is
+    /// not on the grid — call [`Instance::quantize_dyadic`] first.
+    pub fn to_exact(&self, denom: i64) -> Instance<Rat> {
+        assert!(denom > 0, "grid denominator must be positive");
+        let g = denom as f64;
+        self.map_scalar(|v| {
+            let k = (v * g).round();
+            debug_assert!(
+                (v * g - k).abs() < 1e-9,
+                "value {v} is not on the 1/{denom} grid; quantize first"
+            );
+            Rat::from_ratio(k as i64, denom)
+        })
+    }
+
+    /// Rounds every value to `bits` significand bits via
+    /// [`round_sig_bits`], preserving *relative* precision across
+    /// magnitudes — unlike the fixed grid of
+    /// [`Instance::quantize_dyadic`], a 0.03-second job and a 600-second
+    /// job both keep `bits` bits. Every result is exactly representable
+    /// in `f64` and converts to a [`Rat`] with a `bits`-bit numerator via
+    /// [`Instance::to_exact_dyadic`], keeping the exact Theorem-2
+    /// yardstick in fast inline arithmetic.
+    ///
+    /// Note: rounding each cost independently destroys an exact
+    /// `c[i][j] = W_j·s_i` factorization; to keep the
+    /// [`crate::uniform`] fast path applicable, quantize the *factors*
+    /// (sizes and cycle times) with [`round_sig_bits`] before building
+    /// the instance instead.
+    pub fn quantize_sig_bits(&self, bits: u32) -> Instance<f64> {
+        self.map_scalar(|v| round_sig_bits(*v, bits))
+    }
+
+    /// Losslessly converts each (finite, dyadic) `f64` to an exact
+    /// [`Rat`]. Pair with [`Instance::quantize_sig_bits`]: conversion is
+    /// always exact, but the rationals stay small (fast) only when the
+    /// values carry few significand bits.
+    pub fn to_exact_dyadic(&self) -> Instance<Rat> {
+        self.map_scalar(|v| Rat::from_f64(*v))
     }
 }
 
@@ -449,5 +529,87 @@ mod tests {
         let inst = two_job_instance().map_scalar(|v| Rat::from_f64(*v));
         assert_eq!(inst.cost(0, 1).finite().unwrap(), &Rat::from_i64(2));
         assert_eq!(inst.job(1).release, Rat::from_i64(2));
+    }
+
+    #[test]
+    fn quantize_dyadic_rounds_to_grid_and_clamps_zero() {
+        let mut b = InstanceBuilder::new();
+        b.job(0.1234, 1.0);
+        b.machine(vec![Some(3.1)]);
+        let inst = b.build().unwrap();
+        let q = inst.quantize_dyadic(16);
+        // 0.1234·16 = 1.9744 → 2/16; 3.1·16 = 49.6 → 50/16.
+        assert_eq!(q.job(0).release, 2.0 / 16.0);
+        assert_eq!(q.cost(0, 0).finite().unwrap(), &(50.0 / 16.0));
+
+        // A tiny positive cost clamps to 1/denom instead of 0.
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.machine(vec![Some(1e-9)]);
+        let inst = b.build().unwrap();
+        let q = inst.quantize_dyadic(16);
+        assert_eq!(q.cost(0, 0).finite().unwrap(), &(1.0 / 16.0));
+    }
+
+    #[test]
+    fn round_sig_bits_keeps_relative_precision() {
+        for v in [0.0312, 1.0, 3.7, 641.3, 1.9e6] {
+            let q = round_sig_bits(v, 12);
+            assert!((q - v).abs() / v < 1.0 / 2048.0, "{v} → {q}");
+            // Exactly dyadic: converting to Rat and back is lossless.
+            assert_eq!(Rat::from_f64(q).to_f64(), q);
+            // 12 significand bits: q / 2^⌊log2 q⌋−11 is a small integer.
+            let e = (q.log2().floor() as i32) - 11;
+            let k = q / (e as f64).exp2();
+            assert_eq!(k, k.round());
+            assert!(k <= 4096.0);
+        }
+        assert_eq!(round_sig_bits(0.0, 12), 0.0);
+        assert_eq!(round_sig_bits(-3.0, 12), 0.0);
+        // Powers of two are fixed points.
+        assert_eq!(round_sig_bits(0.25, 4), 0.25);
+    }
+
+    #[test]
+    fn quantize_sig_bits_and_exact_dyadic_round_trip() {
+        let mut b = InstanceBuilder::new();
+        b.job(0.123456, 1.0);
+        b.job(98.7654, 2.0);
+        b.machine(vec![Some(4.2e-3), Some(0.9)]);
+        b.machine(vec![Some(7.7e4), None]);
+        let inst = b.build().unwrap().quantize_sig_bits(10);
+        let exact = inst.to_exact_dyadic();
+        for j in 0..2 {
+            assert_eq!(exact.job(j).release.to_f64(), inst.job(j).release);
+            for i in 0..2 {
+                match (inst.cost(i, j), exact.cost(i, j)) {
+                    (Cost::Finite(f), Cost::Finite(r)) => assert_eq!(r.to_f64(), *f),
+                    (Cost::Infinite, Cost::Infinite) => {}
+                    _ => panic!("availability changed under conversion"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn to_exact_round_trips_quantized_values() {
+        let mut b = InstanceBuilder::new();
+        b.job(0.7, 2.0);
+        b.job(1.3, 5.0);
+        b.machine(vec![Some(4.2), Some(0.9)]);
+        b.machine(vec![Some(7.7), None]);
+        let inst = b.build().unwrap().quantize_dyadic(32);
+        let exact = inst.to_exact(32);
+        for j in 0..2 {
+            assert_eq!(exact.job(j).release.to_f64(), inst.job(j).release);
+            assert_eq!(exact.job(j).weight.to_f64(), inst.job(j).weight);
+            for i in 0..2 {
+                match (inst.cost(i, j), exact.cost(i, j)) {
+                    (Cost::Finite(f), Cost::Finite(r)) => assert_eq!(r.to_f64(), *f),
+                    (Cost::Infinite, Cost::Infinite) => {}
+                    _ => panic!("availability changed under conversion"),
+                }
+            }
+        }
     }
 }

@@ -45,7 +45,7 @@ pub enum ScheduleKind {
 pub struct Schedule<S> {
     /// `machines[i]` = time-ordered slices on machine `i`.
     pub machines: Vec<Vec<Slice<S>>>,
-    /// Claimed execution model (checked by [`crate::validate`]).
+    /// Claimed execution model (checked by [`crate::validate::validate`]).
     pub kind: ScheduleKind,
 }
 

@@ -17,6 +17,12 @@
 //! scheduling theory consumes: linearity, intercept asymmetry, and the
 //! restricted-availability placement structure.
 //!
+//! [`platform`] turns fleets of databank servers plus request batches
+//! into scheduling instances (uniform machines with restricted
+//! availabilities, §3), and its [`PlatformFamily`] / [`RequestFamily`]
+//! parameterize whole *distributions* of platforms and load-calibrated
+//! workloads — the axes the `dlflow-sim` campaign engine sweeps.
+//!
 //! ## Example
 //!
 //! ```
@@ -43,6 +49,9 @@ pub mod sequence;
 pub use cost_model::{linear_regression, CostModel};
 pub use databank::{Databank, DatabankSpec};
 pub use motif::Motif;
-pub use platform::{random_requests, PlatformSpec, Request, ServerSpec};
+pub use platform::{
+    fastest_scan_seconds, random_requests, PlatformFamily, PlatformSpec, Request, RequestFamily,
+    ServerSpec,
+};
 pub use scan::{invoke, scan_databank, Match, ScanReport};
 pub use sequence::{parse_fasta, to_fasta, ProteinSequence};

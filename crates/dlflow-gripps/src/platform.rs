@@ -8,9 +8,15 @@
 //! identifies (a special case of unrelated machines).
 
 use crate::cost_model::CostModel;
-use dlflow_core::instance::{Instance, InstanceError};
+use dlflow_core::instance::{round_sig_bits, Instance, InstanceError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Cycle times in [`PlatformSpec::instance_dyadic`] are rounded to this
+/// many significand bits (sizes get the caller's `sig_bits`); the
+/// per-cost product then carries `sig_bits + CYCLE_SIG_BITS` bits, still
+/// far inside `f64`/inline-`Rat` range.
+pub const CYCLE_SIG_BITS: u32 = 8;
 
 /// One sequence-comparison server.
 #[derive(Clone, Debug)]
@@ -108,13 +114,31 @@ impl PlatformSpec {
         requests: &[Request],
         model: &CostModel,
     ) -> Result<Instance<f64>, InstanceError> {
+        self.build_instance(requests, model, |v| v, |v| v)
+    }
+
+    /// Shared body of [`PlatformSpec::instance`] /
+    /// [`PlatformSpec::instance_dyadic`]: `round_time` is applied to
+    /// request sizes and releases, `round_cycle` to server cycle times,
+    /// *before* the cost products are formed.
+    fn build_instance(
+        &self,
+        requests: &[Request],
+        model: &CostModel,
+        round_time: impl Fn(f64) -> f64,
+        round_cycle: impl Fn(f64) -> f64,
+    ) -> Result<Instance<f64>, InstanceError> {
         let sizes: Vec<f64> = requests
             .iter()
-            .map(|r| self.request_work(r) * model.seconds_per_unit)
+            .map(|r| round_time(self.request_work(r) * model.seconds_per_unit))
             .collect();
-        let releases: Vec<f64> = requests.iter().map(|r| r.release).collect();
+        let releases: Vec<f64> = requests.iter().map(|r| round_time(r.release)).collect();
         let weights: Vec<f64> = requests.iter().map(|r| r.weight).collect();
-        let cycle: Vec<f64> = self.servers.iter().map(|s| s.cycle_time).collect();
+        let cycle: Vec<f64> = self
+            .servers
+            .iter()
+            .map(|s| round_cycle(s.cycle_time))
+            .collect();
         let avail: Vec<Vec<bool>> = self
             .servers
             .iter()
@@ -126,6 +150,113 @@ impl PlatformSpec {
             })
             .collect();
         Instance::uniform_restricted(&sizes, &releases, &weights, &cycle, &avail)
+    }
+
+    /// Like [`PlatformSpec::instance`], but every size/release is rounded
+    /// to `sig_bits` significand bits and every cycle time to
+    /// [`CYCLE_SIG_BITS`] **before** the cost products are formed. The
+    /// resulting `f64` instance is exactly dyadic (lossless under
+    /// `Instance::to_exact_dyadic`) *and* still factorizes exactly as
+    /// `c[i][j] = W_j·s_i`, so the exact Theorem-2 yardstick can use the
+    /// combinatorial max-flow probe of `dlflow_core::uniform` instead of
+    /// LP probes. This is the instance builder campaign runs use.
+    pub fn instance_dyadic(
+        &self,
+        requests: &[Request],
+        model: &CostModel,
+        sig_bits: u32,
+    ) -> Result<Instance<f64>, InstanceError> {
+        self.build_instance(
+            requests,
+            model,
+            |v| round_sig_bits(v, sig_bits),
+            |v| round_sig_bits(v, CYCLE_SIG_BITS),
+        )
+    }
+}
+
+/// Seconds the *fastest* holder of the request's databank needs for the
+/// scan (ignoring the per-invocation overhead, like
+/// [`PlatformSpec::instance`]). Returns `None` when no server holds the
+/// databank.
+pub fn fastest_scan_seconds(
+    platform: &PlatformSpec,
+    model: &CostModel,
+    req: &Request,
+) -> Option<f64> {
+    let work = platform.request_work(req) * model.seconds_per_unit;
+    platform
+        .servers
+        .iter()
+        .filter(|s| s.databanks.contains(&req.databank))
+        .map(|s| s.cycle_time * work)
+        .min_by(|a, b| a.partial_cmp(b).unwrap())
+}
+
+/// A named, parameterized family of random platforms: one concrete
+/// [`PlatformSpec`] per seed, all drawn from the same knob settings.
+/// Campaign configs sweep the cross-product of platform families ×
+/// workload families × seeds (see `dlflow-sim`'s campaign module).
+#[derive(Clone, Debug)]
+pub struct PlatformFamily {
+    /// Family name, used as the `platform` column of campaign reports.
+    pub name: String,
+    /// Number of databank servers.
+    pub n_servers: usize,
+    /// Number of distinct databanks.
+    pub n_databanks: usize,
+    /// Cycle-time heterogeneity: cycle ∈ `[1, heterogeneity]`.
+    pub heterogeneity: f64,
+}
+
+impl PlatformFamily {
+    /// Draws the family's platform for `seed`.
+    pub fn realize(&self, seed: u64) -> PlatformSpec {
+        PlatformSpec::random(self.n_servers, self.n_databanks, self.heterogeneity, seed)
+    }
+}
+
+/// A named, parameterized family of request batches. Arrival times are
+/// expressed through a *load factor* rather than absolute seconds: after
+/// drawing the batch, release dates are scaled so that
+///
+/// ```text
+/// load = Σ_j fastest_scan_seconds(j)  /  (n_servers · span)
+/// ```
+///
+/// i.e. `load = 1` offers exactly as much work as the fleet could absorb
+/// running flat out on fastest replicas over the arrival span; `load > 1`
+/// over-subscribes it (the stretch-interesting regime), `load < 1`
+/// leaves slack. This makes one workload family meaningful across
+/// platform families of different sizes and speeds.
+#[derive(Clone, Debug)]
+pub struct RequestFamily {
+    /// Family name, used as the `workload` column of campaign reports.
+    pub name: String,
+    /// Requests per batch.
+    pub n_requests: usize,
+    /// Offered-load factor (see type docs). Must be positive.
+    pub load: f64,
+}
+
+impl RequestFamily {
+    /// Draws the family's request batch for `seed` against a platform,
+    /// scaling releases to the family's load factor.
+    pub fn realize(&self, platform: &PlatformSpec, model: &CostModel, seed: u64) -> Vec<Request> {
+        assert!(self.load > 0.0, "load factor must be positive");
+        let mut reqs = random_requests(platform, self.n_requests, 1.0, seed);
+        let total_fastest: f64 = reqs
+            .iter()
+            .map(|r| {
+                fastest_scan_seconds(platform, model, r)
+                    .expect("random_requests only targets placed databanks")
+            })
+            .sum();
+        let span = total_fastest / (platform.servers.len() as f64 * self.load);
+        for r in &mut reqs {
+            r.release *= span;
+        }
+        reqs
     }
 }
 
@@ -223,6 +354,121 @@ mod tests {
             weight: 1.0,
         }];
         assert!(p.instance(&reqs, &CostModel::paper_scale()).is_err());
+    }
+
+    #[test]
+    fn instance_dyadic_is_lossless_and_still_uniform() {
+        use dlflow_core::uniform::uniform_factors;
+        let p = PlatformSpec::random(4, 5, 3.0, 42);
+        let model = CostModel::paper_scale();
+        let reqs = random_requests(&p, 8, 100.0, 7);
+        let inst = p.instance_dyadic(&reqs, &model, 12).unwrap();
+        let exact = inst.to_exact_dyadic();
+        // Lossless f64 ↔ Rat round trip on every finite entry.
+        for j in 0..inst.n_jobs() {
+            assert_eq!(exact.job(j).release.to_f64(), inst.job(j).release);
+            for i in 0..inst.n_machines() {
+                if let Some(c) = inst.cost(i, j).finite() {
+                    assert_eq!(exact.cost(i, j).finite().unwrap().to_f64(), *c);
+                }
+            }
+        }
+        // The quantized exact instance still factorizes c[i][j] = W_j·s_i,
+        // so the combinatorial uniform fast path stays applicable.
+        assert!(uniform_factors(&exact).is_some());
+        // And costs are within 2^-7 relative of the unquantized builder.
+        let raw = p.instance(&reqs, &model).unwrap();
+        for j in 0..raw.n_jobs() {
+            for i in 0..raw.n_machines() {
+                if let (Some(a), Some(b)) = (raw.cost(i, j).finite(), inst.cost(i, j).finite()) {
+                    assert!((a - b).abs() / a < 1.0 / 128.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn request_family_hits_its_load_factor() {
+        let model = CostModel::paper_scale();
+        for (seed, load) in [(1u64, 0.5f64), (2, 1.0), (3, 2.5)] {
+            let plat = PlatformFamily {
+                name: "t".into(),
+                n_servers: 4,
+                n_databanks: 5,
+                heterogeneity: 3.0,
+            }
+            .realize(seed);
+            let fam = RequestFamily {
+                name: "w".into(),
+                n_requests: 12,
+                load,
+            };
+            let reqs = fam.realize(&plat, &model, seed);
+            assert_eq!(reqs.len(), 12);
+            let total: f64 = reqs
+                .iter()
+                .map(|r| fastest_scan_seconds(&plat, &model, r).unwrap())
+                .sum();
+            let span = total / (plat.servers.len() as f64 * load);
+            let max_release = reqs.iter().map(|r| r.release).fold(0.0f64, f64::max);
+            // Releases were drawn uniformly in [0, 1) then scaled by span.
+            assert!(max_release < span);
+            assert!(max_release > 0.0);
+        }
+    }
+
+    #[test]
+    fn families_are_deterministic_per_seed() {
+        let model = CostModel::paper_scale();
+        let fam = PlatformFamily {
+            name: "p".into(),
+            n_servers: 3,
+            n_databanks: 4,
+            heterogeneity: 2.0,
+        };
+        let w = RequestFamily {
+            name: "w".into(),
+            n_requests: 6,
+            load: 1.0,
+        };
+        let (p1, p2) = (fam.realize(9), fam.realize(9));
+        let (r1, r2) = (w.realize(&p1, &model, 5), w.realize(&p2, &model, 5));
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_eq!(a.release, b.release);
+            assert_eq!(a.databank, b.databank);
+            assert_eq!(a.n_motifs, b.n_motifs);
+        }
+        // A different seed produces a different batch.
+        let r3 = w.realize(&p1, &model, 6);
+        assert!(r1.iter().zip(&r3).any(|(a, b)| a.release != b.release));
+    }
+
+    #[test]
+    fn fastest_scan_seconds_prefers_fast_holders() {
+        let p = PlatformSpec {
+            servers: vec![
+                ServerSpec {
+                    cycle_time: 1.0,
+                    databanks: vec![],
+                },
+                ServerSpec {
+                    cycle_time: 2.0,
+                    databanks: vec![0],
+                },
+            ],
+            databank_residues: vec![1.0e6],
+        };
+        let model = CostModel::paper_scale();
+        let req = Request {
+            databank: 0,
+            n_motifs: 10.0,
+            release: 0.0,
+            weight: 1.0,
+        };
+        // Only the slow server holds the bank: its time is the answer.
+        let t = fastest_scan_seconds(&p, &model, &req).unwrap();
+        let expect = 2.0 * 1.0e6 * 10.0 * model.seconds_per_unit;
+        assert!((t - expect).abs() < 1e-9);
     }
 
     #[test]

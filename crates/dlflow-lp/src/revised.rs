@@ -9,7 +9,7 @@
 //!
 //! * **Pricing**: Dantzig (most negative reduced cost) by default — fast
 //!   in practice but can cycle on degenerate bases. After
-//!   [`DEGENERACY_STREAK`] consecutive pivots without objective progress
+//!   `DEGENERACY_STREAK` consecutive pivots without objective progress
 //!   the solver switches to **Bland's rule** until progress resumes,
 //!   which restores the termination guarantee (exactness over `Rat` makes
 //!   "no progress" detectable without tolerances).
@@ -21,8 +21,8 @@
 //!   feasible, which always holds for pure feasibility probes with a zero
 //!   objective). On any mismatch or failure it falls back to a cold solve.
 //!
-//! The seed's dense two-phase solver survives as
-//! [`crate::simplex::solve_dense`] and is the reference oracle in the
+//! The seed's dense two-phase solver survives as `solve_dense`
+//! ([`crate::simplex::solve`]) and is the reference oracle in the
 //! property tests.
 
 use crate::problem::{LpProblem, Rel, Sense};

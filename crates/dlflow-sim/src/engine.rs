@@ -61,6 +61,28 @@ pub struct SimResult {
     pub n_events: usize,
     /// Number of `plan` invocations.
     pub n_plans: usize,
+    /// Machine-seconds of occupied capacity per machine: the integral of
+    /// the shares each machine devoted to then-active jobs. Feeds the
+    /// utilization column of campaign reports.
+    pub busy: Vec<f64>,
+}
+
+impl SimResult {
+    /// Fleet utilization over the span `[first release, makespan]`:
+    /// total busy machine-seconds divided by total offered capacity.
+    /// Returns 0 for degenerate (zero-length) spans.
+    pub fn utilization(&self, inst: &Instance<f64>) -> f64 {
+        let first = (0..inst.n_jobs())
+            .map(|j| inst.job(j).release)
+            .fold(f64::INFINITY, f64::min);
+        let makespan = self.completions.iter().cloned().fold(0.0f64, f64::max);
+        let span = makespan - first;
+        if !span.is_finite() || span <= 0.0 {
+            return 0.0;
+        }
+        let total: f64 = self.busy.iter().sum();
+        total / (span * self.busy.len().max(1) as f64)
+    }
 }
 
 const EPS: f64 = 1e-9;
@@ -136,6 +158,7 @@ pub fn simulate(
     let mut completions = vec![f64::NAN; n];
     let mut n_events = 0usize;
     let mut n_plans = 0usize;
+    let mut busy = vec![0.0f64; m];
 
     // Admit initial arrivals.
     while next_arrival < n && inst.job(order[next_arrival]).release <= now + EPS {
@@ -154,6 +177,7 @@ pub fn simulate(
                 completions,
                 n_events,
                 n_plans,
+                busy,
             });
         }
         if active.is_empty() {
@@ -175,6 +199,7 @@ pub fn simulate(
 
         // Validate the allocation and compute per-job progress rates.
         let mut rate: Vec<f64> = vec![0.0; active.len()];
+        let mut machine_share = vec![0.0f64; m];
         for i in 0..m {
             let mut total = 0.0;
             for (aj, a) in active.iter().enumerate() {
@@ -203,6 +228,7 @@ pub fn simulate(
             if total > 1.0 + 1e-6 {
                 return Err(SimError::MachineOversubscribed { machine: i, total });
             }
+            machine_share[i] = total;
         }
 
         // Horizon: next arrival and earliest completion.
@@ -228,6 +254,9 @@ pub fn simulate(
         let dt = (t_next - now).max(0.0);
 
         // Integrate progress.
+        for i in 0..m {
+            busy[i] += machine_share[i] * dt;
+        }
         for (aj, a) in active.iter_mut().enumerate() {
             if rate[aj].is_infinite() {
                 a.remaining = 0.0;
@@ -271,8 +300,12 @@ pub struct RunMetrics {
     pub max_flow: f64,
     /// `max_j (C_j − r_j) / min_i c_{i,j}` — max stretch.
     pub max_stretch: f64,
+    /// `Σ_j (C_j − r_j) / min_i c_{i,j}` — sum stretch.
+    pub sum_stretch: f64,
     /// Mean flow.
     pub mean_flow: f64,
+    /// Total flow `Σ_j (C_j − r_j)`.
+    pub sum_flow: f64,
     /// Latest completion.
     pub makespan: f64,
 }
@@ -283,6 +316,7 @@ impl RunMetrics {
         let mut max_wf = 0.0f64;
         let mut max_f = 0.0f64;
         let mut max_s = 0.0f64;
+        let mut sum_s = 0.0f64;
         let mut sum_f = 0.0f64;
         let mut mk = 0.0f64;
         for (j, &c) in completions.iter().enumerate() {
@@ -293,6 +327,7 @@ impl RunMetrics {
             let fast = inst.fastest_cost(j);
             if fast > 0.0 {
                 max_s = max_s.max(flow / fast);
+                sum_s += flow / fast;
             }
             sum_f += flow;
             mk = mk.max(c);
@@ -301,7 +336,9 @@ impl RunMetrics {
             max_weighted_flow: max_wf,
             max_flow: max_f,
             max_stretch: max_s,
+            sum_stretch: sum_s,
             mean_flow: sum_f / completions.len().max(1) as f64,
+            sum_flow: sum_f,
             makespan: mk,
         }
     }
@@ -432,7 +469,33 @@ mod tests {
         assert_eq!(m.max_flow, 4.0);
         assert_eq!(m.max_weighted_flow, 4.0);
         assert_eq!(m.mean_flow, 3.0);
+        assert_eq!(m.sum_flow, 6.0);
         assert_eq!(m.makespan, 5.0);
         assert_eq!(m.max_stretch, 2.0); // (5−1)/2
+        assert_eq!(m.sum_stretch, 3.0); // 2/2 + 4/2
+    }
+
+    #[test]
+    fn busy_time_and_utilization_tracked() {
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.machine(vec![Some(2.0)]);
+        let inst = b.build().unwrap();
+        let res = simulate(&inst, &mut GreedyFirst).unwrap();
+        // The only machine is fully busy from 0 to 2.
+        assert!((res.busy[0] - 2.0).abs() < 1e-9);
+        assert!((res.utilization(&inst) - 1.0).abs() < 1e-9);
+
+        // Two machines, one job that only the first can run: the second
+        // idles, so fleet utilization is at most 1/2.
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.machine(vec![Some(2.0)]);
+        b.machine(vec![None]);
+        let inst = b.build().unwrap();
+        let res = simulate(&inst, &mut GreedyFirst).unwrap();
+        assert!((res.busy[0] - 2.0).abs() < 1e-9);
+        assert_eq!(res.busy[1], 0.0);
+        assert!((res.utilization(&inst) - 0.5).abs() < 1e-9);
     }
 }

@@ -1,18 +1,24 @@
-//! # dlflow-sim — online scheduling testbed
+//! # dlflow-sim — online scheduling testbed & campaign engine
 //!
 //! A deterministic fluid discrete-event simulator for divisible requests
 //! on unrelated machines, plus the online policies the paper's conclusion
 //! compares:
 //!
 //! * **MCT** (Minimum Completion Time) — the classical heuristic baseline,
-//! * FIFO / SRPT / weighted-age greedy variants,
+//! * FIFO / SRPT / SWRPT / weighted-age / round-robin greedy variants,
+//! * **EDF** on guessed deadlines — the deadline-driven heuristic,
 //! * **OLA** — the paper's proposal: re-solve the offline divisible
 //!   max-weighted-flow problem at every event (with a simple preemption
-//!   scheme for free, thanks to divisibility) and follow its rates.
+//!   scheme for free, thanks to divisibility) and follow its rates;
+//!   optionally throttled to re-solve at most once per interval.
 //!
-//! The `online_vs_mct` experiment binary in `dlflow-bench` uses this crate
-//! to reproduce the conclusion's claim that OLA "produces better schedules
-//! than classical scheduling heuristics like Minimum Completion Time".
+//! The [`campaign`] module batches all of this into the paper's §6-style
+//! evaluation: a (platform × workload × seed × scheduler) tournament,
+//! run in parallel, with every run scored against the **exact**
+//! Theorem-2 offline optimum. The `campaign` and `online_vs_mct`
+//! binaries in `dlflow-bench` use this crate to reproduce the
+//! conclusion's claim that OLA "produces better schedules than classical
+//! scheduling heuristics like Minimum Completion Time".
 //!
 //! ## Example
 //!
@@ -32,10 +38,15 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // rate-matrix code indexes machines/jobs in lockstep
 
+pub mod campaign;
 pub mod engine;
 pub mod schedulers;
 pub mod workload;
 
+pub use campaign::{
+    parse_campaign, run_campaign, run_campaign_serial, CampaignConfig, CampaignReport, RunRecord,
+    SchedulerSpec,
+};
 pub use engine::{
     simulate, ActiveJob, Allocation, OnlineScheduler, RunMetrics, SimError, SimResult,
 };

@@ -6,8 +6,9 @@ use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
 use dlflow_core::instance::Instance;
 
 /// Assigns jobs (in the order produced by `priority`, *descending*) to
-/// their fastest still-free machine.
-fn assign_by_priority(
+/// their fastest still-free machine. Shared by every list heuristic in
+/// this module and by [`crate::schedulers::edf::Edf`].
+pub(crate) fn assign_by_priority(
     active: &[ActiveJob],
     inst: &Instance<f64>,
     mut priority: impl FnMut(&ActiveJob) -> f64,
@@ -95,6 +96,34 @@ impl OnlineScheduler for WeightedAge {
     }
 }
 
+/// Shortest *Weighted* Remaining Processing Time first (SWRPT): the
+/// classical SRPT rule with the remaining time divided by the job's
+/// weight, so urgent (heavy) jobs jump the queue proportionally to their
+/// priority. On stretch-weighted instances (`w_j = 1/p_j`) this orders
+/// jobs by `remaining · p_j²`-style urgency — the standard online
+/// max-stretch heuristic the paper's comparison set includes.
+#[derive(Default)]
+pub struct Swrpt;
+
+impl Swrpt {
+    /// Fresh policy.
+    pub fn new() -> Self {
+        Swrpt
+    }
+}
+
+impl OnlineScheduler for Swrpt {
+    fn name(&self) -> String {
+        "SWRPT".into()
+    }
+    fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
+        assign_by_priority(active, inst, |a| {
+            let j = inst.job(a.id);
+            -(a.remaining * inst.fastest_cost(a.id)) / j.weight.max(1e-12)
+        })
+    }
+}
+
 /// First-in-first-out: earliest release first, fastest free machine.
 #[derive(Default)]
 pub struct FifoFastest;
@@ -156,6 +185,27 @@ mod tests {
         let res = simulate(&inst, &mut WeightedAge::new()).unwrap();
         // Heavy job must be served first.
         assert!(res.completions[1] < res.completions[0]);
+    }
+
+    #[test]
+    fn swrpt_prefers_heavy_jobs_at_equal_remaining() {
+        // Same size and release, different weights: the heavy job runs
+        // first because its weighted remaining time is smaller.
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.job(0.0, 5.0);
+        b.machine(vec![Some(4.0), Some(4.0)]);
+        let inst = b.build().unwrap();
+        let res = simulate(&inst, &mut Swrpt::new()).unwrap();
+        assert!(res.completions[1] < res.completions[0]);
+    }
+
+    #[test]
+    fn swrpt_matches_srpt_on_unit_weights() {
+        let inst = two_jobs_one_machine();
+        let a = simulate(&inst, &mut Swrpt::new()).unwrap();
+        let b = simulate(&inst, &mut Srpt::new()).unwrap();
+        assert_eq!(a.completions, b.completions);
     }
 
     #[test]

@@ -2,16 +2,24 @@
 //!
 //! * [`mct::Mct`] — Minimum Completion Time, the classical heuristic the
 //!   paper's conclusion names as the baseline its online adaptation beats.
-//! * [`greedy::Srpt`], [`greedy::WeightedAge`], [`greedy::FifoFastest`] —
-//!   further classical list heuristics (preemptive, non-divisible).
+//! * [`greedy::Srpt`], [`greedy::Swrpt`], [`greedy::WeightedAge`],
+//!   [`greedy::FifoFastest`], [`greedy::RoundRobin`] — further classical
+//!   list heuristics (preemptive, non-divisible).
+//! * [`edf::Edf`] — Earliest Deadline First on guessed deadlines
+//!   (`d̂_j = r_j + k·p̄_j/w_j`), the deadline-driven member of the
+//!   comparison set.
 //! * [`offline_adapt::OfflineAdapt`] — the paper's proposal: re-solve the
 //!   offline divisible max-weighted-flow problem at every event and follow
 //!   its first-interval rates (divisibility gives preemption for free).
+//!   Its [`min_resolve_interval`](offline_adapt::OfflineAdapt::min_resolve_interval)
+//!   throttles the re-solve cadence for cheap approximate variants.
 
+pub mod edf;
 pub mod greedy;
 pub mod mct;
 pub mod offline_adapt;
 
-pub use greedy::{FifoFastest, RoundRobin, Srpt, WeightedAge};
+pub use edf::Edf;
+pub use greedy::{FifoFastest, RoundRobin, Srpt, Swrpt, WeightedAge};
 pub use mct::Mct;
 pub use offline_adapt::OfflineAdapt;

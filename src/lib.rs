@@ -9,8 +9,13 @@
 //! | [`num`] | arbitrary-precision integers & exact rationals (from scratch) |
 //! | [`lp`] | two-phase primal simplex, generic over `f64` / exact `Rat` |
 //! | [`core`] | the paper: Systems (1)(2)(3)(5), milestones, Theorem 1 & 2, §4.4 |
-//! | [`gripps`] | the GriPPS application model: databanks, motifs, scanner, costs |
-//! | [`sim`] | online-scheduling simulator: MCT, FIFO, SRPT, weighted-age, OLA |
+//! | [`gripps`] | the GriPPS application model: databanks, motifs, scanner, costs, platform/workload families |
+//! | [`sim`] | online-scheduling simulator (MCT, FIFO, SRPT/SWRPT, weighted-age, EDF, OLA) and the §6 campaign tournament engine |
+//!
+//! Two companion binaries live outside the façade: `dlflow`
+//! (`dlflow-cli`: `makespan`/`maxflow`/`deadline`/`milestones`/`campaign`
+//! over the text formats in `docs/FORMATS.md`) and the `dlflow-bench`
+//! experiment drivers.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record of

@@ -35,14 +35,19 @@ pub mod prelude {
 /// The entry-point macro: a block of `#[test]` functions whose arguments are
 /// drawn from strategies.
 ///
-/// ```ignore
+/// ```
+/// use proptest::prelude::*;
+///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(64))]
-///     #[test]
+///     // Add #[test] above the fn when inside a test module; without it
+///     // the macro still generates a plain runner function, which lets
+///     // this doctest drive the 64 cases directly:
 ///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
 ///         prop_assert_eq!(a + b, b + a);
 ///     }
 /// }
+/// addition_commutes();
 /// ```
 #[macro_export]
 macro_rules! proptest {
