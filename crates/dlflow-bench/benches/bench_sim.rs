@@ -1,10 +1,12 @@
 //! Simulator benchmarks: full online runs per policy (the cost of the
-//! conclusion experiment's inner loop).
+//! conclusion experiment's inner loop), plus the large-trace engine
+//! throughput suite — the scaling curve of the incremental engine vs the
+//! legacy dense-allocation batch loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dlflow_sim::engine::simulate;
-use dlflow_sim::schedulers::{Mct, OfflineAdapt, Srpt};
-use dlflow_sim::workload::{generate, WorkloadSpec};
+use dlflow_sim::engine::{simulate, simulate_dense};
+use dlflow_sim::schedulers::{Mct, OfflineAdapt, Srpt, Swrpt};
+use dlflow_sim::workload::{generate, generate_trace, ArrivalProcess, TraceSpec, WorkloadSpec};
 
 fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("online_run");
@@ -29,5 +31,51 @@ fn bench_policies(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_policies);
+/// A stable-load synthetic trace: Poisson arrivals below fleet capacity,
+/// so the active set stays small no matter how long the trace runs —
+/// throughput then measures the per-event core, not queue blow-up.
+fn trace(n: usize) -> dlflow_sim::workload::Trace {
+    generate_trace(&TraceSpec {
+        n_requests: n,
+        n_machines: 3,
+        process: ArrivalProcess::Poisson { rate: 2.0 },
+        seed: 17,
+        ..Default::default()
+    })
+}
+
+fn bench_engine_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_trace");
+    g.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let t = trace(n);
+        g.bench_function(format!("swrpt_{n}"), |b| {
+            b.iter(|| std::hint::black_box(t.replay(&mut Swrpt::new()).unwrap().n_events));
+        });
+    }
+    g.finish();
+}
+
+fn bench_dense_vs_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense_vs_engine");
+    g.sample_size(10);
+    // The head-to-head at n = 5k: same requests, closed instance for the
+    // legacy loop, streamed trace for the engine.
+    let t = trace(5_000);
+    let inst = t.to_instance().expect("generated trace materializes");
+    g.bench_function("engine_5k", |b| {
+        b.iter(|| std::hint::black_box(t.replay(&mut Swrpt::new()).unwrap().n_events));
+    });
+    g.bench_function("legacy_dense_5k", |b| {
+        b.iter(|| std::hint::black_box(simulate_dense(&inst, &mut Swrpt::new()).unwrap().n_events));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_engine_trace,
+    bench_dense_vs_engine
+);
 criterion_main!(benches);

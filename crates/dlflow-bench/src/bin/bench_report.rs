@@ -1,12 +1,14 @@
 //! `bench-report` — quick-mode perf probe emitting machine-readable JSON.
 //!
 //! Runs a fixed, representative subset of the criterion suites
-//! (`bench_num`, `bench_simplex`, `bench_core`, `bench_gripps`) with a
-//! small measurement budget and writes per-bench **median** ns/iter to
-//! `BENCH_PR3.json` (override with `--out <path>`), establishing the perf
-//! trajectory across PRs. The Theorem-2 entry also records the
-//! `FlowStats` warm/cold probe split, the headline of the warm-start
-//! work.
+//! (`bench_num`, `bench_simplex`, `bench_core`, `bench_gripps`,
+//! `bench_sim`) with a small measurement budget and writes per-bench
+//! **median** ns/iter to `BENCH_PR5.json` (override with `--out <path>`),
+//! establishing the perf trajectory across PRs. The Theorem-2 entry also
+//! records the `FlowStats` warm/cold probe split (the PR-3 headline);
+//! the sim section records the incremental engine's large-trace scaling
+//! curve (1k/10k/100k arrivals) and its speedup over the legacy
+//! dense-allocation batch loop at n = 5k (the PR-5 headline).
 //!
 //! Usage: `cargo run --release -p dlflow-bench --bin bench-report`
 
@@ -17,7 +19,9 @@ use dlflow_gripps::databank::{Databank, DatabankSpec};
 use dlflow_gripps::motif::Motif;
 use dlflow_gripps::scan::scan_databank;
 use dlflow_num::Rat;
-use dlflow_sim::workload::{generate, WorkloadSpec};
+use dlflow_sim::engine::simulate_dense;
+use dlflow_sim::schedulers::Swrpt;
+use dlflow_sim::workload::{generate, generate_trace, ArrivalProcess, TraceSpec, WorkloadSpec};
 use std::time::Instant;
 
 /// Samples per benchmark; the median is reported.
@@ -25,23 +29,29 @@ const SAMPLES: usize = 7;
 /// Target wall-clock per sample.
 const SAMPLE_BUDGET_NS: u128 = 10_000_000; // 10 ms
 
-/// Times `routine` and returns the median ns per iteration.
-fn median_ns<O>(mut routine: impl FnMut() -> O) -> f64 {
+/// Times `routine` with `samples` samples and returns the median ns per
+/// iteration.
+fn median_ns_with<O>(samples: usize, mut routine: impl FnMut() -> O) -> f64 {
     // Calibrate the per-sample iteration count on one warm-up run.
     let t0 = Instant::now();
     std::hint::black_box(routine());
     let once = t0.elapsed().as_nanos().max(1);
     let iters = (SAMPLE_BUDGET_NS / once).clamp(1, 100_000) as usize;
-    let mut samples = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
         let t = Instant::now();
         for _ in 0..iters {
             std::hint::black_box(routine());
         }
-        samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        out.push(t.elapsed().as_nanos() as f64 / iters as f64);
     }
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[SAMPLES / 2]
+    out.sort_by(|a, b| a.total_cmp(b));
+    out[samples / 2]
+}
+
+/// Times `routine` and returns the median ns per iteration.
+fn median_ns<O>(routine: impl FnMut() -> O) -> f64 {
+    median_ns_with(SAMPLES, routine)
 }
 
 fn main() {
@@ -50,12 +60,12 @@ fn main() {
         args.iter()
             .position(|a| a == "--out")
             .and_then(|i| args.get(i + 1).cloned())
-            .unwrap_or_else(|| "BENCH_PR3.json".to_string())
+            .unwrap_or_else(|| "BENCH_PR5.json".to_string())
     };
 
     let mut entries: Vec<(String, f64)> = Vec::new();
     let mut push = |name: &str, ns: f64| {
-        println!("{name:<44} {ns:>14.1} ns/iter (median of {SAMPLES})");
+        println!("{name:<44} {ns:>14.1} ns/iter (median)");
         entries.push((name.to_string(), ns));
     };
 
@@ -153,11 +163,54 @@ fn main() {
         median_ns(|| scan_databank(&bank, &motifs).matches.len()),
     );
 
+    // --- bench_sim: the incremental engine's large-trace scaling curve
+    // (PR 5), plus the head-to-head against the legacy dense loop. ---
+    let make_trace = |n: usize| {
+        generate_trace(&TraceSpec {
+            n_requests: n,
+            n_machines: 3,
+            process: ArrivalProcess::Poisson { rate: 2.0 },
+            seed: 17,
+            ..Default::default()
+        })
+    };
+    let mut sim_scaling: Vec<(usize, f64, usize)> = Vec::new();
+    for (n, samples) in [(1_000usize, SAMPLES), (10_000, 3), (100_000, 3)] {
+        let t = make_trace(n);
+        let n_events = t.replay(&mut Swrpt::new()).unwrap().n_events;
+        let ns = median_ns_with(samples, || t.replay(&mut Swrpt::new()).unwrap().n_events);
+        push(&format!("sim/engine_trace_swrpt_{n}"), ns);
+        sim_scaling.push((n, ns, n_events));
+    }
+    // Speedup over the legacy dense-allocation batch loop at n = 5k.
+    let t5k = make_trace(5_000);
+    let inst5k = t5k.to_instance().expect("generated trace materializes");
+    let engine_ns = median_ns_with(3, || t5k.replay(&mut Swrpt::new()).unwrap().n_events);
+    let dense_ns = median_ns_with(3, || {
+        simulate_dense(&inst5k, &mut Swrpt::new()).unwrap().n_events
+    });
+    push("sim/engine_trace_swrpt_5k", engine_ns);
+    push("sim/legacy_dense_swrpt_5k", dense_ns);
+    let sim_speedup_5k = dense_ns / engine_ns;
+    println!("  engine vs legacy dense @5k: {sim_speedup_5k:.1}x");
+
     // --- JSON emission (no serde in the offline dependency set). ---
-    let mut json = String::from("{\n  \"pr\": 3,\n  \"mode\": \"quick\",\n");
+    let mut json = String::from("{\n  \"pr\": 5,\n  \"mode\": \"quick\",\n");
     json.push_str(&format!(
         "  \"samples_per_bench\": {SAMPLES},\n  \"theorem2_probe_stats\": {{\n    \"n_milestones\": {},\n    \"n_probes\": {},\n    \"n_warm_probes\": {},\n    \"n_cold_probes\": {}\n  }},\n",
         stats.n_milestones, stats.n_probes, stats.n_warm_probes, stats.n_cold_probes
+    ));
+    json.push_str("  \"sim_engine_scaling\": [\n");
+    for (i, (n, ns, n_events)) in sim_scaling.iter().enumerate() {
+        let comma = if i + 1 == sim_scaling.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"n_arrivals\": {n}, \"median_ns\": {ns:.1}, \"n_events\": {n_events}, \"events_per_sec\": {:.0}}}{comma}\n",
+            *n_events as f64 / (ns / 1e9)
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"sim_speedup_dense_to_engine_5k\": {sim_speedup_5k:.2},\n"
     ));
     json.push_str("  \"median_ns\": {\n");
     for (i, (name, ns)) in entries.iter().enumerate() {
@@ -179,4 +232,12 @@ fn main() {
             "expected warm-started probes on the Theorem-2 path: {stats:?}"
         );
     }
+
+    // Sanity: the incremental engine must clearly beat the legacy dense
+    // loop at 5k arrivals (the local headline is well above this CI-safe
+    // floor; the recorded number is the real measurement).
+    assert!(
+        sim_speedup_5k >= 4.0,
+        "engine speedup over the dense loop collapsed: {sim_speedup_5k:.2}x"
+    );
 }

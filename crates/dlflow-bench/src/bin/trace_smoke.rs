@@ -1,0 +1,66 @@
+//! `trace-smoke` — the engine-throughput CI smoke test.
+//!
+//! Replays a fixed 10k-request open-arrival trace (Poisson, seed 17)
+//! under SWRPT through the incremental engine, asserts the **exact**
+//! deterministic event count, and enforces a generous wall-clock budget
+//! (default 30 s, override with `--budget-s <secs>` for slow runners) —
+//! a few hundred times the local cost, so a regression back to
+//! O(m·n_total)-per-event behavior fails loudly while CI noise cannot.
+//!
+//! Usage: `cargo run --release -p dlflow-bench --bin trace-smoke`
+
+use dlflow_sim::schedulers::Swrpt;
+use dlflow_sim::workload::{generate_trace, ArrivalProcess, TraceSpec};
+use std::time::Instant;
+
+/// Requests in the smoke trace.
+const N: usize = 10_000;
+/// The deterministic event count of (trace seed 17, SWRPT): one
+/// admission per request plus one integration step per
+/// completion/arrival horizon the engine crossed.
+const EXPECTED_EVENTS: usize = 27_038;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget_s: f64 = args
+        .iter()
+        .position(|a| a == "--budget-s")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0);
+
+    let trace = generate_trace(&TraceSpec {
+        n_requests: N,
+        n_machines: 3,
+        process: ArrivalProcess::Poisson { rate: 2.0 },
+        seed: 17,
+        ..Default::default()
+    });
+
+    let t0 = Instant::now();
+    let stats = trace.replay(&mut Swrpt::new()).expect("replay completes");
+    let wall = t0.elapsed().as_secs_f64();
+
+    println!(
+        "replayed {} requests in {:.3}s: {} events ({:.0} events/s), {} plans, peak in-flight {}, max stretch {:.3}, utilization {:.3}",
+        stats.n_jobs,
+        wall,
+        stats.n_events,
+        stats.n_events as f64 / wall,
+        stats.n_plans,
+        stats.max_active,
+        stats.metrics.max_stretch,
+        stats.utilization,
+    );
+
+    assert_eq!(stats.n_jobs, N, "every request must complete");
+    assert_eq!(
+        stats.n_events, EXPECTED_EVENTS,
+        "event count drifted — the engine's event semantics changed"
+    );
+    assert!(
+        wall < budget_s,
+        "10k-request replay took {wall:.2}s, budget {budget_s}s"
+    );
+    assert!(stats.metrics.makespan.is_finite() && stats.metrics.makespan > 0.0);
+}

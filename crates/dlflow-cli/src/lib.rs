@@ -1,6 +1,6 @@
 //! # dlflow-cli — the `dlflow` command-line front end
 //!
-//! One binary, five subcommands, mapping one-to-one onto the library's
+//! One binary, six subcommands, mapping one-to-one onto the library's
 //! entry points:
 //!
 //! | subcommand | library entry point | paper artefact |
@@ -10,12 +10,15 @@
 //! | `deadline` | `dlflow_core::deadline` | Lemma 1 |
 //! | `milestones` | `dlflow_core::milestones` | the Theorem-2 breakpoints |
 //! | `campaign` (`--out`, `--serial`) | `dlflow_sim::campaign` | the §6 tournament |
+//! | `simulate` (`--scheduler`, `--json`) | `dlflow_sim::service` | the §5 online model, streamed |
 //!
 //! Instances are read from `.dlf` text files (parsed by [`mod@format`]
-//! into exact-rational `Instance<Rat>` values) and campaigns from campaign
-//! config files; both formats are documented in `docs/FORMATS.md`.
+//! into exact-rational `Instance<Rat>` values), open-arrival traces from
+//! `.dlt` files (replayed through the incremental engine with memory
+//! bound by the in-flight request count), and campaigns from campaign
+//! config files; all three formats are documented in `docs/FORMATS.md`.
 //! `--gantt [width]` renders ASCII charts for any schedule-producing
-//! subcommand.
+//! subcommand; `simulate --json` emits a byte-stable, replayable report.
 //!
 //! This crate's library target exists for the parser and for end-to-end
 //! tests; the binary (`src/main.rs`) is a thin argument-handling shell

@@ -11,12 +11,17 @@
 //! dlflow campaign  <config> [options]        §6 scheduler tournament
 //!     --out <prefix>   write <prefix>.json + <prefix>.md
 //!     --serial         single-threaded (determinism oracle)
+//! dlflow simulate  <instance.dlf|trace.dlt> [options]
+//!                                            replay one scheduler (incremental engine)
+//!     --scheduler <spec>  kind[:key=val,…], e.g. swrpt or ola:throttle=30
+//!     --json              machine-readable, byte-stable report
 //! Common options: --gantt [width]            draw an ASCII Gantt chart
 //! ```
 //!
-//! Instance files use the `.dlf` format and campaign files the campaign
-//! config format, both documented in `docs/FORMATS.md` (and summarized
-//! in `dlflow_cli::format` / `dlflow_sim::campaign`).
+//! Instance files use the `.dlf` format, open-arrival traces the `.dlt`
+//! format, and campaign files the campaign config format, all documented
+//! in `docs/FORMATS.md` (and summarized in `dlflow_cli::format` /
+//! `dlflow_sim::campaign` / `dlflow_sim::workload`).
 
 use dlflow_cli::format;
 
@@ -38,13 +43,21 @@ usage:
   dlflow deadline   <instance.dlf> <d1> <d2> ... [--preemptive] [--gantt [width]]
   dlflow milestones <instance.dlf>
   dlflow campaign   <config> [--out <prefix>] [--serial]
+  dlflow simulate   <instance.dlf|trace.dlt> [--scheduler <spec>] [--json]
 
 instance format (.dlf):
   job <release> <weight> [name]        one line per job
   machine <c1> <c2> ... <cn>           one cost per job; 'inf' = unavailable
   numbers: integers, decimals, or exact rationals like 3/2
 
-both formats are documented in docs/FORMATS.md";
+trace format (.dlt):
+  machines <ct1> <ct2> ... <ctm>       cycle time per machine
+  arrival <release> <size> <weight> <mask>   mask: 0/1 per machine, or '*'
+
+scheduler specs: mct fifo srpt swrpt rr wage edf[:target=k]
+  ola[:throttle=s,bisect=n]            (default: swrpt)
+
+all formats are documented in docs/FORMATS.md";
 
 struct Opts {
     preemptive: bool,
@@ -52,6 +65,8 @@ struct Opts {
     gantt: Option<usize>,
     out: Option<String>,
     serial: bool,
+    json: bool,
+    scheduler: Option<String>,
     positional: Vec<String>,
 }
 
@@ -62,6 +77,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         gantt: None,
         out: None,
         serial: false,
+        json: false,
+        scheduler: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -70,11 +87,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--preemptive" => o.preemptive = true,
             "--stretch" => o.stretch = true,
             "--serial" => o.serial = true,
+            "--json" => o.json = true,
             "--out" => {
                 let Some(prefix) = args.get(i + 1) else {
                     return Err("--out expects an output prefix".into());
                 };
                 o.out = Some(prefix.clone());
+                i += 1;
+            }
+            "--scheduler" => {
+                let Some(spec) = args.get(i + 1) else {
+                    return Err("--scheduler expects a spec like swrpt or ola:throttle=30".into());
+                };
+                o.scheduler = Some(spec.clone());
                 i += 1;
             }
             "--gantt" => {
@@ -236,6 +261,34 @@ fn run() -> Result<(), String> {
                 std::fs::write(&md, report.to_markdown())
                     .map_err(|e| format!("cannot write {md}: {e}"))?;
                 println!("\nwrote {json} and {md}");
+            }
+        }
+        "simulate" => {
+            let [path] = &opts.positional[..] else {
+                return Err(
+                    "simulate: expected exactly one instance (.dlf) or trace (.dlt) file".into(),
+                );
+            };
+            let spec_text = opts.scheduler.as_deref().unwrap_or("swrpt");
+            let spec = dlflow_sim::campaign::SchedulerSpec::parse_compact(spec_text)
+                .map_err(|e| format!("--scheduler {spec_text}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            // `.dlt` files are open-arrival traces; everything else is
+            // parsed as a closed `.dlf` instance.
+            let input = if path.ends_with(".dlt") {
+                let trace = dlflow_sim::workload::Trace::parse_dlt(&text)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                dlflow_sim::service::SimInput::Open(trace)
+            } else {
+                let inst = format::parse_instance(&text).map_err(|e| format!("{path}: {e}"))?;
+                dlflow_sim::service::SimInput::Closed(inst.map_scalar(|r| r.to_f64()))
+            };
+            let report = dlflow_sim::service::run_simulation(&input, &spec)?;
+            if opts.json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
             }
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),

@@ -19,9 +19,12 @@ mod tempfile_path {
 
     impl TempPath {
         pub fn new(content: &str) -> TempPath {
+            Self::with_ext(content, "dlf")
+        }
+        pub fn with_ext(content: &str, ext: &str) -> TempPath {
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
             let path = std::env::temp_dir().join(format!(
-                "dlflow-cli-test-{}-{}.dlf",
+                "dlflow-cli-test-{}-{}.{ext}",
                 std::process::id(),
                 n
             ));
@@ -180,4 +183,61 @@ fn stretch_flag_reweights() {
     let (ok, stdout, _) = run(&["maxflow", f.as_str(), "--stretch"]);
     assert!(ok);
     assert!(stdout.contains("max stretch"), "{stdout}");
+}
+
+const TRACE: &str = "\
+# two servers, three requests
+machines 1 2
+arrival 0 4 1 *
+arrival 1 2 2 10
+arrival 3 1 1 01
+";
+
+#[test]
+fn simulate_replays_instances_and_traces() {
+    // Closed .dlf instance: per-job completions in the JSON.
+    let f = write_instance(DEMO);
+    let (ok, stdout, _) = run(&["simulate", f.as_str(), "--scheduler", "srpt"]);
+    assert!(ok);
+    assert!(stdout.contains("SRPT over instance"), "{stdout}");
+    assert!(stdout.contains("makespan"), "{stdout}");
+
+    let (ok, json, _) = run(&["simulate", f.as_str(), "--scheduler", "srpt", "--json"]);
+    assert!(ok);
+    assert!(json.contains("\"scheduler\": \"SRPT\""), "{json}");
+    assert!(json.contains("\"completions\": ["), "{json}");
+
+    // Open .dlt trace: streamed, no completion vector, byte-stable.
+    let t = tempfile_path::TempPath::with_ext(TRACE, "dlt");
+    let (ok, j1, _) = run(&["simulate", t.as_str(), "--json"]); // default scheduler
+    assert!(ok, "{j1}");
+    assert!(j1.contains("\"input\": \"trace\""), "{j1}");
+    assert!(j1.contains("\"scheduler\": \"SWRPT\""), "{j1}");
+    assert!(j1.contains("\"n_jobs\": 3"), "{j1}");
+    assert!(!j1.contains("completions"), "{j1}");
+    let (ok, j2, _) = run(&["simulate", t.as_str(), "--json"]);
+    assert!(ok);
+    assert_eq!(j1, j2, "simulate reports must be replayable byte-for-byte");
+
+    // Scheduler options ride along in the compact spec.
+    let (ok, stdout, _) = run(&["simulate", t.as_str(), "--scheduler", "edf:target=3"]);
+    assert!(ok);
+    assert!(stdout.contains("EDF(k=3)"), "{stdout}");
+}
+
+#[test]
+fn simulate_errors_have_context() {
+    let (ok, _, stderr) = run(&["simulate", "/nonexistent/trace.dlt"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+
+    let t = tempfile_path::TempPath::with_ext("machines 1\narrival 0 1 1 0\n", "dlt");
+    let (ok, _, stderr) = run(&["simulate", t.as_str()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+
+    let f = write_instance(DEMO);
+    let (ok, _, stderr) = run(&["simulate", f.as_str(), "--scheduler", "zorp"]);
+    assert!(!ok);
+    assert!(stderr.contains("zorp"), "{stderr}");
 }

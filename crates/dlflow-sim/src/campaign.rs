@@ -7,8 +7,10 @@
 //! platform family × workload family × seed × scheduler
 //! ```
 //!
-//! through the event engine, in parallel over scenarios (vendored-rayon
-//! chunks), and aggregates per-run metrics into the statistics a
+//! through the incremental event engine (each run is a
+//! [`simulate`] drain of an [`Engine`](crate::engine::Engine)), in
+//! parallel over scenarios (vendored-rayon chunks), and aggregates
+//! per-run metrics into the statistics a
 //! methodology comparison needs: mean/median/p95/worst of the
 //! degradation ratio against the **exact** offline bound, head-to-head
 //! win matrices, and raw max-stretch / sum-stretch / makespan /
@@ -120,6 +122,31 @@ impl SchedulerSpec {
                 Box::new(ola)
             }
         }
+    }
+
+    /// Parses the compact one-token form used by `dlflow simulate
+    /// --scheduler`: `kind[:key=val[,key=val…]]`, e.g. `swrpt` or
+    /// `ola:throttle=30,bisect=20` — the same kinds and options as the
+    /// campaign config's `scheduler` lines.
+    pub fn parse_compact(spec: &str) -> Result<SchedulerSpec, String> {
+        let (kind, opts) = match spec.split_once(':') {
+            Some((k, o)) => (k, o),
+            None => (spec, ""),
+        };
+        let mut args = Vec::new();
+        for tok in opts.split(',').filter(|t| !t.is_empty()) {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("scheduler option {tok:?}: expected key=value"))?;
+            let v: f64 = v
+                .parse()
+                .map_err(|_| format!("scheduler option {tok:?}: bad number"))?;
+            if !v.is_finite() {
+                return Err(format!("scheduler option {tok:?}: number must be finite"));
+            }
+            args.push((k.to_string(), v));
+        }
+        SchedulerSpec::parse(kind, &args)
     }
 
     /// Parses `kind key=val…` tokens from a `scheduler` config line.
@@ -910,6 +937,30 @@ mod tests {
                 "{bad:?} error lacks a line number: {err}"
             );
         }
+    }
+
+    #[test]
+    fn compact_specs_parse_like_config_lines() {
+        assert_eq!(
+            SchedulerSpec::parse_compact("swrpt").unwrap(),
+            SchedulerSpec::Swrpt
+        );
+        assert_eq!(
+            SchedulerSpec::parse_compact("ola:throttle=30,bisect=20").unwrap(),
+            SchedulerSpec::Ola {
+                throttle: 30.0,
+                bisection: 20
+            }
+        );
+        assert_eq!(
+            SchedulerSpec::parse_compact("edf:target=3").unwrap(),
+            SchedulerSpec::Edf { target: 3.0 }
+        );
+        assert!(SchedulerSpec::parse_compact("zorp").is_err());
+        assert!(SchedulerSpec::parse_compact("ola:throttle").is_err());
+        assert!(SchedulerSpec::parse_compact("ola:throttle=x").is_err());
+        assert!(SchedulerSpec::parse_compact("ola:throttle=inf").is_err());
+        assert!(SchedulerSpec::parse_compact("mct:target=2").is_err());
     }
 
     #[test]

@@ -1,58 +1,234 @@
-//! Deterministic fluid discrete-event simulation engine.
+//! Incremental fluid discrete-event simulation engine.
 //!
-//! Jobs arrive at their release dates; between consecutive events the
-//! scheduler's allocation (a rate matrix) is integrated exactly; events
-//! are arrivals and completions. The engine enforces the model invariants
-//! (machine capacity, availability) and replays any online policy
-//! reproducibly — this is the testbed for the paper's concluding claim
-//! that an online adaptation of the offline algorithm beats MCT.
+//! The core is a resumable [`Engine`] state machine: arrivals are *pushed*
+//! into a binary-heap event queue ([`Engine::push_arrival`]), the engine
+//! advances one event at a time ([`Engine::step`]) or until it runs out of
+//! work ([`Engine::drain`]), and completions stream back out as they
+//! happen. Between consecutive events the scheduler's allocation (a sparse
+//! rate map) is integrated exactly; events are arrivals and completions.
+//! The engine enforces the model invariants (machine capacity,
+//! availability) and replays any online policy reproducibly — this is the
+//! testbed for the paper's concluding claim that an online adaptation of
+//! the offline algorithm beats MCT.
+//!
+//! Per-event cost is `O(m · |active| · log)` and memory is `O(|active|)`
+//! — both independent of how many requests the surrounding trace contains,
+//! which is what lets `dlflow simulate` replay 100k-request open-arrival
+//! traces (see `workload::Trace`). The closed-instance entry point
+//! [`simulate`] survives as a thin wrapper that pushes every job of an
+//! [`Instance`] up front; the seed's dense-allocation batch loop is kept
+//! as [`simulate_dense`], the parity oracle for `tests/prop_engine.rs`
+//! and the baseline of the throughput benchmarks.
+//!
+//! ## Streaming example
+//!
+//! ```
+//! use dlflow_sim::engine::{Engine, JobSpec};
+//! use dlflow_sim::schedulers::Swrpt;
+//!
+//! let mut eng = Engine::new(2); // two machines
+//! let mut policy = Swrpt::new();
+//! eng.push_arrival(JobSpec { release: 0.0, weight: 1.0, costs: vec![4.0, 8.0] });
+//! eng.push_arrival(JobSpec { release: 1.0, weight: 1.0, costs: vec![2.0, f64::INFINITY] });
+//! eng.drain(&mut policy).unwrap();
+//! assert_eq!(eng.take_completed().len(), 2);
+//! assert!(eng.metrics().makespan > 0.0);
+//! ```
 
 use dlflow_core::instance::Instance;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-/// A released, not-yet-finished job as seen by a scheduler.
+/// Comparison slack shared by the engine's admission and completion
+/// checks (and by the trace replayer's arrival batching).
+pub(crate) const EPS: f64 = 1e-9;
+
+/// A job as it enters the engine: release date, weight, and one
+/// processing cost per machine (`f64::INFINITY` where the machine lacks
+/// the job's databank). This is the open-arrival counterpart of an
+/// [`Instance`] column — no closed instance is required.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Release date `r_j ≥ 0`.
+    pub release: f64,
+    /// Weight `w_j ≥ 0` (zero-weight jobs are tolerated: they simply
+    /// never bind the weighted-flow objective).
+    pub weight: f64,
+    /// Seconds each machine needs for the whole job; `f64::INFINITY`
+    /// marks the machine as unavailable. At least one entry must be
+    /// finite.
+    pub costs: Vec<f64>,
+}
+
+/// A released, not-yet-finished job as seen by a scheduler. Carries all
+/// per-job data a policy may need — schedulers no longer receive (or
+/// rescan) a closed instance.
 #[derive(Clone, Debug)]
 pub struct ActiveJob {
-    /// Job index in the instance.
+    /// Engine-assigned job id (assignment order of [`Engine::push_arrival`]).
     pub id: usize,
     /// Remaining fraction of the job, in `(0, 1]`.
     pub remaining: f64,
+    /// Release date.
+    pub release: f64,
+    /// Weight.
+    pub weight: f64,
+    costs: Box<[f64]>,
+    fastest: f64,
 }
 
-/// A rate allocation: `rates[i][j]` is the share (0..=1) of machine `i`
-/// devoted to job `j`. For each machine, shares must sum to at most 1.
-#[derive(Clone, Debug)]
+impl ActiveJob {
+    fn new(id: usize, spec: JobSpec) -> ActiveJob {
+        let fastest = spec.costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        ActiveJob {
+            id,
+            remaining: 1.0,
+            release: spec.release,
+            weight: spec.weight,
+            costs: spec.costs.into_boxed_slice(),
+            fastest,
+        }
+    }
+
+    /// Processing cost of the whole job on `machine`, `None` when the
+    /// machine lacks the job's databank.
+    pub fn cost(&self, machine: usize) -> Option<f64> {
+        let c = self.costs[machine];
+        c.is_finite().then_some(c)
+    }
+
+    /// Raw per-machine cost (`f64::INFINITY` = unavailable).
+    pub fn raw_cost(&self, machine: usize) -> f64 {
+        self.costs[machine]
+    }
+
+    /// Smallest finite cost across machines (the job's fastest possible
+    /// total processing time).
+    pub fn fastest_cost(&self) -> f64 {
+        self.fastest
+    }
+
+    /// Number of machines the job knows costs for.
+    pub fn n_machines(&self) -> usize {
+        self.costs.len()
+    }
+}
+
+/// A sparse rate allocation: for each machine, the share (0..=1) it
+/// devotes to each job it serves. Machines' shares must sum to at most 1.
+/// Memory is proportional to the number of *assigned* (machine, job)
+/// pairs — independent of how many jobs the whole trace contains.
+#[derive(Clone, Debug, Default)]
 pub struct Allocation {
-    /// Machine × job share matrix.
-    pub rates: Vec<Vec<f64>>,
+    /// Per machine: `(job id, share)` entries sorted by job id.
+    rows: Vec<Vec<(usize, f64)>>,
 }
 
 impl Allocation {
-    /// The all-idle allocation.
-    pub fn idle(n_machines: usize, n_jobs: usize) -> Self {
+    /// The all-idle allocation for `n_machines` machines.
+    pub fn idle(n_machines: usize) -> Self {
         Allocation {
-            rates: vec![vec![0.0; n_jobs]; n_machines],
+            rows: vec![Vec::new(); n_machines],
+        }
+    }
+
+    /// Number of machines the allocation addresses.
+    pub fn n_machines(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets machine `machine`'s share for `job` (replacing any previous
+    /// value).
+    pub fn set(&mut self, machine: usize, job: usize, share: f64) {
+        let row = &mut self.rows[machine];
+        match row.binary_search_by_key(&job, |e| e.0) {
+            Ok(k) => row[k].1 = share,
+            Err(k) => row.insert(k, (job, share)),
+        }
+    }
+
+    /// Adds `share` to machine `machine`'s share for `job`.
+    pub fn add(&mut self, machine: usize, job: usize, share: f64) {
+        let row = &mut self.rows[machine];
+        match row.binary_search_by_key(&job, |e| e.0) {
+            Ok(k) => row[k].1 += share,
+            Err(k) => row.insert(k, (job, share)),
+        }
+    }
+
+    /// Machine `machine`'s share for `job` (0 when unassigned, or when
+    /// the machine index is out of range).
+    pub fn share(&self, machine: usize, job: usize) -> f64 {
+        let Some(row) = self.rows.get(machine) else {
+            return 0.0;
+        };
+        match row.binary_search_by_key(&job, |e| e.0) {
+            Ok(k) => row[k].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The `(job, share)` entries of one machine, sorted by job id.
+    pub fn entries(&self, machine: usize) -> &[(usize, f64)] {
+        &self.rows[machine]
+    }
+
+    /// Total share machine `machine` hands out.
+    pub fn machine_total(&self, machine: usize) -> f64 {
+        self.rows[machine].iter().map(|e| e.1).sum()
+    }
+
+    /// Scales every share of `machine` by `factor` (used to normalize a
+    /// marginally oversubscribed machine).
+    pub fn scale_machine(&mut self, machine: usize, factor: f64) {
+        for e in &mut self.rows[machine] {
+            e.1 *= factor;
         }
     }
 }
 
-/// An online scheduling policy.
+/// An online scheduling policy, driven by event notifications. The
+/// engine tells the policy about arrivals and completions so it can keep
+/// incremental state; [`OnlineScheduler::plan`] is called at every event
+/// and sees only the currently active jobs (the online model of §5 —
+/// future jobs are unknown).
 pub trait OnlineScheduler {
     /// Display name (used by experiment tables).
     fn name(&self) -> String;
 
-    /// Called at every event (arrival or completion). Returns the rate
-    /// matrix to apply until the next event. `active` lists released
-    /// unfinished jobs; the policy sees only their ids and remaining
-    /// fractions plus whatever it remembers — release dates and costs are
-    /// readable from `inst`, sizes of *future* jobs are not known
-    /// (the online model of §5).
-    fn plan(&mut self, now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation;
+    /// A job has entered the system (called once per job, before the
+    /// next `plan`). Policies cache per-job decisions here.
+    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {}
+
+    /// A job has completed (called before the next `plan`). Policies
+    /// drop per-job state here.
+    fn on_completion(&mut self, _now: f64, _job_id: usize) {}
+
+    /// Returns the sparse rate allocation to apply until the next event.
+    /// `active` lists released unfinished jobs in admission order, with
+    /// their remaining fractions and per-machine costs.
+    fn plan(&mut self, now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation;
 
     /// Reset internal state between runs.
     fn reset(&mut self) {}
 }
 
-/// Outcome of a simulation run.
+/// One finished job, streamed out of the engine as it completes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompletedJob {
+    /// Engine-assigned job id.
+    pub id: usize,
+    /// Release date.
+    pub release: f64,
+    /// Weight.
+    pub weight: f64,
+    /// Fastest possible total processing time (stretch denominator).
+    pub fastest_cost: f64,
+    /// Completion time.
+    pub completion: f64,
+}
+
+/// Outcome of a simulation run (closed-instance entry points).
 #[derive(Clone, Debug)]
 pub struct SimResult {
     /// Completion time per job.
@@ -76,16 +252,18 @@ impl SimResult {
             .map(|j| inst.job(j).release)
             .fold(f64::INFINITY, f64::min);
         let makespan = self.completions.iter().cloned().fold(0.0f64, f64::max);
-        let span = makespan - first;
-        if !span.is_finite() || span <= 0.0 {
-            return 0.0;
-        }
-        let total: f64 = self.busy.iter().sum();
-        total / (span * self.busy.len().max(1) as f64)
+        utilization_of(&self.busy, first, makespan)
     }
 }
 
-const EPS: f64 = 1e-9;
+fn utilization_of(busy: &[f64], first_release: f64, makespan: f64) -> f64 {
+    let span = makespan - first_release;
+    if !span.is_finite() || span <= 0.0 {
+        return 0.0;
+    }
+    let total: f64 = busy.iter().sum();
+    total / (span * busy.len().max(1) as f64)
+}
 
 /// Errors the engine can surface (all indicate a faulty scheduler).
 #[derive(Clone, Debug, PartialEq)]
@@ -130,8 +308,477 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Runs a policy on an instance to completion.
+/// What one [`Engine::step`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The engine advanced to the next event (an arrival admission
+    /// and/or a time integration step).
+    Advanced,
+    /// Nothing to do: no active jobs and no pending arrivals. Push more
+    /// arrivals to resume.
+    Idle,
+}
+
+/// A pending arrival, ordered by `(release, id)` so simultaneous
+/// arrivals are admitted in push order.
+#[derive(Debug)]
+struct Pending {
+    release: f64,
+    id: usize,
+    job: JobSpec,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.release == other.release && self.id == other.id
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.release
+            .total_cmp(&other.release)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+/// Streaming metrics accumulator: folds [`CompletedJob`]s into
+/// [`RunMetrics`] one at a time, so a replay never has to materialize
+/// its full completion vector. All divisions are guarded — zero
+/// completions, zero-size jobs, and zero-length spans yield zeros, not
+/// NaN.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsAccumulator {
+    max_wf: f64,
+    max_f: f64,
+    max_s: f64,
+    sum_s: f64,
+    sum_f: f64,
+    mk: f64,
+    first_release: Option<f64>,
+    n: usize,
+}
+
+impl MetricsAccumulator {
+    /// Fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one completion in.
+    pub fn push(&mut self, c: &CompletedJob) {
+        let flow = c.completion - c.release;
+        self.max_wf = self.max_wf.max(c.weight * flow);
+        self.max_f = self.max_f.max(flow);
+        if c.fastest_cost > 0.0 {
+            self.max_s = self.max_s.max(flow / c.fastest_cost);
+            self.sum_s += flow / c.fastest_cost;
+        }
+        self.sum_f += flow;
+        self.mk = self.mk.max(c.completion);
+        self.first_release = Some(match self.first_release {
+            None => c.release,
+            Some(r) => r.min(c.release),
+        });
+        self.n += 1;
+    }
+
+    /// Completions folded in so far.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Earliest release seen so far (`None` before the first completion).
+    pub fn first_release(&self) -> Option<f64> {
+        self.first_release
+    }
+
+    /// The metrics of everything folded in so far. With zero completions
+    /// every field is 0 (the guard the degenerate-input tests pin down).
+    pub fn metrics(&self) -> RunMetrics {
+        RunMetrics {
+            max_weighted_flow: self.max_wf,
+            max_flow: self.max_f,
+            max_stretch: self.max_s,
+            sum_stretch: self.sum_s,
+            mean_flow: if self.n == 0 {
+                0.0
+            } else {
+                self.sum_f / self.n as f64
+            },
+            sum_flow: self.sum_f,
+            makespan: self.mk,
+        }
+    }
+}
+
+/// The incremental simulation core: a resumable event-queue state
+/// machine. See the [module docs](self) for the lifecycle; the closed
+/// [`simulate`] wrapper and the open-arrival `workload::Trace::replay`
+/// are both thin drivers over this type.
+#[derive(Debug)]
+pub struct Engine {
+    n_machines: usize,
+    now: f64,
+    pending: BinaryHeap<Reverse<Pending>>,
+    active: Vec<ActiveJob>,
+    next_id: usize,
+    n_events: usize,
+    n_plans: usize,
+    busy: Vec<f64>,
+    completed: Vec<CompletedJob>,
+    /// When `false`, completions feed the metrics accumulator but are
+    /// not buffered for [`Engine::take_completed`] — the setting for
+    /// unbounded streaming replays.
+    pub record_completions: bool,
+    metrics: MetricsAccumulator,
+    n_completed: usize,
+    // Scratch buffers recycled across events.
+    rate: Vec<f64>,
+    machine_share: Vec<f64>,
+}
+
+impl Engine {
+    /// A fresh engine for `n_machines` machines, at time 0, with no jobs.
+    pub fn new(n_machines: usize) -> Engine {
+        assert!(n_machines > 0, "engine needs at least one machine");
+        Engine {
+            n_machines,
+            now: 0.0,
+            pending: BinaryHeap::new(),
+            active: Vec::new(),
+            next_id: 0,
+            n_events: 0,
+            n_plans: 0,
+            busy: vec![0.0; n_machines],
+            completed: Vec::new(),
+            record_completions: true,
+            metrics: MetricsAccumulator::new(),
+            n_completed: 0,
+            rate: Vec::new(),
+            machine_share: vec![0.0; n_machines],
+        }
+    }
+
+    /// Number of machines.
+    pub fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Events processed so far (arrival admissions + integration steps).
+    pub fn n_events(&self) -> usize {
+        self.n_events
+    }
+
+    /// `plan` invocations so far.
+    pub fn n_plans(&self) -> usize {
+        self.n_plans
+    }
+
+    /// Busy machine-seconds per machine so far.
+    pub fn busy(&self) -> &[f64] {
+        &self.busy
+    }
+
+    /// Currently active (released, unfinished) jobs, admission order.
+    pub fn active(&self) -> &[ActiveJob] {
+        &self.active
+    }
+
+    /// Pushed-but-not-yet-released arrivals.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Jobs pushed so far (also the next id to be assigned).
+    pub fn n_pushed(&self) -> usize {
+        self.next_id
+    }
+
+    /// Jobs completed so far.
+    pub fn n_completed(&self) -> usize {
+        self.n_completed
+    }
+
+    /// Running metrics over everything completed so far.
+    pub fn metrics(&self) -> RunMetrics {
+        self.metrics.metrics()
+    }
+
+    /// Fleet utilization over `[first completed release, makespan]` so
+    /// far (0 while nothing has completed).
+    pub fn utilization(&self) -> f64 {
+        let m = self.metrics.metrics();
+        utilization_of(
+            &self.busy,
+            self.metrics.first_release().unwrap_or(f64::INFINITY),
+            m.makespan,
+        )
+    }
+
+    /// Enqueues a future arrival and returns its engine-assigned id (ids
+    /// count up from 0 in push order). Arrivals may be pushed in any
+    /// order; the event queue admits them by `(release, id)`. A release
+    /// earlier than the current simulation time is admitted at the next
+    /// event (its flow still counts from the stated release).
+    ///
+    /// # Panics
+    ///
+    /// If the spec is malformed: wrong `costs` length, no finite cost,
+    /// negative or non-finite release/weight/costs.
+    pub fn push_arrival(&mut self, job: JobSpec) -> usize {
+        assert_eq!(
+            job.costs.len(),
+            self.n_machines,
+            "JobSpec has {} costs for {} machines",
+            job.costs.len(),
+            self.n_machines
+        );
+        assert!(
+            job.costs.iter().any(|c| c.is_finite()),
+            "job can run on no machine"
+        );
+        assert!(
+            job.costs.iter().all(|c| *c >= 0.0),
+            "job has a negative or NaN cost"
+        );
+        assert!(
+            job.release.is_finite() && job.release >= 0.0,
+            "job release must be finite and non-negative"
+        );
+        assert!(
+            job.weight.is_finite() && job.weight >= 0.0,
+            "job weight must be finite and non-negative"
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(Reverse(Pending {
+            release: job.release,
+            id,
+            job,
+        }));
+        id
+    }
+
+    /// Admits every pending arrival released by `now + EPS`; returns how
+    /// many were admitted. Each admission is one event and one
+    /// `on_arrival` notification.
+    fn admit_due(&mut self, policy: &mut dyn OnlineScheduler) -> usize {
+        let mut admitted = 0;
+        while let Some(Reverse(p)) = self.pending.peek() {
+            if p.release > self.now + EPS {
+                break;
+            }
+            let Reverse(p) = self.pending.pop().expect("peeked");
+            let job = ActiveJob::new(p.id, p.job);
+            policy.on_arrival(self.now, &job);
+            self.active.push(job);
+            self.n_events += 1;
+            admitted += 1;
+        }
+        admitted
+    }
+
+    /// Advances the engine by one event: admit due arrivals, or plan and
+    /// integrate up to the next completion/arrival. Returns
+    /// [`StepOutcome::Idle`] when there is nothing to do (no active jobs,
+    /// no pending arrivals) — push more arrivals to resume.
+    ///
+    /// Callers streaming an open trace must keep at least the next
+    /// arrival pushed while the trace has more: the engine can only
+    /// bound its integration horizon by arrivals it knows about.
+    pub fn step(&mut self, policy: &mut dyn OnlineScheduler) -> Result<StepOutcome, SimError> {
+        if self.active.is_empty() {
+            let Some(Reverse(p)) = self.pending.peek() else {
+                return Ok(StepOutcome::Idle);
+            };
+            // Jump to the next arrival (never backwards).
+            self.now = self.now.max(p.release);
+            self.admit_due(policy);
+            return Ok(StepOutcome::Advanced);
+        }
+
+        let m = self.n_machines;
+        let alloc = policy.plan(self.now, &self.active, m);
+        self.n_plans += 1;
+
+        // Validate the allocation and compute per-job progress rates.
+        // Iteration is machine-major over the active list (the same
+        // accumulation order as the legacy dense loop, so results are
+        // bit-identical); each share lookup is a binary search into the
+        // sparse row: O(m · |active| · log).
+        self.rate.clear();
+        self.rate.resize(self.active.len(), 0.0);
+        for i in 0..m {
+            let mut total = 0.0;
+            for (aj, a) in self.active.iter().enumerate() {
+                let share = alloc.share(i, a.id);
+                if share <= EPS {
+                    continue;
+                }
+                let c = a.costs[i];
+                if !c.is_finite() {
+                    return Err(SimError::ForbiddenAssignment {
+                        machine: i,
+                        job: a.id,
+                    });
+                }
+                total += share;
+                if c <= EPS {
+                    self.rate[aj] = f64::INFINITY; // zero-cost job finishes instantly
+                } else {
+                    self.rate[aj] += share / c;
+                }
+            }
+            if total > 1.0 + 1e-6 {
+                return Err(SimError::MachineOversubscribed { machine: i, total });
+            }
+            self.machine_share[i] = total;
+        }
+
+        // Horizon: next arrival and earliest completion.
+        let t_arrival = self.pending.peek().map(|Reverse(p)| p.release);
+        let mut t_complete: Option<f64> = None;
+        for (aj, a) in self.active.iter().enumerate() {
+            if self.rate[aj] > 0.0 {
+                let t = if self.rate[aj].is_infinite() {
+                    self.now
+                } else {
+                    self.now + a.remaining / self.rate[aj]
+                };
+                t_complete = Some(t_complete.map_or(t, |cur: f64| cur.min(t)));
+            }
+        }
+
+        let t_next = match (t_arrival, t_complete) {
+            (None, None) => return Err(SimError::Stalled { at: self.now }),
+            (Some(a), None) => a,
+            (None, Some(c)) => c,
+            (Some(a), Some(c)) => a.min(c),
+        };
+        let dt = (t_next - self.now).max(0.0);
+
+        // Integrate progress.
+        for i in 0..m {
+            self.busy[i] += self.machine_share[i] * dt;
+        }
+        for (aj, a) in self.active.iter_mut().enumerate() {
+            if self.rate[aj].is_infinite() {
+                a.remaining = 0.0;
+            } else {
+                a.remaining -= self.rate[aj] * dt;
+            }
+        }
+        // Never backwards: a late-pushed arrival (release < now) may set
+        // t_next in the past; it is admitted *at* the current time.
+        self.now = self.now.max(t_next);
+        self.n_events += 1;
+
+        // Completions (preserving admission order of the survivors).
+        let mut k = 0;
+        while k < self.active.len() {
+            if self.active[k].remaining <= EPS {
+                let a = self.active.remove(k);
+                policy.on_completion(self.now, a.id);
+                let done = CompletedJob {
+                    id: a.id,
+                    release: a.release,
+                    weight: a.weight,
+                    fastest_cost: a.fastest,
+                    completion: self.now,
+                };
+                self.metrics.push(&done);
+                self.n_completed += 1;
+                if self.record_completions {
+                    self.completed.push(done);
+                }
+            } else {
+                k += 1;
+            }
+        }
+
+        // Arrivals at t_next.
+        self.admit_due(policy);
+        Ok(StepOutcome::Advanced)
+    }
+
+    /// Steps until the engine is idle (all pushed jobs completed).
+    /// Bounded by the same stall guard as the legacy batch loop: a
+    /// policy that spins on zero-length events errors out instead of
+    /// hanging.
+    pub fn drain(&mut self, policy: &mut dyn OnlineScheduler) -> Result<(), SimError> {
+        let max_iters = 100_000 + 200 * self.next_id * (self.n_machines + 2);
+        for _ in 0..max_iters {
+            if self.step(policy)? == StepOutcome::Idle {
+                return Ok(());
+            }
+        }
+        Err(SimError::Stalled { at: self.now })
+    }
+
+    /// Takes the buffered completions (empties the buffer). Streaming
+    /// drivers call this every few steps to keep memory `O(|active|)`.
+    pub fn take_completed(&mut self) -> Vec<CompletedJob> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+/// One column of a closed instance as a [`JobSpec`].
+fn job_spec_of(inst: &Instance<f64>, j: usize) -> JobSpec {
+    JobSpec {
+        release: inst.job(j).release,
+        weight: inst.job(j).weight,
+        costs: (0..inst.n_machines())
+            .map(|i| inst.cost(i, j).finite().copied().unwrap_or(f64::INFINITY))
+            .collect(),
+    }
+}
+
+/// Runs a policy on a closed instance to completion — a thin wrapper
+/// that pushes every job of the instance into an [`Engine`] and drains
+/// it. Results (completions, event/plan counts, busy vectors) are
+/// identical to the legacy batch loop [`simulate_dense`], a property
+/// `tests/prop_engine.rs` enforces.
 pub fn simulate(
+    inst: &Instance<f64>,
+    policy: &mut dyn OnlineScheduler,
+) -> Result<SimResult, SimError> {
+    policy.reset();
+    let mut eng = Engine::new(inst.n_machines());
+    for j in 0..inst.n_jobs() {
+        eng.push_arrival(job_spec_of(inst, j)); // id j by push order
+    }
+    eng.drain(policy)?;
+    let mut completions = vec![f64::NAN; inst.n_jobs()];
+    for c in eng.take_completed() {
+        completions[c.id] = c.completion;
+    }
+    Ok(SimResult {
+        completions,
+        n_events: eng.n_events,
+        n_plans: eng.n_plans,
+        busy: eng.busy,
+    })
+}
+
+/// The seed's batch simulation loop, kept verbatim as the parity oracle
+/// and throughput baseline: allocations are materialized as **dense**
+/// machine × total-job matrices every event, so per-event cost is
+/// `O(m · n_total)` and memory `O(m · n_total)` — the scaling the
+/// incremental [`Engine`] removes. `tests/prop_engine.rs` proves both
+/// produce identical completions, event counts, and busy vectors;
+/// `bench_sim` measures the gap.
+pub fn simulate_dense(
     inst: &Instance<f64>,
     policy: &mut dyn OnlineScheduler,
 ) -> Result<SimResult, SimError> {
@@ -160,15 +807,25 @@ pub fn simulate(
     let mut n_plans = 0usize;
     let mut busy = vec![0.0f64; m];
 
+    let admit = |now: f64,
+                 next_arrival: &mut usize,
+                 active: &mut Vec<ActiveJob>,
+                 n_events: &mut usize,
+                 policy: &mut dyn OnlineScheduler| {
+        while *next_arrival < n && inst.job(order[*next_arrival]).release <= now + EPS {
+            let job = ActiveJob::new(
+                order[*next_arrival],
+                job_spec_of(inst, order[*next_arrival]),
+            );
+            policy.on_arrival(now, &job);
+            active.push(job);
+            *next_arrival += 1;
+            *n_events += 1;
+        }
+    };
+
     // Admit initial arrivals.
-    while next_arrival < n && inst.job(order[next_arrival]).release <= now + EPS {
-        active.push(ActiveJob {
-            id: order[next_arrival],
-            remaining: 1.0,
-        });
-        next_arrival += 1;
-        n_events += 1;
-    }
+    admit(now, &mut next_arrival, &mut active, &mut n_events, policy);
 
     let max_iters = 100_000 + 200 * n * (m + 2);
     for _ in 0..max_iters {
@@ -183,19 +840,22 @@ pub fn simulate(
         if active.is_empty() {
             // Jump to the next arrival.
             now = inst.job(order[next_arrival]).release;
-            while next_arrival < n && inst.job(order[next_arrival]).release <= now + EPS {
-                active.push(ActiveJob {
-                    id: order[next_arrival],
-                    remaining: 1.0,
-                });
-                next_arrival += 1;
-                n_events += 1;
-            }
+            admit(now, &mut next_arrival, &mut active, &mut n_events, policy);
             continue;
         }
 
-        let alloc = policy.plan(now, &active, inst);
+        // The legacy dense materialization: every plan becomes an
+        // m × n_total rate matrix, zeroed from scratch.
+        let sparse = policy.plan(now, &active, m);
         n_plans += 1;
+        let mut rates: Vec<Vec<f64>> = vec![vec![0.0; n]; m];
+        for i in 0..m.min(sparse.n_machines()) {
+            for &(j, share) in sparse.entries(i) {
+                if j < n {
+                    rates[i][j] = share;
+                }
+            }
+        }
 
         // Validate the allocation and compute per-job progress rates.
         let mut rate: Vec<f64> = vec![0.0; active.len()];
@@ -203,12 +863,7 @@ pub fn simulate(
         for i in 0..m {
             let mut total = 0.0;
             for (aj, a) in active.iter().enumerate() {
-                let share = alloc
-                    .rates
-                    .get(i)
-                    .and_then(|r| r.get(a.id))
-                    .copied()
-                    .unwrap_or(0.0);
+                let share = rates[i][a.id];
                 if share <= EPS {
                     continue;
                 }
@@ -220,7 +875,7 @@ pub fn simulate(
                 };
                 total += share;
                 if c <= EPS {
-                    rate[aj] = f64::INFINITY; // zero-cost job finishes instantly
+                    rate[aj] = f64::INFINITY;
                 } else {
                     rate[aj] += share / c;
                 }
@@ -272,6 +927,7 @@ pub fn simulate(
         for a in active.drain(..) {
             if a.remaining <= EPS {
                 completions[a.id] = now;
+                policy.on_completion(now, a.id);
             } else {
                 still.push(a);
             }
@@ -279,14 +935,7 @@ pub fn simulate(
         active = still;
 
         // Arrivals at t_next.
-        while next_arrival < n && inst.job(order[next_arrival]).release <= now + EPS {
-            active.push(ActiveJob {
-                id: order[next_arrival],
-                remaining: 1.0,
-            });
-            next_arrival += 1;
-            n_events += 1;
-        }
+        admit(now, &mut next_arrival, &mut active, &mut n_events, policy);
     }
     Err(SimError::Stalled { at: now })
 }
@@ -311,36 +960,22 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
-    /// Computes metrics from completions.
+    /// Computes metrics from completions. Degenerate inputs are guarded:
+    /// an empty completion list yields all-zero metrics (no NaN), and
+    /// zero-size jobs are excluded from the stretch terms.
     pub fn from_completions(inst: &Instance<f64>, completions: &[f64]) -> RunMetrics {
-        let mut max_wf = 0.0f64;
-        let mut max_f = 0.0f64;
-        let mut max_s = 0.0f64;
-        let mut sum_s = 0.0f64;
-        let mut sum_f = 0.0f64;
-        let mut mk = 0.0f64;
+        let mut acc = MetricsAccumulator::new();
         for (j, &c) in completions.iter().enumerate() {
             assert!(c.is_finite(), "job {j} never completed");
-            let flow = c - inst.job(j).release;
-            max_wf = max_wf.max(inst.job(j).weight * flow);
-            max_f = max_f.max(flow);
-            let fast = inst.fastest_cost(j);
-            if fast > 0.0 {
-                max_s = max_s.max(flow / fast);
-                sum_s += flow / fast;
-            }
-            sum_f += flow;
-            mk = mk.max(c);
+            acc.push(&CompletedJob {
+                id: j,
+                release: inst.job(j).release,
+                weight: inst.job(j).weight,
+                fastest_cost: inst.fastest_cost(j),
+                completion: c,
+            });
         }
-        RunMetrics {
-            max_weighted_flow: max_wf,
-            max_flow: max_f,
-            max_stretch: max_s,
-            sum_stretch: sum_s,
-            mean_flow: sum_f / completions.len().max(1) as f64,
-            sum_flow: sum_f,
-            makespan: mk,
-        }
+        acc.metrics()
     }
 }
 
@@ -356,11 +991,11 @@ mod tests {
         fn name(&self) -> String {
             "greedy-first".into()
         }
-        fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
-            let mut alloc = Allocation::idle(inst.n_machines(), inst.n_jobs());
-            for i in 0..inst.n_machines() {
-                if let Some(a) = active.iter().find(|a| inst.cost(i, a.id).is_finite()) {
-                    alloc.rates[i][a.id] = 1.0;
+        fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+            let mut alloc = Allocation::idle(n_machines);
+            for i in 0..n_machines {
+                if let Some(a) = active.iter().find(|a| a.cost(i).is_some()) {
+                    alloc.set(i, a.id, 1.0);
                 }
             }
             alloc
@@ -394,10 +1029,10 @@ mod tests {
             fn name(&self) -> String {
                 "bad".into()
             }
-            fn plan(&mut self, _: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
-                let mut a = Allocation::idle(inst.n_machines(), inst.n_jobs());
+            fn plan(&mut self, _: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+                let mut a = Allocation::idle(n_machines);
                 for x in active {
-                    a.rates[0][x.id] = 1.0; // sums to 2 when both active
+                    a.set(0, x.id, 1.0); // sums to 2 when both active
                 }
                 a
             }
@@ -417,9 +1052,9 @@ mod tests {
             fn name(&self) -> String {
                 "bad".into()
             }
-            fn plan(&mut self, _: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
-                let mut a = Allocation::idle(inst.n_machines(), inst.n_jobs());
-                a.rates[1][active[0].id] = 1.0;
+            fn plan(&mut self, _: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+                let mut a = Allocation::idle(n_machines);
+                a.set(1, active[0].id, 1.0);
                 a
             }
         }
@@ -439,8 +1074,8 @@ mod tests {
             fn name(&self) -> String {
                 "idle".into()
             }
-            fn plan(&mut self, _: f64, _: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
-                Allocation::idle(inst.n_machines(), inst.n_jobs())
+            fn plan(&mut self, _: f64, _: &[ActiveJob], n_machines: usize) -> Allocation {
+                Allocation::idle(n_machines)
             }
         }
         let inst = inst2();
@@ -497,5 +1132,246 @@ mod tests {
         assert!((res.busy[0] - 2.0).abs() < 1e-9);
         assert_eq!(res.busy[1], 0.0);
         assert!((res.utilization(&inst) - 0.5).abs() < 1e-9);
+    }
+
+    // --- Streaming-engine behavior. ---
+
+    #[test]
+    fn engine_is_resumable_between_arrival_pushes() {
+        let mut eng = Engine::new(1);
+        let mut p = GreedyFirst;
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![2.0],
+        });
+        eng.drain(&mut p).unwrap();
+        assert_eq!(eng.n_completed(), 1);
+        assert_eq!(eng.step(&mut p).unwrap(), StepOutcome::Idle);
+
+        // Resume: a second wave of arrivals after the engine went idle.
+        eng.push_arrival(JobSpec {
+            release: 10.0,
+            weight: 1.0,
+            costs: vec![4.0],
+        });
+        eng.drain(&mut p).unwrap();
+        assert_eq!(eng.n_completed(), 2);
+        let done = eng.take_completed();
+        assert_eq!(done.len(), 2);
+        assert!((done[1].completion - 14.0).abs() < 1e-9);
+        assert!((eng.metrics().makespan - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_pushed_arrival_never_rewinds_the_clock() {
+        // push_arrival documents that a release earlier than the current
+        // simulation time is admitted at the next event. The clock must
+        // not move backwards for it (regression: `now = t_next` once
+        // rewound time, finishing in-flight jobs earlier than possible).
+        let mut eng = Engine::new(1);
+        let mut p = GreedyFirst;
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![4.0],
+        });
+        // Admit at t=0, integrate one step partway through the job.
+        assert_eq!(eng.step(&mut p).unwrap(), StepOutcome::Advanced);
+        eng.push_arrival(JobSpec {
+            release: 6.0,
+            weight: 1.0,
+            costs: vec![1.0],
+        });
+        assert_eq!(eng.step(&mut p).unwrap(), StepOutcome::Advanced); // J0 done at 4
+        assert!((eng.now() - 4.0).abs() < 1e-9);
+        // Now push an arrival stamped in the past.
+        eng.push_arrival(JobSpec {
+            release: 1.0,
+            weight: 1.0,
+            costs: vec![2.0],
+        });
+        eng.drain(&mut p).unwrap();
+        let done = eng.take_completed();
+        assert_eq!(done.len(), 3);
+        // The late job is admitted at t=4, not at its stamped release:
+        // completions stay physically consistent (monotone clock).
+        let late = done.iter().find(|c| c.release == 1.0).unwrap();
+        assert!((late.completion - 6.0).abs() < 1e-9, "{}", late.completion);
+        // Completions stream out in a monotone clock order.
+        for w in done.windows(2) {
+            assert!(w[1].completion >= w[0].completion);
+        }
+        assert!((eng.metrics().makespan - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrivals_may_be_pushed_out_of_order() {
+        let mut eng = Engine::new(1);
+        let mut p = GreedyFirst;
+        let late = eng.push_arrival(JobSpec {
+            release: 5.0,
+            weight: 1.0,
+            costs: vec![1.0],
+        });
+        let early = eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![1.0],
+        });
+        eng.drain(&mut p).unwrap();
+        let done = eng.take_completed();
+        assert_eq!(done[0].id, early);
+        assert_eq!(done[1].id, late);
+        assert!((done[0].completion - 1.0).abs() < 1e-9);
+        assert!((done[1].completion - 6.0).abs() < 1e-9);
+    }
+
+    // --- Degenerate-input hardening (the seams the streaming API opens). ---
+
+    #[test]
+    fn zero_weight_job_is_tolerated() {
+        // Instances forbid zero weights, but the open-arrival path has no
+        // such gate: the engine and metrics must stay finite.
+        let mut eng = Engine::new(1);
+        let mut p = GreedyFirst;
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 0.0,
+            costs: vec![2.0],
+        });
+        eng.drain(&mut p).unwrap();
+        let m = eng.metrics();
+        assert_eq!(m.max_weighted_flow, 0.0);
+        assert!((m.max_flow - 2.0).abs() < 1e-9);
+        assert!(m.max_stretch.is_finite() && m.sum_stretch.is_finite());
+    }
+
+    #[test]
+    fn all_equal_releases_admit_in_push_order() {
+        // Simultaneous arrivals must be admitted deterministically (push
+        // order), not heap-pop order.
+        let mut eng = Engine::new(1);
+        let mut p = GreedyFirst;
+        for _ in 0..5 {
+            eng.push_arrival(JobSpec {
+                release: 1.0,
+                weight: 1.0,
+                costs: vec![1.0],
+            });
+        }
+        assert_eq!(eng.step(&mut p).unwrap(), StepOutcome::Advanced);
+        let ids: Vec<usize> = eng.active().iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        eng.drain(&mut p).unwrap();
+        // GreedyFirst serves lowest id first: completions in id order.
+        let done = eng.take_completed();
+        let order: Vec<usize> = done.iter().map(|c| c.id).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_run_metrics_are_all_zero_not_nan() {
+        // Zero completions: every division in the accumulator is guarded.
+        let acc = MetricsAccumulator::new();
+        let m = acc.metrics();
+        assert_eq!(m.mean_flow, 0.0);
+        assert_eq!(m.max_stretch, 0.0);
+        assert_eq!(m.sum_flow, 0.0);
+        assert_eq!(m.makespan, 0.0);
+        let eng = Engine::new(2);
+        assert_eq!(eng.utilization(), 0.0);
+        assert_eq!(eng.metrics().mean_flow, 0.0);
+    }
+
+    #[test]
+    fn zero_size_job_completes_instantly_and_skips_stretch() {
+        let mut eng = Engine::new(1);
+        let mut p = GreedyFirst;
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![0.0],
+        });
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![2.0],
+        });
+        eng.drain(&mut p).unwrap();
+        let m = eng.metrics();
+        // The zero-size job contributes no stretch term (division guard).
+        assert!((m.max_stretch - 1.0).abs() < 1e-9);
+        assert!(m.sum_stretch.is_finite());
+        assert_eq!(eng.n_completed(), 2);
+    }
+
+    #[test]
+    fn malformed_job_specs_are_rejected() {
+        let catch = |job: JobSpec| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                Engine::new(2).push_arrival(job)
+            }))
+        };
+        assert!(catch(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![1.0], // wrong arity
+        })
+        .is_err());
+        assert!(catch(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![f64::INFINITY, f64::INFINITY], // nowhere to run
+        })
+        .is_err());
+        assert!(catch(JobSpec {
+            release: -1.0,
+            weight: 1.0,
+            costs: vec![1.0, 1.0],
+        })
+        .is_err());
+        assert!(catch(JobSpec {
+            release: 0.0,
+            weight: f64::NAN,
+            costs: vec![1.0, 1.0],
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn record_completions_off_keeps_buffer_empty_but_metrics_live() {
+        let mut eng = Engine::new(1);
+        eng.record_completions = false;
+        let mut p = GreedyFirst;
+        for k in 0..10 {
+            eng.push_arrival(JobSpec {
+                release: k as f64,
+                weight: 1.0,
+                costs: vec![0.5],
+            });
+        }
+        eng.drain(&mut p).unwrap();
+        assert!(eng.take_completed().is_empty());
+        assert_eq!(eng.n_completed(), 10);
+        assert!((eng.metrics().makespan - 9.5).abs() < 1e-9);
+        assert!(eng.utilization() > 0.0);
+    }
+
+    #[test]
+    fn sparse_allocation_accessors() {
+        let mut a = Allocation::idle(2);
+        a.set(0, 7, 0.5);
+        a.add(0, 3, 0.25);
+        a.add(0, 7, 0.25);
+        assert_eq!(a.share(0, 7), 0.75);
+        assert_eq!(a.share(0, 3), 0.25);
+        assert_eq!(a.share(0, 99), 0.0);
+        assert_eq!(a.share(5, 0), 0.0); // out-of-range machine tolerated
+        assert_eq!(a.entries(0), &[(3, 0.25), (7, 0.75)]);
+        assert!((a.machine_total(0) - 1.0).abs() < 1e-12);
+        a.scale_machine(0, 0.5);
+        assert!((a.machine_total(0) - 0.5).abs() < 1e-12);
+        assert_eq!(a.n_machines(), 2);
     }
 }

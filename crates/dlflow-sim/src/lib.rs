@@ -1,46 +1,62 @@
-//! # dlflow-sim — online scheduling testbed & campaign engine
+//! # dlflow-sim — streaming simulation core & campaign engine
 //!
 //! A deterministic fluid discrete-event simulator for divisible requests
-//! on unrelated machines, plus the online policies the paper's conclusion
-//! compares:
+//! on unrelated machines, built around a resumable incremental
+//! [`engine::Engine`] (`push_arrival` / `step` / `drain`): per-event cost
+//! and memory scale with the number of *in-flight* requests, not the
+//! trace length, so open-arrival traces of 100k+ requests replay in
+//! seconds. On top of it:
 //!
-//! * **MCT** (Minimum Completion Time) — the classical heuristic baseline,
-//! * FIFO / SRPT / SWRPT / weighted-age / round-robin greedy variants,
-//! * **EDF** on guessed deadlines — the deadline-driven heuristic,
-//! * **OLA** — the paper's proposal: re-solve the offline divisible
-//!   max-weighted-flow problem at every event (with a simple preemption
-//!   scheme for free, thanks to divisibility) and follow its rates;
-//!   optionally throttled to re-solve at most once per interval.
+//! * the online policies the paper's conclusion compares — **MCT**
+//!   (Minimum Completion Time, the classical baseline), FIFO / SRPT /
+//!   SWRPT / weighted-age / round-robin greedy variants, **EDF** on
+//!   guessed deadlines, and **OLA**, the paper's proposal: re-solve the
+//!   offline divisible max-weighted-flow problem at every event and
+//!   follow its rates (optionally throttled). All speak the
+//!   event-notification [`engine::OnlineScheduler`] API and keep
+//!   incremental state;
+//! * an open-arrival [`workload`] layer: Poisson / bursty / diurnal
+//!   arrival processes, the `.dlt` trace file format, and streaming
+//!   replay ([`workload::Trace::replay`]);
+//! * the [`campaign`] module — the paper's §6-style (platform × workload
+//!   × seed × scheduler) tournament, run in parallel, every run scored
+//!   against the **exact** Theorem-2 offline optimum;
+//! * the [`service`] module — the replayable report API behind the
+//!   `dlflow simulate` CLI subcommand.
 //!
-//! The [`campaign`] module batches all of this into the paper's §6-style
-//! evaluation: a (platform × workload × seed × scheduler) tournament,
-//! run in parallel, with every run scored against the **exact**
-//! Theorem-2 offline optimum. The `campaign` and `online_vs_mct`
-//! binaries in `dlflow-bench` use this crate to reproduce the
-//! conclusion's claim that OLA "produces better schedules than classical
-//! scheduling heuristics like Minimum Completion Time".
+//! The closed-instance entry point [`engine::simulate`] remains a thin
+//! wrapper over the engine; the seed's dense batch loop survives as
+//! [`engine::simulate_dense`], the parity oracle of
+//! `tests/prop_engine.rs`.
 //!
 //! ## Example
 //!
 //! ```
 //! use dlflow_sim::engine::{simulate, RunMetrics};
-//! use dlflow_sim::schedulers::{Mct, OfflineAdapt};
-//! use dlflow_sim::workload::{generate, WorkloadSpec};
+//! use dlflow_sim::schedulers::{Mct, OfflineAdapt, Swrpt};
+//! use dlflow_sim::workload::{generate, generate_trace, TraceSpec, WorkloadSpec};
 //!
+//! // Closed instance, two policies head to head.
 //! let inst = generate(&WorkloadSpec { n_jobs: 5, ..Default::default() });
 //! let mct = simulate(&inst, &mut Mct::new()).unwrap();
 //! let ola = simulate(&inst, &mut OfflineAdapt::new()).unwrap();
 //! let m1 = RunMetrics::from_completions(&inst, &mct.completions);
 //! let m2 = RunMetrics::from_completions(&inst, &ola.completions);
 //! assert!(m2.max_weighted_flow <= m1.max_weighted_flow * 1.5 + 1.0); // sanity
+//!
+//! // Open-arrival trace, streamed through the incremental engine.
+//! let trace = generate_trace(&TraceSpec { n_requests: 50, ..Default::default() });
+//! let stats = trace.replay(&mut Swrpt::new()).unwrap();
+//! assert_eq!(stats.n_jobs, 50);
 //! ```
 
 #![warn(missing_docs)]
-#![allow(clippy::needless_range_loop)] // rate-matrix code indexes machines/jobs in lockstep
+#![allow(clippy::needless_range_loop)] // rate-map code indexes machines/jobs in lockstep
 
 pub mod campaign;
 pub mod engine;
 pub mod schedulers;
+pub mod service;
 pub mod workload;
 
 pub use campaign::{
@@ -48,6 +64,11 @@ pub use campaign::{
     SchedulerSpec,
 };
 pub use engine::{
-    simulate, ActiveJob, Allocation, OnlineScheduler, RunMetrics, SimError, SimResult,
+    simulate, simulate_dense, ActiveJob, Allocation, CompletedJob, Engine, JobSpec,
+    MetricsAccumulator, OnlineScheduler, RunMetrics, SimError, SimResult, StepOutcome,
 };
-pub use workload::{ensemble, generate, WorkloadSpec};
+pub use service::{run_simulation, ServiceReport, SimInput};
+pub use workload::{
+    ensemble, generate, generate_trace, ArrivalProcess, ReplayStats, Trace, TraceArrival,
+    TraceSpec, WorkloadSpec,
+};

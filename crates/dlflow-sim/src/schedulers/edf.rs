@@ -16,10 +16,14 @@
 //! becomes `r_j + target · p̄_j²` — the classical "deadline = release +
 //! stretch-bound × size" rule of online max-stretch algorithms (cf. the
 //! Bender–Chakrabarti–Muthukrishnan O(1)-competitive scheme).
+//!
+//! The guess is fixed at arrival time, so the policy computes it once in
+//! [`OnlineScheduler::on_arrival`] and keeps it in a map pruned on
+//! completion — incremental state instead of per-plan recomputation.
 
 use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
 use crate::schedulers::greedy::assign_by_priority;
-use dlflow_core::instance::Instance;
+use std::collections::HashMap;
 
 /// EDF on guessed deadlines (see module docs).
 pub struct Edf {
@@ -27,11 +31,16 @@ pub struct Edf {
     /// the stretch (resp. weighted-flow) bound the policy "bets" the
     /// optimum will reach. Default 2.
     pub target: f64,
+    /// Deadline guesses of the jobs currently in the system.
+    guesses: HashMap<usize, f64>,
 }
 
 impl Default for Edf {
     fn default() -> Self {
-        Edf { target: 2.0 }
+        Edf {
+            target: 2.0,
+            guesses: HashMap::new(),
+        }
     }
 }
 
@@ -44,13 +53,15 @@ impl Edf {
     /// Fresh policy with an explicit target factor.
     pub fn with_target(target: f64) -> Self {
         assert!(target > 0.0, "EDF target factor must be positive");
-        Edf { target }
+        Edf {
+            target,
+            guesses: HashMap::new(),
+        }
     }
 
-    /// The guessed deadline of job `id`.
-    fn guess(&self, id: usize, inst: &Instance<f64>) -> f64 {
-        let j = inst.job(id);
-        j.release + self.target * inst.fastest_cost(id) / j.weight.max(1e-12)
+    /// The guessed deadline of a job.
+    fn guess(&self, job: &ActiveJob) -> f64 {
+        job.release + self.target * job.fastest_cost() / job.weight.max(1e-12)
     }
 }
 
@@ -63,8 +74,29 @@ impl OnlineScheduler for Edf {
         }
     }
 
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
-        assign_by_priority(active, inst, |a| -self.guess(a.id, inst))
+    fn reset(&mut self) {
+        self.guesses.clear();
+    }
+
+    fn on_arrival(&mut self, _now: f64, job: &ActiveJob) {
+        let d = self.guess(job);
+        self.guesses.insert(job.id, d);
+    }
+
+    fn on_completion(&mut self, _now: f64, job_id: usize) {
+        self.guesses.remove(&job_id);
+    }
+
+    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+        assign_by_priority(active, n_machines, |a| {
+            // Cached at arrival; recomputed only if a driver skipped the
+            // arrival notification.
+            -self
+                .guesses
+                .get(&a.id)
+                .copied()
+                .unwrap_or_else(|| self.guess(a))
+        })
     }
 }
 
@@ -110,7 +142,10 @@ mod tests {
         b.machine(vec![Some(2.0), None]);
         b.machine(vec![Some(3.0), Some(1.5)]);
         let inst = b.build().unwrap();
-        let res = simulate(&inst, &mut Edf::with_target(3.0)).unwrap();
+        let mut edf = Edf::with_target(3.0);
+        let res = simulate(&inst, &mut edf).unwrap();
         assert!(res.completions.iter().all(|c| c.is_finite()));
+        // Guess cache is pruned on completion.
+        assert!(edf.guesses.is_empty());
     }
 }

@@ -3,14 +3,13 @@
 //! event).
 
 use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
-use dlflow_core::instance::Instance;
 
 /// Assigns jobs (in the order produced by `priority`, *descending*) to
 /// their fastest still-free machine. Shared by every list heuristic in
 /// this module and by [`crate::schedulers::edf::Edf`].
 pub(crate) fn assign_by_priority(
     active: &[ActiveJob],
-    inst: &Instance<f64>,
+    n_machines: usize,
     mut priority: impl FnMut(&ActiveJob) -> f64,
 ) -> Allocation {
     let mut order: Vec<usize> = (0..active.len()).collect();
@@ -22,16 +21,16 @@ pub(crate) fn assign_by_priority(
             .then(active[x].id.cmp(&active[y].id))
     });
 
-    let mut free = vec![true; inst.n_machines()];
-    let mut alloc = Allocation::idle(inst.n_machines(), inst.n_jobs());
+    let mut free = vec![true; n_machines];
+    let mut alloc = Allocation::idle(n_machines);
     for k in order {
         let job = &active[k];
         let mut best: Option<(usize, f64)> = None;
-        for i in 0..inst.n_machines() {
+        for i in 0..n_machines {
             if !free[i] {
                 continue;
             }
-            if let Some(&c) = inst.cost(i, job.id).finite() {
+            if let Some(c) = job.cost(i) {
                 if best.is_none() || c < best.unwrap().1 {
                     best = Some((i, c));
                 }
@@ -39,7 +38,7 @@ pub(crate) fn assign_by_priority(
         }
         if let Some((i, _)) = best {
             free[i] = false;
-            alloc.rates[i][job.id] = 1.0;
+            alloc.set(i, job.id, 1.0);
         }
     }
     alloc
@@ -61,8 +60,8 @@ impl OnlineScheduler for Srpt {
     fn name(&self) -> String {
         "SRPT".into()
     }
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
-        assign_by_priority(active, inst, |a| -(a.remaining * inst.fastest_cost(a.id)))
+    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+        assign_by_priority(active, n_machines, |a| -(a.remaining * a.fastest_cost()))
     }
 }
 
@@ -85,13 +84,12 @@ impl OnlineScheduler for WeightedAge {
     fn name(&self) -> String {
         "WeightedAge".into()
     }
-    fn plan(&mut self, now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
+    fn plan(&mut self, now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
         self.now = now;
-        assign_by_priority(active, inst, |a| {
-            let j = inst.job(a.id);
+        assign_by_priority(active, n_machines, |a| {
             // Weighted flow the job would reach if it finished right now,
             // plus its remaining fastest time (a lookahead tie-breaker).
-            j.weight * (now - j.release + a.remaining * inst.fastest_cost(a.id))
+            a.weight * (now - a.release + a.remaining * a.fastest_cost())
         })
     }
 }
@@ -116,10 +114,9 @@ impl OnlineScheduler for Swrpt {
     fn name(&self) -> String {
         "SWRPT".into()
     }
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
-        assign_by_priority(active, inst, |a| {
-            let j = inst.job(a.id);
-            -(a.remaining * inst.fastest_cost(a.id)) / j.weight.max(1e-12)
+    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+        assign_by_priority(active, n_machines, |a| {
+            -(a.remaining * a.fastest_cost()) / a.weight.max(1e-12)
         })
     }
 }
@@ -139,8 +136,8 @@ impl OnlineScheduler for FifoFastest {
     fn name(&self) -> String {
         "FIFO".into()
     }
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
-        assign_by_priority(active, inst, |a| -inst.job(a.id).release)
+    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+        assign_by_priority(active, n_machines, |a| -a.release)
     }
 }
 
@@ -148,7 +145,7 @@ impl OnlineScheduler for FifoFastest {
 mod tests {
     use super::*;
     use crate::engine::simulate;
-    use dlflow_core::instance::InstanceBuilder;
+    use dlflow_core::instance::{Instance, InstanceBuilder};
 
     fn two_jobs_one_machine() -> Instance<f64> {
         let mut b = InstanceBuilder::new();
@@ -259,12 +256,12 @@ impl OnlineScheduler for RoundRobin {
     fn name(&self) -> String {
         "RoundRobin".into()
     }
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
-        let mut alloc = Allocation::idle(inst.n_machines(), inst.n_jobs());
-        for i in 0..inst.n_machines() {
+    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+        let mut alloc = Allocation::idle(n_machines);
+        for i in 0..n_machines {
             let eligible: Vec<usize> = active
                 .iter()
-                .filter(|a| inst.cost(i, a.id).is_finite())
+                .filter(|a| a.cost(i).is_some())
                 .map(|a| a.id)
                 .collect();
             if eligible.is_empty() {
@@ -272,7 +269,7 @@ impl OnlineScheduler for RoundRobin {
             }
             let share = 1.0 / eligible.len() as f64;
             for id in eligible {
-                alloc.rates[i][id] = share;
+                alloc.set(i, id, share);
             }
         }
         alloc

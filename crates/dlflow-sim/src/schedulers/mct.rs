@@ -5,16 +5,20 @@
 //! queued there. Machines serve their queues FIFO, one job at a time —
 //! non-preemptive, non-divisible: exactly the "classical scheduling
 //! heuristic" the paper's conclusion compares against.
+//!
+//! The policy is fully incremental: assignments live in a small map that
+//! grows with the number of jobs *in the system*, not the trace length —
+//! completions prune it via [`OnlineScheduler::on_completion`].
 
 use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
-use dlflow_core::instance::Instance;
+use std::collections::HashMap;
 
 /// MCT policy state.
 #[derive(Default)]
 pub struct Mct {
-    /// Machine assigned to each seen job.
-    assigned: Vec<Option<usize>>,
-    /// FIFO queue per machine.
+    /// Machine assigned to each job currently in the system.
+    assigned: HashMap<usize, usize>,
+    /// FIFO queue per machine (active job ids only).
     queues: Vec<Vec<usize>>,
 }
 
@@ -22,15 +26,6 @@ impl Mct {
     /// Fresh policy.
     pub fn new() -> Self {
         Mct::default()
-    }
-
-    fn ensure_sizes(&mut self, inst: &Instance<f64>) {
-        if self.assigned.len() < inst.n_jobs() {
-            self.assigned.resize(inst.n_jobs(), None);
-        }
-        if self.queues.len() < inst.n_machines() {
-            self.queues.resize(inst.n_machines(), Vec::new());
-        }
     }
 }
 
@@ -44,58 +39,56 @@ impl OnlineScheduler for Mct {
         self.queues.clear();
     }
 
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
-        self.ensure_sizes(inst);
-        let remaining_of = |id: usize, active: &[ActiveJob]| -> f64 {
-            active
-                .iter()
-                .find(|a| a.id == id)
-                .map_or(0.0, |a| a.remaining)
-        };
+    fn on_completion(&mut self, _now: f64, job_id: usize) {
+        if let Some(i) = self.assigned.remove(&job_id) {
+            self.queues[i].retain(|&k| k != job_id);
+        }
+    }
+
+    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+        if self.queues.len() < n_machines {
+            self.queues.resize(n_machines, Vec::new());
+        }
+        let job_of = |id: usize| active.iter().find(|a| a.id == id);
 
         // Assign any newly seen jobs, in release order (ties by id).
-        let mut newcomers: Vec<usize> = active
+        let mut newcomers: Vec<&ActiveJob> = active
             .iter()
-            .filter(|a| self.assigned[a.id].is_none())
-            .map(|a| a.id)
+            .filter(|a| !self.assigned.contains_key(&a.id))
             .collect();
-        newcomers.sort_by(|&a, &b| {
-            inst.job(a)
-                .release
-                .partial_cmp(&inst.job(b).release)
+        newcomers.sort_by(|a, b| {
+            a.release
+                .partial_cmp(&b.release)
                 .unwrap()
-                .then(a.cmp(&b))
+                .then(a.id.cmp(&b.id))
         });
-        for j in newcomers {
+        for job in newcomers {
             let mut best: Option<(usize, f64)> = None;
-            for i in 0..inst.n_machines() {
-                let Some(&c) = inst.cost(i, j).finite() else {
+            for i in 0..n_machines {
+                let Some(c) = job.cost(i) else {
                     continue;
                 };
                 // Backlog of still-active queued jobs on machine i.
                 let backlog: f64 = self.queues[i]
                     .iter()
-                    .map(|&k| {
-                        let rem = remaining_of(k, active);
-                        rem * inst.cost(i, k).finite().copied().unwrap_or(0.0)
-                    })
+                    .map(|&k| job_of(k).map_or(0.0, |a| a.remaining * a.cost(i).unwrap_or(0.0)))
                     .sum();
                 let completion = backlog + c; // relative to now
                 if best.is_none() || completion < best.unwrap().1 {
                     best = Some((i, completion));
                 }
             }
-            let (i, _) = best.expect("validated instance: some machine runs the job");
-            self.assigned[j] = Some(i);
-            self.queues[i].push(j);
+            let (i, _) = best.expect("validated job: some machine runs it");
+            self.assigned.insert(job.id, i);
+            self.queues[i].push(job.id);
         }
 
-        // Purge finished jobs from queue heads and serve the first active.
-        let mut alloc = Allocation::idle(inst.n_machines(), inst.n_jobs());
-        for i in 0..inst.n_machines() {
-            self.queues[i].retain(|&k| active.iter().any(|a| a.id == k));
+        // Serve each queue head (completions already pruned the queues,
+        // so heads are always active).
+        let mut alloc = Allocation::idle(n_machines);
+        for i in 0..n_machines {
             if let Some(&head) = self.queues[i].first() {
-                alloc.rates[i][head] = 1.0;
+                alloc.set(i, head, 1.0);
             }
         }
         alloc
@@ -158,5 +151,20 @@ mod tests {
         let res = simulate(&inst, &mut Mct::new()).unwrap();
         // J1 waits for J0: completes at 11.
         assert!((res.completions[1] - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn state_is_pruned_on_completion() {
+        // After a full run, no per-job state lingers (memory stays
+        // O(|active|) on long traces).
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.job(1.0, 1.0);
+        b.machine(vec![Some(2.0), Some(2.0)]);
+        let inst = b.build().unwrap();
+        let mut mct = Mct::new();
+        simulate(&inst, &mut mct).unwrap();
+        assert!(mct.assigned.is_empty());
+        assert!(mct.queues.iter().all(|q| q.is_empty()));
     }
 }

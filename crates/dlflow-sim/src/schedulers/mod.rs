@@ -1,13 +1,21 @@
 //! Online scheduling policies.
 //!
+//! All eight speak the event-notification
+//! [`OnlineScheduler`](crate::engine::OnlineScheduler) API: the engine
+//! tells them about arrivals and completions (`on_arrival` /
+//! `on_completion`), they keep incremental per-job state, and `plan`
+//! sees only the active set — never a closed instance — so every policy
+//! runs unchanged on open-arrival traces of any length.
+//!
 //! * [`mct::Mct`] — Minimum Completion Time, the classical heuristic the
-//!   paper's conclusion names as the baseline its online adaptation beats.
+//!   paper's conclusion names as the baseline its online adaptation beats
+//!   (assignments pruned incrementally on completion).
 //! * [`greedy::Srpt`], [`greedy::Swrpt`], [`greedy::WeightedAge`],
 //!   [`greedy::FifoFastest`], [`greedy::RoundRobin`] — further classical
 //!   list heuristics (preemptive, non-divisible).
 //! * [`edf::Edf`] — Earliest Deadline First on guessed deadlines
 //!   (`d̂_j = r_j + k·p̄_j/w_j`), the deadline-driven member of the
-//!   comparison set.
+//!   comparison set (guesses cached at arrival).
 //! * [`offline_adapt::OfflineAdapt`] — the paper's proposal: re-solve the
 //!   offline divisible max-weighted-flow problem at every event and follow
 //!   its first-interval rates (divisibility gives preemption for free).

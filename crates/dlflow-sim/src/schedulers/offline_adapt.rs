@@ -14,11 +14,20 @@
 //!    its fractions `α⁽⁰⁾ᵢⱼ` into machine shares;
 //! 3. follow those rates until the next event (arrival/completion), then
 //!    re-plan. Divisibility makes preemption and migration free.
+//!
+//! The policy never sees a closed instance: the sub-problem is built from
+//! the active set the engine hands to `plan`, so it works unchanged on
+//! open-arrival traces.
 
 use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
 use dlflow_core::instance::{Cost, Instance, Job};
 use dlflow_core::lp_build::build_deadline_lp;
 use dlflow_lp::solve;
+
+/// Weight floor used when a zero-weight job reaches the deadline maths
+/// (the streaming path does not forbid zero weights; treat them as
+/// "almost irrelevant" rather than dividing by zero).
+const MIN_WEIGHT: f64 = 1e-12;
 
 /// Rates cached by the re-solve throttle (see
 /// [`OfflineAdapt::min_resolve_interval`]).
@@ -27,8 +36,8 @@ struct PlanCache {
     solved_at: f64,
     /// Job ids that were active at the last re-solve (sorted).
     known: Vec<usize>,
-    /// The rate matrix the re-solve produced.
-    rates: Vec<Vec<f64>>,
+    /// The sparse rate allocation the re-solve produced.
+    alloc: Allocation,
 }
 
 /// Online adaptation of the offline divisible optimum.
@@ -86,12 +95,7 @@ impl OfflineAdapt {
     /// job's (arbitrarily distant) completion — the re-solve budget must
     /// bound *simulated time between solves*, not just be checked when
     /// an event happens to occur.
-    fn cached_plan(
-        &self,
-        now: f64,
-        active: &[ActiveJob],
-        inst: &Instance<f64>,
-    ) -> Option<Allocation> {
+    fn cached_plan(&self, now: f64, active: &[ActiveJob], n_machines: usize) -> Option<Allocation> {
         if self.min_resolve_interval <= 0.0 {
             return None;
         }
@@ -105,12 +109,12 @@ impl OfflineAdapt {
         {
             return None; // a new arrival always warrants a fresh solve
         }
-        let mut alloc = Allocation::idle(inst.n_machines(), inst.n_jobs());
-        for i in 0..inst.n_machines() {
+        let mut alloc = Allocation::idle(n_machines);
+        for i in 0..n_machines {
             for a in active {
-                let r = cache.rates[i][a.id];
+                let r = cache.alloc.share(i, a.id);
                 if r > 0.0 {
-                    alloc.rates[i][a.id] = r;
+                    alloc.set(i, a.id, r);
                 }
             }
         }
@@ -119,10 +123,10 @@ impl OfflineAdapt {
         let mut next_completion = f64::INFINITY;
         for a in active {
             let mut rate = 0.0;
-            for i in 0..inst.n_machines() {
-                let share = alloc.rates[i][a.id];
+            for i in 0..n_machines {
+                let share = alloc.share(i, a.id);
                 if share > 0.0 {
-                    let c = *inst.cost(i, a.id).finite().expect("cached rate is legal");
+                    let c = a.cost(i).expect("cached rate is legal");
                     if c <= 1e-12 {
                         rate = f64::INFINITY;
                     } else {
@@ -144,39 +148,38 @@ impl OfflineAdapt {
 
     /// Builds the *remaining-work* sub-instance at time `now`: one job per
     /// active job with cost `remaining · c[i][j]` and release `now`.
-    fn sub_instance(&self, now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Instance<f64> {
+    fn sub_instance(&self, now: f64, active: &[ActiveJob], n_machines: usize) -> Instance<f64> {
         let jobs: Vec<Job<f64>> = active
             .iter()
             .map(|a| Job {
                 release: now,
-                weight: inst.job(a.id).weight,
-                name: inst.job(a.id).name.clone(),
+                weight: a.weight.max(MIN_WEIGHT),
+                name: format!("J{}", a.id + 1),
             })
             .collect();
-        let cost: Vec<Vec<Cost<f64>>> = (0..inst.n_machines())
+        let cost: Vec<Vec<Cost<f64>>> = (0..n_machines)
             .map(|i| {
                 active
                     .iter()
-                    .map(|a| match inst.cost(i, a.id).finite() {
-                        Some(&c) => Cost::Finite(a.remaining * c),
+                    .map(|a| match a.cost(i) {
+                        Some(c) => Cost::Finite(a.remaining * c),
                         None => Cost::Infinite,
                     })
                     .collect()
             })
             .collect();
-        Instance::new(jobs, cost).expect("sub-instance of a valid instance is valid")
+        Instance::new(jobs, cost).expect("active jobs each run somewhere")
     }
 
     /// Deadlines induced by objective `F`, measured from the **original**
     /// releases (so jobs that have waited longer get tighter windows),
     /// clamped to `now` (a deadline in the past means `F` is infeasible,
     /// expressed as an empty window).
-    fn deadlines(&self, now: f64, f: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Vec<f64> {
+    fn deadlines(&self, now: f64, f: f64, active: &[ActiveJob]) -> Vec<f64> {
         active
             .iter()
             .map(|a| {
-                let j = inst.job(a.id);
-                (j.release + f / j.weight).max(now - 1.0) // < now ⇒ infeasible window
+                (a.release + f / a.weight.max(MIN_WEIGHT)).max(now - 1.0) // < now ⇒ infeasible window
             })
             .collect()
     }
@@ -205,18 +208,29 @@ impl OnlineScheduler for OfflineAdapt {
         self.n_resolves = 0;
     }
 
-    fn plan(&mut self, now: f64, active: &[ActiveJob], inst: &Instance<f64>) -> Allocation {
-        if active.is_empty() {
-            return Allocation::idle(inst.n_machines(), inst.n_jobs());
+    fn on_completion(&mut self, _now: f64, job_id: usize) {
+        // Cached rates for a finished job must not leak into reuse
+        // projections (they are masked anyway, but dropping the id keeps
+        // the cache honest about what it knows).
+        if let Some(cache) = &mut self.cache {
+            if let Ok(k) = cache.known.binary_search(&job_id) {
+                cache.known.remove(k);
+            }
         }
-        if let Some(alloc) = self.cached_plan(now, active, inst) {
+    }
+
+    fn plan(&mut self, now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+        if active.is_empty() {
+            return Allocation::idle(n_machines);
+        }
+        if let Some(alloc) = self.cached_plan(now, active, n_machines) {
             return alloc;
         }
-        let sub = self.sub_instance(now, active, inst);
+        let sub = self.sub_instance(now, active, n_machines);
 
         // Feasibility probe for a candidate objective value.
         let probe = |f: f64| -> bool {
-            let d = self.deadlines(now, f, active, inst);
+            let d = self.deadlines(now, f, active);
             if d.iter().any(|&dj| dj <= now) {
                 return false;
             }
@@ -227,16 +241,13 @@ impl OnlineScheduler for OfflineAdapt {
         // Bracket the optimum. Lower bound: flow already incurred.
         let mut lo = active
             .iter()
-            .map(|a| inst.job(a.id).weight * (now - inst.job(a.id).release))
+            .map(|a| a.weight * (now - a.release))
             .fold(0.0f64, f64::max);
         // Upper bound: serialize everything on fastest machines.
-        let total_serial: f64 = active
-            .iter()
-            .map(|a| a.remaining * sub_fastest(&sub, active, a))
-            .sum();
+        let total_serial: f64 = (0..active.len()).map(|k| sub.fastest_cost(k)).sum();
         let mut hi = active
             .iter()
-            .map(|a| inst.job(a.id).weight * (now + total_serial - inst.job(a.id).release))
+            .map(|a| a.weight.max(MIN_WEIGHT) * (now + total_serial - a.release))
             .fold(lo, f64::max)
             .max(lo + 1.0)
             * (1.0 + 1e-9)
@@ -253,7 +264,7 @@ impl OnlineScheduler for OfflineAdapt {
         }
 
         // Final solve at the feasible end of the bracket.
-        let d = self.deadlines(now, hi, active, inst);
+        let d = self.deadlines(now, hi, active);
         let built = build_deadline_lp(&sub, &d, false);
         let sol = solve(&built.lp);
         debug_assert!(sol.is_optimal());
@@ -262,7 +273,7 @@ impl OnlineScheduler for OfflineAdapt {
         // First-interval rates: α⁽⁰⁾ᵢⱼ · c'ᵢⱼ is the time machine i spends
         // on job j within the interval; divided by the interval length it
         // is the machine share.
-        let mut alloc = Allocation::idle(inst.n_machines(), inst.n_jobs());
+        let mut alloc = Allocation::idle(n_machines);
         if built.intervals.n_intervals() == 0 {
             return alloc;
         }
@@ -280,15 +291,13 @@ impl OnlineScheduler for OfflineAdapt {
             }
             let c_sub = sub.cost(*i, *k).finite().copied().unwrap();
             let share = (frac * c_sub / len0).min(1.0);
-            alloc.rates[*i][active[*k].id] += share;
+            alloc.add(*i, active[*k].id, share);
         }
         // Normalize any machine marginally over 1 from float noise.
-        for i in 0..inst.n_machines() {
-            let total: f64 = alloc.rates[i].iter().sum();
+        for i in 0..n_machines {
+            let total = alloc.machine_total(i);
             if total > 1.0 {
-                for r in alloc.rates[i].iter_mut() {
-                    *r /= total;
-                }
+                alloc.scale_machine(i, 1.0 / total);
             }
         }
         if self.min_resolve_interval > 0.0 {
@@ -297,29 +306,17 @@ impl OnlineScheduler for OfflineAdapt {
             self.cache = Some(PlanCache {
                 solved_at: now,
                 known,
-                rates: alloc.rates.clone(),
+                alloc: alloc.clone(),
             });
         }
         alloc
     }
 }
 
-fn sub_fastest(sub: &Instance<f64>, active: &[ActiveJob], a: &ActiveJob) -> f64 {
-    let k = active.iter().position(|x| x.id == a.id).unwrap();
-    // fastest_cost of the sub-instance already includes `remaining`; undo it
-    // to give the caller a per-unit figure times remaining consistently.
-    let f = sub.fastest_cost(k);
-    if a.remaining > 0.0 {
-        f / a.remaining
-    } else {
-        0.0
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{simulate, RunMetrics};
+    use crate::engine::{simulate, Engine, JobSpec, RunMetrics};
     use crate::schedulers::mct::Mct;
     use dlflow_core::instance::InstanceBuilder;
 
@@ -433,5 +430,26 @@ mod tests {
         let res = simulate(&inst, &mut OfflineAdapt::new()).unwrap();
         assert!((res.completions[0] - 2.0).abs() < 1e-4);
         assert!((res.completions[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_weight_job_does_not_break_the_lp_path() {
+        // The streaming engine allows weight 0; OLA clamps it to a floor
+        // instead of building an invalid sub-instance or dividing by 0.
+        let mut eng = Engine::new(2);
+        let mut ola = OfflineAdapt::new();
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 0.0,
+            costs: vec![4.0, 4.0],
+        });
+        eng.push_arrival(JobSpec {
+            release: 1.0,
+            weight: 2.0,
+            costs: vec![2.0, f64::INFINITY],
+        });
+        eng.drain(&mut ola).unwrap();
+        assert_eq!(eng.n_completed(), 2);
+        assert!(eng.metrics().makespan.is_finite());
     }
 }

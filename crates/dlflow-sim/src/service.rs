@@ -1,0 +1,226 @@
+//! The replayable `simulate` service: one entry point that runs any
+//! scheduler over either a **closed instance** or an **open-arrival
+//! trace** and renders a deterministic report — the library half of the
+//! `dlflow simulate` CLI subcommand.
+//!
+//! Reports are plain data plus hand-rendered JSON (the offline
+//! dependency set has no serde): the same input always produces
+//! byte-identical output, so a `dlflow simulate` invocation is a
+//! reproducible, replayable record of a run.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlflow_sim::campaign::SchedulerSpec;
+//! use dlflow_sim::service::{run_simulation, SimInput};
+//! use dlflow_sim::workload::{generate_trace, TraceSpec};
+//!
+//! let trace = generate_trace(&TraceSpec { n_requests: 30, ..Default::default() });
+//! let spec = SchedulerSpec::parse_compact("swrpt").unwrap();
+//! let report = run_simulation(&SimInput::Open(trace), &spec).unwrap();
+//! assert_eq!(report.n_jobs, 30);
+//! assert!(report.to_json().contains("\"scheduler\": \"SWRPT\""));
+//! ```
+
+use crate::campaign::SchedulerSpec;
+use crate::engine::{simulate, RunMetrics, SimResult};
+use crate::workload::Trace;
+use dlflow_core::instance::Instance;
+
+/// What to simulate: a closed instance (all jobs known up front) or an
+/// open-arrival trace (requests streamed through the incremental
+/// engine).
+pub enum SimInput {
+    /// A closed instance — every job pushed at start, per-job
+    /// completions reported.
+    Closed(Instance<f64>),
+    /// An open trace — replayed with memory proportional to the
+    /// in-flight request count.
+    Open(Trace),
+}
+
+/// Outcome of one service run: counters plus metrics, rendering to text
+/// and deterministic JSON.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Scheduler label (the policy's self-reported name).
+    pub scheduler: String,
+    /// `"instance"` or `"trace"`.
+    pub input_kind: &'static str,
+    /// Jobs simulated.
+    pub n_jobs: usize,
+    /// Machines.
+    pub n_machines: usize,
+    /// Events processed.
+    pub n_events: usize,
+    /// `plan` invocations.
+    pub n_plans: usize,
+    /// Run metrics.
+    pub metrics: RunMetrics,
+    /// Fleet utilization over `[first release, makespan]`.
+    pub utilization: f64,
+    /// Largest number of simultaneously in-flight jobs (trace replays
+    /// only; equals 0 for closed instances, where the engine does not
+    /// track it).
+    pub max_active: usize,
+    /// Per-job completion times (closed instances only; empty for
+    /// trace replays, which stream completions instead of storing them).
+    pub completions: Vec<f64>,
+}
+
+/// Runs `spec`'s scheduler over the input. Closed instances go through
+/// [`simulate`]; open traces through [`Trace::replay`].
+pub fn run_simulation(input: &SimInput, spec: &SchedulerSpec) -> Result<ServiceReport, String> {
+    let mut policy = spec.build();
+    match input {
+        SimInput::Closed(inst) => {
+            let res: SimResult =
+                simulate(inst, policy.as_mut()).map_err(|e| format!("{}: {e}", spec.label()))?;
+            let metrics = RunMetrics::from_completions(inst, &res.completions);
+            Ok(ServiceReport {
+                scheduler: spec.label(),
+                input_kind: "instance",
+                n_jobs: inst.n_jobs(),
+                n_machines: inst.n_machines(),
+                n_events: res.n_events,
+                n_plans: res.n_plans,
+                utilization: res.utilization(inst),
+                metrics,
+                max_active: 0,
+                completions: res.completions,
+            })
+        }
+        SimInput::Open(trace) => {
+            let stats = trace
+                .replay(policy.as_mut())
+                .map_err(|e| format!("{}: {e}", spec.label()))?;
+            Ok(ServiceReport {
+                scheduler: spec.label(),
+                input_kind: "trace",
+                n_jobs: stats.n_jobs,
+                n_machines: trace.n_machines(),
+                n_events: stats.n_events,
+                n_plans: stats.n_plans,
+                utilization: stats.utilization,
+                metrics: stats.metrics,
+                max_active: stats.max_active,
+                completions: Vec::new(),
+            })
+        }
+    }
+}
+
+/// Formats a float for report output: fixed 6 decimals, deterministic.
+fn f6(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+impl ServiceReport {
+    /// Human-readable summary.
+    pub fn to_text(&self) -> String {
+        let m = &self.metrics;
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{} over {} ({} jobs, {} machines)\n",
+            self.scheduler, self.input_kind, self.n_jobs, self.n_machines
+        ));
+        s.push_str(&format!(
+            "  events: {}   plans: {}   utilization: {:.3}",
+            self.n_events, self.n_plans, self.utilization
+        ));
+        if self.max_active > 0 {
+            s.push_str(&format!("   peak in-flight: {}", self.max_active));
+        }
+        s.push('\n');
+        s.push_str(&format!(
+            "  max stretch: {:.6}   sum stretch: {:.6}\n",
+            m.max_stretch, m.sum_stretch
+        ));
+        s.push_str(&format!(
+            "  max flow: {:.6}   mean flow: {:.6}   max weighted flow: {:.6}\n",
+            m.max_flow, m.mean_flow, m.max_weighted_flow
+        ));
+        s.push_str(&format!("  makespan: {:.6}\n", m.makespan));
+        s
+    }
+
+    /// Deterministic machine-readable JSON (same input → byte-identical
+    /// bytes; no serde in the offline dependency set).
+    pub fn to_json(&self) -> String {
+        let m = &self.metrics;
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"scheduler\": \"{}\",\n", self.scheduler));
+        s.push_str(&format!("  \"input\": \"{}\",\n", self.input_kind));
+        s.push_str(&format!("  \"n_jobs\": {},\n", self.n_jobs));
+        s.push_str(&format!("  \"n_machines\": {},\n", self.n_machines));
+        s.push_str(&format!("  \"n_events\": {},\n", self.n_events));
+        s.push_str(&format!("  \"n_plans\": {},\n", self.n_plans));
+        s.push_str(&format!("  \"max_active\": {},\n", self.max_active));
+        s.push_str(&format!("  \"utilization\": {},\n", f6(self.utilization)));
+        s.push_str(&format!("  \"max_stretch\": {},\n", f6(m.max_stretch)));
+        s.push_str(&format!("  \"sum_stretch\": {},\n", f6(m.sum_stretch)));
+        s.push_str(&format!("  \"max_flow\": {},\n", f6(m.max_flow)));
+        s.push_str(&format!("  \"mean_flow\": {},\n", f6(m.mean_flow)));
+        s.push_str(&format!(
+            "  \"max_weighted_flow\": {},\n",
+            f6(m.max_weighted_flow)
+        ));
+        s.push_str(&format!("  \"makespan\": {}", f6(m.makespan)));
+        if self.completions.is_empty() {
+            s.push('\n');
+        } else {
+            s.push_str(",\n  \"completions\": [");
+            for (j, c) in self.completions.iter().enumerate() {
+                let comma = if j + 1 == self.completions.len() {
+                    ""
+                } else {
+                    ", "
+                };
+                s.push_str(&format!("{}{comma}", f6(*c)));
+            }
+            s.push_str("]\n");
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, generate_trace, TraceSpec, WorkloadSpec};
+
+    #[test]
+    fn closed_and_open_runs_report_consistently() {
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 30,
+            seed: 4,
+            ..Default::default()
+        });
+        let spec = SchedulerSpec::parse_compact("srpt").unwrap();
+        let open = run_simulation(&SimInput::Open(trace.clone()), &spec).unwrap();
+        let closed =
+            run_simulation(&SimInput::Closed(trace.to_instance().unwrap()), &spec).unwrap();
+        assert_eq!(open.n_events, closed.n_events);
+        assert_eq!(open.n_plans, closed.n_plans);
+        assert!((open.metrics.max_stretch - closed.metrics.max_stretch).abs() < 1e-9);
+        assert_eq!(open.completions.len(), 0);
+        assert_eq!(closed.completions.len(), 30);
+        assert!(open.max_active >= 1);
+    }
+
+    #[test]
+    fn reports_are_byte_stable() {
+        let inst = generate(&WorkloadSpec {
+            n_jobs: 6,
+            seed: 8,
+            ..Default::default()
+        });
+        let spec = SchedulerSpec::parse_compact("mct").unwrap();
+        let a = run_simulation(&SimInput::Closed(inst.clone()), &spec).unwrap();
+        let b = run_simulation(&SimInput::Closed(inst), &spec).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_text(), b.to_text());
+        assert!(a.to_json().contains("\"completions\": ["));
+    }
+}

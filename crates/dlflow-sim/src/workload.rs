@@ -1,6 +1,18 @@
-//! Random workload generation for the online-scheduling experiments.
+//! Workload generation: closed random instances for the offline
+//! experiments, and **open-arrival traces** for the streaming engine.
+//!
+//! The closed half ([`WorkloadSpec`] / [`generate`]) materializes a full
+//! [`Instance`] up front — what the exact offline yardsticks need. The
+//! open half ([`TraceSpec`] / [`generate_trace`] / [`Trace`]) models the
+//! paper's real regime: requests stream into the GriPPS platform from an
+//! arrival *process* (Poisson, bursty, or diurnal), and the simulator
+//! never needs the whole future. Traces round-trip through the `.dlt`
+//! text format (documented in `docs/FORMATS.md`, next to `.dlf`) and
+//! replay through the incremental [`Engine`] with memory proportional
+//! to the number of *in-flight* requests.
 
-use dlflow_core::instance::Instance;
+use crate::engine::{CompletedJob, Engine, JobSpec, OnlineScheduler, RunMetrics, SimError, EPS};
+use dlflow_core::instance::{Cost, Instance, Job};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -105,6 +117,497 @@ pub fn ensemble(spec: &WorkloadSpec, count: usize) -> Vec<Instance<f64>> {
         .collect()
 }
 
+// --------------------------------------------------------------------------
+// Open-arrival traces.
+// --------------------------------------------------------------------------
+
+/// The arrival process of an open trace: how request release dates are
+/// spaced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at `rate` requests per second.
+    Poisson {
+        /// Mean arrivals per second.
+        rate: f64,
+    },
+    /// Markov-modulated on/off bursts: inside a burst, Poisson at
+    /// `rate`; bursts last `Exp(mean_burst)` seconds and are separated
+    /// by silent gaps of `Exp(mean_gap)` seconds.
+    Bursty {
+        /// Mean arrivals per second *inside* a burst.
+        rate: f64,
+        /// Mean burst duration (seconds).
+        mean_burst: f64,
+        /// Mean silent gap between bursts (seconds).
+        mean_gap: f64,
+    },
+    /// Sinusoidal daily cycle: the instantaneous rate oscillates between
+    /// `trough_rate` and `peak_rate` with the given period (sampled by
+    /// thinning a Poisson process at `peak_rate`).
+    Diurnal {
+        /// Rate at the daily peak (arrivals per second).
+        peak_rate: f64,
+        /// Rate at the nightly trough.
+        trough_rate: f64,
+        /// Cycle length in seconds.
+        period: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Samples the next `n` arrival times starting at 0.
+    fn sample(&self, n: usize, rng: &mut SmallRng) -> Vec<f64> {
+        let exp = |rng: &mut SmallRng, mean: f64| -> f64 {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            -u.ln() * mean
+        };
+        let mut out = Vec::with_capacity(n);
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                assert!(rate > 0.0, "Poisson rate must be positive");
+                let mut t = 0.0;
+                for _ in 0..n {
+                    t += exp(rng, 1.0 / rate);
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::Bursty {
+                rate,
+                mean_burst,
+                mean_gap,
+            } => {
+                assert!(
+                    rate > 0.0 && mean_burst > 0.0 && mean_gap >= 0.0,
+                    "bursty process parameters must be positive"
+                );
+                let mut t = 0.0;
+                let mut burst_end = exp(rng, mean_burst);
+                while out.len() < n {
+                    let dt = exp(rng, 1.0 / rate);
+                    if t + dt <= burst_end {
+                        t += dt;
+                        out.push(t);
+                    } else {
+                        // The burst ends before the next arrival: skip
+                        // the silent gap and open a fresh burst.
+                        t = burst_end + exp(rng, mean_gap);
+                        burst_end = t + exp(rng, mean_burst);
+                    }
+                }
+            }
+            ArrivalProcess::Diurnal {
+                peak_rate,
+                trough_rate,
+                period,
+            } => {
+                assert!(
+                    peak_rate >= trough_rate && trough_rate >= 0.0 && peak_rate > 0.0,
+                    "diurnal rates must satisfy peak >= trough >= 0, peak > 0"
+                );
+                assert!(period > 0.0, "diurnal period must be positive");
+                // Thinning: candidates at peak_rate, accepted with
+                // probability rate(t)/peak_rate.
+                let mut t = 0.0;
+                while out.len() < n {
+                    t += exp(rng, 1.0 / peak_rate);
+                    let phase = (std::f64::consts::TAU * t / period).sin();
+                    let rate = trough_rate + (peak_rate - trough_rate) * (1.0 + phase) / 2.0;
+                    if rng.gen_range(0.0..1.0) < rate / peak_rate {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One arriving request of an open trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceArrival {
+    /// Release date (seconds).
+    pub release: f64,
+    /// Request size in work units (cost on machine `i` is
+    /// `size · cycle_times[i]`).
+    pub size: f64,
+    /// Priority weight (≥ 0).
+    pub weight: f64,
+    /// Which machines hold the request's databank.
+    pub avail: Vec<bool>,
+}
+
+/// An open-arrival trace: a machine fleet (cycle times) plus a stream of
+/// requests sorted by release date. Serializes to the `.dlt` text format
+/// and replays through the incremental engine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Seconds per work unit, one entry per machine.
+    pub cycle_times: Vec<f64>,
+    /// Requests, sorted by release (ties keep file/generation order).
+    pub arrivals: Vec<TraceArrival>,
+}
+
+/// Knobs for synthetic trace generation.
+#[derive(Clone, Debug)]
+pub struct TraceSpec {
+    /// Number of requests.
+    pub n_requests: usize,
+    /// Number of machines.
+    pub n_machines: usize,
+    /// Machine cycle-time heterogeneity: cycle ∈ `[1, heterogeneity]`.
+    pub heterogeneity: f64,
+    /// Probability a machine holds a given request's databank (≥ one
+    /// forced).
+    pub availability: f64,
+    /// Request size range in work units, log-uniform.
+    pub size_range: (f64, f64),
+    /// Request weights drawn uniformly from this palette.
+    pub weights: Vec<f64>,
+    /// The arrival process.
+    pub process: ArrivalProcess,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            n_requests: 1000,
+            n_machines: 3,
+            heterogeneity: 3.0,
+            availability: 0.6,
+            size_range: (0.05, 1.0),
+            weights: vec![1.0, 2.0, 5.0],
+            process: ArrivalProcess::Poisson { rate: 2.0 },
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a synthetic open-arrival trace.
+pub fn generate_trace(spec: &TraceSpec) -> Trace {
+    assert!(spec.n_requests > 0 && spec.n_machines > 0);
+    let (lo, hi) = spec.size_range;
+    assert!(lo > 0.0 && hi >= lo, "size range must be positive");
+    assert!(!spec.weights.is_empty(), "weight palette must be non-empty");
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let m = spec.n_machines;
+
+    let cycle_times: Vec<f64> = (0..m)
+        .map(|_| rng.gen_range(1.0..=spec.heterogeneity.max(1.0)))
+        .collect();
+    let releases = spec.process.sample(spec.n_requests, &mut rng);
+
+    let arrivals = releases
+        .into_iter()
+        .map(|release| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let size = lo * (hi / lo).powf(u);
+            let weight = spec.weights[rng.gen_range(0..spec.weights.len())];
+            let mut avail: Vec<bool> = (0..m)
+                .map(|_| rng.gen_bool(spec.availability.clamp(0.0, 1.0)))
+                .collect();
+            if !avail.iter().any(|&a| a) {
+                let i = rng.gen_range(0..m);
+                avail[i] = true;
+            }
+            TraceArrival {
+                release,
+                size,
+                weight,
+                avail,
+            }
+        })
+        .collect();
+
+    Trace {
+        cycle_times,
+        arrivals,
+    }
+}
+
+/// Counters and metrics of one streaming trace replay — the streaming
+/// counterpart of [`SimResult`](crate::engine::SimResult) (per-job
+/// completion vectors are deliberately absent: memory stays
+/// `O(|active|)`).
+#[derive(Clone, Debug)]
+pub struct ReplayStats {
+    /// Requests replayed.
+    pub n_jobs: usize,
+    /// Events processed.
+    pub n_events: usize,
+    /// `plan` invocations.
+    pub n_plans: usize,
+    /// Busy machine-seconds per machine.
+    pub busy: Vec<f64>,
+    /// Run metrics folded online.
+    pub metrics: RunMetrics,
+    /// Fleet utilization over `[first release, makespan]`.
+    pub utilization: f64,
+    /// Largest number of simultaneously in-flight requests.
+    pub max_active: usize,
+}
+
+impl Trace {
+    /// Number of machines.
+    pub fn n_machines(&self) -> usize {
+        self.cycle_times.len()
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `true` when the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The `k`-th request as an engine [`JobSpec`].
+    pub fn job_spec(&self, k: usize) -> JobSpec {
+        let a = &self.arrivals[k];
+        JobSpec {
+            release: a.release,
+            weight: a.weight,
+            costs: self
+                .cycle_times
+                .iter()
+                .zip(&a.avail)
+                .map(|(ct, &ok)| if ok { a.size * ct } else { f64::INFINITY })
+                .collect(),
+        }
+    }
+
+    /// Materializes the whole trace as a closed [`Instance`] (job `j` =
+    /// arrival `j`). Only sensible for small traces — the offline
+    /// yardsticks and parity tests use it; streaming replay does not.
+    /// Fails when a request is unplaceable or a weight is zero (closed
+    /// instances are stricter than the engine).
+    pub fn to_instance(&self) -> Result<Instance<f64>, String> {
+        let jobs: Vec<Job<f64>> = self
+            .arrivals
+            .iter()
+            .enumerate()
+            .map(|(j, a)| Job {
+                release: a.release,
+                weight: a.weight,
+                name: format!("J{}", j + 1),
+            })
+            .collect();
+        let cost: Vec<Vec<Cost<f64>>> = (0..self.n_machines())
+            .map(|i| {
+                self.arrivals
+                    .iter()
+                    .map(|a| {
+                        if a.avail[i] {
+                            Cost::Finite(a.size * self.cycle_times[i])
+                        } else {
+                            Cost::Infinite
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Instance::new(jobs, cost).map_err(|e| e.to_string())
+    }
+
+    /// Replays the trace through a fresh [`Engine`] under `policy`,
+    /// streaming arrivals in so engine memory stays proportional to the
+    /// number of in-flight requests: at any moment the engine knows only
+    /// the active set plus the next release-batch of future arrivals.
+    pub fn replay(&self, policy: &mut dyn OnlineScheduler) -> Result<ReplayStats, SimError> {
+        self.replay_impl(policy, None)
+    }
+
+    /// The shared streaming driver behind [`Trace::replay`] and
+    /// [`replay_with_sink`]. With a sink, completions are buffered per
+    /// step and handed over; without one, buffering is off entirely.
+    fn replay_impl(
+        &self,
+        policy: &mut dyn OnlineScheduler,
+        mut sink: Option<&mut dyn FnMut(&CompletedJob)>,
+    ) -> Result<ReplayStats, SimError> {
+        policy.reset();
+        let mut eng = Engine::new(self.n_machines());
+        eng.record_completions = sink.is_some();
+        let n = self.arrivals.len();
+        let mut next = 0usize;
+        let mut max_active = 0usize;
+        // Stall guard equivalent to `Engine::drain`'s, over the whole trace.
+        let max_iters = 100_000 + 200 * n * (self.n_machines() + 2);
+        for _ in 0..max_iters {
+            // Keep at least one *release batch* pushed ahead: the engine
+            // can only bound its horizon by arrivals it knows about, and
+            // simultaneous releases must be admitted within one event.
+            if eng.pending_len() == 0 && next < n {
+                let t0 = self.arrivals[next].release;
+                while next < n && self.arrivals[next].release <= t0 + EPS {
+                    eng.push_arrival(self.job_spec(next));
+                    next += 1;
+                }
+            }
+            max_active = max_active.max(eng.active().len());
+            let outcome = eng.step(policy)?;
+            if let Some(sink) = sink.as_mut() {
+                for c in eng.take_completed() {
+                    sink(&c);
+                }
+            }
+            // Idle with trace remaining loops back to push the next batch.
+            if outcome == crate::engine::StepOutcome::Idle && next >= n {
+                return Ok(ReplayStats {
+                    n_jobs: n,
+                    n_events: eng.n_events(),
+                    n_plans: eng.n_plans(),
+                    busy: eng.busy().to_vec(),
+                    metrics: eng.metrics(),
+                    utilization: eng.utilization(),
+                    max_active,
+                });
+            }
+        }
+        Err(SimError::Stalled { at: eng.now() })
+    }
+
+    /// Renders the trace in the `.dlt` text format (see
+    /// `docs/FORMATS.md`). Round-trips through [`Trace::parse_dlt`].
+    pub fn to_dlt(&self) -> String {
+        let mut s = String::from("# dlflow open-arrival trace (.dlt) — see docs/FORMATS.md\n");
+        s.push_str("machines");
+        for ct in &self.cycle_times {
+            s.push_str(&format!(" {ct}"));
+        }
+        s.push('\n');
+        for a in &self.arrivals {
+            let mask: String = if a.avail.iter().all(|&x| x) {
+                "*".into()
+            } else {
+                a.avail.iter().map(|&x| if x { '1' } else { '0' }).collect()
+            };
+            s.push_str(&format!(
+                "arrival {} {} {} {mask}\n",
+                a.release, a.size, a.weight
+            ));
+        }
+        s
+    }
+
+    /// Parses the `.dlt` text format. Arrivals need not be sorted in the
+    /// file; the parsed trace is (stably) sorted by release. Errors carry
+    /// 1-based line numbers.
+    pub fn parse_dlt(text: &str) -> Result<Trace, String> {
+        let mut cycle_times: Option<Vec<f64>> = None;
+        let mut arrivals: Vec<TraceArrival> = Vec::new();
+        let parse_num = |tok: &str, what: &str, lineno: usize| -> Result<f64, String> {
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| format!("line {lineno}: bad {what} {tok:?}"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "line {lineno}: {what} must be finite and non-negative, got {tok}"
+                ));
+            }
+            Ok(v)
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut toks = line.split_whitespace();
+            let directive = toks.next().expect("non-empty line");
+            let rest: Vec<&str> = toks.collect();
+            match directive {
+                "machines" => {
+                    if cycle_times.is_some() {
+                        return Err(format!("line {lineno}: duplicate machines line"));
+                    }
+                    if rest.is_empty() {
+                        return Err(format!(
+                            "line {lineno}: machines needs at least one cycle time"
+                        ));
+                    }
+                    let cts: Result<Vec<f64>, String> = rest
+                        .iter()
+                        .map(|t| {
+                            let v = parse_num(t, "cycle time", lineno)?;
+                            if v <= 0.0 {
+                                return Err(format!(
+                                    "line {lineno}: cycle time must be positive, got {t}"
+                                ));
+                            }
+                            Ok(v)
+                        })
+                        .collect();
+                    cycle_times = Some(cts?);
+                }
+                "arrival" => {
+                    let Some(cts) = &cycle_times else {
+                        return Err(format!("line {lineno}: arrival before the machines line"));
+                    };
+                    let [release, size, weight, mask] = rest.as_slice() else {
+                        return Err(format!(
+                            "line {lineno}: arrival expects <release> <size> <weight> <mask>"
+                        ));
+                    };
+                    let release = parse_num(release, "release", lineno)?;
+                    let size = parse_num(size, "size", lineno)?;
+                    let weight = parse_num(weight, "weight", lineno)?;
+                    let avail: Vec<bool> = if *mask == "*" {
+                        vec![true; cts.len()]
+                    } else {
+                        if mask.len() != cts.len() || !mask.chars().all(|c| c == '0' || c == '1') {
+                            return Err(format!(
+                                "line {lineno}: mask must be '*' or {} chars of 0/1, got {mask:?}",
+                                cts.len()
+                            ));
+                        }
+                        mask.chars().map(|c| c == '1').collect()
+                    };
+                    if !avail.iter().any(|&a| a) {
+                        return Err(format!(
+                            "line {lineno}: arrival can run on no machine (mask all 0)"
+                        ));
+                    }
+                    arrivals.push(TraceArrival {
+                        release,
+                        size,
+                        weight,
+                        avail,
+                    });
+                }
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown directive {other:?} (expected machines|arrival)"
+                    ))
+                }
+            }
+        }
+        let Some(cycle_times) = cycle_times else {
+            return Err("trace has no machines line".into());
+        };
+        arrivals.sort_by(|a, b| a.release.partial_cmp(&b.release).unwrap());
+        Ok(Trace {
+            cycle_times,
+            arrivals,
+        })
+    }
+}
+
+/// Replays a trace, folding each completion through a caller-provided
+/// sink as it streams out of the engine — per-request results without
+/// ever buffering the whole run. A thin wrapper over the same driver as
+/// [`Trace::replay`].
+pub fn replay_with_sink(
+    trace: &Trace,
+    policy: &mut dyn OnlineScheduler,
+    mut sink: impl FnMut(&CompletedJob),
+) -> Result<ReplayStats, SimError> {
+    trace.replay_impl(policy, Some(&mut |c: &CompletedJob| sink(c)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +670,155 @@ mod tests {
         assert_eq!(e.len(), 3);
         // Different seeds ⇒ different job sizes (fastest cost always exists).
         assert_ne!(e[0].fastest_cost(0), e[1].fastest_cost(0));
+    }
+
+    // --- Trace layer. ---
+
+    #[test]
+    fn trace_generation_is_deterministic_sorted_and_placeable() {
+        let spec = TraceSpec {
+            n_requests: 200,
+            availability: 0.1,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = generate_trace(&spec);
+        let b = generate_trace(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        for w in a.arrivals.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+        for arr in &a.arrivals {
+            assert!(arr.avail.iter().any(|&x| x));
+            assert!(arr.size > 0.0);
+        }
+    }
+
+    #[test]
+    fn arrival_processes_have_the_expected_shape() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let poisson = ArrivalProcess::Poisson { rate: 2.0 }.sample(4000, &mut rng);
+        let mean_gap = poisson.last().unwrap() / 4000.0;
+        assert!((mean_gap - 0.5).abs() < 0.05, "Poisson mean gap {mean_gap}");
+
+        // Bursty: same in-burst rate, but long gaps stretch the span.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let bursty = ArrivalProcess::Bursty {
+            rate: 2.0,
+            mean_burst: 5.0,
+            mean_gap: 50.0,
+        }
+        .sample(4000, &mut rng);
+        assert!(*bursty.last().unwrap() > poisson.last().unwrap() * 2.0);
+        for w in bursty.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+
+        // Diurnal: arrivals cluster around the sinusoid's peaks — the
+        // busiest half-period holds clearly more than half the arrivals.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let period = 100.0;
+        let diurnal = ArrivalProcess::Diurnal {
+            peak_rate: 4.0,
+            trough_rate: 0.2,
+            period,
+        }
+        .sample(4000, &mut rng);
+        let in_peak_half = diurnal
+            .iter()
+            .filter(|&&t| (std::f64::consts::TAU * t / period).sin() > 0.0)
+            .count();
+        assert!(
+            in_peak_half as f64 > 0.6 * diurnal.len() as f64,
+            "only {in_peak_half}/{} arrivals in the peak half",
+            diurnal.len()
+        );
+    }
+
+    #[test]
+    fn dlt_round_trips() {
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 25,
+            seed: 11,
+            process: ArrivalProcess::Bursty {
+                rate: 3.0,
+                mean_burst: 2.0,
+                mean_gap: 4.0,
+            },
+            ..Default::default()
+        });
+        let text = trace.to_dlt();
+        let back = Trace::parse_dlt(&text).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn dlt_parse_errors_carry_line_numbers() {
+        for (bad, needle) in [
+            ("arrival 0 1 1 *", "before the machines"),
+            ("machines\n", "at least one"),
+            ("machines 1 2\nmachines 1", "duplicate"),
+            ("machines 0", "positive"),
+            ("machines 1 2\narrival 0 1 1 10x", "mask"),
+            ("machines 1 2\narrival 0 1 1 00", "no machine"),
+            ("machines 1 2\narrival -1 1 1 *", "non-negative"),
+            ("machines 1 2\narrival 0 1 1", "expects"),
+            ("machines 1 2\nfrob", "unknown directive"),
+            ("# empty\n", "no machines line"),
+        ] {
+            let err = Trace::parse_dlt(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn unsorted_dlt_arrivals_are_sorted_on_parse() {
+        let t = Trace::parse_dlt("machines 1\narrival 5 1 1 *\narrival 0 2 1 *\narrival 2 3 1 *\n")
+            .unwrap();
+        let rel: Vec<f64> = t.arrivals.iter().map(|a| a.release).collect();
+        assert_eq!(rel, vec![0.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn replay_matches_closed_simulation() {
+        use crate::engine::{simulate, RunMetrics};
+        use crate::schedulers::Swrpt;
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 60,
+            seed: 5,
+            ..Default::default()
+        });
+        let stats = trace.replay(&mut Swrpt::new()).unwrap();
+        assert_eq!(stats.n_jobs, 60);
+
+        let inst = trace.to_instance().unwrap();
+        let res = simulate(&inst, &mut Swrpt::new()).unwrap();
+        let m = RunMetrics::from_completions(&inst, &res.completions);
+        assert_eq!(stats.n_events, res.n_events);
+        assert_eq!(stats.n_plans, res.n_plans);
+        assert_eq!(stats.busy, res.busy);
+        assert!((stats.metrics.max_stretch - m.max_stretch).abs() < 1e-9);
+        assert!((stats.metrics.makespan - m.makespan).abs() < 1e-9);
+        assert!(stats.max_active >= 1);
+        assert!(stats.utilization > 0.0 && stats.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn replay_with_sink_streams_every_completion() {
+        use crate::schedulers::Srpt;
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 40,
+            seed: 9,
+            ..Default::default()
+        });
+        let mut seen = Vec::new();
+        let stats = replay_with_sink(&trace, &mut Srpt::new(), |c| seen.push(c.id)).unwrap();
+        assert_eq!(seen.len(), 40);
+        assert_eq!(stats.n_jobs, 40);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40, "each request completes exactly once");
     }
 }
