@@ -31,6 +31,7 @@
 //! assert!(table.lines().count() == 4 && table.contains("OLA"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Renders an aligned text table: a header row then data rows.

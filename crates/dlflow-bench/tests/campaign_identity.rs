@@ -1,0 +1,40 @@
+//! The committed quick-campaign artifact is a byte-level regression
+//! oracle: any change that perturbs scheduler decisions, float
+//! accumulation order, RNG draws, or report rendering shows up as a
+//! diff against `CAMPAIGN_PR4.json`. In particular this pins the
+//! `HashMap` → `BTreeMap` migration inside `Mct`/`Edf` as
+//! behavior-neutral, and guards every future "surely equivalent"
+//! refactor of the campaign path.
+
+use dlflow_sim::campaign::{run_campaign, CampaignConfig};
+use std::path::Path;
+
+#[test]
+fn quick_campaign_json_is_byte_identical_to_committed_artifact() {
+    let artifact = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("CAMPAIGN_PR4.json");
+    let committed = std::fs::read_to_string(&artifact)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", artifact.display()));
+    let fresh = run_campaign(&CampaignConfig::quick())
+        .expect("quick campaign must run")
+        .to_json();
+    // On mismatch, print a focused first-difference instead of two 100k
+    // blobs.
+    if fresh != committed {
+        let byte = fresh
+            .bytes()
+            .zip(committed.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| fresh.len().min(committed.len()));
+        let lo = byte.saturating_sub(80);
+        panic!(
+            "quick campaign diverged from CAMPAIGN_PR4.json at byte {byte}:\n\
+             fresh:     …{}…\n\
+             committed: …{}…",
+            &fresh[lo..(byte + 80).min(fresh.len())],
+            &committed[lo..(byte + 80).min(committed.len())],
+        );
+    }
+}

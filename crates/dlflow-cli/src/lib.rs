@@ -41,6 +41,7 @@
 //! assert_eq!(out.schedule.max_weighted_flow(&inst), out.optimum);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod format;

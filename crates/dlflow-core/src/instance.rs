@@ -316,6 +316,7 @@ pub fn round_sig_bits(v: f64, bits: u32) -> f64 {
     if v <= 0.0 {
         return 0.0;
     }
+    // dlflint:allow(lossy-cast, "log2 of a finite positive f64 is in [-1074, 1024]; bits <= 52")
     let e = (v.log2().floor() as i32) - (bits as i32 - 1);
     let scale = (e as f64).exp2();
     (v / scale).round() * scale
@@ -355,6 +356,7 @@ impl Instance<f64> {
                 (v * g - k).abs() < 1e-9,
                 "value {v} is not on the 1/{denom} grid; quantize first"
             );
+            // dlflint:allow(lossy-cast, "k is a rounded on-grid numerator, checked by the debug_assert above")
             Rat::from_ratio(k as i64, denom)
         })
     }

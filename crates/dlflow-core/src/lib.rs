@@ -46,6 +46,7 @@
 //! assert_eq!(out.schedule.max_weighted_flow(&inst), out.optimum);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // matrix/interval code indexes parallel structures in lockstep
 

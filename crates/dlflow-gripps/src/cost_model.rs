@@ -26,6 +26,7 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     assert!(sxx > 0.0, "regression needs at least two distinct x values");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
+    // dlflint:allow(float-eq, "syy is exactly 0.0 iff every y is identical (degenerate fit)")
     let r2 = if syy == 0.0 {
         1.0
     } else {

@@ -36,6 +36,7 @@
 //! assert_eq!(report.work_units, bank.total_residues() as u64 * 5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alphabet;

@@ -1,0 +1,308 @@
+//! The ratchet baseline: committed per-`(rule, file)` finding counts
+//! that are only allowed to go *down*.
+//!
+//! `lint-baseline.json` at the workspace root records how many findings
+//! each rule currently has in each file. `--check` fails when a cell
+//! exceeds its baseline (a new finding crept in) **and** when a cell
+//! drops below it (the code improved — refresh the baseline with
+//! `--write-baseline` so the gain is locked in). The committed tree is
+//! therefore always *exactly* as clean as the baseline says.
+
+use std::collections::BTreeMap;
+
+/// Per-rule, per-file finding counts. `BTreeMap` keeps rendering
+/// deterministic (the file is committed; diffs must be stable).
+pub type Baseline = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// One way the current tree disagrees with the baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RatchetViolation {
+    /// More findings than the baseline allows: the build must fail.
+    Increase {
+        /// Rule name.
+        rule: String,
+        /// Offending file.
+        file: String,
+        /// Findings in the working tree.
+        found: usize,
+        /// Findings the baseline allows.
+        allowed: usize,
+    },
+    /// Fewer findings than recorded: the baseline is stale — ratchet it
+    /// down with `--write-baseline` so the improvement cannot regress.
+    Stale {
+        /// Rule name.
+        rule: String,
+        /// Improved file.
+        file: String,
+        /// Findings in the working tree.
+        found: usize,
+        /// Findings the baseline still records.
+        allowed: usize,
+    },
+}
+
+impl RatchetViolation {
+    /// Human rendering for `--check` output.
+    pub fn render(&self) -> String {
+        match self {
+            RatchetViolation::Increase {
+                rule,
+                file,
+                found,
+                allowed,
+            } => format!("NEW FINDINGS: [{rule}] {file}: {found} found, baseline allows {allowed}"),
+            RatchetViolation::Stale {
+                rule,
+                file,
+                found,
+                allowed,
+            } => format!(
+                "STALE BASELINE: [{rule}] {file}: {found} found, baseline records {allowed} \
+                 — run `dlflow-lint --write-baseline` to ratchet down"
+            ),
+        }
+    }
+}
+
+/// Compares current counts against the baseline. An empty result means
+/// the tree is exactly as clean as the committed baseline.
+pub fn diff(current: &Baseline, baseline: &Baseline) -> Vec<RatchetViolation> {
+    let mut out = Vec::new();
+    let mut cells: BTreeMap<(&str, &str), (usize, usize)> = BTreeMap::new();
+    for (rule, files) in current {
+        for (file, &n) in files {
+            cells.entry((rule, file)).or_insert((0, 0)).0 = n;
+        }
+    }
+    for (rule, files) in baseline {
+        for (file, &n) in files {
+            cells.entry((rule, file)).or_insert((0, 0)).1 = n;
+        }
+    }
+    for ((rule, file), (found, allowed)) in cells {
+        if found > allowed {
+            out.push(RatchetViolation::Increase {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                found,
+                allowed,
+            });
+        } else if found < allowed {
+            out.push(RatchetViolation::Stale {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                found,
+                allowed,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the baseline as deterministic JSON (hand-rolled like the
+/// campaign reports — no serde in the offline dependency set).
+pub fn to_json(b: &Baseline) -> String {
+    let mut s = String::from("{\n");
+    let n_rules = b.len();
+    for (ri, (rule, files)) in b.iter().enumerate() {
+        s.push_str(&format!("  \"{rule}\": {{\n"));
+        let n_files = files.len();
+        for (fi, (file, count)) in files.iter().enumerate() {
+            let comma = if fi + 1 == n_files { "" } else { "," };
+            s.push_str(&format!("    \"{file}\": {count}{comma}\n"));
+        }
+        let comma = if ri + 1 == n_rules { "" } else { "," };
+        s.push_str(&format!("  }}{comma}\n"));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Parses the JSON produced by [`to_json`] (a two-level object of
+/// strings to integers — the only shape the baseline ever has).
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = Baseline::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        return Ok(out);
+    }
+    loop {
+        p.skip_ws();
+        let rule = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut files = BTreeMap::new();
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            p.pos += 1;
+        } else {
+            loop {
+                p.skip_ws();
+                let file = p.string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                let count = p.number()?;
+                files.insert(file, count);
+                p.skip_ws();
+                match p.next() {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    _ => return Err("expected `,` or `}` in file map".into()),
+                }
+            }
+        }
+        out.insert(rule, files);
+        p.skip_ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b'}') => break,
+            _ => return Err("expected `,` or `}` in rule map".into()),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        if self.next() == Some(want) {
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", want as char, self.pos))
+        }
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|_| format!("expected a count at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(entries: &[(&str, &str, usize)]) -> Baseline {
+        let mut out = Baseline::new();
+        for (rule, file, n) in entries {
+            out.entry(rule.to_string())
+                .or_default()
+                .insert(file.to_string(), *n);
+        }
+        out
+    }
+
+    #[test]
+    fn equal_baselines_are_clean() {
+        let x = b(&[("lossy-cast", "a.rs", 3)]);
+        assert!(diff(&x, &x).is_empty());
+    }
+
+    #[test]
+    fn ratchet_up_is_an_increase() {
+        let cur = b(&[("lossy-cast", "a.rs", 4)]);
+        let base = b(&[("lossy-cast", "a.rs", 3)]);
+        let v = diff(&cur, &base);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            &v[0],
+            RatchetViolation::Increase {
+                found: 4,
+                allowed: 3,
+                ..
+            }
+        ));
+        // A finding in a file the baseline has never seen is also new.
+        let cur = b(&[("float-eq", "new.rs", 1)]);
+        let v = diff(&cur, &Baseline::new());
+        assert!(matches!(
+            &v[0],
+            RatchetViolation::Increase { allowed: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn ratchet_down_is_stale() {
+        let cur = b(&[("lossy-cast", "a.rs", 1)]);
+        let base = b(&[("lossy-cast", "a.rs", 3)]);
+        let v = diff(&cur, &base);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            &v[0],
+            RatchetViolation::Stale {
+                found: 1,
+                allowed: 3,
+                ..
+            }
+        ));
+        // Fully fixed file still recorded in the baseline: stale too.
+        let v = diff(&Baseline::new(), &base);
+        assert!(matches!(&v[0], RatchetViolation::Stale { found: 0, .. }));
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let x = b(&[
+            ("lossy-cast", "crates/dlflow-num/src/rational.rs", 13),
+            ("lossy-cast", "crates/dlflow-core/src/gantt.rs", 4),
+            ("float-eq", "crates/dlflow-sim/src/campaign.rs", 2),
+        ]);
+        let json = to_json(&x);
+        assert_eq!(parse(&json).unwrap(), x);
+        // Empty baseline roundtrips too.
+        assert_eq!(parse(&to_json(&Baseline::new())).unwrap(), Baseline::new());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"rule\": 3}").is_err());
+    }
+}

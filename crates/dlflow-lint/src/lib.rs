@@ -1,0 +1,242 @@
+//! # dlflow-lint — workspace static analysis for dlflow's invariants
+//!
+//! The repo's two load-bearing properties — byte-identical deterministic
+//! reports (campaign parallel-vs-serial, engine-vs-dense parity) and
+//! exact-arithmetic correctness (the Theorem-2 yardstick) — are enforced
+//! at runtime by parity tests. This crate makes them *source-level*
+//! invariants checked on every commit: a self-contained analysis driver
+//! (a small Rust [`lexer`] plus a path-scoped [`rules`] engine, no
+//! external dependencies) run over the whole workspace by the
+//! `dlflow-lint` bin.
+//!
+//! Six rules, each grounded in a real repo hazard (catalog with
+//! rationale and examples in `docs/LINTS.md`):
+//!
+//! | rule | guards |
+//! |---|---|
+//! | `hash-iter-determinism` | byte-stable reports (no `HashMap`/`HashSet` in deterministic paths) |
+//! | `no-wallclock-entropy`  | replayability (no `Instant::now`/`SystemTime`/ambient RNG in lib code) |
+//! | `hot-path-panic`        | panic-free engine/scheduler event paths |
+//! | `float-eq`              | exactness (no float `==`/`!=` outside the dyadic modules) |
+//! | `lossy-cast`            | exact arithmetic (no truncating `as` casts in num/core) |
+//! | `alloc-in-hot-loop`     | allocation-lean per-event hot path (ROADMAP item 2) |
+//!
+//! Findings can be suppressed inline with a justified pragma — e.g. a
+//! trailing `` `dlflint:allow(float-eq, "fract()==0 is exact")` `` line
+//! comment — and residual accepted findings live in a committed ratchet
+//! [`baseline`] (`lint-baseline.json`) whose counts may only go down.
+//!
+//! ```
+//! use dlflow_lint::lint_source;
+//!
+//! let findings = lint_source(
+//!     "crates/dlflow-sim/src/schedulers/mct.rs",
+//!     "use std::collections::HashMap;",
+//! );
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "hash-iter-determinism");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use baseline::Baseline;
+use rules::Diagnostic;
+use std::path::Path;
+
+/// Lints one source file: lexes, runs every scoped rule, then applies
+/// inline pragmas. Malformed or unknown-rule pragmas surface as
+/// `bad-pragma` findings (which pragmas cannot suppress). `path` is the
+/// workspace-relative path used for rule scoping and in diagnostics.
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let mut findings = rules::check_file(path, &lexed);
+
+    // Pragma pass: drop findings a well-formed pragma covers; report the
+    // pragmas that are malformed or name an unknown rule.
+    let mut bad = Vec::new();
+    for p in &lexed.pragmas {
+        if let Some(err) = &p.error {
+            bad.push((p.line, err.clone()));
+            continue;
+        }
+        if !rules::RULE_NAMES.contains(&p.rule.as_str()) || p.rule == "bad-pragma" {
+            bad.push((p.line, format!("pragma names unknown rule `{}`", p.rule)));
+            continue;
+        }
+        let target = p.applies_to_line();
+        findings.retain(|d| !(d.rule == p.rule && d.line == target));
+    }
+    for (line, message) in bad {
+        findings.push(Diagnostic {
+            file: path.to_string(),
+            line,
+            rule: "bad-pragma",
+            message,
+        });
+    }
+    findings.sort();
+    findings
+}
+
+/// The result of linting a whole tree.
+#[derive(Debug, Default)]
+pub struct LintResult {
+    /// Every finding, sorted by `(file, line, rule)`.
+    pub findings: Vec<Diagnostic>,
+    /// Files scanned (workspace-relative, sorted).
+    pub n_files: usize,
+}
+
+impl LintResult {
+    /// Per-`(rule, file)` finding counts in ratchet-baseline shape.
+    pub fn counts(&self) -> Baseline {
+        let mut out = Baseline::new();
+        for d in &self.findings {
+            *out.entry(d.rule.to_string())
+                .or_default()
+                .entry(d.file.clone())
+                .or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Machine-readable report: findings plus the count map, rendered as
+    /// deterministic JSON (same hand-rolled style as the campaign
+    /// reports — no serde in the offline dependency set).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [\n");
+        for (i, d) in self.findings.iter().enumerate() {
+            let comma = if i + 1 == self.findings.len() {
+                ""
+            } else {
+                ","
+            };
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{comma}\n",
+                d.file,
+                d.line,
+                d.rule,
+                d.message.replace('\\', "\\\\").replace('"', "\\\""),
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"n_files\": {},\n", self.n_files));
+        s.push_str(&format!("  \"n_findings\": {},\n", self.findings.len()));
+        let counts = baseline::to_json(&self.counts());
+        let counts = counts.trim_end();
+        let indented = counts
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 0 {
+                    l.to_string()
+                } else {
+                    format!("  {l}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        s.push_str(&format!("  \"counts\": {indented}\n}}\n"));
+        s
+    }
+}
+
+/// Lints every Rust file under `root` (see [`walk::rust_files`] for
+/// what is scanned) and returns the aggregated findings.
+pub fn run_lint(root: &Path) -> Result<LintResult, String> {
+    let files = walk::rust_files(root)?;
+    let mut result = LintResult {
+        findings: Vec::new(),
+        n_files: files.len(),
+    };
+    for rel in &files {
+        let full = root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR));
+        let source = std::fs::read_to_string(&full)
+            .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
+        result.findings.extend(lint_source(rel, &source));
+    }
+    result.findings.sort();
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_pragma_suppresses_same_line() {
+        let src = "let x = y as u32; // dlflint:allow(lossy-cast, \"y < 2^32 by construction\")";
+        assert!(lint_source("crates/dlflow-core/src/gantt.rs", src).is_empty());
+    }
+
+    #[test]
+    fn own_line_pragma_suppresses_next_line() {
+        let src = "\
+// dlflint:allow(lossy-cast, \"bounded\")
+let x = y as u32;
+";
+        assert!(lint_source("crates/dlflow-core/src/gantt.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_for_wrong_rule_does_not_suppress() {
+        let src = "let x = y as u32; // dlflint:allow(float-eq, \"wrong rule\")";
+        let d = lint_source("crates/dlflow-core/src/gantt.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "lossy-cast");
+    }
+
+    #[test]
+    fn pragma_does_not_leak_to_other_lines() {
+        let src = "\
+let a = y as u32; // dlflint:allow(lossy-cast, \"bounded\")
+let b = z as u32;
+";
+        let d = lint_source("crates/dlflow-core/src/gantt.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn malformed_and_unknown_pragmas_are_findings() {
+        let missing = lint_source("src/lib.rs", "// dlflint:allow(float-eq)");
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].rule, "bad-pragma");
+        let unknown = lint_source("src/lib.rs", "// dlflint:allow(no-such-rule, \"why\")");
+        assert_eq!(unknown.len(), 1);
+        assert!(unknown[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn counts_group_by_rule_and_file() {
+        let src = "let a = x as u32; let b = y as u8;";
+        let res = LintResult {
+            findings: lint_source("crates/dlflow-core/src/gantt.rs", src),
+            n_files: 1,
+        };
+        let counts = res.counts();
+        assert_eq!(counts["lossy-cast"]["crates/dlflow-core/src/gantt.rs"], 2);
+    }
+
+    #[test]
+    fn json_report_escapes_quotes() {
+        let res = LintResult {
+            findings: vec![rules::Diagnostic {
+                file: "a.rs".into(),
+                line: 1,
+                rule: "float-eq",
+                message: "has \"quotes\"".into(),
+            }],
+            n_files: 1,
+        };
+        let json = res.to_json();
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"n_findings\": 1"));
+    }
+}

@@ -1,0 +1,133 @@
+//! `dlflow-lint` — run the workspace static-analysis pass.
+//!
+//! ```text
+//! dlflow-lint                   # list findings (informational, exit 0)
+//! dlflow-lint --check           # ratchet against lint-baseline.json (CI gate)
+//! dlflow-lint --write-baseline  # (re)write lint-baseline.json
+//! dlflow-lint --json            # machine-readable findings report
+//! dlflow-lint --root <dir>      # workspace root (default: cwd)
+//! ```
+//!
+//! `--check` exits nonzero when the tree has findings the baseline does
+//! not allow (new findings) *or* fewer findings than the baseline
+//! records (stale — ratchet it down so the improvement is locked in).
+
+#![forbid(unsafe_code)]
+
+use dlflow_lint::baseline;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const BASELINE_FILE: &str = "lint-baseline.json";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let root = args
+        .iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| ".".to_string());
+    let root = PathBuf::from(root);
+    for a in &args {
+        let known = matches!(
+            a.as_str(),
+            "--check" | "--write-baseline" | "--json" | "--root"
+        ) || args
+            .iter()
+            .position(|x| x == "--root")
+            .is_some_and(|i| args.get(i + 1) == Some(a));
+        if !known {
+            eprintln!(
+                "unknown argument `{a}` (expected --check, --write-baseline, --json, --root <dir>)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let result = match dlflow_lint::run_lint(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dlflow-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let counts = result.counts();
+
+    if has("--write-baseline") {
+        let path = root.join(BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, baseline::to_json(&counts)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} ({} findings across {} files)",
+            path.display(),
+            result.findings.len(),
+            result.n_files
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if has("--json") {
+        print!("{}", result.to_json());
+        return ExitCode::SUCCESS;
+    }
+
+    if has("--check") {
+        let path = root.join(BASELINE_FILE);
+        let base = match std::fs::read_to_string(&path) {
+            Ok(text) => match baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => {
+                eprintln!(
+                    "{} not found — run `dlflow-lint --write-baseline` first",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = baseline::diff(&counts, &base);
+        if violations.is_empty() {
+            eprintln!(
+                "dlflow-lint --check: clean ({} files, {} baselined findings)",
+                result.n_files,
+                result.findings.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        // Show the concrete findings behind every increased cell so the
+        // failure is actionable without a second run.
+        for v in &violations {
+            eprintln!("{}", v.render());
+            if let baseline::RatchetViolation::Increase { rule, file, .. } = v {
+                for d in &result.findings {
+                    if d.rule == *rule && &d.file == file {
+                        eprintln!("  {}", d.render());
+                    }
+                }
+            }
+        }
+        eprintln!(
+            "dlflow-lint --check: {} ratchet violation(s)",
+            violations.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Default: informational listing.
+    for d in &result.findings {
+        println!("{}", d.render());
+    }
+    println!(
+        "dlflow-lint: {} finding(s) across {} file(s)",
+        result.findings.len(),
+        result.n_files
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,517 @@
+//! The rule engine: path-scoped checks over the lexed token stream.
+//!
+//! Each rule is grounded in a runtime property the repo already tests —
+//! byte-identical campaign reports, engine/dense parity, the exact
+//! Theorem-2 yardstick — and turns it into a *source-level* invariant
+//! checked on every commit. See `docs/LINTS.md` for the catalog with
+//! rationale and examples.
+
+use crate::lexer::{LexedFile, TokKind, Token};
+
+/// One finding: a rule violated at a `file:line`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule name (kebab-case, as used in pragmas and the baseline).
+    pub rule: &'static str,
+    /// Human explanation with a fix hint.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line: [rule] message` — the human output format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule names, in catalog order. `bad-pragma` is the always-on meta rule
+/// for malformed/unknown pragmas.
+pub const RULE_NAMES: &[&str] = &[
+    "hash-iter-determinism",
+    "no-wallclock-entropy",
+    "hot-path-panic",
+    "float-eq",
+    "lossy-cast",
+    "alloc-in-hot-loop",
+    "bad-pragma",
+];
+
+/// Path scope of one rule: a file is checked iff its workspace-relative
+/// path starts with one of `include` and none of `exclude`.
+struct Scope {
+    include: &'static [&'static str],
+    exclude: &'static [&'static str],
+}
+
+impl Scope {
+    fn covers(&self, path: &str) -> bool {
+        self.include.iter().any(|p| path.starts_with(p))
+            && !self.exclude.iter().any(|p| path.starts_with(p))
+    }
+}
+
+/// Deterministic-output paths: anything feeding byte-stable reports
+/// (campaign JSON/markdown, service reports, scheduler decisions).
+const SCOPE_DETERMINISM: Scope = Scope {
+    include: &["crates/dlflow-sim/src/", "crates/dlflow-cli/src/"],
+    exclude: &[],
+};
+
+/// Library code that must stay replayable: every crate except the bench
+/// harness (whose whole point is wall-clock timing).
+const SCOPE_NO_WALLCLOCK: Scope = Scope {
+    include: &[
+        "crates/dlflow-num/src/",
+        "crates/dlflow-lp/src/",
+        "crates/dlflow-core/src/",
+        "crates/dlflow-gripps/src/",
+        "crates/dlflow-sim/src/",
+        "crates/dlflow-cli/src/",
+        "src/",
+    ],
+    exclude: &[],
+};
+
+/// The per-event hot path: the engine and every scheduler callback.
+const SCOPE_HOT_PATH: Scope = Scope {
+    include: &[
+        "crates/dlflow-sim/src/engine.rs",
+        "crates/dlflow-sim/src/schedulers/",
+    ],
+    exclude: &[],
+};
+
+/// Exactness-sensitive code. The sanctioned dyadic-exactness modules —
+/// `instance.rs` (`round_sig_bits`/`to_exact_dyadic`) and `rational.rs`
+/// (`Rat::from_f64`) — compare floats *by construction* and are excluded.
+const SCOPE_FLOAT_EQ: Scope = Scope {
+    include: &[
+        "crates/dlflow-num/src/",
+        "crates/dlflow-lp/src/",
+        "crates/dlflow-core/src/",
+        "crates/dlflow-gripps/src/",
+        "crates/dlflow-sim/src/",
+        "src/",
+    ],
+    exclude: &[
+        "crates/dlflow-num/src/rational.rs",
+        "crates/dlflow-core/src/instance.rs",
+    ],
+};
+
+/// Exact-arithmetic paths. The bignum limb kernels (`ubig.rs`, `ibig.rs`)
+/// are excluded: u128↔u64 splitting casts *are* the algorithm there
+/// (Knuth Algorithm D, carry propagation), not lossy conversions.
+const SCOPE_LOSSY_CAST: Scope = Scope {
+    include: &["crates/dlflow-num/src/", "crates/dlflow-core/src/"],
+    exclude: &[
+        "crates/dlflow-num/src/ubig.rs",
+        "crates/dlflow-num/src/ibig.rs",
+    ],
+};
+
+/// Where the alloc-in-hot-loop heuristic looks, and inside which
+/// functions (the per-event paths ROADMAP item 2 wants allocation-lean).
+const HOT_LOOP_FNS: &[(&str, &[&str])] = &[
+    (
+        "crates/dlflow-sim/src/engine.rs",
+        &["step", "drain", "admit_due"],
+    ),
+    ("crates/dlflow-sim/src/schedulers/", &["plan"]),
+];
+
+/// Cast targets treated as lossy (truncation, wrap, or sign change is
+/// possible). Widening to `i128`/`u128`/`f64` is tolerated by the
+/// heuristic — a lexical pass cannot see the source type, and those
+/// targets are the repo's standard widening idiom.
+const LOSSY_TARGETS: &[&str] = &[
+    "i8", "i16", "i32", "i64", "isize", "u8", "u16", "u32", "u64", "usize", "f32",
+];
+
+/// Identifiers whose presence means ambient wall-clock or entropy.
+const WALLCLOCK_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+];
+
+/// `.method()` calls that allocate (heuristically) in a hot loop.
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_owned", "to_string", "collect"];
+
+/// `path::new`-style constructors that allocate.
+const ALLOC_CTORS: &[&str] = &["Vec", "String", "Box", "VecDeque", "BTreeMap", "HashMap"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Runs every scoped rule over one lexed file. `path` must be
+/// workspace-relative with forward slashes. Pragma handling (suppression
+/// and `bad-pragma`) happens in the caller — this returns raw findings.
+pub fn check_file(path: &str, lexed: &LexedFile) -> Vec<Diagnostic> {
+    let toks = &lexed.tokens;
+    let in_test = test_mask(toks);
+    let mut out = Vec::new();
+    let diag = |line: usize, rule: &'static str, message: String| Diagnostic {
+        file: path.to_string(),
+        line,
+        rule,
+        message,
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|k| toks[k].text.as_str());
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        let name = t.text.as_str();
+
+        if SCOPE_DETERMINISM.covers(path) && (name == "HashMap" || name == "HashSet") {
+            out.push(diag(
+                t.line,
+                "hash-iter-determinism",
+                format!(
+                    "`{name}` iterates in nondeterministic order; deterministic-output \
+                     paths must use `BTreeMap`/`BTreeSet` (byte-stable reports depend on it)"
+                ),
+            ));
+        }
+
+        if SCOPE_NO_WALLCLOCK.covers(path) && WALLCLOCK_IDENTS.contains(&name) {
+            out.push(diag(
+                t.line,
+                "no-wallclock-entropy",
+                format!(
+                    "`{name}` reads ambient wall-clock/entropy; library code must stay \
+                     replayable — timing belongs in dlflow-bench, randomness must be seeded"
+                ),
+            ));
+        }
+
+        if SCOPE_HOT_PATH.covers(path) {
+            let is_method_panic = (name == "unwrap" || name == "expect") && prev == Some(".");
+            let is_macro_panic =
+                matches!(name, "panic" | "todo" | "unimplemented") && next == Some("!");
+            if is_method_panic || is_macro_panic {
+                out.push(diag(
+                    t.line,
+                    "hot-path-panic",
+                    format!(
+                        "`{name}` can panic mid-event; engine and scheduler paths must \
+                         return typed errors (`SimError`) or justify with a pragma"
+                    ),
+                ));
+            }
+        }
+
+        if SCOPE_LOSSY_CAST.covers(path)
+            && name == "as"
+            && next.is_some_and(|n| LOSSY_TARGETS.contains(&n))
+        {
+            out.push(diag(
+                t.line,
+                "lossy-cast",
+                format!(
+                    "`as {}` can silently truncate or wrap in an exact-arithmetic path; \
+                     use `try_from`/checked conversion or justify with a pragma",
+                    next.unwrap_or_default()
+                ),
+            ));
+        }
+    }
+
+    if SCOPE_FLOAT_EQ.covers(path) {
+        check_float_eq(path, toks, &in_test, &mut out);
+    }
+    for (prefix, fns) in HOT_LOOP_FNS {
+        if path.starts_with(prefix) {
+            check_alloc_in_hot_loop(path, toks, &in_test, fns, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Flags `==`/`!=` where one side is a float literal (optionally behind
+/// a unary minus). A lexical pass cannot type variables, so float-typed
+/// *identifiers* compared for equality are out of reach — the rule
+/// catches the literal form, which is how the hazard actually appears.
+fn check_float_eq(path: &str, toks: &[Token], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] || t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let lhs_float = i
+            .checked_sub(1)
+            .is_some_and(|k| toks[k].kind == TokKind::Float);
+        let mut k = i + 1;
+        if toks.get(k).is_some_and(|t| t.text == "-") {
+            k += 1;
+        }
+        let rhs_float = toks.get(k).is_some_and(|t| t.kind == TokKind::Float);
+        if lhs_float || rhs_float {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: t.line,
+                rule: "float-eq",
+                message: format!(
+                    "float `{}` comparison is exactness-hostile outside the dyadic \
+                     modules; compare with a tolerance, `total_cmp`, or exact `Rat`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Heuristic: inside the named functions, flags allocation-shaped calls
+/// (`Vec::new`, `vec!`, `.clone()`, `.collect()`, …) that sit inside a
+/// `for`/`while`/`loop` body — per-event allocations are what ROADMAP
+/// item 2's flatten-the-hot-path work removes.
+fn check_alloc_in_hot_loop(
+    path: &str,
+    toks: &[Token],
+    in_test: &[bool],
+    fns: &[&str],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut i = 0;
+    while i < toks.len() {
+        let is_target_fn = toks[i].text == "fn"
+            && !in_test[i]
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| fns.contains(&t.text.as_str()));
+        if !is_target_fn {
+            i += 1;
+            continue;
+        }
+        let fn_name = toks[i + 1].text.clone();
+        // Body = first `{` after the signature to its match.
+        let Some(open) = (i..toks.len()).find(|&k| toks[k].text == "{") else {
+            break;
+        };
+        let close = match_brace(toks, open);
+        scan_loops(path, toks, open + 1, close, &fn_name, out);
+        i = close + 1;
+    }
+}
+
+/// Finds loop bodies in `[from, to)` and flags allocations inside them.
+fn scan_loops(
+    path: &str,
+    toks: &[Token],
+    from: usize,
+    to: usize,
+    fn_name: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut i = from;
+    while i < to {
+        if matches!(toks[i].text.as_str(), "for" | "while" | "loop")
+            && toks[i].kind == TokKind::Ident
+        {
+            // Loop body starts at the next `{` (loop headers cannot
+            // contain bare struct literals, so this is unambiguous).
+            let Some(open) = (i..to).find(|&k| toks[k].text == "{") else {
+                break;
+            };
+            let close = match_brace(toks, open).min(to);
+            flag_allocs(path, toks, open + 1, close, fn_name, out);
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Flags every allocation-shaped token in `[from, to)` (nested loops are
+/// covered because their bodies are inside this span).
+fn flag_allocs(
+    path: &str,
+    toks: &[Token],
+    from: usize,
+    to: usize,
+    fn_name: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in from..to {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|k| toks[k].text.as_str());
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        let name = t.text.as_str();
+        let hit = (ALLOC_METHODS.contains(&name) && prev == Some("."))
+            || (ALLOC_MACROS.contains(&name) && next == Some("!"))
+            || ((name == "new" || name == "with_capacity")
+                && prev == Some("::")
+                && i.checked_sub(2)
+                    .is_some_and(|k| ALLOC_CTORS.contains(&toks[k].text.as_str())));
+        if hit {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: t.line,
+                rule: "alloc-in-hot-loop",
+                message: format!(
+                    "`{name}` allocates inside a loop in hot function `{fn_name}`; \
+                     hoist the buffer out of the loop or reuse a scratch field"
+                ),
+            });
+        }
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Marks tokens inside `#[cfg(test)] mod … { … }` spans (and the
+/// attribute itself). Test code legitimately unwraps, times, and
+/// compares floats — every rule skips it.
+fn test_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            // `#` `[` `cfg` `(` `test` `)` `]` = 7 tokens; then `mod`.
+            let after = i + 7;
+            if toks.get(after).is_some_and(|t| t.text == "mod") {
+                let Some(open) = (after..toks.len()).find(|&k| toks[k].text == "{") else {
+                    for m in mask.iter_mut().skip(i) {
+                        *m = true;
+                    }
+                    break;
+                };
+                let close = match_brace(toks, open);
+                for m in mask.iter_mut().take(close + 1).skip(i) {
+                    *m = true;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+fn is_cfg_test_attr(toks: &[Token], i: usize) -> bool {
+    let texts = ["#", "[", "cfg", "(", "test", ")", "]"];
+    toks.len() >= i + texts.len()
+        && texts
+            .iter()
+            .enumerate()
+            .all(|(k, want)| toks[i + k].text == *want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(path, &lex(src))
+    }
+
+    #[test]
+    fn rules_respect_scope() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(run("crates/dlflow-sim/src/schedulers/mct.rs", src).len(), 1);
+        // Out of scope: same source, different path.
+        assert!(run("crates/dlflow-num/src/rational.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "
+fn plan() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); z.expect(\"msg\"); }
+}
+";
+        let d = run("crates/dlflow-sim/src/engine.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_family_is_not_flagged() {
+        let src = "fn plan() { a.unwrap_or(0); b.unwrap_or_else(f); c.unwrap_or_default(); }";
+        assert!(run("crates/dlflow-sim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_catches_literals_both_sides_and_unary_minus() {
+        let path = "crates/dlflow-core/src/maxflow.rs";
+        assert_eq!(run(path, "if x == 0.0 {}").len(), 1);
+        assert_eq!(run(path, "if 1.5 != y {}").len(), 1);
+        assert_eq!(run(path, "if x == -2.0 {}").len(), 1);
+        assert!(run(path, "if x == 0 {}").is_empty()); // int is fine
+        assert!(run(path, "if x <= 0.0 {}").is_empty()); // ordering is fine
+    }
+
+    #[test]
+    fn lossy_cast_targets_only() {
+        let path = "crates/dlflow-core/src/milestones.rs";
+        assert_eq!(run(path, "let x = y as u32;").len(), 1);
+        assert_eq!(run(path, "let x = y as usize;").len(), 1);
+        assert!(run(path, "let x = y as f64;").is_empty()); // widening idiom
+        assert!(run(path, "let x = y as u128;").is_empty());
+        assert!(run(path, "let x = n as Foo;").is_empty()); // non-numeric
+    }
+
+    #[test]
+    fn alloc_in_hot_loop_only_inside_loops_of_target_fns() {
+        let path = "crates/dlflow-sim/src/engine.rs";
+        // Allocation before the loop: fine.
+        let clean = "fn step() { let v = Vec::new(); for x in v { use_(x); } }";
+        assert!(run(path, clean).is_empty());
+        // Allocation inside the loop of a target fn: flagged.
+        let bad = "fn step() { for x in xs { let v = x.to_vec(); } }";
+        let d = run(path, bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "alloc-in-hot-loop");
+        // Same pattern in a non-target fn: ignored.
+        let other = "fn helper() { for x in xs { let v = x.to_vec(); } }";
+        assert!(run(path, other).is_empty());
+        // Macro and ctor forms.
+        let forms = "fn drain() { while go { let a = vec![0; n]; let b = String::new(); } }";
+        assert_eq!(run(path, forms).len(), 2);
+    }
+
+    #[test]
+    fn wallclock_idents_flagged_in_lib_paths() {
+        let src = "use std::time::Instant;";
+        assert_eq!(run("crates/dlflow-sim/src/service.rs", src).len(), 1);
+        assert!(run("crates/dlflow-bench/src/bin/campaign.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Deterministic workspace walk: collects every `.rs` file under the
+//! root, skipping build output (`target`), vendored shims (`vendor` —
+//! stand-ins for external crates, not dlflow code), version control, and
+//! lint fixtures (`testdata` — intentionally-bad sources).
+
+use std::path::Path;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".claude", "testdata"];
+
+/// Returns workspace-relative paths (forward slashes) of every `.rs`
+/// file under `root`, sorted — the scan order, and therefore every
+/// report, is byte-deterministic.
+pub fn rust_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(relative(root, &path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `path` relative to `root`, rendered with forward slashes.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_own_crate_but_skips_testdata() {
+        // The dlflow-lint crate dir itself is a convenient fixture tree:
+        // src/ holds real sources, testdata/ holds intentionally-bad ones.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_files(root).unwrap();
+        assert!(files.iter().any(|f| f == "src/lexer.rs"));
+        assert!(files.iter().all(|f| !f.starts_with("testdata/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "scan order must be deterministic");
+    }
+}

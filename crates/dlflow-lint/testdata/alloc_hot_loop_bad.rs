@@ -1,0 +1,10 @@
+// Fixture: allocations inside a loop in a hot function.
+fn step(ids: &[usize]) -> usize {
+    let mut n = 0;
+    for window in ids.chunks(2) {
+        let owned: Vec<usize> = window.to_vec();
+        let label = format!("batch of {}", owned.len());
+        n += label.len();
+    }
+    n
+}

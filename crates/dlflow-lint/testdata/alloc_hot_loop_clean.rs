@@ -1,0 +1,10 @@
+// Fixture: buffers hoisted out of the hot loop, reused per iteration.
+fn step(ids: &[usize], scratch: &mut Vec<usize>) -> usize {
+    let mut n = 0;
+    for window in ids.chunks(2) {
+        scratch.clear();
+        scratch.extend_from_slice(window);
+        n += scratch.len();
+    }
+    n
+}

@@ -1,0 +1,4 @@
+// Fixture: exact float comparison outside the dyadic modules.
+fn converged(x: f64, target: f64) -> bool {
+    x == target || x - target == 0.0 || 1.5 != x
+}

@@ -1,0 +1,12 @@
+// Fixture: tolerance and total_cmp comparisons.
+fn converged(x: f64, target: f64) -> bool {
+    (x - target).abs() < 1e-9
+}
+
+fn same_order(a: f64, b: f64) -> bool {
+    a.total_cmp(&b) == std::cmp::Ordering::Equal
+}
+
+fn int_eq(a: u64, b: u64) -> bool {
+    a == b // integer equality is exact
+}

@@ -1,0 +1,7 @@
+// Fixture: HashMap/HashSet in a deterministic-output path.
+use std::collections::{HashMap, HashSet};
+
+struct Tally {
+    counts: HashMap<String, usize>,
+    seen: HashSet<usize>,
+}

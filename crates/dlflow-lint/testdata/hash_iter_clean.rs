@@ -1,0 +1,7 @@
+// Fixture: ordered maps keep reports byte-stable.
+use std::collections::{BTreeMap, BTreeSet};
+
+struct Tally {
+    counts: BTreeMap<String, usize>,
+    seen: BTreeSet<usize>,
+}

@@ -1,0 +1,12 @@
+// Fixture: panics reachable from the per-event hot path.
+fn step(queue: &mut Vec<usize>) -> usize {
+    let head = queue.pop().unwrap();
+    if head == 0 {
+        panic!("empty");
+    }
+    queue.first().copied().expect("non-empty")
+}
+
+fn drain() {
+    todo!()
+}

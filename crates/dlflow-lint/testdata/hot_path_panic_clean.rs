@@ -1,0 +1,8 @@
+// Fixture: typed errors and let-else instead of panics.
+fn step(queue: &mut Vec<usize>) -> Result<usize, String> {
+    let Some(head) = queue.pop() else {
+        return Err("queue empty".to_string());
+    };
+    // unwrap_or-family combinators are total, not panicking.
+    Ok(queue.first().copied().unwrap_or(head))
+}

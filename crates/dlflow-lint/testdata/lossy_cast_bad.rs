@@ -1,0 +1,4 @@
+// Fixture: truncating casts in an exact-arithmetic path.
+fn narrow(x: u64, y: f64) -> (u32, i64, usize) {
+    (x as u32, y as i64, x as usize)
+}

@@ -1,0 +1,10 @@
+// Fixture: widening casts and checked conversions are exact. The
+// heuristic cannot see source types, so "clean" means widening to the
+// tolerated targets (`i128`/`u128`/`f64`) or using `try_from`.
+fn widen(x: u32, y: i64) -> (u128, i128, f64) {
+    (x as u128, y as i128, x as f64)
+}
+
+fn checked(x: u64) -> Option<u32> {
+    u32::try_from(x).ok()
+}

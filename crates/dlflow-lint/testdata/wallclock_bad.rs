@@ -1,0 +1,11 @@
+// Fixture: ambient wall-clock and entropy reads in library code.
+use std::time::Instant;
+
+fn stamp() -> Instant {
+    Instant::now()
+}
+
+fn jitter() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_nanos() as u64).unwrap_or(0)
+}

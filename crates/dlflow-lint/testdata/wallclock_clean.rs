@@ -1,0 +1,10 @@
+// Fixture: simulated time is the only clock.
+struct Clock {
+    now: f64,
+}
+
+impl Clock {
+    fn advance(&mut self, dt: f64) {
+        self.now += dt;
+    }
+}

@@ -1,0 +1,185 @@
+//! Integration tests: every rule against its bad/clean fixture pair,
+//! ratchet behavior over real `LintResult` counts, and the self-check
+//! that the committed tree is exactly as clean as `lint-baseline.json`.
+
+use dlflow_lint::baseline::{self, RatchetViolation};
+use dlflow_lint::{lint_source, run_lint};
+use std::path::Path;
+
+/// Loads a fixture from `testdata/` (excluded from the workspace walk —
+/// fixtures are intentionally bad) and lints it under `as_path`, which
+/// decides rule scoping.
+fn lint_fixture(fixture: &str, as_path: &str) -> Vec<dlflow_lint::rules::Diagnostic> {
+    let file = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join(fixture);
+    let src = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+    lint_source(as_path, &src)
+}
+
+/// Bad fixture: at least `min` findings, every one of `rule`. Clean
+/// fixture: no findings at all under the same path.
+fn assert_rule_pair(rule: &str, bad: &str, clean: &str, as_path: &str, min: usize) {
+    let findings = lint_fixture(bad, as_path);
+    assert!(
+        findings.len() >= min,
+        "{bad}: expected >= {min} findings, got {findings:?}"
+    );
+    for d in &findings {
+        assert_eq!(d.rule, rule, "{bad}: unexpected finding {d:?}");
+    }
+    let silent = lint_fixture(clean, as_path);
+    assert!(
+        silent.is_empty(),
+        "{clean}: expected silence, got {silent:?}"
+    );
+}
+
+#[test]
+fn hash_iter_determinism_fixtures() {
+    assert_rule_pair(
+        "hash-iter-determinism",
+        "hash_iter_bad.rs",
+        "hash_iter_clean.rs",
+        "crates/dlflow-sim/src/campaign.rs",
+        2, // HashMap and HashSet both appear
+    );
+}
+
+#[test]
+fn no_wallclock_entropy_fixtures() {
+    assert_rule_pair(
+        "no-wallclock-entropy",
+        "wallclock_bad.rs",
+        "wallclock_clean.rs",
+        "crates/dlflow-sim/src/workload.rs",
+        2, // Instant and SystemTime both appear
+    );
+    // The same source is fine where timing is the point.
+    let bench = lint_fixture(
+        "wallclock_bad.rs",
+        "crates/dlflow-bench/src/bin/campaign.rs",
+    );
+    assert!(bench.is_empty(), "bench paths are out of scope: {bench:?}");
+}
+
+#[test]
+fn hot_path_panic_fixtures() {
+    assert_rule_pair(
+        "hot-path-panic",
+        "hot_path_panic_bad.rs",
+        "hot_path_panic_clean.rs",
+        "crates/dlflow-sim/src/engine.rs",
+        3, // unwrap, expect, panic!, todo!
+    );
+}
+
+#[test]
+fn float_eq_fixtures() {
+    assert_rule_pair(
+        "float-eq",
+        "float_eq_bad.rs",
+        "float_eq_clean.rs",
+        "crates/dlflow-core/src/maxflow.rs",
+        2, // `== 0.0` and `1.5 !=`
+    );
+    // The dyadic-exactness modules are sanctioned.
+    let dyadic = lint_fixture("float_eq_bad.rs", "crates/dlflow-core/src/instance.rs");
+    assert!(dyadic.is_empty(), "instance.rs is sanctioned: {dyadic:?}");
+}
+
+#[test]
+fn lossy_cast_fixtures() {
+    assert_rule_pair(
+        "lossy-cast",
+        "lossy_cast_bad.rs",
+        "lossy_cast_clean.rs",
+        "crates/dlflow-num/src/simplex_support.rs",
+        3, // as u32, as i64, as usize
+    );
+    // The limb kernels are excluded: casts are the algorithm there.
+    let limb = lint_fixture("lossy_cast_bad.rs", "crates/dlflow-num/src/ubig.rs");
+    assert!(limb.is_empty(), "ubig.rs is excluded: {limb:?}");
+}
+
+#[test]
+fn alloc_in_hot_loop_fixtures() {
+    assert_rule_pair(
+        "alloc-in-hot-loop",
+        "alloc_hot_loop_bad.rs",
+        "alloc_hot_loop_clean.rs",
+        "crates/dlflow-sim/src/engine.rs",
+        2, // to_vec and format! inside the loop
+    );
+}
+
+#[test]
+fn pragmas_suppress_fixture_findings_line_by_line() {
+    // A fixture's finding disappears under a well-formed pragma for the
+    // right rule on the right line — and only there.
+    let src = "\
+// dlflint:allow(float-eq, \"converged() tests an exact sentinel (0.0)\")
+fn converged(x: f64) -> bool { x == 0.0 }
+fn diverged(y: f64) -> bool { y == 0.0 }
+";
+    let d = lint_source("crates/dlflow-core/src/maxflow.rs", src);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].line, 3);
+}
+
+#[test]
+fn ratchet_over_real_counts() {
+    // Build counts from a real lint run over a fixture, then perturb
+    // them both ways and check the ratchet reacts.
+    let findings = lint_fixture("lossy_cast_bad.rs", "crates/dlflow-num/src/x.rs");
+    let result = dlflow_lint::LintResult {
+        findings,
+        n_files: 1,
+    };
+    let counts = result.counts();
+    assert!(baseline::diff(&counts, &counts).is_empty());
+
+    let mut loosened = counts.clone();
+    *loosened
+        .get_mut("lossy-cast")
+        .unwrap()
+        .get_mut("crates/dlflow-num/src/x.rs")
+        .unwrap() += 1;
+    let v = baseline::diff(&counts, &loosened);
+    assert!(matches!(v.as_slice(), [RatchetViolation::Stale { .. }]));
+    let v = baseline::diff(&loosened, &counts);
+    assert!(matches!(v.as_slice(), [RatchetViolation::Increase { .. }]));
+
+    // Baseline JSON roundtrips the real counts losslessly.
+    assert_eq!(
+        baseline::parse(&baseline::to_json(&counts)).unwrap(),
+        counts
+    );
+}
+
+#[test]
+fn committed_tree_matches_committed_baseline() {
+    // The self-check CI runs: linting the workspace must agree *exactly*
+    // with lint-baseline.json — no new findings, no stale cells.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let result = run_lint(&root).expect("workspace lint must run");
+    assert!(
+        result.n_files > 50,
+        "walk looks truncated: {}",
+        result.n_files
+    );
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json must be committed at the workspace root");
+    let base = baseline::parse(&baseline_text).expect("baseline must parse");
+    let violations = baseline::diff(&result.counts(), &base);
+    assert!(
+        violations.is_empty(),
+        "tree disagrees with lint-baseline.json:\n{}",
+        violations
+            .iter()
+            .map(|v| v.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

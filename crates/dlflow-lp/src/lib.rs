@@ -38,6 +38,7 @@
 //! assert!((sol.objective.unwrap() - 36.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // dense tableau code indexes several arrays in lockstep
 

@@ -26,6 +26,7 @@
 //! assert_eq!(sum, Rat::one()); // exact, unlike 0.1 + 0.2 in f64
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // indexed loops over parallel limb arrays are clearer here
 

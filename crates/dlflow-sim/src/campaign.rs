@@ -190,6 +190,7 @@ impl SchedulerSpec {
                         "scheduler ola: throttle must be non-negative, got {throttle}"
                     ));
                 }
+                // dlflint:allow(float-eq, "fract() == 0.0 is an exact integrality test")
                 if !(1.0..=MAX_COUNT).contains(&bisection) || bisection.fract() != 0.0 {
                     return Err(format!(
                         "scheduler ola: bisect must be a whole number in 1..={MAX_COUNT}, got {bisection}"
@@ -297,6 +298,7 @@ const MAX_COUNT: f64 = 10_000.0;
 /// (an f64 `as usize` cast would otherwise saturate huge values and
 /// silently truncate fractional ones).
 fn as_count(v: f64, what: &str, line: usize) -> Result<usize, String> {
+    // dlflint:allow(float-eq, "fract() == 0.0 is an exact integrality test")
     if !(1.0..=MAX_COUNT).contains(&v) || v.fract() != 0.0 {
         return Err(format!(
             "line {line}: {what} must be a whole number in 1..={MAX_COUNT}, got {v}"

@@ -28,8 +28,8 @@
 //!
 //! let mut eng = Engine::new(2); // two machines
 //! let mut policy = Swrpt::new();
-//! eng.push_arrival(JobSpec { release: 0.0, weight: 1.0, costs: vec![4.0, 8.0] });
-//! eng.push_arrival(JobSpec { release: 1.0, weight: 1.0, costs: vec![2.0, f64::INFINITY] });
+//! eng.push_arrival(JobSpec { release: 0.0, weight: 1.0, costs: vec![4.0, 8.0] }).unwrap();
+//! eng.push_arrival(JobSpec { release: 1.0, weight: 1.0, costs: vec![2.0, f64::INFINITY] }).unwrap();
 //! eng.drain(&mut policy).unwrap();
 //! assert_eq!(eng.take_completed().len(), 2);
 //! assert!(eng.metrics().makespan > 0.0);
@@ -265,9 +265,16 @@ fn utilization_of(busy: &[f64], first_release: f64, makespan: f64) -> f64 {
     total / (span * busy.len().max(1) as f64)
 }
 
-/// Errors the engine can surface (all indicate a faulty scheduler).
+/// Errors the engine can surface. [`SimError::InvalidJob`] indicates
+/// malformed input handed to [`Engine::push_arrival`]; every other
+/// variant indicates a faulty scheduler.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SimError {
+    /// A malformed [`JobSpec`] was pushed (see [`Engine::push_arrival`]).
+    InvalidJob {
+        /// What was wrong with the spec.
+        reason: &'static str,
+    },
     /// A machine's shares summed to more than 1.
     MachineOversubscribed {
         /// Machine index.
@@ -292,6 +299,7 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SimError::InvalidJob { reason } => write!(f, "invalid job spec: {reason}"),
             SimError::MachineOversubscribed { machine, total } => {
                 write!(f, "machine {machine} oversubscribed: Σ shares = {total}")
             }
@@ -532,34 +540,29 @@ impl Engine {
     /// earlier than the current simulation time is admitted at the next
     /// event (its flow still counts from the stated release).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// If the spec is malformed: wrong `costs` length, no finite cost,
-    /// negative or non-finite release/weight/costs.
-    pub fn push_arrival(&mut self, job: JobSpec) -> usize {
-        assert_eq!(
-            job.costs.len(),
-            self.n_machines,
-            "JobSpec has {} costs for {} machines",
-            job.costs.len(),
-            self.n_machines
-        );
-        assert!(
-            job.costs.iter().any(|c| c.is_finite()),
-            "job can run on no machine"
-        );
-        assert!(
-            job.costs.iter().all(|c| *c >= 0.0),
-            "job has a negative or NaN cost"
-        );
-        assert!(
-            job.release.is_finite() && job.release >= 0.0,
-            "job release must be finite and non-negative"
-        );
-        assert!(
-            job.weight.is_finite() && job.weight >= 0.0,
-            "job weight must be finite and non-negative"
-        );
+    /// [`SimError::InvalidJob`] if the spec is malformed: wrong `costs`
+    /// length, no finite cost, negative or non-finite
+    /// release/weight/costs. A rejected spec leaves the engine untouched
+    /// (no id is consumed).
+    pub fn push_arrival(&mut self, job: JobSpec) -> Result<usize, SimError> {
+        let invalid = |reason| Err(SimError::InvalidJob { reason });
+        if job.costs.len() != self.n_machines {
+            return invalid("costs length does not match the machine count");
+        }
+        if !job.costs.iter().any(|c| c.is_finite()) {
+            return invalid("job can run on no machine");
+        }
+        if !job.costs.iter().all(|c| *c >= 0.0) {
+            return invalid("job has a negative or NaN cost");
+        }
+        if !(job.release.is_finite() && job.release >= 0.0) {
+            return invalid("job release must be finite and non-negative");
+        }
+        if !(job.weight.is_finite() && job.weight >= 0.0) {
+            return invalid("job weight must be finite and non-negative");
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.pending.push(Reverse(Pending {
@@ -567,7 +570,7 @@ impl Engine {
             id,
             job,
         }));
-        id
+        Ok(id)
     }
 
     /// Admits every pending arrival released by `now + EPS`; returns how
@@ -575,11 +578,14 @@ impl Engine {
     /// `on_arrival` notification.
     fn admit_due(&mut self, policy: &mut dyn OnlineScheduler) -> usize {
         let mut admitted = 0;
-        while let Some(Reverse(p)) = self.pending.peek() {
-            if p.release > self.now + EPS {
-                break;
+        loop {
+            match self.pending.peek() {
+                Some(Reverse(p)) if p.release <= self.now + EPS => {}
+                _ => break,
             }
-            let Reverse(p) = self.pending.pop().expect("peeked");
+            let Some(Reverse(p)) = self.pending.pop() else {
+                break;
+            };
             let job = ActiveJob::new(p.id, p.job);
             policy.on_arrival(self.now, &job);
             self.active.push(job);
@@ -756,7 +762,7 @@ pub fn simulate(
     policy.reset();
     let mut eng = Engine::new(inst.n_machines());
     for j in 0..inst.n_jobs() {
-        eng.push_arrival(job_spec_of(inst, j)); // id j by push order
+        eng.push_arrival(job_spec_of(inst, j))?; // id j by push order
     }
     eng.drain(policy)?;
     let mut completions = vec![f64::NAN; inst.n_jobs()];
@@ -788,12 +794,7 @@ pub fn simulate_dense(
 
     // Arrival order.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        inst.job(a)
-            .release
-            .partial_cmp(&inst.job(b).release)
-            .unwrap()
-    });
+    order.sort_by(|&a, &b| inst.job(a).release.total_cmp(&inst.job(b).release));
 
     let mut next_arrival = 0usize;
     let mut now = if n > 0 {
@@ -1144,7 +1145,8 @@ mod tests {
             release: 0.0,
             weight: 1.0,
             costs: vec![2.0],
-        });
+        })
+        .unwrap();
         eng.drain(&mut p).unwrap();
         assert_eq!(eng.n_completed(), 1);
         assert_eq!(eng.step(&mut p).unwrap(), StepOutcome::Idle);
@@ -1154,7 +1156,8 @@ mod tests {
             release: 10.0,
             weight: 1.0,
             costs: vec![4.0],
-        });
+        })
+        .unwrap();
         eng.drain(&mut p).unwrap();
         assert_eq!(eng.n_completed(), 2);
         let done = eng.take_completed();
@@ -1175,14 +1178,16 @@ mod tests {
             release: 0.0,
             weight: 1.0,
             costs: vec![4.0],
-        });
+        })
+        .unwrap();
         // Admit at t=0, integrate one step partway through the job.
         assert_eq!(eng.step(&mut p).unwrap(), StepOutcome::Advanced);
         eng.push_arrival(JobSpec {
             release: 6.0,
             weight: 1.0,
             costs: vec![1.0],
-        });
+        })
+        .unwrap();
         assert_eq!(eng.step(&mut p).unwrap(), StepOutcome::Advanced); // J0 done at 4
         assert!((eng.now() - 4.0).abs() < 1e-9);
         // Now push an arrival stamped in the past.
@@ -1190,7 +1195,8 @@ mod tests {
             release: 1.0,
             weight: 1.0,
             costs: vec![2.0],
-        });
+        })
+        .unwrap();
         eng.drain(&mut p).unwrap();
         let done = eng.take_completed();
         assert_eq!(done.len(), 3);
@@ -1209,16 +1215,20 @@ mod tests {
     fn arrivals_may_be_pushed_out_of_order() {
         let mut eng = Engine::new(1);
         let mut p = GreedyFirst;
-        let late = eng.push_arrival(JobSpec {
-            release: 5.0,
-            weight: 1.0,
-            costs: vec![1.0],
-        });
-        let early = eng.push_arrival(JobSpec {
-            release: 0.0,
-            weight: 1.0,
-            costs: vec![1.0],
-        });
+        let late = eng
+            .push_arrival(JobSpec {
+                release: 5.0,
+                weight: 1.0,
+                costs: vec![1.0],
+            })
+            .unwrap();
+        let early = eng
+            .push_arrival(JobSpec {
+                release: 0.0,
+                weight: 1.0,
+                costs: vec![1.0],
+            })
+            .unwrap();
         eng.drain(&mut p).unwrap();
         let done = eng.take_completed();
         assert_eq!(done[0].id, early);
@@ -1239,7 +1249,8 @@ mod tests {
             release: 0.0,
             weight: 0.0,
             costs: vec![2.0],
-        });
+        })
+        .unwrap();
         eng.drain(&mut p).unwrap();
         let m = eng.metrics();
         assert_eq!(m.max_weighted_flow, 0.0);
@@ -1258,7 +1269,8 @@ mod tests {
                 release: 1.0,
                 weight: 1.0,
                 costs: vec![1.0],
-            });
+            })
+            .unwrap();
         }
         assert_eq!(eng.step(&mut p).unwrap(), StepOutcome::Advanced);
         let ids: Vec<usize> = eng.active().iter().map(|a| a.id).collect();
@@ -1292,12 +1304,14 @@ mod tests {
             release: 0.0,
             weight: 1.0,
             costs: vec![0.0],
-        });
+        })
+        .unwrap();
         eng.push_arrival(JobSpec {
             release: 0.0,
             weight: 1.0,
             costs: vec![2.0],
-        });
+        })
+        .unwrap();
         eng.drain(&mut p).unwrap();
         let m = eng.metrics();
         // The zero-size job contributes no stretch term (division guard).
@@ -1307,36 +1321,62 @@ mod tests {
     }
 
     #[test]
-    fn malformed_job_specs_are_rejected() {
-        let catch = |job: JobSpec| {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                Engine::new(2).push_arrival(job)
-            }))
+    fn malformed_job_specs_are_rejected_with_typed_errors() {
+        let reject = |job: JobSpec| match Engine::new(2).push_arrival(job) {
+            Err(SimError::InvalidJob { reason }) => reason,
+            other => panic!("expected InvalidJob, got {other:?}"),
         };
-        assert!(catch(JobSpec {
+        assert!(reject(JobSpec {
             release: 0.0,
             weight: 1.0,
             costs: vec![1.0], // wrong arity
         })
-        .is_err());
-        assert!(catch(JobSpec {
+        .contains("machine count"));
+        assert!(reject(JobSpec {
             release: 0.0,
             weight: 1.0,
             costs: vec![f64::INFINITY, f64::INFINITY], // nowhere to run
         })
-        .is_err());
-        assert!(catch(JobSpec {
+        .contains("no machine"));
+        assert!(reject(JobSpec {
             release: -1.0,
             weight: 1.0,
             costs: vec![1.0, 1.0],
         })
-        .is_err());
-        assert!(catch(JobSpec {
+        .contains("release"));
+        assert!(reject(JobSpec {
             release: 0.0,
             weight: f64::NAN,
             costs: vec![1.0, 1.0],
         })
-        .is_err());
+        .contains("weight"));
+        assert!(reject(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![-1.0, 1.0], // negative cost
+        })
+        .contains("cost"));
+
+        // A rejected push consumes no id and leaves the engine usable.
+        let mut eng = Engine::new(1);
+        assert!(eng
+            .push_arrival(JobSpec {
+                release: f64::NAN,
+                weight: 1.0,
+                costs: vec![1.0],
+            })
+            .is_err());
+        assert_eq!(eng.n_pushed(), 0);
+        let id = eng
+            .push_arrival(JobSpec {
+                release: 0.0,
+                weight: 1.0,
+                costs: vec![2.0],
+            })
+            .unwrap();
+        assert_eq!(id, 0);
+        eng.drain(&mut GreedyFirst).unwrap();
+        assert_eq!(eng.n_completed(), 1);
     }
 
     #[test]
@@ -1349,7 +1389,8 @@ mod tests {
                 release: k as f64,
                 weight: 1.0,
                 costs: vec![0.5],
-            });
+            })
+            .unwrap();
         }
         eng.drain(&mut p).unwrap();
         assert!(eng.take_completed().is_empty());

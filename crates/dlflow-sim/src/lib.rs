@@ -50,6 +50,7 @@
 //! assert_eq!(stats.n_jobs, 50);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // rate-map code indexes machines/jobs in lockstep
 

@@ -23,7 +23,7 @@
 
 use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
 use crate::schedulers::greedy::assign_by_priority;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// EDF on guessed deadlines (see module docs).
 pub struct Edf {
@@ -31,15 +31,16 @@ pub struct Edf {
     /// the stretch (resp. weighted-flow) bound the policy "bets" the
     /// optimum will reach. Default 2.
     pub target: f64,
-    /// Deadline guesses of the jobs currently in the system.
-    guesses: HashMap<usize, f64>,
+    /// Deadline guesses of the jobs currently in the system. `BTreeMap`
+    /// keeps the policy's state deterministic however it is inspected.
+    guesses: BTreeMap<usize, f64>,
 }
 
 impl Default for Edf {
     fn default() -> Self {
         Edf {
             target: 2.0,
-            guesses: HashMap::new(),
+            guesses: BTreeMap::new(),
         }
     }
 }
@@ -55,7 +56,7 @@ impl Edf {
         assert!(target > 0.0, "EDF target factor must be positive");
         Edf {
             target,
-            guesses: HashMap::new(),
+            guesses: BTreeMap::new(),
         }
     }
 

@@ -16,8 +16,7 @@ pub(crate) fn assign_by_priority(
     let prios: Vec<f64> = active.iter().map(&mut priority).collect();
     order.sort_by(|&x, &y| {
         prios[y]
-            .partial_cmp(&prios[x])
-            .unwrap()
+            .total_cmp(&prios[x])
             .then(active[x].id.cmp(&active[y].id))
     });
 
@@ -31,7 +30,7 @@ pub(crate) fn assign_by_priority(
                 continue;
             }
             if let Some(c) = job.cost(i) {
-                if best.is_none() || c < best.unwrap().1 {
+                if best.is_none_or(|(_, b)| c < b) {
                     best = Some((i, c));
                 }
             }
@@ -259,17 +258,15 @@ impl OnlineScheduler for RoundRobin {
     fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
         let mut alloc = Allocation::idle(n_machines);
         for i in 0..n_machines {
-            let eligible: Vec<usize> = active
-                .iter()
-                .filter(|a| a.cost(i).is_some())
-                .map(|a| a.id)
-                .collect();
-            if eligible.is_empty() {
+            // Two passes (count, then set) keep the per-event path free of
+            // per-machine buffer allocations.
+            let n_eligible = active.iter().filter(|a| a.cost(i).is_some()).count();
+            if n_eligible == 0 {
                 continue;
             }
-            let share = 1.0 / eligible.len() as f64;
-            for id in eligible {
-                alloc.set(i, id, share);
+            let share = 1.0 / n_eligible as f64;
+            for a in active.iter().filter(|a| a.cost(i).is_some()) {
+                alloc.set(i, a.id, share);
             }
         }
         alloc

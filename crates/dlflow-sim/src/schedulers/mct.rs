@@ -11,13 +11,14 @@
 //! completions prune it via [`OnlineScheduler::on_completion`].
 
 use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// MCT policy state.
 #[derive(Default)]
 pub struct Mct {
-    /// Machine assigned to each job currently in the system.
-    assigned: HashMap<usize, usize>,
+    /// Machine assigned to each job currently in the system. `BTreeMap`
+    /// keeps the policy's state deterministic however it is inspected.
+    assigned: BTreeMap<usize, usize>,
     /// FIFO queue per machine (active job ids only).
     queues: Vec<Vec<usize>>,
 }
@@ -56,12 +57,7 @@ impl OnlineScheduler for Mct {
             .iter()
             .filter(|a| !self.assigned.contains_key(&a.id))
             .collect();
-        newcomers.sort_by(|a, b| {
-            a.release
-                .partial_cmp(&b.release)
-                .unwrap()
-                .then(a.id.cmp(&b.id))
-        });
+        newcomers.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.id.cmp(&b.id)));
         for job in newcomers {
             let mut best: Option<(usize, f64)> = None;
             for i in 0..n_machines {
@@ -74,11 +70,13 @@ impl OnlineScheduler for Mct {
                     .map(|&k| job_of(k).map_or(0.0, |a| a.remaining * a.cost(i).unwrap_or(0.0)))
                     .sum();
                 let completion = backlog + c; // relative to now
-                if best.is_none() || completion < best.unwrap().1 {
+                if best.is_none_or(|(_, b)| completion < b) {
                     best = Some((i, completion));
                 }
             }
-            let (i, _) = best.expect("validated job: some machine runs it");
+            // Validated jobs always run somewhere; if one doesn't, leave
+            // it unassigned and let the engine surface `Stalled`.
+            let Some((i, _)) = best else { continue };
             self.assigned.insert(job.id, i);
             self.queues[i].push(job.id);
         }

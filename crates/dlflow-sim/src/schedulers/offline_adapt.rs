@@ -126,7 +126,9 @@ impl OfflineAdapt {
             for i in 0..n_machines {
                 let share = alloc.share(i, a.id);
                 if share > 0.0 {
-                    let c = a.cost(i).expect("cached rate is legal");
+                    // A cached rate on an illegal pair means the cache is
+                    // corrupt; discard it and force a fresh solve.
+                    let c = a.cost(i)?;
                     if c <= 1e-12 {
                         rate = f64::INFINITY;
                     } else {
@@ -148,7 +150,15 @@ impl OfflineAdapt {
 
     /// Builds the *remaining-work* sub-instance at time `now`: one job per
     /// active job with cost `remaining · c[i][j]` and release `now`.
-    fn sub_instance(&self, now: f64, active: &[ActiveJob], n_machines: usize) -> Instance<f64> {
+    /// Returns `None` when some active job runs on no machine — impossible
+    /// for validated instances; the caller idles and lets the engine
+    /// surface [`crate::engine::SimError::Stalled`].
+    fn sub_instance(
+        &self,
+        now: f64,
+        active: &[ActiveJob],
+        n_machines: usize,
+    ) -> Option<Instance<f64>> {
         let jobs: Vec<Job<f64>> = active
             .iter()
             .map(|a| Job {
@@ -168,7 +178,7 @@ impl OfflineAdapt {
                     .collect()
             })
             .collect();
-        Instance::new(jobs, cost).expect("active jobs each run somewhere")
+        Instance::new(jobs, cost).ok()
     }
 
     /// Deadlines induced by objective `F`, measured from the **original**
@@ -226,7 +236,9 @@ impl OnlineScheduler for OfflineAdapt {
         if let Some(alloc) = self.cached_plan(now, active, n_machines) {
             return alloc;
         }
-        let sub = self.sub_instance(now, active, n_machines);
+        let Some(sub) = self.sub_instance(now, active, n_machines) else {
+            return Allocation::idle(n_machines);
+        };
 
         // Feasibility probe for a candidate objective value.
         let probe = |f: f64| -> bool {
@@ -289,7 +301,11 @@ impl OnlineScheduler for OfflineAdapt {
             if frac <= 1e-12 {
                 continue;
             }
-            let c_sub = sub.cost(*i, *k).finite().copied().unwrap();
+            // The LP never grants share on an illegal pair; skip rather
+            // than panic if a solver artefact ever does.
+            let Some(&c_sub) = sub.cost(*i, *k).finite() else {
+                continue;
+            };
             let share = (frac * c_sub / len0).min(1.0);
             alloc.add(*i, active[*k].id, share);
         }
@@ -442,12 +458,14 @@ mod tests {
             release: 0.0,
             weight: 0.0,
             costs: vec![4.0, 4.0],
-        });
+        })
+        .unwrap();
         eng.push_arrival(JobSpec {
             release: 1.0,
             weight: 2.0,
             costs: vec![2.0, f64::INFINITY],
-        });
+        })
+        .unwrap();
         eng.drain(&mut ola).unwrap();
         assert_eq!(eng.n_completed(), 2);
         assert!(eng.metrics().makespan.is_finite());

@@ -443,7 +443,7 @@ impl Trace {
             if eng.pending_len() == 0 && next < n {
                 let t0 = self.arrivals[next].release;
                 while next < n && self.arrivals[next].release <= t0 + EPS {
-                    eng.push_arrival(self.job_spec(next));
+                    eng.push_arrival(self.job_spec(next))?;
                     next += 1;
                 }
             }
