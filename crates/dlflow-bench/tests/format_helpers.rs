@@ -1,0 +1,13 @@
+//! The report formatters are part of the bench crate's public surface
+//! (bin targets and external tooling render tables with them); pin the
+//! rounding behavior.
+
+use dlflow_bench::{f1, f3};
+
+#[test]
+fn fixed_width_float_rendering() {
+    assert_eq!(f1(1.25), "1.2"); // ties-to-even, like format!
+    assert_eq!(f1(2.0), "2.0");
+    assert_eq!(f3(0.12349), "0.123");
+    assert_eq!(f3(7.0), "7.000");
+}

@@ -1,0 +1,22 @@
+//! Integration coverage for the `.dlf` token-level parsing helpers.
+
+use dlflow_cli::format::parse_cost;
+use dlflow_core::instance::Cost;
+use dlflow_num::Rat;
+
+#[test]
+fn parse_cost_accepts_all_unavailable_spellings() {
+    for tok in ["inf", "INF", "-", "x", "X"] {
+        assert_eq!(parse_cost(tok, 1).unwrap(), Cost::Infinite);
+    }
+}
+
+#[test]
+fn parse_cost_reads_decimals_exactly() {
+    assert_eq!(parse_cost("3", 1).unwrap(), Cost::Finite(Rat::from_i64(3)));
+    assert_eq!(
+        parse_cost("2.5", 1).unwrap(),
+        Cost::Finite(Rat::from_ratio(5, 2))
+    );
+    assert!(parse_cost("nope", 7).is_err());
+}

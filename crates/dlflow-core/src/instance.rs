@@ -230,6 +230,7 @@ impl<S: Scalar> Instance<S> {
                 });
             }
         }
+        // dlflint:allow(hot-path-panic, "Instance::validate rejects jobs with no finite cost before any scheduling runs")
         best.expect("validated instance has a finite cost per job")
     }
 

@@ -69,7 +69,7 @@ pub fn build_makespan_lp<S: Scalar>(inst: &Instance<S>) -> MakespanLp<S> {
             let mut expr = LinExpr::new();
             for (tt, ii, j, v) in &alpha {
                 if *tt == t && *ii == i {
-                    expr.push(*v, inst.cost(i, *j).finite().unwrap().clone());
+                    expr.push(*v, inst.cost(i, *j).finite().unwrap().clone()); // dlflint:allow(hot-path-panic, "alpha variables exist only for finite (i, j) cost pairs")
                 }
             }
             if t < n_fin {
@@ -161,7 +161,7 @@ pub fn build_deadline_lp<S: Scalar>(
             let mut expr = LinExpr::new();
             for (tt, ii, j, v) in &alpha {
                 if *tt == t && *ii == i {
-                    expr.push(*v, inst.cost(i, *j).finite().unwrap().clone());
+                    expr.push(*v, inst.cost(i, *j).finite().unwrap().clone()); // dlflint:allow(hot-path-panic, "alpha variables exist only for finite (i, j) cost pairs")
                 }
             }
             if !expr.is_empty() {
@@ -182,6 +182,7 @@ pub fn build_deadline_lp<S: Scalar>(
                 let mut expr = LinExpr::new();
                 for (tt, i, jj, v) in &alpha {
                     if *tt == t && *jj == j {
+                        // dlflint:allow(hot-path-panic, "alpha variables exist only for finite (i, j) cost pairs")
                         expr.push(*v, inst.cost(*i, j).finite().unwrap().clone());
                     }
                 }
@@ -398,7 +399,7 @@ pub fn build_range_lp<S: Scalar>(
             let mut expr = LinExpr::new();
             for (tt, ii, j, v) in &alpha {
                 if *tt == t && *ii == i {
-                    expr.push(*v, inst.cost(i, *j).finite().unwrap().clone());
+                    expr.push(*v, inst.cost(i, *j).finite().unwrap().clone()); // dlflint:allow(hot-path-panic, "alpha variables exist only for finite (i, j) cost pairs")
                 }
             }
             if !expr.is_empty() {
@@ -421,6 +422,7 @@ pub fn build_range_lp<S: Scalar>(
                 let mut expr = LinExpr::new();
                 for (tt, i, jj, v) in &alpha {
                     if *tt == t && *jj == j {
+                        // dlflint:allow(hot-path-panic, "alpha variables exist only for finite (i, j) cost pairs")
                         expr.push(*v, inst.cost(*i, j).finite().unwrap().clone());
                     }
                 }

@@ -1,0 +1,38 @@
+//! Integration coverage for the residue alphabet and cost-model fitting
+//! helpers a workload generator composes directly.
+
+use dlflow_gripps::alphabet::{background_cdf, index_of, is_residue, sample_residue};
+use dlflow_gripps::CostModel;
+
+#[test]
+fn alphabet_classifies_and_indexes_residues() {
+    assert!(is_residue(b'A'));
+    assert!(!is_residue(b'B')); // ambiguity codes are not residues
+    let i = index_of(b'A').unwrap();
+    assert!(i < 20);
+    assert_eq!(index_of(b'Z'), None);
+}
+
+#[test]
+fn background_sampling_stays_in_the_alphabet() {
+    let cdf = background_cdf();
+    assert!((cdf[19] - 1.0).abs() < 1e-9); // CDF ends at 1
+    for k in 0..100 {
+        let u = k as f64 / 100.0;
+        let r = sample_residue(&cdf, u);
+        assert!(is_residue(r));
+    }
+    // The extremes map to the first and last residue of the table.
+    assert!(index_of(sample_residue(&cdf, 0.0)).is_some());
+    assert!(index_of(sample_residue(&cdf, 0.9999999)).is_some());
+}
+
+#[test]
+fn fixed_bank_fit_recovers_a_linear_series() {
+    // seconds = 0.5 · work + 2.0, bank size held fixed.
+    let samples: Vec<(f64, f64)> = (0..6).map(|w| (w as f64, 0.5 * w as f64 + 2.0)).collect();
+    let (slope, intercept, r2) = CostModel::fit_fixed_bank(&samples);
+    assert!((slope - 0.5).abs() < 1e-9);
+    assert!((intercept - 2.0).abs() < 1e-9);
+    assert!((r2 - 1.0).abs() < 1e-9);
+}

@@ -1,28 +1,65 @@
-//! The ratchet baseline: committed per-`(rule, file)` finding counts
-//! that are only allowed to go *down*.
+//! The ratchet baseline: committed accepted-finding counts that are
+//! only allowed to go *down*.
 //!
 //! `lint-baseline.json` at the workspace root records how many findings
-//! each rule currently has in each file. `--check` fails when a cell
-//! exceeds its baseline (a new finding crept in) **and** when a cell
-//! drops below it (the code improved — refresh the baseline with
-//! `--write-baseline` so the gain is locked in). The committed tree is
-//! therefore always *exactly* as clean as the baseline says.
+//! each rule currently has. `--check` fails when a cell exceeds its
+//! baseline (a new finding crept in) **and** when a cell drops below it
+//! (the code improved — refresh with `--write-baseline` so the gain is
+//! locked in). The committed tree is therefore always *exactly* as
+//! clean as the baseline says.
+//!
+//! Two formats exist:
+//!
+//! * **v2** (written since PR 7): `{"version": 2, "counts": {rule:
+//!   {symbol: n}}}` — keyed by the stable *symbol* of the enclosing item
+//!   (`dlflow-sim::engine::Engine::step`), so a finding survives a file
+//!   rename but not a move to a different function. An empty baseline
+//!   renders as plain `{}`.
+//! * **v1** (PR 6): a bare two-level `{rule: {file: n}}` object. Parsed
+//!   transparently; `diff` then compares per-file counts, and the next
+//!   `--write-baseline` upgrades the file to v2.
 
 use std::collections::BTreeMap;
 
-/// Per-rule, per-file finding counts. `BTreeMap` keeps rendering
+/// Two-level counts: rule → key → findings. `BTreeMap` keeps rendering
 /// deterministic (the file is committed; diffs must be stable).
-pub type Baseline = BTreeMap<String, BTreeMap<String, usize>>;
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
 
-/// One way the current tree disagrees with the baseline.
+/// A parsed baseline: the counts plus the format they are keyed in.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// 1 = keyed by file (legacy), 2 = keyed by symbol. An empty
+    /// baseline is version 2 by construction.
+    pub version: u8,
+    /// rule → (file | symbol) → accepted finding count.
+    pub counts: Counts,
+}
+
+impl Baseline {
+    /// The empty v2 baseline (what a clean tree commits).
+    pub fn empty() -> Baseline {
+        Baseline {
+            version: 2,
+            counts: Counts::new(),
+        }
+    }
+
+    /// A v2 baseline over symbol counts.
+    pub fn v2(counts: Counts) -> Baseline {
+        Baseline { version: 2, counts }
+    }
+}
+
+/// One way the current tree disagrees with the baseline. `key` is a
+/// symbol for v2 baselines and a file path for legacy v1.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RatchetViolation {
     /// More findings than the baseline allows: the build must fail.
     Increase {
         /// Rule name.
         rule: String,
-        /// Offending file.
-        file: String,
+        /// Offending symbol (v2) or file (v1).
+        key: String,
         /// Findings in the working tree.
         found: usize,
         /// Findings the baseline allows.
@@ -33,8 +70,8 @@ pub enum RatchetViolation {
     Stale {
         /// Rule name.
         rule: String,
-        /// Improved file.
-        file: String,
+        /// Improved symbol (v2) or file (v1).
+        key: String,
         /// Findings in the working tree.
         found: usize,
         /// Findings the baseline still records.
@@ -48,50 +85,56 @@ impl RatchetViolation {
         match self {
             RatchetViolation::Increase {
                 rule,
-                file,
+                key,
                 found,
                 allowed,
-            } => format!("NEW FINDINGS: [{rule}] {file}: {found} found, baseline allows {allowed}"),
+            } => format!("NEW FINDINGS: [{rule}] {key}: {found} found, baseline allows {allowed}"),
             RatchetViolation::Stale {
                 rule,
-                file,
+                key,
                 found,
                 allowed,
             } => format!(
-                "STALE BASELINE: [{rule}] {file}: {found} found, baseline records {allowed} \
+                "STALE BASELINE: [{rule}] {key}: {found} found, baseline records {allowed} \
                  — run `dlflow-lint --write-baseline` to ratchet down"
             ),
         }
     }
 }
 
-/// Compares current counts against the baseline. An empty result means
-/// the tree is exactly as clean as the committed baseline.
-pub fn diff(current: &Baseline, baseline: &Baseline) -> Vec<RatchetViolation> {
+/// Compares the current tree against the baseline, keyed per the
+/// baseline's own version: `by_symbol` for v2, `by_file` for legacy v1.
+/// An empty result means the tree is exactly as clean as committed.
+pub fn diff(by_symbol: &Counts, by_file: &Counts, baseline: &Baseline) -> Vec<RatchetViolation> {
+    let current = if baseline.version == 1 {
+        by_file
+    } else {
+        by_symbol
+    };
     let mut out = Vec::new();
     let mut cells: BTreeMap<(&str, &str), (usize, usize)> = BTreeMap::new();
-    for (rule, files) in current {
-        for (file, &n) in files {
-            cells.entry((rule, file)).or_insert((0, 0)).0 = n;
+    for (rule, keys) in current {
+        for (key, &n) in keys {
+            cells.entry((rule, key)).or_insert((0, 0)).0 = n;
         }
     }
-    for (rule, files) in baseline {
-        for (file, &n) in files {
-            cells.entry((rule, file)).or_insert((0, 0)).1 = n;
+    for (rule, keys) in &baseline.counts {
+        for (key, &n) in keys {
+            cells.entry((rule, key)).or_insert((0, 0)).1 = n;
         }
     }
-    for ((rule, file), (found, allowed)) in cells {
+    for ((rule, key), (found, allowed)) in cells {
         if found > allowed {
             out.push(RatchetViolation::Increase {
                 rule: rule.to_string(),
-                file: file.to_string(),
+                key: key.to_string(),
                 found,
                 allowed,
             });
         } else if found < allowed {
             out.push(RatchetViolation::Stale {
                 rule: rule.to_string(),
-                file: file.to_string(),
+                key: key.to_string(),
                 found,
                 allowed,
             });
@@ -100,27 +143,39 @@ pub fn diff(current: &Baseline, baseline: &Baseline) -> Vec<RatchetViolation> {
     out
 }
 
-/// Renders the baseline as deterministic JSON (hand-rolled like the
-/// campaign reports — no serde in the offline dependency set).
-pub fn to_json(b: &Baseline) -> String {
+fn counts_json(counts: &Counts, indent: &str) -> String {
     let mut s = String::from("{\n");
-    let n_rules = b.len();
-    for (ri, (rule, files)) in b.iter().enumerate() {
-        s.push_str(&format!("  \"{rule}\": {{\n"));
-        let n_files = files.len();
-        for (fi, (file, count)) in files.iter().enumerate() {
-            let comma = if fi + 1 == n_files { "" } else { "," };
-            s.push_str(&format!("    \"{file}\": {count}{comma}\n"));
+    let n_rules = counts.len();
+    for (ri, (rule, keys)) in counts.iter().enumerate() {
+        s.push_str(&format!("{indent}  \"{rule}\": {{\n"));
+        let n_keys = keys.len();
+        for (ki, (key, count)) in keys.iter().enumerate() {
+            let comma = if ki + 1 == n_keys { "" } else { "," };
+            s.push_str(&format!("{indent}    \"{key}\": {count}{comma}\n"));
         }
         let comma = if ri + 1 == n_rules { "" } else { "," };
-        s.push_str(&format!("  }}{comma}\n"));
+        s.push_str(&format!("{indent}  }}{comma}\n"));
     }
-    s.push_str("}\n");
+    s.push_str(&format!("{indent}}}"));
     s
 }
 
-/// Parses the JSON produced by [`to_json`] (a two-level object of
-/// strings to integers — the only shape the baseline ever has).
+/// Renders a baseline as deterministic JSON (hand-rolled like the
+/// campaign reports — no serde in the offline dependency set). Always
+/// writes v2; an empty baseline is plain `{}` so "no accepted findings
+/// anywhere" reads at a glance.
+pub fn to_json(b: &Baseline) -> String {
+    if b.counts.is_empty() {
+        return "{}\n".to_string();
+    }
+    format!(
+        "{{\n  \"version\": 2,\n  \"counts\": {}\n}}\n",
+        counts_json(&b.counts, "  ")
+    )
+}
+
+/// Parses either baseline format: `{}` (empty v2), a `version: 2`
+/// object, or a legacy bare v1 two-level map.
 pub fn parse(text: &str) -> Result<Baseline, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
@@ -128,48 +183,42 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
     };
     p.skip_ws();
     p.expect(b'{')?;
-    let mut out = Baseline::new();
     p.skip_ws();
     if p.peek() == Some(b'}') {
-        return Ok(out);
+        return Ok(Baseline::empty());
     }
-    loop {
-        p.skip_ws();
-        let rule = p.string()?;
+    // Sniff the first key without consuming it.
+    let mark = p.pos;
+    let first_key = p.string()?;
+    if first_key == "version" {
         p.skip_ws();
         p.expect(b':')?;
         p.skip_ws();
-        p.expect(b'{')?;
-        let mut files = BTreeMap::new();
-        p.skip_ws();
-        if p.peek() == Some(b'}') {
-            p.pos += 1;
-        } else {
-            loop {
-                p.skip_ws();
-                let file = p.string()?;
-                p.skip_ws();
-                p.expect(b':')?;
-                p.skip_ws();
-                let count = p.number()?;
-                files.insert(file, count);
-                p.skip_ws();
-                match p.next() {
-                    Some(b',') => continue,
-                    Some(b'}') => break,
-                    _ => return Err("expected `,` or `}` in file map".into()),
-                }
-            }
+        let version = p.number()?;
+        if version != 2 {
+            return Err(format!("unsupported baseline version {version}"));
         }
-        out.insert(rule, files);
         p.skip_ws();
-        match p.next() {
-            Some(b',') => continue,
-            Some(b'}') => break,
-            _ => return Err("expected `,` or `}` in rule map".into()),
+        p.expect(b',')?;
+        p.skip_ws();
+        let key = p.string()?;
+        if key != "counts" {
+            return Err(format!("expected `counts` after version, got `{key}`"));
         }
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        let counts = p.two_level()?;
+        p.skip_ws();
+        p.expect(b'}')?;
+        Ok(Baseline { version: 2, counts })
+    } else {
+        // Legacy v1: the whole object is the two-level map; rewind to
+        // just after `{` and reparse it as such.
+        p.pos = mark;
+        let counts = p.two_level_open()?;
+        Ok(Baseline { version: 1, counts })
     }
-    Ok(out)
 }
 
 struct Parser<'a> {
@@ -223,33 +272,85 @@ impl Parser<'_> {
             .parse()
             .map_err(|_| format!("expected a count at byte {start}"))
     }
+    /// Parses a `{rule: {key: n}}` object starting at its `{`.
+    fn two_level(&mut self) -> Result<Counts, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Counts::new());
+        }
+        self.two_level_open()
+    }
+    /// Parses the entries of a two-level object whose `{` is already
+    /// consumed and which is known to be non-empty.
+    fn two_level_open(&mut self) -> Result<Counts, String> {
+        let mut out = Counts::new();
+        loop {
+            self.skip_ws();
+            let rule = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.expect(b'{')?;
+            let mut keys = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+            } else {
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let count = self.number()?;
+                    keys.insert(key, count);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b'}') => break,
+                        _ => return Err("expected `,` or `}` in key map".into()),
+                    }
+                }
+            }
+            out.insert(rule, keys);
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err("expected `,` or `}` in rule map".into()),
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn b(entries: &[(&str, &str, usize)]) -> Baseline {
-        let mut out = Baseline::new();
-        for (rule, file, n) in entries {
+    fn c(entries: &[(&str, &str, usize)]) -> Counts {
+        let mut out = Counts::new();
+        for (rule, key, n) in entries {
             out.entry(rule.to_string())
                 .or_default()
-                .insert(file.to_string(), *n);
+                .insert(key.to_string(), *n);
         }
         out
     }
 
     #[test]
     fn equal_baselines_are_clean() {
-        let x = b(&[("lossy-cast", "a.rs", 3)]);
-        assert!(diff(&x, &x).is_empty());
+        let x = c(&[("lossy-cast", "dlflow-num::rational::Rat::from_f64", 3)]);
+        assert!(diff(&x, &Counts::new(), &Baseline::v2(x.clone())).is_empty());
     }
 
     #[test]
     fn ratchet_up_is_an_increase() {
-        let cur = b(&[("lossy-cast", "a.rs", 4)]);
-        let base = b(&[("lossy-cast", "a.rs", 3)]);
-        let v = diff(&cur, &base);
+        let cur = c(&[("lossy-cast", "dlflow-num::rational::Rat::den", 4)]);
+        let base = Baseline::v2(c(&[("lossy-cast", "dlflow-num::rational::Rat::den", 3)]));
+        let v = diff(&cur, &Counts::new(), &base);
         assert_eq!(v.len(), 1);
         assert!(matches!(
             &v[0],
@@ -259,9 +360,9 @@ mod tests {
                 ..
             }
         ));
-        // A finding in a file the baseline has never seen is also new.
-        let cur = b(&[("float-eq", "new.rs", 1)]);
-        let v = diff(&cur, &Baseline::new());
+        // A finding at a symbol the baseline has never seen is also new.
+        let cur = c(&[("float-eq", "dlflow-sim::campaign::run", 1)]);
+        let v = diff(&cur, &Counts::new(), &Baseline::empty());
         assert!(matches!(
             &v[0],
             RatchetViolation::Increase { allowed: 0, .. }
@@ -270,9 +371,9 @@ mod tests {
 
     #[test]
     fn ratchet_down_is_stale() {
-        let cur = b(&[("lossy-cast", "a.rs", 1)]);
-        let base = b(&[("lossy-cast", "a.rs", 3)]);
-        let v = diff(&cur, &base);
+        let cur = c(&[("lossy-cast", "a::b::f", 1)]);
+        let base = Baseline::v2(c(&[("lossy-cast", "a::b::f", 3)]));
+        let v = diff(&cur, &Counts::new(), &base);
         assert_eq!(v.len(), 1);
         assert!(matches!(
             &v[0],
@@ -282,27 +383,42 @@ mod tests {
                 ..
             }
         ));
-        // Fully fixed file still recorded in the baseline: stale too.
-        let v = diff(&Baseline::new(), &base);
+        // Fully fixed symbol still recorded in the baseline: stale too.
+        let v = diff(&Counts::new(), &Counts::new(), &base);
         assert!(matches!(&v[0], RatchetViolation::Stale { found: 0, .. }));
     }
 
     #[test]
-    fn json_roundtrip_is_lossless() {
-        let x = b(&[
-            ("lossy-cast", "crates/dlflow-num/src/rational.rs", 13),
-            ("lossy-cast", "crates/dlflow-core/src/gantt.rs", 4),
-            ("float-eq", "crates/dlflow-sim/src/campaign.rs", 2),
-        ]);
-        let json = to_json(&x);
-        assert_eq!(parse(&json).unwrap(), x);
-        // Empty baseline roundtrips too.
-        assert_eq!(parse(&to_json(&Baseline::new())).unwrap(), Baseline::new());
+    fn v1_baselines_diff_against_file_counts() {
+        let v1 = parse("{\"lossy-cast\": {\"crates/dlflow-num/src/rational.rs\": 16}}").unwrap();
+        assert_eq!(v1.version, 1);
+        let by_file = c(&[("lossy-cast", "crates/dlflow-num/src/rational.rs", 16)]);
+        let by_symbol = c(&[("lossy-cast", "dlflow-num::rational::Rat::den", 16)]);
+        assert!(diff(&by_symbol, &by_file, &v1).is_empty());
+        // The same tree against a v2 baseline uses symbol keys.
+        let v2 = Baseline::v2(by_symbol.clone());
+        assert!(diff(&by_symbol, &by_file, &v2).is_empty());
     }
 
     #[test]
-    fn parse_rejects_garbage() {
+    fn json_roundtrip_is_lossless_and_empty_is_bare_braces() {
+        let x = Baseline::v2(c(&[
+            ("lossy-cast", "dlflow-num::rational::Rat::num", 13),
+            ("lossy-cast", "dlflow-core::gantt::render", 4),
+            ("float-eq", "dlflow-sim::campaign::run", 2),
+        ]));
+        let json = to_json(&x);
+        assert!(json.starts_with("{\n  \"version\": 2,\n  \"counts\": {"));
+        assert_eq!(parse(&json).unwrap(), x);
+        // The empty baseline is written, and read back, as plain {}.
+        assert_eq!(to_json(&Baseline::empty()), "{}\n");
+        assert_eq!(parse("{}").unwrap(), Baseline::empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_future_versions() {
         assert!(parse("not json").is_err());
         assert!(parse("{\"rule\": 3}").is_err());
+        assert!(parse("{\"version\": 3, \"counts\": {}}").is_err());
     }
 }

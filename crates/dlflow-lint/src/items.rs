@@ -1,0 +1,665 @@
+//! The item-level front end: parses a lexed token stream into the items
+//! the semantic rules need — `fn`s (with body spans), `impl` blocks
+//! (type + optional trait), `trait` declarations, inline `mod`s, and the
+//! named type-level items (`struct`/`enum`/`trait`/`const`/`static`/
+//! `type`/`mod`) that `dead-pub` audits.
+//!
+//! This is deliberately not a full Rust grammar. It recognizes item
+//! *boundaries* well enough to (a) attribute every body token to its
+//! enclosing function and (b) name items stably for the symbol table.
+//! Anything it does not understand is skipped token-by-token — an
+//! unparseable construct can cost precision (a call edge, an item) but
+//! never a crash and never a misattributed body.
+
+use crate::lexer::{TokKind, Token};
+
+/// Visibility of an item, as far as the lexical form shows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vis {
+    /// `pub` with no restriction — part of the crate's public API.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)` — visible but scoped.
+    PubScoped,
+    /// No `pub` at all.
+    Private,
+}
+
+/// One parsed function (free, impl method, or trait method).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type or `trait` name, if any.
+    pub owner: Option<String>,
+    /// For methods of `impl Trait for Type`: the trait name.
+    pub trait_impl: Option<String>,
+    /// True for a default body inside a `trait` declaration.
+    pub is_trait_default: bool,
+    /// Visibility (methods of trait impls are implicitly public but
+    /// carry no `pub`; this records the written form only).
+    pub vis: Vis,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token range of the body, `open_brace + 1 .. close_brace`
+    /// (empty/None for bodyless trait signatures).
+    pub body: Option<(usize, usize)>,
+    /// Inclusive 1-based line span of the body braces.
+    pub body_lines: Option<(usize, usize)>,
+    /// Inline-module path within the file (outermost first).
+    pub module: Vec<String>,
+}
+
+/// What a [`TypeItem`] declares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TypeKind {
+    /// `struct`
+    Struct,
+    /// `enum`
+    Enum,
+    /// `trait`
+    Trait,
+    /// `const`
+    Const,
+    /// `static`
+    Static,
+    /// `type` alias
+    Alias,
+    /// `mod` (inline or file declaration)
+    Mod,
+}
+
+/// A named non-`fn` item (audited by `dead-pub`).
+#[derive(Clone, Debug)]
+pub struct TypeItem {
+    /// Item kind.
+    pub kind: TypeKind,
+    /// Item name.
+    pub name: String,
+    /// Visibility.
+    pub vis: Vis,
+    /// 1-based line of the declaring keyword.
+    pub line: usize,
+    /// Inline-module path within the file.
+    pub module: Vec<String>,
+}
+
+/// Every item parsed out of one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileItems {
+    /// Functions, in source order.
+    pub fns: Vec<FnItem>,
+    /// Named type-level items, in source order.
+    pub types: Vec<TypeItem>,
+}
+
+impl FileItems {
+    /// The function whose body covers `line`, if any. Inner functions
+    /// shadow outer ones (the parser emits them after their parent, and
+    /// later matches win ties on narrower spans).
+    pub fn fn_covering_line(&self, line: usize) -> Option<&FnItem> {
+        let mut best: Option<&FnItem> = None;
+        for f in &self.fns {
+            let Some((lo, hi)) = f.body_lines else {
+                continue;
+            };
+            // The signature line belongs to the fn too.
+            let lo = lo.min(f.line);
+            if lo <= line && line <= hi {
+                let narrower = best.is_none_or(|b| {
+                    let (blo, bhi) = b.body_lines.unwrap_or((0, usize::MAX));
+                    hi - lo <= bhi - blo.min(b.line)
+                });
+                if narrower {
+                    best = Some(f);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Parses `toks` into items. `mask[i]` marks tokens inside
+/// `#[cfg(test)] mod` spans — items fully inside the mask are skipped
+/// (test code is out of scope for every rule).
+pub fn parse_items(toks: &[Token], mask: &[bool]) -> FileItems {
+    let mut out = FileItems::default();
+    let mut p = Parser {
+        toks,
+        mask,
+        out: &mut out,
+    };
+    let len = toks.len();
+    p.items(0, len, &mut Vec::new(), Ctx::TopLevel);
+    out
+}
+
+/// Where an item list is being parsed.
+#[derive(Clone, Debug)]
+enum Ctx {
+    /// File top level or an inline `mod` body.
+    TopLevel,
+    /// Inside `impl Type { … }` / `impl Trait for Type { … }`.
+    Impl {
+        type_name: String,
+        trait_name: Option<String>,
+    },
+    /// Inside `trait Name { … }`.
+    Trait { name: String },
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    mask: &'a [bool],
+    out: &'a mut FileItems,
+}
+
+impl Parser<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+    }
+
+    /// Index just past the `]` of an attribute starting at `#`.
+    fn skip_attr(&self, i: usize) -> usize {
+        let mut k = i + 1; // past `#`
+        if self.text(k) == "!" {
+            k += 1;
+        }
+        if self.text(k) != "[" {
+            return i + 1;
+        }
+        let mut depth = 0usize;
+        while k < self.toks.len() {
+            match self.text(k) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        k
+    }
+
+    /// Index just past the brace matching the `{` at `open` (clamped to
+    /// `to`).
+    fn match_brace(&self, open: usize, to: usize) -> usize {
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < to {
+            match self.text(k) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        to
+    }
+
+    /// Parses the item list in `[from, to)`.
+    fn items(&mut self, from: usize, to: usize, module: &mut Vec<String>, ctx: Ctx) {
+        let mut i = from;
+        while i < to {
+            if self.mask[i] {
+                i += 1;
+                continue;
+            }
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident && t.text != "#" {
+                // A stray opening brace is skipped as a block so that a
+                // misparse cannot cascade into later items.
+                if t.text == "{" {
+                    i = self.match_brace(i, to);
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if t.text == "#" {
+                i = self.skip_attr(i);
+                continue;
+            }
+
+            // Visibility + modifier prefix.
+            let item_line = t.line;
+            let mut k = i;
+            let mut vis = Vis::Private;
+            if self.text(k) == "pub" {
+                vis = Vis::Pub;
+                k += 1;
+                if self.text(k) == "(" {
+                    vis = Vis::PubScoped;
+                    let mut depth = 0usize;
+                    while k < to {
+                        match self.text(k) {
+                            "(" => depth += 1,
+                            ")" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            while matches!(self.text(k), "unsafe" | "async" | "extern" | "default") {
+                k += 1;
+                if self.text(k - 1) == "extern"
+                    && self.toks.get(k).is_some_and(|t| t.kind == TokKind::Literal)
+                {
+                    k += 1; // ABI string
+                }
+            }
+            // `const` is both a modifier (`const fn`) and an item.
+            if self.text(k) == "const" && self.text(k + 1) == "fn" {
+                k += 1;
+            }
+
+            match self.text(k) {
+                "fn" => {
+                    i = self.parse_fn(k, to, vis, item_line, module, &ctx);
+                }
+                "mod" if self.is_ident(k + 1) => {
+                    let name = self.text(k + 1).to_string();
+                    self.out.types.push(TypeItem {
+                        kind: TypeKind::Mod,
+                        name: name.clone(),
+                        vis,
+                        line: item_line,
+                        module: module.clone(),
+                    });
+                    if self.text(k + 2) == "{" {
+                        let close = self.match_brace(k + 2, to);
+                        module.push(name);
+                        self.items(k + 3, close.saturating_sub(1), module, Ctx::TopLevel);
+                        module.pop();
+                        i = close;
+                    } else {
+                        i = k + 2; // `mod name;`
+                    }
+                }
+                "impl" => {
+                    i = self.parse_impl(k, to, module);
+                }
+                "trait" if self.is_ident(k + 1) => {
+                    let name = self.text(k + 1).to_string();
+                    self.out.types.push(TypeItem {
+                        kind: TypeKind::Trait,
+                        name: name.clone(),
+                        vis,
+                        line: item_line,
+                        module: module.clone(),
+                    });
+                    let Some(open) = (k..to).find(|&j| self.text(j) == "{") else {
+                        i = k + 2;
+                        continue;
+                    };
+                    let close = self.match_brace(open, to);
+                    self.items(
+                        open + 1,
+                        close.saturating_sub(1),
+                        module,
+                        Ctx::Trait { name },
+                    );
+                    i = close;
+                }
+                kw @ ("struct" | "enum" | "const" | "static" | "type") if self.is_ident(k + 1) => {
+                    let kind = match kw {
+                        "struct" => TypeKind::Struct,
+                        "enum" => TypeKind::Enum,
+                        "const" => TypeKind::Const,
+                        "static" => TypeKind::Static,
+                        _ => TypeKind::Alias,
+                    };
+                    self.out.types.push(TypeItem {
+                        kind,
+                        name: self.text(k + 1).to_string(),
+                        vis,
+                        line: item_line,
+                        module: module.clone(),
+                    });
+                    // Body: to the first of `;` or a matched `{ … }`.
+                    let mut j = k + 2;
+                    while j < to {
+                        match self.text(j) {
+                            ";" => {
+                                j += 1;
+                                break;
+                            }
+                            "{" => {
+                                j = self.match_brace(j, to);
+                                break;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    i = j;
+                }
+                "use" | "macro_rules" => {
+                    // `use path::…;` / `macro_rules! name { … }`
+                    let mut j = k + 1;
+                    while j < to {
+                        match self.text(j) {
+                            ";" => {
+                                j += 1;
+                                break;
+                            }
+                            "{" => {
+                                j = self.match_brace(j, to);
+                                if self.text(k) == "macro_rules" {
+                                    break;
+                                }
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    i = j;
+                }
+                _ => {
+                    i = k.max(i) + 1;
+                }
+            }
+        }
+    }
+
+    /// Parses one `fn` starting at the `fn` keyword; returns the index
+    /// just past the item.
+    fn parse_fn(
+        &mut self,
+        fn_kw: usize,
+        to: usize,
+        vis: Vis,
+        line: usize,
+        module: &[String],
+        ctx: &Ctx,
+    ) -> usize {
+        if !self.is_ident(fn_kw + 1) {
+            return fn_kw + 1;
+        }
+        let name = self.text(fn_kw + 1).to_string();
+        // Body opens at the first `{` before any `;` (a `;` first means
+        // a bodyless trait signature).
+        let mut j = fn_kw + 2;
+        let mut open = None;
+        while j < to {
+            match self.text(j) {
+                "{" => {
+                    open = Some(j);
+                    break;
+                }
+                ";" => break,
+                _ => j += 1,
+            }
+        }
+        let (owner, trait_impl, is_trait_default) = match ctx {
+            Ctx::TopLevel => (None, None, false),
+            Ctx::Impl {
+                type_name,
+                trait_name,
+            } => (Some(type_name.clone()), trait_name.clone(), false),
+            Ctx::Trait { name } => (Some(name.clone()), None, open.is_some()),
+        };
+        let (body, body_lines, next) = match open {
+            Some(open) => {
+                let close = self.match_brace(open, to);
+                let span = (open + 1, close.saturating_sub(1));
+                let lines = (
+                    self.toks[open].line,
+                    self.toks
+                        .get(close.saturating_sub(1))
+                        .map_or(self.toks[open].line, |t| t.line),
+                );
+                (Some(span), Some(lines), close)
+            }
+            None => (None, None, j + 1),
+        };
+        self.out.fns.push(FnItem {
+            name,
+            owner,
+            trait_impl,
+            is_trait_default,
+            vis,
+            line,
+            body,
+            body_lines,
+            module: module.to_vec(),
+        });
+        // Inner `fn`s (rare) are parsed too, so their bodies are known;
+        // they shadow the outer span in `fn_covering_line`.
+        if let Some((lo, hi)) = body {
+            let mut k = lo;
+            while k < hi {
+                if self.text(k) == "fn" && self.is_ident(k + 1) && !self.mask[k] {
+                    k = self.parse_fn(
+                        k,
+                        hi,
+                        Vis::Private,
+                        self.toks[k].line,
+                        module,
+                        &Ctx::TopLevel,
+                    );
+                } else {
+                    k += 1;
+                }
+            }
+        }
+        next
+    }
+
+    /// Parses one `impl` block starting at the `impl` keyword.
+    fn parse_impl(&mut self, impl_kw: usize, to: usize, module: &mut Vec<String>) -> usize {
+        // Head = tokens between `impl` and its `{`.
+        let Some(open) = (impl_kw..to).find(|&j| self.text(j) == "{") else {
+            return impl_kw + 1;
+        };
+        let close = self.match_brace(open, to);
+        let head: &[Token] = &self.toks[impl_kw + 1..open];
+
+        // Split at a depth-0 `for` (trait impl) if present; the *type*
+        // name is the first depth-0 ident of the type part (skipping
+        // `&`, `mut`, `dyn`, lifetimes), the *trait* name the last
+        // depth-0 path segment of the trait part.
+        let mut depth = 0i32;
+        let mut for_pos = None;
+        for (idx, t) in head.iter().enumerate() {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "for" if depth == 0 && t.kind == TokKind::Ident => {
+                    for_pos = Some(idx);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let (trait_part, type_part) = match for_pos {
+            Some(p) => (Some(&head[..p]), &head[p + 1..]),
+            None => (None, head),
+        };
+        let trait_name = trait_part.and_then(|part| {
+            let mut depth = 0i32;
+            let mut last = None;
+            for t in part {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    _ if depth == 0 && t.kind == TokKind::Ident && t.text != "where" => {
+                        last = Some(t.text.clone());
+                    }
+                    _ => {}
+                }
+            }
+            last
+        });
+        let mut depth = 0i32;
+        let mut type_name = None;
+        for t in type_part {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "mut" | "dyn" => {}
+                _ if depth == 0 && t.kind == TokKind::Ident => {
+                    type_name = Some(t.text.clone());
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(type_name) = type_name else {
+            return close;
+        };
+        self.items(
+            open + 1,
+            close.saturating_sub(1),
+            module,
+            Ctx::Impl {
+                type_name,
+                trait_name,
+            },
+        );
+        close
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn parse(src: &str) -> FileItems {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        parse_items(&lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn free_fns_and_visibility() {
+        let items = parse("pub fn a() {} fn b() {} pub(crate) fn c() {}");
+        let names: Vec<_> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(items.fns[0].vis, Vis::Pub);
+        assert_eq!(items.fns[1].vis, Vis::Private);
+        assert_eq!(items.fns[2].vis, Vis::PubScoped);
+        assert!(items.fns.iter().all(|f| f.owner.is_none()));
+    }
+
+    #[test]
+    fn impl_methods_carry_type_and_trait() {
+        let src = "
+struct Engine;
+impl Engine {
+    pub fn step(&mut self) {}
+}
+impl<S: Scalar> OnlineScheduler for Mct<S> {
+    fn plan(&mut self) {}
+}
+";
+        let items = parse(src);
+        let step = items.fns.iter().find(|f| f.name == "step").unwrap();
+        assert_eq!(step.owner.as_deref(), Some("Engine"));
+        assert_eq!(step.trait_impl, None);
+        let plan = items.fns.iter().find(|f| f.name == "plan").unwrap();
+        assert_eq!(plan.owner.as_deref(), Some("Mct"));
+        assert_eq!(plan.trait_impl.as_deref(), Some("OnlineScheduler"));
+    }
+
+    #[test]
+    fn trait_decl_distinguishes_required_and_default() {
+        let src = "
+pub trait OnlineScheduler {
+    fn name(&self) -> String;
+    fn on_arrival(&mut self, now: f64) {}
+    fn plan(&mut self) -> Allocation;
+}
+";
+        let items = parse(src);
+        let name = items.fns.iter().find(|f| f.name == "name").unwrap();
+        assert!(!name.is_trait_default && name.body.is_none());
+        let arr = items.fns.iter().find(|f| f.name == "on_arrival").unwrap();
+        assert!(arr.is_trait_default && arr.body.is_some());
+        assert_eq!(arr.owner.as_deref(), Some("OnlineScheduler"));
+        let t = items.types.iter().find(|t| t.name == "OnlineScheduler");
+        assert_eq!(t.unwrap().kind, TypeKind::Trait);
+    }
+
+    #[test]
+    fn inline_mods_nest_and_name_items() {
+        let src = "
+mod outer {
+    pub mod inner {
+        pub fn deep() {}
+    }
+    pub struct S;
+}
+pub const LIMIT: usize = 4;
+";
+        let items = parse(src);
+        let deep = items.fns.iter().find(|f| f.name == "deep").unwrap();
+        assert_eq!(deep.module, ["outer", "inner"]);
+        let s = items.types.iter().find(|t| t.name == "S").unwrap();
+        assert_eq!(
+            (s.kind, &s.module[..]),
+            (TypeKind::Struct, &["outer".to_string()][..])
+        );
+        assert!(items
+            .types
+            .iter()
+            .any(|t| t.name == "LIMIT" && t.kind == TypeKind::Const));
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked_out() {
+        let src = "
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn dead() {}
+}
+";
+        let items = parse(src);
+        assert!(items.fns.iter().any(|f| f.name == "live"));
+        assert!(!items.fns.iter().any(|f| f.name == "dead"));
+    }
+
+    #[test]
+    fn body_spans_cover_lines() {
+        let src = "fn a() {\n    inner();\n}\nfn b() {}\n";
+        let items = parse(src);
+        let a = items.fns.iter().find(|f| f.name == "a").unwrap();
+        assert_eq!(a.body_lines, Some((1, 3)));
+        assert_eq!(items.fn_covering_line(2).unwrap().name, "a");
+        assert_eq!(items.fn_covering_line(4).unwrap().name, "b");
+        assert!(items.fn_covering_line(99).is_none());
+    }
+
+    #[test]
+    fn struct_bodies_do_not_swallow_following_items() {
+        let src = "
+pub struct A { pub x: usize }
+pub enum E { V1, V2 }
+pub type T = A;
+pub fn after() {}
+";
+        let items = parse(src);
+        assert!(items.fns.iter().any(|f| f.name == "after"));
+        assert_eq!(items.types.len(), 3);
+    }
+}

@@ -138,12 +138,14 @@ impl<'a> Lexer<'a> {
                 b'b' if self.peek(1) == b'"' || self.peek(1) == b'\'' => {
                     let line = self.line;
                     self.bump(); // `b`
-                    if self.peek(0) == b'"' {
+                    let marker = if self.peek(0) == b'"' {
                         self.quoted_string();
+                        "\""
                     } else {
                         self.char_literal();
-                    }
-                    self.push(TokKind::Literal, String::new(), line);
+                        "'"
+                    };
+                    self.push(TokKind::Literal, marker.to_string(), line);
                 }
                 b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') => {
                     if !self.raw_string(1) {
@@ -153,7 +155,7 @@ impl<'a> Lexer<'a> {
                 b'"' => {
                     let line = self.line;
                     self.quoted_string();
-                    self.push(TokKind::Literal, String::new(), line);
+                    self.push(TokKind::Literal, "\"".to_string(), line);
                 }
                 b'\'' => self.quote(),
                 b'0'..=b'9' => self.number(),
@@ -239,7 +241,7 @@ impl<'a> Lexer<'a> {
             }
             self.bump();
         }
-        self.push(TokKind::Literal, String::new(), line);
+        self.push(TokKind::Literal, "\"".to_string(), line);
         true
     }
 
@@ -287,7 +289,7 @@ impl<'a> Lexer<'a> {
             self.push(TokKind::Lifetime, text, line);
         } else {
             self.char_literal();
-            self.push(TokKind::Literal, String::new(), line);
+            self.push(TokKind::Literal, "'".to_string(), line);
         }
     }
 

@@ -5,26 +5,33 @@
 //! exact-arithmetic correctness (the Theorem-2 yardstick) — are enforced
 //! at runtime by parity tests. This crate makes them *source-level*
 //! invariants checked on every commit: a self-contained analysis driver
-//! (a small Rust [`lexer`] plus a path-scoped [`rules`] engine, no
-//! external dependencies) run over the whole workspace by the
+//! (no external dependencies) run over the whole workspace by the
 //! `dlflow-lint` bin.
 //!
-//! Six rules, each grounded in a real repo hazard (catalog with
-//! rationale and examples in `docs/LINTS.md`):
+//! Since PR 7 the analyzer is semantic, not just lexical: the [`lexer`]
+//! feeds an item parser ([`items`]), a workspace symbol table and
+//! conservative call graph ([`graph`]), and a reachability pass
+//! ([`reach`]) whose witness chains appear in diagnostics. Ten rules
+//! (catalog with rationale in `docs/LINTS.md`, or `--explain <rule>`):
 //!
 //! | rule | guards |
 //! |---|---|
 //! | `hash-iter-determinism` | byte-stable reports (no `HashMap`/`HashSet` in deterministic paths) |
-//! | `no-wallclock-entropy`  | replayability (no `Instant::now`/`SystemTime`/ambient RNG in lib code) |
-//! | `hot-path-panic`        | panic-free engine/scheduler event paths |
+//! | `no-wallclock-entropy`  | replayability (no `Instant::now`/`SystemTime`/ambient RNG outside dlflow-bench) |
+//! | `hot-path-panic`        | panic-free event paths, **transitive** over the call graph |
 //! | `float-eq`              | exactness (no float `==`/`!=` outside the dyadic modules) |
 //! | `lossy-cast`            | exact arithmetic (no truncating `as` casts in num/core) |
-//! | `alloc-in-hot-loop`     | allocation-lean per-event hot path (ROADMAP item 2) |
+//! | `alloc-in-hot-loop`     | allocation-lean hot path, **transitive** with loop-context propagation |
+//! | `float-into-exact`      | no f64 rounding on paths reachable from exact entry points |
+//! | `scheduler-contract`    | every `OnlineScheduler` impl writes all hooks; `name()` is a literal |
+//! | `dead-pub`              | no unreferenced `pub` API surface in lib crates |
+//! | `bad-pragma`            | suppressions are well-formed and reasoned |
 //!
 //! Findings can be suppressed inline with a justified pragma — e.g. a
 //! trailing `` `dlflint:allow(float-eq, "fract()==0 is exact")` `` line
-//! comment — and residual accepted findings live in a committed ratchet
-//! [`baseline`] (`lint-baseline.json`) whose counts may only go down.
+//! comment. Residual accepted findings live in a committed ratchet
+//! [`baseline`] (`lint-baseline.json`, keyed by rule + symbol since v2)
+//! whose counts may only go down — and which is empty on this tree.
 //!
 //! ```
 //! use dlflow_lint::lint_source;
@@ -41,24 +48,364 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod graph;
+pub mod items;
 pub mod lexer;
+pub mod reach;
 pub mod rules;
 pub mod walk;
 
-use baseline::Baseline;
+use baseline::Counts;
+use graph::{crate_of, file_module, is_lib_source, FnInfo, Graph, GraphFile};
+use items::FileItems;
+use reach::Reach;
 use rules::Diagnostic;
 use std::path::Path;
+use std::time::Instant;
 
-/// Lints one source file: lexes, runs every scoped rule, then applies
-/// inline pragmas. Malformed or unknown-rule pragmas surface as
-/// `bad-pragma` findings (which pragmas cannot suppress). `path` is the
-/// workspace-relative path used for rule scoping and in diagnostics.
+/// One file handed to [`analyze`]: a workspace-relative path (forward
+/// slashes — it drives rule scoping) and the file's contents.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Raw file contents.
+    pub source: String,
+}
+
+/// The result of analyzing a tree.
+#[derive(Debug, Default)]
+pub struct LintResult {
+    /// Every finding, sorted by `(file, line, rule, …)`.
+    pub findings: Vec<Diagnostic>,
+    /// Files scanned.
+    pub n_files: usize,
+    /// Items parsed (functions + named type-level items).
+    pub n_items: usize,
+    /// Call sites that resolved to no workspace function (recorded,
+    /// never dropped — a resolution regression shows up here).
+    pub n_unresolved: usize,
+    /// Per-rule wall time in microseconds, in execution order. Only
+    /// rendered under `--timing`/`--json --timing` so default output
+    /// stays byte-identical across runs.
+    pub timings_us: Vec<(&'static str, u128)>,
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl LintResult {
+    /// Per-`(rule, symbol)` finding counts — the baseline-v2 shape.
+    pub fn counts(&self) -> Counts {
+        let mut out = Counts::new();
+        for d in &self.findings {
+            *out.entry(d.rule.to_string())
+                .or_default()
+                .entry(d.symbol.clone())
+                .or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Per-`(rule, file)` finding counts — what legacy v1 baselines are
+    /// diffed against.
+    pub fn counts_by_file(&self) -> Counts {
+        let mut out = Counts::new();
+        for d in &self.findings {
+            *out.entry(d.rule.to_string())
+                .or_default()
+                .entry(d.file.clone())
+                .or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Machine-readable report: findings (with symbol and witness
+    /// chain), scan counters, and per-rule totals, rendered as
+    /// deterministic JSON (hand-rolled — no serde in the offline
+    /// dependency set). Per-rule timings are included only when
+    /// `timing` is set, so the default output is byte-identical across
+    /// runs.
+    pub fn to_json(&self, timing: bool) -> String {
+        let mut s = String::from("{\n  \"findings\": [\n");
+        for (i, d) in self.findings.iter().enumerate() {
+            let comma = if i + 1 == self.findings.len() {
+                ""
+            } else {
+                ","
+            };
+            let chain = d
+                .chain
+                .iter()
+                .map(|c| format!("\"{}\"", escape(c)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"symbol\": \"{}\", \
+                 \"message\": \"{}\", \"chain\": [{chain}]}}{comma}\n",
+                d.file,
+                d.line,
+                d.rule,
+                escape(&d.symbol),
+                escape(&d.message),
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"n_files\": {},\n", self.n_files));
+        s.push_str(&format!("  \"n_items\": {},\n", self.n_items));
+        s.push_str(&format!("  \"n_unresolved\": {},\n", self.n_unresolved));
+        s.push_str(&format!("  \"n_findings\": {},\n", self.findings.len()));
+        let mut totals: Counts = Counts::new();
+        for d in &self.findings {
+            *totals
+                .entry(d.rule.to_string())
+                .or_default()
+                .entry(String::new())
+                .or_insert(0) += 1;
+        }
+        s.push_str("  \"counts\": {");
+        let mut first = true;
+        for (rule, inner) in &totals {
+            let n: usize = inner.values().sum();
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("\"{rule}\": {n}"));
+        }
+        s.push('}');
+        if timing {
+            s.push_str(",\n  \"timings_us\": {");
+            for (i, (rule, us)) in self.timings_us.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{rule}\": {us}"));
+            }
+            s.push('}');
+        }
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+struct Prep {
+    path: String,
+    source: String,
+    lexed: lexer::LexedFile,
+    mask: Vec<bool>,
+    items: FileItems,
+}
+
+fn timed<T>(
+    timings: &mut Vec<(&'static str, u128)>,
+    name: &'static str,
+    f: impl FnOnce() -> T,
+) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    timings.push((name, t0.elapsed().as_micros()));
+    out
+}
+
+/// File-level fallback symbol for findings outside any function.
+fn file_symbol(path: &str) -> String {
+    format!("{}::{}", crate_of(path), file_module(path))
+}
+
+/// Analyzes a set of source files as one workspace: lexes and parses
+/// items per file, runs the lexical rules, builds the call graph over
+/// lib sources, runs the reachability rules, then applies pragmas.
+/// Output is a pure function of the file *set* — the list is sorted by
+/// path first, so discovery order cannot leak into results.
+pub fn analyze(mut files: Vec<SourceFile>) -> LintResult {
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+
+    let mut timings: Vec<(&'static str, u128)> = Vec::new();
+    let preps: Vec<Prep> = timed(&mut timings, "frontend", || {
+        files
+            .into_iter()
+            .map(|f| {
+                let lexed = lexer::lex(&f.source);
+                let mask = rules::test_mask(&lexed.tokens);
+                let items = items::parse_items(&lexed.tokens, &mask);
+                Prep {
+                    path: f.path,
+                    source: f.source,
+                    lexed,
+                    mask,
+                    items,
+                }
+            })
+            .collect()
+    });
+    let n_items: usize = preps
+        .iter()
+        .map(|p| p.items.fns.len() + p.items.types.len())
+        .sum();
+
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    let lexical = |timings: &mut Vec<(&'static str, u128)>,
+                   name: &'static str,
+                   rule: fn(&str, &[lexer::Token], &[bool]) -> Vec<Diagnostic>,
+                   findings: &mut Vec<Diagnostic>| {
+        timed(timings, name, || {
+            for p in &preps {
+                findings.extend(rule(&p.path, &p.lexed.tokens, &p.mask));
+            }
+        });
+    };
+    lexical(
+        &mut timings,
+        "hash-iter-determinism",
+        rules::check_hash_iter,
+        &mut findings,
+    );
+    lexical(
+        &mut timings,
+        "no-wallclock-entropy",
+        rules::check_wallclock,
+        &mut findings,
+    );
+    lexical(
+        &mut timings,
+        "float-eq",
+        rules::check_float_eq,
+        &mut findings,
+    );
+    lexical(
+        &mut timings,
+        "lossy-cast",
+        rules::check_lossy_cast,
+        &mut findings,
+    );
+
+    // The call graph covers lib sources only (tests/examples/benches
+    // never sit under the hot path); dead-pub reads references from
+    // every scanned file.
+    let lib: Vec<GraphFile<'_>> = preps
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| is_lib_source(&p.path))
+        .map(|(i, p)| GraphFile {
+            path: &p.path,
+            file_idx: i,
+            tokens: &p.lexed.tokens,
+            mask: &p.mask,
+            items: &p.items,
+        })
+        .collect();
+    let graph = timed(&mut timings, "graph-build", || Graph::build(&lib));
+    let n_unresolved = graph.n_unresolved();
+
+    let hot = timed(&mut timings, "reach-hot", || {
+        Reach::compute(&graph, &rules::hot_roots(&graph))
+    });
+    timed(&mut timings, "hot-path-panic", || {
+        findings.extend(rules::check_hot_path_panic(&graph, &lib, &hot));
+    });
+    timed(&mut timings, "alloc-in-hot-loop", || {
+        findings.extend(rules::check_alloc_in_hot_loop(&graph, &lib, &hot));
+    });
+    timed(&mut timings, "float-into-exact", || {
+        let exact = Reach::compute(&graph, &rules::exact_roots(&graph));
+        findings.extend(rules::check_float_into_exact(&graph, &lib, &exact));
+    });
+    timed(&mut timings, "scheduler-contract", || {
+        let hooks = Reach::compute(&graph, &rules::scheduler_hook_roots(&graph));
+        findings.extend(rules::check_scheduler_contract(&graph, &lib, &hooks));
+    });
+    timed(&mut timings, "dead-pub", || {
+        let refs: Vec<rules::RefSource<'_>> = preps
+            .iter()
+            .map(|p| rules::RefSource {
+                path: &p.path,
+                tokens: &p.lexed.tokens,
+                raw: &p.source,
+            })
+            .collect();
+        findings.extend(rules::check_dead_pub(&lib, &refs));
+    });
+
+    // Symbol fill for lexical findings: the narrowest enclosing fn, or
+    // a file-level symbol.
+    for d in &mut findings {
+        if !d.symbol.is_empty() {
+            continue;
+        }
+        let prep = preps
+            .binary_search_by(|p| p.path.as_str().cmp(&d.file))
+            .ok()
+            .map(|i| &preps[i]);
+        d.symbol = match prep.and_then(|p| p.items.fn_covering_line(d.line)) {
+            Some(item) => FnInfo {
+                file: d.file.clone(),
+                krate: crate_of(&d.file),
+                file_idx: 0,
+                item: item.clone(),
+            }
+            .symbol(),
+            None => file_symbol(&d.file),
+        };
+    }
+
+    // Pragma pass: drop findings a well-formed pragma covers; report the
+    // pragmas that are malformed or name an unknown rule.
+    timed(&mut timings, "pragmas", || {
+        let mut bad = Vec::new();
+        for p in &preps {
+            for pragma in &p.lexed.pragmas {
+                if let Some(err) = &pragma.error {
+                    bad.push((p.path.clone(), pragma.line, err.clone()));
+                    continue;
+                }
+                if !rules::RULE_NAMES.contains(&pragma.rule.as_str()) || pragma.rule == "bad-pragma"
+                {
+                    bad.push((
+                        p.path.clone(),
+                        pragma.line,
+                        format!("pragma names unknown rule `{}`", pragma.rule),
+                    ));
+                    continue;
+                }
+                let target = pragma.applies_to_line();
+                findings
+                    .retain(|d| !(d.file == p.path && d.rule == pragma.rule && d.line == target));
+            }
+        }
+        for (file, line, message) in bad {
+            let symbol = file_symbol(&file);
+            findings.push(Diagnostic {
+                file,
+                line,
+                rule: "bad-pragma",
+                message,
+                symbol,
+                chain: Vec::new(),
+            });
+        }
+    });
+
+    findings.sort();
+    findings.dedup();
+    LintResult {
+        findings,
+        n_files: preps.len(),
+        n_items,
+        n_unresolved,
+        timings_us: timings,
+    }
+}
+
+/// Lints one source file in isolation: the *lexical* rules plus the
+/// pragma pass. The reachability rules need the whole workspace — use
+/// [`analyze`] for those. `path` is the workspace-relative path used
+/// for rule scoping and in diagnostics.
 pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
     let lexed = lexer::lex(source);
     let mut findings = rules::check_file(path, &lexed);
 
-    // Pragma pass: drop findings a well-formed pragma covers; report the
-    // pragmas that are malformed or name an unknown rule.
     let mut bad = Vec::new();
     for p in &lexed.pragmas {
         if let Some(err) = &p.error {
@@ -78,91 +425,29 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
             line,
             rule: "bad-pragma",
             message,
+            symbol: file_symbol(path),
+            chain: Vec::new(),
         });
     }
     findings.sort();
     findings
 }
 
-/// The result of linting a whole tree.
-#[derive(Debug, Default)]
-pub struct LintResult {
-    /// Every finding, sorted by `(file, line, rule)`.
-    pub findings: Vec<Diagnostic>,
-    /// Files scanned (workspace-relative, sorted).
-    pub n_files: usize,
-}
-
-impl LintResult {
-    /// Per-`(rule, file)` finding counts in ratchet-baseline shape.
-    pub fn counts(&self) -> Baseline {
-        let mut out = Baseline::new();
-        for d in &self.findings {
-            *out.entry(d.rule.to_string())
-                .or_default()
-                .entry(d.file.clone())
-                .or_insert(0) += 1;
-        }
-        out
-    }
-
-    /// Machine-readable report: findings plus the count map, rendered as
-    /// deterministic JSON (same hand-rolled style as the campaign
-    /// reports — no serde in the offline dependency set).
-    pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"findings\": [\n");
-        for (i, d) in self.findings.iter().enumerate() {
-            let comma = if i + 1 == self.findings.len() {
-                ""
-            } else {
-                ","
-            };
-            s.push_str(&format!(
-                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{comma}\n",
-                d.file,
-                d.line,
-                d.rule,
-                d.message.replace('\\', "\\\\").replace('"', "\\\""),
-            ));
-        }
-        s.push_str("  ],\n");
-        s.push_str(&format!("  \"n_files\": {},\n", self.n_files));
-        s.push_str(&format!("  \"n_findings\": {},\n", self.findings.len()));
-        let counts = baseline::to_json(&self.counts());
-        let counts = counts.trim_end();
-        let indented = counts
-            .lines()
-            .enumerate()
-            .map(|(i, l)| {
-                if i == 0 {
-                    l.to_string()
-                } else {
-                    format!("  {l}")
-                }
-            })
-            .collect::<Vec<_>>()
-            .join("\n");
-        s.push_str(&format!("  \"counts\": {indented}\n}}\n"));
-        s
-    }
-}
-
-/// Lints every Rust file under `root` (see [`walk::rust_files`] for
+/// Analyzes every Rust file under `root` (see [`walk::rust_files`] for
 /// what is scanned) and returns the aggregated findings.
 pub fn run_lint(root: &Path) -> Result<LintResult, String> {
     let files = walk::rust_files(root)?;
-    let mut result = LintResult {
-        findings: Vec::new(),
-        n_files: files.len(),
-    };
+    let mut inputs = Vec::with_capacity(files.len());
     for rel in &files {
         let full = root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR));
         let source = std::fs::read_to_string(&full)
             .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
-        result.findings.extend(lint_source(rel, &source));
+        inputs.push(SourceFile {
+            path: rel.clone(),
+            source,
+        });
     }
-    result.findings.sort();
-    Ok(result)
+    Ok(analyze(inputs))
 }
 
 #[cfg(test)]
@@ -214,29 +499,89 @@ let b = z as u32;
     }
 
     #[test]
-    fn counts_group_by_rule_and_file() {
-        let src = "let a = x as u32; let b = y as u8;";
-        let res = LintResult {
-            findings: lint_source("crates/dlflow-core/src/gantt.rs", src),
-            n_files: 1,
-        };
-        let counts = res.counts();
-        assert_eq!(counts["lossy-cast"]["crates/dlflow-core/src/gantt.rs"], 2);
+    fn analyze_fills_symbols_for_lexical_findings() {
+        let res = analyze(vec![SourceFile {
+            path: "crates/dlflow-core/src/gantt.rs".into(),
+            source: "impl Gantt { pub fn pack(&self) { let x = y as u32; } }\nlet z = w as u8;\n"
+                .into(),
+        }]);
+        let casts: Vec<_> = res
+            .findings
+            .iter()
+            .filter(|d| d.rule == "lossy-cast")
+            .collect();
+        assert_eq!(casts.len(), 2);
+        assert_eq!(casts[0].symbol, "dlflow-core::gantt::Gantt::pack");
+        assert_eq!(casts[1].symbol, "dlflow-core::gantt");
+        assert_eq!(res.n_files, 1);
+        assert!(res.n_items >= 1);
     }
 
     #[test]
-    fn json_report_escapes_quotes() {
+    fn analyze_pragma_suppresses_graph_findings() {
+        let engine = "impl Engine { pub fn step(&mut self) { settle(self); } }";
+        let bad = "pub fn settle(e: &mut Engine) { e.q.pop().unwrap(); }";
+        let ok = "pub fn settle(e: &mut Engine) {\n    \
+                  // dlflint:allow(hot-path-panic, \"queue non-empty: checked by caller\")\n    \
+                  e.q.pop().unwrap();\n}";
+        let run = |helper: &str| {
+            analyze(vec![
+                SourceFile {
+                    path: "crates/dlflow-sim/src/engine.rs".into(),
+                    source: engine.into(),
+                },
+                SourceFile {
+                    path: "crates/dlflow-sim/src/settle.rs".into(),
+                    source: helper.into(),
+                },
+            ])
+        };
+        let hits: Vec<_> = run(bad)
+            .findings
+            .into_iter()
+            .filter(|d| d.rule == "hot-path-panic")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert!(!hits[0].chain.is_empty());
+        assert!(run(ok).findings.iter().all(|d| d.rule != "hot-path-panic"));
+    }
+
+    #[test]
+    fn counts_group_by_symbol_and_by_file() {
+        let res = analyze(vec![SourceFile {
+            path: "crates/dlflow-core/src/gantt.rs".into(),
+            source: "pub fn pack() { let a = x as u32; let b = y as u8; }".into(),
+        }]);
+        assert_eq!(res.counts()["lossy-cast"]["dlflow-core::gantt::pack"], 2);
+        assert_eq!(
+            res.counts_by_file()["lossy-cast"]["crates/dlflow-core/src/gantt.rs"],
+            2
+        );
+    }
+
+    #[test]
+    fn json_report_escapes_quotes_and_includes_chain() {
         let res = LintResult {
             findings: vec![rules::Diagnostic {
                 file: "a.rs".into(),
                 line: 1,
                 rule: "float-eq",
                 message: "has \"quotes\"".into(),
+                symbol: "k::m::f".into(),
+                chain: vec!["root".into(), "`x` at a.rs:1".into()],
             }],
             n_files: 1,
+            n_items: 0,
+            n_unresolved: 0,
+            timings_us: vec![("float-eq", 12)],
         };
-        let json = res.to_json();
+        let json = res.to_json(false);
         assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"chain\": [\"root\", \"`x` at a.rs:1\"]"));
         assert!(json.contains("\"n_findings\": 1"));
+        assert!(!json.contains("timings_us"));
+        assert!(res
+            .to_json(true)
+            .contains("\"timings_us\": {\"float-eq\": 12}"));
     }
 }

@@ -3,48 +3,102 @@
 //! ```text
 //! dlflow-lint                   # list findings (informational, exit 0)
 //! dlflow-lint --check           # ratchet against lint-baseline.json (CI gate)
-//! dlflow-lint --write-baseline  # (re)write lint-baseline.json
+//! dlflow-lint --write-baseline  # (re)write lint-baseline.json (v2, by symbol)
 //! dlflow-lint --json            # machine-readable findings report
+//! dlflow-lint --explain <rule>  # print a rule's rationale and exit
+//! dlflow-lint --timing          # include per-rule wall time in the output
+//! dlflow-lint --max-wall-ms <n> # fail if total analysis exceeds n ms (CI budget)
 //! dlflow-lint --root <dir>      # workspace root (default: cwd)
 //! ```
 //!
 //! `--check` exits nonzero when the tree has findings the baseline does
 //! not allow (new findings) *or* fewer findings than the baseline
 //! records (stale — ratchet it down so the improvement is locked in).
+//! Timing output is opt-in so that default human and `--json` output is
+//! byte-identical across runs.
 
 #![forbid(unsafe_code)]
 
-use dlflow_lint::baseline;
+use dlflow_lint::{baseline, rules};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 const BASELINE_FILE: &str = "lint-baseline.json";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let has = |flag: &str| args.iter().any(|a| a == flag);
-    let root = args
-        .iter()
-        .position(|a| a == "--root")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| ".".to_string());
-    let root = PathBuf::from(root);
-    for a in &args {
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let root = PathBuf::from(value_of("--root").unwrap_or_else(|| ".".to_string()));
+    for (i, a) in args.iter().enumerate() {
         let known = matches!(
             a.as_str(),
-            "--check" | "--write-baseline" | "--json" | "--root"
-        ) || args
-            .iter()
-            .position(|x| x == "--root")
-            .is_some_and(|i| args.get(i + 1) == Some(a));
+            "--check"
+                | "--write-baseline"
+                | "--json"
+                | "--explain"
+                | "--timing"
+                | "--max-wall-ms"
+                | "--root"
+        ) || i
+            .checked_sub(1)
+            .and_then(|k| args.get(k))
+            .is_some_and(|prev| matches!(prev.as_str(), "--root" | "--explain" | "--max-wall-ms"));
         if !known {
             eprintln!(
-                "unknown argument `{a}` (expected --check, --write-baseline, --json, --root <dir>)"
+                "unknown argument `{a}` (expected --check, --write-baseline, --json, \
+                 --explain <rule>, --timing, --max-wall-ms <n>, --root <dir>)"
             );
             return ExitCode::FAILURE;
         }
     }
 
+    if has("--explain") {
+        let Some(rule) = value_of("--explain") else {
+            eprintln!(
+                "--explain needs a rule name; rules: {}",
+                rules::RULE_NAMES.join(", ")
+            );
+            return ExitCode::FAILURE;
+        };
+        match rules::explain(&rule) {
+            Some(text) => {
+                println!("[{rule}]\n{text}");
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!(
+                    "unknown rule `{rule}`; rules: {}",
+                    rules::RULE_NAMES.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let max_wall_ms: Option<u128> = match value_of("--max-wall-ms") {
+        Some(v) => match v.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--max-wall-ms needs an integer millisecond budget, got `{v}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            if has("--max-wall-ms") {
+                eprintln!("--max-wall-ms needs an integer millisecond budget");
+                return ExitCode::FAILURE;
+            }
+            None
+        }
+    };
+
+    let t0 = Instant::now();
     let result = match dlflow_lint::run_lint(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -52,11 +106,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let counts = result.counts();
+    let wall_ms = t0.elapsed().as_millis();
+
+    let print_timing = || {
+        eprintln!(
+            "dlflow-lint: {} files, {} items, {} unresolved calls, {wall_ms} ms total",
+            result.n_files, result.n_items, result.n_unresolved
+        );
+        for (rule, us) in &result.timings_us {
+            eprintln!("  {rule:<22} {:>8.1} ms", *us as f64 / 1000.0);
+        }
+    };
+
+    let over_budget = || -> bool {
+        if let Some(budget) = max_wall_ms {
+            if wall_ms > budget {
+                eprintln!("dlflow-lint: analysis took {wall_ms} ms, over the {budget} ms budget");
+                return true;
+            }
+        }
+        false
+    };
 
     if has("--write-baseline") {
+        let counts = result.counts();
         let path = root.join(BASELINE_FILE);
-        if let Err(e) = std::fs::write(&path, baseline::to_json(&counts)) {
+        if let Err(e) = std::fs::write(&path, baseline::to_json(&baseline::Baseline::v2(counts))) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
@@ -70,7 +145,10 @@ fn main() -> ExitCode {
     }
 
     if has("--json") {
-        print!("{}", result.to_json());
+        print!("{}", result.to_json(has("--timing")));
+        if over_budget() {
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -92,22 +170,39 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let violations = baseline::diff(&counts, &base);
+        let violations = baseline::diff(&result.counts(), &result.counts_by_file(), &base);
+        if has("--timing") {
+            print_timing();
+        }
         if violations.is_empty() {
             eprintln!(
                 "dlflow-lint --check: clean ({} files, {} baselined findings)",
                 result.n_files,
                 result.findings.len()
             );
+            if base.version == 1 {
+                eprintln!(
+                    "note: {BASELINE_FILE} is legacy v1 (keyed by file) — \
+                     `--write-baseline` upgrades it to v2 (keyed by symbol)"
+                );
+            }
+            if over_budget() {
+                return ExitCode::FAILURE;
+            }
             return ExitCode::SUCCESS;
         }
         // Show the concrete findings behind every increased cell so the
         // failure is actionable without a second run.
         for v in &violations {
             eprintln!("{}", v.render());
-            if let baseline::RatchetViolation::Increase { rule, file, .. } = v {
+            if let baseline::RatchetViolation::Increase { rule, key, .. } = v {
                 for d in &result.findings {
-                    if d.rule == *rule && &d.file == file {
+                    let matched = if base.version == 1 {
+                        &d.file == key
+                    } else {
+                        &d.symbol == key
+                    };
+                    if d.rule == *rule && matched {
                         eprintln!("  {}", d.render());
                     }
                 }
@@ -129,5 +224,11 @@ fn main() -> ExitCode {
         result.findings.len(),
         result.n_files
     );
+    if has("--timing") {
+        print_timing();
+    }
+    if over_budget() {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

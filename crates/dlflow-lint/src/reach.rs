@@ -1,0 +1,165 @@
+//! Reachability over the call graph, with witness chains.
+//!
+//! A breadth-first traversal from a set of root functions computes, for
+//! every function, whether it is reachable at all (*hot*) and whether
+//! it is reachable through at least one call site that sits inside a
+//! loop (*loop context* — per-event cost multiplied by iteration
+//! count). BFS parents are recorded so every finding can carry a
+//! shortest witness chain: `Engine::step → settle_completions → …`.
+//!
+//! Determinism: roots are visited in sorted order and edges in body
+//! order, so the parent tree — and therefore every rendered chain — is
+//! a pure function of the (sorted) source tree.
+
+use crate::graph::{FnId, Graph};
+use std::collections::VecDeque;
+
+/// Reachability result over one root set.
+#[derive(Debug)]
+pub struct Reach {
+    /// `visited[fn * 2 + ctx]`: reached with (`ctx` = 1) or without a
+    /// loop-crossing path.
+    visited: Vec<bool>,
+    /// BFS parent per state: `(parent_state, call_line)`.
+    parent: Vec<Option<(usize, usize)>>,
+}
+
+impl Reach {
+    /// BFS from `roots` (deduplicated, visited in sorted order).
+    pub fn compute(graph: &Graph, roots: &[FnId]) -> Reach {
+        let n = graph.fns.len();
+        let mut r = Reach {
+            visited: vec![false; n * 2],
+            parent: vec![None; n * 2],
+        };
+        let mut sorted: Vec<FnId> = roots.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut queue = VecDeque::new();
+        for root in sorted {
+            let s = root * 2;
+            if !r.visited[s] {
+                r.visited[s] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(state) = queue.pop_front() {
+            let (f, ctx) = (state / 2, state % 2 == 1);
+            for e in &graph.edges[f] {
+                let nctx = ctx || e.in_loop;
+                let ns = e.callee * 2 + usize::from(nctx);
+                if !r.visited[ns] {
+                    r.visited[ns] = true;
+                    r.parent[ns] = Some((state, e.line));
+                    queue.push_back(ns);
+                }
+            }
+        }
+        r
+    }
+
+    /// Reachable from some root at all.
+    pub fn is_hot(&self, f: FnId) -> bool {
+        self.visited[f * 2] || self.visited[f * 2 + 1]
+    }
+
+    /// Reachable through a call site inside a loop.
+    pub fn in_loop_ctx(&self, f: FnId) -> bool {
+        self.visited[f * 2 + 1]
+    }
+
+    /// Witness chain of display names from a root to `f` (inclusive).
+    /// With `want_loop_ctx`, the chain that establishes loop context is
+    /// preferred. Empty if `f` is unreachable.
+    pub fn chain(&self, graph: &Graph, f: FnId, want_loop_ctx: bool) -> Vec<String> {
+        let state = if want_loop_ctx && self.visited[f * 2 + 1] {
+            f * 2 + 1
+        } else if self.visited[f * 2] {
+            f * 2
+        } else if self.visited[f * 2 + 1] {
+            f * 2 + 1
+        } else {
+            return Vec::new();
+        };
+        let mut names = Vec::new();
+        let mut cur = state;
+        loop {
+            names.push(graph.fns[cur / 2].display());
+            match self.parent[cur] {
+                Some((prev, _)) => cur = prev,
+                None => break,
+            }
+        }
+        names.reverse();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, GraphFile};
+    use crate::items::parse_items;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        let owned: Vec<_> = files
+            .iter()
+            .map(|(path, src)| {
+                let lexed = lex(src);
+                let mask = test_mask(&lexed.tokens);
+                let items = parse_items(&lexed.tokens, &mask);
+                (path.to_string(), lexed.tokens, mask, items)
+            })
+            .collect();
+        let gf: Vec<GraphFile<'_>> = owned
+            .iter()
+            .enumerate()
+            .map(|(i, (path, tokens, mask, items))| GraphFile {
+                path,
+                file_idx: i,
+                tokens,
+                mask,
+                items,
+            })
+            .collect();
+        Graph::build(&gf)
+    }
+
+    #[test]
+    fn transitive_reach_with_chain() {
+        let g = graph_of(&[
+            (
+                "crates/dlflow-sim/src/engine.rs",
+                "impl Engine { pub fn step(&mut self) { self.settle(); } fn settle(&mut self) { helper(); } }
+                 fn helper() {} fn cold() {}",
+            ),
+        ]);
+        let roots = g.find(|f| f.item.name == "step");
+        let r = Reach::compute(&g, &roots);
+        let helper = g.find(|f| f.item.name == "helper")[0];
+        let cold = g.find(|f| f.item.name == "cold")[0];
+        assert!(r.is_hot(helper));
+        assert!(!r.is_hot(cold));
+        assert_eq!(
+            r.chain(&g, helper, false),
+            ["Engine::step", "Engine::settle", "helper"]
+        );
+    }
+
+    #[test]
+    fn loop_context_propagates_through_edges() {
+        let g = graph_of(&[(
+            "crates/dlflow-sim/src/engine.rs",
+            "fn step() { for x in xs { looped(); } direct(); }
+             fn looped() { deep(); } fn deep() {} fn direct() {}",
+        )]);
+        let roots = g.find(|f| f.item.name == "step");
+        let r = Reach::compute(&g, &roots);
+        let deep = g.find(|f| f.item.name == "deep")[0];
+        let direct = g.find(|f| f.item.name == "direct")[0];
+        assert!(r.in_loop_ctx(deep), "loop context is transitive");
+        assert!(r.is_hot(direct) && !r.in_loop_ctx(direct));
+    }
+}

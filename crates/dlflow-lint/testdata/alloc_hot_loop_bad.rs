@@ -1,5 +1,12 @@
-// Fixture: allocations inside a loop in a hot function.
-fn step(ids: &[usize]) -> usize {
+// Fixture: allocations inside a loop, transitively under a hot root —
+// the loop lives in a helper the root calls.
+impl Engine {
+    fn step(&mut self) {
+        batch_labels(&self.ids);
+    }
+}
+
+fn batch_labels(ids: &[usize]) -> usize {
     let mut n = 0;
     for window in ids.chunks(2) {
         let owned: Vec<usize> = window.to_vec();

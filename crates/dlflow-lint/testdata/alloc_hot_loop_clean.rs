@@ -1,5 +1,12 @@
-// Fixture: buffers hoisted out of the hot loop, reused per iteration.
-fn step(ids: &[usize], scratch: &mut Vec<usize>) -> usize {
+// Fixture: the same traversal with allocation hoisted out of the loop,
+// plus an allocating loop in a function the hot path never reaches.
+impl Engine {
+    fn step(&mut self) {
+        batch_total(&self.ids, &mut self.scratch);
+    }
+}
+
+fn batch_total(ids: &[usize], scratch: &mut Vec<usize>) -> usize {
     let mut n = 0;
     for window in ids.chunks(2) {
         scratch.clear();
@@ -7,4 +14,12 @@ fn step(ids: &[usize], scratch: &mut Vec<usize>) -> usize {
         n += scratch.len();
     }
     n
+}
+
+fn cold_report(ids: &[usize]) -> Vec<String> {
+    let mut out = Vec::new();
+    for id in ids {
+        out.push(format!("J{id}"));
+    }
+    out
 }

@@ -1,12 +1,16 @@
-// Fixture: panics reachable from the per-event hot path.
-fn step(queue: &mut Vec<usize>) -> usize {
-    let head = queue.pop().unwrap();
-    if head == 0 {
-        panic!("empty");
+// Fixture: panics reachable from the per-event hot path, both directly
+// in a root and transitively through a private helper.
+impl Engine {
+    fn step(&mut self) {
+        let head = self.queue.pop().unwrap();
+        if head == 0 {
+            panic!("empty");
+        }
+        drain_tail(&mut self.queue);
     }
-    queue.first().copied().expect("non-empty")
 }
 
-fn drain() {
+fn drain_tail(queue: &mut Vec<usize>) {
+    queue.first().copied().expect("non-empty");
     todo!()
 }

@@ -1,8 +1,24 @@
-// Fixture: typed errors and let-else instead of panics.
-fn step(queue: &mut Vec<usize>) -> Result<usize, String> {
-    let Some(head) = queue.pop() else {
-        return Err("queue empty".to_string());
-    };
-    // unwrap_or-family combinators are total, not panicking.
-    Ok(queue.first().copied().unwrap_or(head))
+// Fixture: the same shape with every failure handled structurally —
+// and a panic in a function the hot path never reaches.
+impl Engine {
+    fn step(&mut self) {
+        let Some(head) = self.queue.pop() else {
+            return;
+        };
+        if head == 0 {
+            return;
+        }
+        drain_tail(&mut self.queue);
+    }
+}
+
+fn drain_tail(queue: &mut Vec<usize>) {
+    if let Some(v) = queue.first().copied() {
+        queue.truncate(v);
+    }
+}
+
+fn cold_diagnostic_only() {
+    // Unreachable from any root: panicking here is fine.
+    panic!("not on the hot path");
 }

@@ -1,0 +1,13 @@
+// Fixture: a real finding surrounded by syntax that trips naive
+// lexers — raw strings, nested block comments, char literals holding
+// delimiters, lifetime ticks. The cast on the last line must survive.
+fn mix<'a>(x: u64, s: &'a str) -> u32 {
+    let raw = r#"a raw " string with ) and `y as u8` inside"#;
+    let raw2 = r##"one hash deep: "# still open here"##;
+    /* block /* nested */ comment mentioning z as i16 */
+    let close = ')';
+    let quote = '"';
+    let bq = b'\'';
+    let _ = (raw, raw2, close, quote, bq, s);
+    x as u32
+}

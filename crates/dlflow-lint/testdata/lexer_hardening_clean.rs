@@ -1,0 +1,13 @@
+// Fixture: every would-be finding is inside a literal or comment — a
+// lexer that mis-tracks raw-string hashes, nested block comments, or
+// char literals will hallucinate findings here.
+fn mix<'a>(s: &'a str) -> usize {
+    let raw = r#"x as u32 and v.unwrap() and a == 0.0 in a raw string"#;
+    let raw2 = r##"HashMap::new() beyond "# one hash"##;
+    /* outer /* inner: y as u8, w != 1.5 */ still comment: q as usize */
+    let close = ')';
+    let quote = '"';
+    let bq = b'"';
+    let esc = "escaped \" quote then `z as i64`";
+    raw.len() + raw2.len() + esc.len() + s.len() + usize::from(close == quote) + usize::from(bq)
+}

@@ -2,26 +2,47 @@
 //! ratchet behavior over real `LintResult` counts, and the self-check
 //! that the committed tree is exactly as clean as `lint-baseline.json`.
 
-use dlflow_lint::baseline::{self, RatchetViolation};
-use dlflow_lint::{lint_source, run_lint};
+use dlflow_lint::baseline::{self, Baseline, RatchetViolation};
+use dlflow_lint::rules::Diagnostic;
+use dlflow_lint::{analyze, lint_source, run_lint, SourceFile};
 use std::path::Path;
 
-/// Loads a fixture from `testdata/` (excluded from the workspace walk —
-/// fixtures are intentionally bad) and lints it under `as_path`, which
-/// decides rule scoping.
-fn lint_fixture(fixture: &str, as_path: &str) -> Vec<dlflow_lint::rules::Diagnostic> {
+/// Reads a fixture from `testdata/` (excluded from the workspace walk —
+/// fixtures are intentionally bad).
+fn fixture_text(fixture: &str) -> String {
     let file = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("testdata")
         .join(fixture);
-    let src = std::fs::read_to_string(&file)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
-    lint_source(as_path, &src)
+    std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()))
+}
+
+/// Lints a fixture with the *lexical* pass under `as_path`, which
+/// decides rule scoping.
+fn lint_fixture(fixture: &str, as_path: &str) -> Vec<Diagnostic> {
+    lint_source(as_path, &fixture_text(fixture))
+}
+
+/// Analyzes a fixture as a one-file workspace under `as_path` — the
+/// full pipeline including the call-graph rules.
+fn analyze_fixture(fixture: &str, as_path: &str) -> Vec<Diagnostic> {
+    analyze(vec![SourceFile {
+        path: as_path.to_string(),
+        source: fixture_text(fixture),
+    }])
+    .findings
 }
 
 /// Bad fixture: at least `min` findings, every one of `rule`. Clean
 /// fixture: no findings at all under the same path.
-fn assert_rule_pair(rule: &str, bad: &str, clean: &str, as_path: &str, min: usize) {
-    let findings = lint_fixture(bad, as_path);
+fn assert_pair(
+    lint: fn(&str, &str) -> Vec<Diagnostic>,
+    rule: &str,
+    bad: &str,
+    clean: &str,
+    as_path: &str,
+    min: usize,
+) {
+    let findings = lint(bad, as_path);
     assert!(
         findings.len() >= min,
         "{bad}: expected >= {min} findings, got {findings:?}"
@@ -29,7 +50,7 @@ fn assert_rule_pair(rule: &str, bad: &str, clean: &str, as_path: &str, min: usiz
     for d in &findings {
         assert_eq!(d.rule, rule, "{bad}: unexpected finding {d:?}");
     }
-    let silent = lint_fixture(clean, as_path);
+    let silent = lint(clean, as_path);
     assert!(
         silent.is_empty(),
         "{clean}: expected silence, got {silent:?}"
@@ -38,7 +59,8 @@ fn assert_rule_pair(rule: &str, bad: &str, clean: &str, as_path: &str, min: usiz
 
 #[test]
 fn hash_iter_determinism_fixtures() {
-    assert_rule_pair(
+    assert_pair(
+        lint_fixture,
         "hash-iter-determinism",
         "hash_iter_bad.rs",
         "hash_iter_clean.rs",
@@ -49,7 +71,8 @@ fn hash_iter_determinism_fixtures() {
 
 #[test]
 fn no_wallclock_entropy_fixtures() {
-    assert_rule_pair(
+    assert_pair(
+        lint_fixture,
         "no-wallclock-entropy",
         "wallclock_bad.rs",
         "wallclock_clean.rs",
@@ -66,18 +89,31 @@ fn no_wallclock_entropy_fixtures() {
 
 #[test]
 fn hot_path_panic_fixtures() {
-    assert_rule_pair(
+    // Reachability rule: runs under the full pipeline. The bad fixture
+    // panics both inside `Engine::step` and in a helper it calls; the
+    // clean one handles failure structurally and parks a panic in a
+    // function no root reaches.
+    assert_pair(
+        analyze_fixture,
         "hot-path-panic",
         "hot_path_panic_bad.rs",
         "hot_path_panic_clean.rs",
         "crates/dlflow-sim/src/engine.rs",
-        3, // unwrap, expect, panic!, todo!
+        4, // unwrap, panic!, expect, todo!
     );
+    // Transitive findings carry a witness chain rooted at the engine.
+    let findings = analyze_fixture("hot_path_panic_bad.rs", "crates/dlflow-sim/src/engine.rs");
+    let in_helper = findings
+        .iter()
+        .find(|d| d.symbol.ends_with("drain_tail"))
+        .expect("helper finding");
+    assert!(in_helper.chain.first().unwrap().contains("Engine::step"));
 }
 
 #[test]
 fn float_eq_fixtures() {
-    assert_rule_pair(
+    assert_pair(
+        lint_fixture,
         "float-eq",
         "float_eq_bad.rs",
         "float_eq_clean.rs",
@@ -91,7 +127,8 @@ fn float_eq_fixtures() {
 
 #[test]
 fn lossy_cast_fixtures() {
-    assert_rule_pair(
+    assert_pair(
+        lint_fixture,
         "lossy-cast",
         "lossy_cast_bad.rs",
         "lossy_cast_clean.rs",
@@ -105,13 +142,36 @@ fn lossy_cast_fixtures() {
 
 #[test]
 fn alloc_in_hot_loop_fixtures() {
-    assert_rule_pair(
+    assert_pair(
+        analyze_fixture,
         "alloc-in-hot-loop",
         "alloc_hot_loop_bad.rs",
         "alloc_hot_loop_clean.rs",
         "crates/dlflow-sim/src/engine.rs",
         2, // to_vec and format! inside the loop
     );
+}
+
+#[test]
+fn lexer_hardening_fixtures() {
+    // Raw strings (with and without extra hashes), nested block
+    // comments, char/byte literals holding delimiters, and lifetime
+    // ticks: the bad file's one real cast survives them; the clean
+    // file's decoy findings all sit inside literals or comments.
+    assert_pair(
+        lint_fixture,
+        "lossy-cast",
+        "lexer_hardening_bad.rs",
+        "lexer_hardening_clean.rs",
+        "crates/dlflow-num/src/simplex_support.rs",
+        1,
+    );
+    let findings = lint_fixture(
+        "lexer_hardening_bad.rs",
+        "crates/dlflow-num/src/simplex_support.rs",
+    );
+    assert_eq!(findings.len(), 1, "only the real cast: {findings:?}");
+    assert_eq!(findings[0].line, 12);
 }
 
 #[test]
@@ -132,30 +192,40 @@ fn diverged(y: f64) -> bool { y == 0.0 }
 fn ratchet_over_real_counts() {
     // Build counts from a real lint run over a fixture, then perturb
     // them both ways and check the ratchet reacts.
-    let findings = lint_fixture("lossy_cast_bad.rs", "crates/dlflow-num/src/x.rs");
-    let result = dlflow_lint::LintResult {
-        findings,
-        n_files: 1,
-    };
+    let result = analyze(vec![SourceFile {
+        path: "crates/dlflow-num/src/x.rs".to_string(),
+        source: fixture_text("lossy_cast_bad.rs"),
+    }]);
     let counts = result.counts();
-    assert!(baseline::diff(&counts, &counts).is_empty());
+    let by_file = result.counts_by_file();
+    let base = Baseline::v2(counts.clone());
+    assert!(baseline::diff(&counts, &by_file, &base).is_empty());
 
     let mut loosened = counts.clone();
-    *loosened
+    let cell = loosened
         .get_mut("lossy-cast")
         .unwrap()
-        .get_mut("crates/dlflow-num/src/x.rs")
-        .unwrap() += 1;
-    let v = baseline::diff(&counts, &loosened);
+        .values_mut()
+        .next()
+        .unwrap();
+    *cell += 1;
+    let v = baseline::diff(&counts, &by_file, &Baseline::v2(loosened.clone()));
     assert!(matches!(v.as_slice(), [RatchetViolation::Stale { .. }]));
-    let v = baseline::diff(&loosened, &counts);
+    let v = baseline::diff(&loosened, &by_file, &base);
     assert!(matches!(v.as_slice(), [RatchetViolation::Increase { .. }]));
 
-    // Baseline JSON roundtrips the real counts losslessly.
-    assert_eq!(
-        baseline::parse(&baseline::to_json(&counts)).unwrap(),
-        counts
-    );
+    // A legacy v1 baseline is diffed against per-file counts instead.
+    let v1 = Baseline {
+        version: 1,
+        counts: by_file.clone(),
+    };
+    assert!(baseline::diff(&counts, &by_file, &v1).is_empty());
+
+    // Baseline JSON roundtrips the real counts losslessly (as v2).
+    assert_eq!(baseline::parse(&baseline::to_json(&base)).unwrap(), base);
+
+    // The empty baseline renders as the two-byte sentinel `{}`.
+    assert_eq!(baseline::to_json(&Baseline::empty()), "{}\n");
 }
 
 #[test]
@@ -172,7 +242,7 @@ fn committed_tree_matches_committed_baseline() {
     let baseline_text = std::fs::read_to_string(root.join("lint-baseline.json"))
         .expect("lint-baseline.json must be committed at the workspace root");
     let base = baseline::parse(&baseline_text).expect("baseline must parse");
-    let violations = baseline::diff(&result.counts(), &base);
+    let violations = baseline::diff(&result.counts(), &result.counts_by_file(), &base);
     assert!(
         violations.is_empty(),
         "tree disagrees with lint-baseline.json:\n{}",

@@ -258,6 +258,7 @@ impl<S: Scalar> Tab<S> {
         raw_prow: Option<Vec<(usize, S)>>,
     ) {
         let pcol = self.cols[col].clone();
+        // dlflint:allow(hot-path-panic, "ratio test only selects structurally nonzero pivots; a miss is a solver bug worth halting on")
         let piv = self.at(row, col).expect("pivot on structural zero").clone();
         debug_assert!(!piv.is_negligible());
         // Pivot row with the elimination factor `a_rj / piv` cached, so
@@ -299,8 +300,8 @@ impl<S: Scalar> Tab<S> {
                 loop {
                     match (a.peek(), c.peek()) {
                         (Some((ra, _)), Some((rc2, _))) if ra == rc2 => {
-                            let (r, va) = a.next().unwrap();
-                            let (_, ve) = c.next().unwrap();
+                            let (r, va) = a.next().unwrap(); // dlflint:allow(hot-path-panic, "peek returned Some on this branch")
+                            let (_, ve) = c.next().unwrap(); // dlflint:allow(hot-path-panic, "peek returned Some on this branch")
                             if r as usize == row {
                                 merged.push((r, f.clone()));
                             } else {
@@ -311,10 +312,10 @@ impl<S: Scalar> Tab<S> {
                             }
                         }
                         (Some((ra, _)), Some((rc2, _))) if ra < rc2 => {
-                            merged.push(a.next().unwrap());
+                            merged.push(a.next().unwrap()); // dlflint:allow(hot-path-panic, "peek returned Some on this branch")
                         }
                         (Some(_), Some(_)) | (None, Some(_)) => {
-                            let (r, ve) = c.next().unwrap();
+                            let (r, ve) = c.next().unwrap(); // dlflint:allow(hot-path-panic, "peek returned Some on this branch")
                             if *r as usize == row {
                                 merged.push((*r, f.clone()));
                             } else {
@@ -325,7 +326,7 @@ impl<S: Scalar> Tab<S> {
                             }
                         }
                         (Some(_), None) => {
-                            merged.push(a.next().unwrap());
+                            merged.push(a.next().unwrap()); // dlflint:allow(hot-path-panic, "peek returned Some on this branch")
                         }
                         (None, None) => break,
                     }
@@ -406,27 +407,24 @@ impl<S: Scalar> Tab<S> {
             };
             // Ratio test over the entering column's nonzeros only;
             // smallest-basis-index tie-break (required in Bland mode).
-            let mut leave: Option<usize> = None;
-            let mut best: Option<S> = None;
+            let mut best: Option<(S, usize)> = None;
             for (i, v) in &self.cols[enter] {
                 let i = *i as usize;
                 if v.is_positive_tol() {
                     let ratio = self.b[i].div(v);
                     let better = match &best {
                         None => true,
-                        Some(cur) => {
+                        Some((cur, l)) => {
                             ratio.lt_tol(cur)
-                                || (!ratio.gt_tol(cur)
-                                    && self.basis[i] < self.basis[leave.unwrap()])
+                                || (!ratio.gt_tol(cur) && self.basis[i] < self.basis[*l])
                         }
                     };
                     if better {
-                        best = Some(ratio);
-                        leave = Some(i);
+                        best = Some((ratio, i));
                     }
                 }
             }
-            let Some(leave) = leave else {
+            let Some((_, leave)) = best else {
                 return false; // unbounded
             };
             // enter was selected with r[enter] strictly negative, so the
@@ -435,6 +433,7 @@ impl<S: Scalar> Tab<S> {
             self.pivot(leave, enter, Some((r, z)), None);
             streak = if degenerate { streak + 1 } else { 0 };
         }
+        // dlflint:allow(hot-path-panic, "pivot-cap backstop: Bland's rule cannot cycle, so this is unreachable outside a solver bug")
         panic!("sparse simplex exceeded pivot cap — this indicates a bug");
     }
 
@@ -449,13 +448,18 @@ impl<S: Scalar> Tab<S> {
             // Leaving row: most negative b, tie-break smallest basis index.
             let mut leave: Option<usize> = None;
             for i in 0..m {
-                if self.b[i].is_negative_tol()
-                    && (leave.is_none()
-                        || self.b[i].cmp_total(&self.b[leave.unwrap()]) == std::cmp::Ordering::Less
-                        || (self.b[i].cmp_total(&self.b[leave.unwrap()])
-                            == std::cmp::Ordering::Equal
-                            && self.basis[i] < self.basis[leave.unwrap()]))
-                {
+                if !self.b[i].is_negative_tol() {
+                    continue;
+                }
+                let better = match leave {
+                    None => true,
+                    Some(l) => match self.b[i].cmp_total(&self.b[l]) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => self.basis[i] < self.basis[l],
+                        std::cmp::Ordering::Greater => false,
+                    },
+                };
+                if better {
                     leave = Some(i);
                 }
             }
@@ -465,8 +469,7 @@ impl<S: Scalar> Tab<S> {
             // Entering column: dual ratio test over the leaving row's
             // negative entries; smallest-index tie-break.
             let prow = self.extract_row(leave);
-            let mut enter: Option<usize> = None;
-            let mut best: Option<S> = None;
+            let mut best: Option<(S, usize)> = None;
             for (j, arj) in &prow {
                 if *j == self.basis[leave] || !arj.is_negative_tol() {
                     continue;
@@ -474,14 +477,13 @@ impl<S: Scalar> Tab<S> {
                 let ratio = r[*j].div(&arj.neg());
                 let better = match &best {
                     None => true,
-                    Some(cur) => ratio.lt_tol(cur) || (!ratio.gt_tol(cur) && *j < enter.unwrap()),
+                    Some((cur, e)) => ratio.lt_tol(cur) || (!ratio.gt_tol(cur) && *j < *e),
                 };
                 if better {
-                    best = Some(ratio);
-                    enter = Some(*j);
+                    best = Some((ratio, *j));
                 }
             }
-            let Some(enter) = enter else {
+            let Some((_, enter)) = best else {
                 return Some(false); // row ≥ 0 with b < 0: infeasible
             };
             self.pivot(leave, enter, Some((r, z)), Some(prow));

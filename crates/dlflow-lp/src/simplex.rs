@@ -220,30 +220,28 @@ impl<S: Scalar> Tableau<S> {
                 return true; // optimal
             };
             // Ratio test; Bland tie-break on smallest basis variable index.
-            let mut leave: Option<usize> = None;
-            let mut best: Option<S> = None;
+            let mut best: Option<(S, usize)> = None;
             for i in 0..m {
                 if self.a[i][enter].is_positive_tol() {
                     let ratio = self.b[i].div(&self.a[i][enter]);
                     let better = match &best {
                         None => true,
-                        Some(cur) => {
+                        Some((cur, l)) => {
                             ratio.lt_tol(cur)
-                                || (!ratio.gt_tol(cur)
-                                    && self.basis[i] < self.basis[leave.unwrap()])
+                                || (!ratio.gt_tol(cur) && self.basis[i] < self.basis[*l])
                         }
                     };
                     if better {
-                        best = Some(ratio);
-                        leave = Some(i);
+                        best = Some((ratio, i));
                     }
                 }
             }
-            let Some(leave) = leave else {
+            let Some((_, leave)) = best else {
                 return false; // unbounded
             };
             self.pivot(leave, enter, r, z);
         }
+        // dlflint:allow(hot-path-panic, "pivot-cap backstop: Bland's rule cannot cycle, so this is unreachable outside a solver bug")
         panic!("simplex exceeded pivot cap — this indicates a bug (Bland's rule cannot cycle)");
     }
 

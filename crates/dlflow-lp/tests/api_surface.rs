@@ -1,0 +1,63 @@
+//! Integration coverage for the LP modelling helpers callers use around
+//! the solver proper: dense views, naming, expression evaluation, and
+//! warm-basis compatibility checks.
+
+use dlflow_lp::{solve_warm, LinExpr, LpProblem, LpStatus, Rel, Sense};
+use dlflow_num::Rat;
+
+fn ri(v: i64) -> Rat {
+    Rat::from_i64(v)
+}
+
+/// minimize x + y  s.t.  x + 2y ≥ 4, x ≥ 0, y ≥ 0.
+fn tiny_lp() -> LpProblem<Rat> {
+    let mut p: LpProblem<Rat> = LpProblem::new(Sense::Minimize);
+    let x = p.add_var("x");
+    let y = p.add_var("y");
+    p.objective_term(x, ri(1));
+    p.objective_term(y, ri(1));
+    let mut row = LinExpr::new();
+    row.push(x, ri(1));
+    row.push(y, ri(2));
+    p.add_constraint(row, Rel::Ge, ri(4));
+    p
+}
+
+#[test]
+fn expr_dense_view_and_eval_agree() {
+    let mut p: LpProblem<Rat> = LpProblem::new(Sense::Minimize);
+    let x = p.add_var("x");
+    let y = p.add_var("y");
+    assert_eq!(p.var_name(x), "x");
+    assert_eq!(p.var_name(y), "y");
+
+    let mut e = LinExpr::new();
+    e.push(x, ri(3));
+    e.push(y, ri(-1));
+    e.push(x, ri(2)); // duplicate variable: summed in the dense view
+    assert_eq!(e.to_dense(2), vec![ri(5), ri(-1)]);
+
+    let point = vec![ri(1), ri(4)];
+    assert_eq!(LpProblem::eval_expr(&e, &point), ri(1));
+}
+
+#[test]
+fn warm_basis_compatibility_gates_reuse() {
+    let p = tiny_lp();
+    let first = solve_warm(&p, None);
+    assert_eq!(first.solution.status, LpStatus::Optimal);
+    let basis = first.basis.expect("optimal solve snapshots a basis");
+    assert!(basis.compatible_with(&p));
+
+    // A structurally different program (extra constraint) must be rejected.
+    let mut q = tiny_lp();
+    let z = q.add_var("z");
+    q.bound_le(z, ri(1));
+    assert!(!basis.compatible_with(&q));
+
+    // Re-solving the identical program accepts and uses the hint.
+    let again = solve_warm(&p, Some(&basis));
+    assert_eq!(again.solution.status, LpStatus::Optimal);
+    assert!(again.warm_used);
+    assert_eq!(again.solution.objective, first.solution.objective);
+}

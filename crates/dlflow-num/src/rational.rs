@@ -70,9 +70,9 @@ fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
 #[inline]
 fn narrow_i64(negative: bool, mag: u128) -> Option<i64> {
     if !negative {
-        (mag <= i64::MAX as u128).then_some(mag as i64)
+        (mag <= i64::MAX as u128).then_some(mag as i64) // dlflint:allow(lossy-cast, "guarded: mag <= i64::MAX on this line")
     } else if mag <= i64::MAX as u128 + 1 {
-        Some((mag as u64).wrapping_neg() as i64)
+        Some((mag as u64).wrapping_neg() as i64) // dlflint:allow(lossy-cast, "mag <= 2^63: wrapping-neg encodes i64::MIN exactly")
     } else {
         None
     }
@@ -114,7 +114,7 @@ impl Rat {
         }
         if den <= u64::MAX as u128 {
             if let Some(n) = narrow_i64(negative, mag) {
-                return Rat::small(n, den as u64);
+                return Rat::small(n, den as u64); // dlflint:allow(lossy-cast, "guarded: den <= u64::MAX two lines up")
             }
         }
         let sign = if negative { Sign::Minus } else { Sign::Plus };
@@ -416,7 +416,7 @@ impl Rat {
     pub fn powi(&self, exp: i32) -> Rat {
         if exp >= 0 {
             let (n, d) = self.big_parts();
-            Rat::from_parts(n.pow(exp as u32), d.pow(exp as u32))
+            Rat::from_parts(n.pow(exp as u32), d.pow(exp as u32)) // dlflint:allow(lossy-cast, "guarded: exp >= 0 on the branch, so it fits u32")
         } else {
             // `unsigned_abs` rather than `-exp`: negating i32::MIN overflows.
             let e = exp.unsigned_abs();
@@ -463,14 +463,14 @@ impl Rat {
             return 0.0;
         }
         let (num, den) = self.big_parts();
-        let nbits = num.magnitude().bit_len() as i64;
-        let dbits = den.bit_len() as i64;
-        // Scale the numerator so the integer quotient has ~64 significant bits.
+        let nbits = num.magnitude().bit_len() as i64; // dlflint:allow(lossy-cast, "bit lengths are bounded far below i64::MAX")
+        let dbits = den.bit_len() as i64; // dlflint:allow(lossy-cast, "bit lengths are bounded far below i64::MAX")
+                                          // Scale the numerator so the integer quotient has ~64 significant bits.
         let shift = dbits + 64 - nbits;
         let scaled = if shift >= 0 {
-            num.magnitude().shl(shift as u64)
+            num.magnitude().shl(shift as u64) // dlflint:allow(lossy-cast, "guarded: shift >= 0 on the branch")
         } else {
-            num.magnitude().shr((-shift) as u64)
+            num.magnitude().shr((-shift) as u64) // dlflint:allow(lossy-cast, "guarded: shift < 0, so -shift is positive")
         };
         let q = scaled.div_rem(&den).0;
         let mag = mul_pow2(q.to_f64(), -shift);
@@ -495,7 +495,7 @@ impl Rat {
         } else {
             Sign::Plus
         };
-        let exp_bits = ((bits >> 52) & 0x7FF) as i64;
+        let exp_bits = ((bits >> 52) & 0x7FF) as i64; // dlflint:allow(lossy-cast, "masked to the 11-bit exponent field")
         let frac = bits & ((1u64 << 52) - 1);
         let (mantissa, exp) = if exp_bits == 0 {
             (frac, -1074i64) // subnormal
@@ -505,11 +505,11 @@ impl Rat {
         let m = IBig::from_sign_mag(sign, UBig::from_u64(mantissa));
         if exp >= 0 {
             Rat::from_parts(
-                IBig::from_sign_mag(m.sign(), m.magnitude().shl(exp as u64)),
+                IBig::from_sign_mag(m.sign(), m.magnitude().shl(exp as u64)), // dlflint:allow(lossy-cast, "guarded: exp >= 0 on the branch")
                 UBig::one(),
             )
         } else {
-            Rat::from_parts(m, UBig::one().shl((-exp) as u64))
+            Rat::from_parts(m, UBig::one().shl((-exp) as u64)) // dlflint:allow(lossy-cast, "guarded: exp < 0, so -exp is positive")
         }
     }
 
@@ -550,14 +550,14 @@ impl Rat {
 fn mul_pow2(mut x: f64, mut e: i64) -> f64 {
     const STEP: i64 = 900; // comfortably below the f64 exponent range
     while e > STEP {
-        x *= 2f64.powi(STEP as i32);
+        x *= 2f64.powi(STEP as i32); // dlflint:allow(lossy-cast, "STEP is the constant 900")
         e -= STEP;
     }
     while e < -STEP {
-        x *= 2f64.powi(-STEP as i32);
+        x *= 2f64.powi(-STEP as i32); // dlflint:allow(lossy-cast, "STEP is the constant 900")
         e += STEP;
     }
-    x * 2f64.powi(e as i32)
+    x * 2f64.powi(e as i32) // dlflint:allow(lossy-cast, "loop exit bounds |e| <= STEP = 900")
 }
 
 impl Ord for Rat {

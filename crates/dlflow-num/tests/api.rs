@@ -1,0 +1,54 @@
+//! Integration coverage for the arbitrary-precision building blocks
+//! behind `Rat` — the surface a downstream exact-arithmetic user (or the
+//! milestone binary search in `dlflow-core`) reaches for directly.
+
+use dlflow_num::{IBig, Rat, UBig};
+
+#[test]
+fn ubig_predicates_and_bit_ops() {
+    let one = UBig::from_u64(1);
+    assert!(one.is_one());
+    assert!(!one.is_even());
+    let x = UBig::from_u64(40); // 0b101000
+    assert!(x.is_even());
+    assert_eq!(x.bit_len(), 6);
+    assert_eq!(x.trailing_zeros(), Some(3));
+    assert_eq!(UBig::zero().trailing_zeros(), None);
+    assert_eq!(x.shr(3).to_u64(), Some(5));
+}
+
+#[test]
+fn ubig_wide_round_trips_and_single_limb_arith() {
+    let wide = u128::from(u64::MAX) + 7;
+    let big = UBig::from_u128(wide);
+    assert_eq!(big.to_u128(), Some(wide));
+    assert_eq!(big.to_u64(), None);
+
+    let prod = UBig::from_u64(123).mul_u64(1_000_000_007);
+    let (q, r) = prod.div_rem_u64(1_000_000_007);
+    assert_eq!(q.to_u64(), Some(123));
+    assert_eq!(r, 0);
+}
+
+#[test]
+fn ibig_sign_helpers_and_exact_division() {
+    let m = IBig::neg_one();
+    assert!(!m.is_one()); // is_one means +1, not |x| = 1
+    assert_eq!(m.to_i64(), Some(-1));
+    assert!(m.into_magnitude().is_one());
+
+    let six = IBig::from_i64(6);
+    let neg_three = IBig::from_i64(-3);
+    assert_eq!(six.div_exact(&neg_three).to_i64(), Some(-2));
+}
+
+#[test]
+fn rat_integrality_and_order_helpers() {
+    let a = Rat::from_i64(2);
+    let b = Rat::from_ratio(5, 2);
+    assert!(a.is_integer());
+    assert!(!b.is_integer());
+    assert_eq!(a.midpoint(&b), Rat::from_ratio(9, 4));
+    assert_eq!(a.min_ref(&b), &a);
+    assert_eq!(a.max_ref(&b), &b);
+}

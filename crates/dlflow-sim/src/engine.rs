@@ -128,7 +128,7 @@ impl Allocation {
     /// The all-idle allocation for `n_machines` machines.
     pub fn idle(n_machines: usize) -> Self {
         Allocation {
-            rows: vec![Vec::new(); n_machines],
+            rows: vec![Vec::new(); n_machines], // dlflint:allow(alloc-in-hot-loop, "the returned Allocation is the product of planning, not a reusable scratch buffer")
         }
     }
 

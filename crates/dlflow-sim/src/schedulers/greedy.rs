@@ -12,15 +12,15 @@ pub(crate) fn assign_by_priority(
     n_machines: usize,
     mut priority: impl FnMut(&ActiveJob) -> f64,
 ) -> Allocation {
-    let mut order: Vec<usize> = (0..active.len()).collect();
-    let prios: Vec<f64> = active.iter().map(&mut priority).collect();
+    let mut order: Vec<usize> = (0..active.len()).collect(); // dlflint:allow(alloc-in-hot-loop, "O(active) ranking buffer, one per plan; stateless policies have no scratch field to reuse")
+    let prios: Vec<f64> = active.iter().map(&mut priority).collect(); // dlflint:allow(alloc-in-hot-loop, "O(active) ranking buffer, one per plan; stateless policies have no scratch field to reuse")
     order.sort_by(|&x, &y| {
         prios[y]
             .total_cmp(&prios[x])
             .then(active[x].id.cmp(&active[y].id))
     });
 
-    let mut free = vec![true; n_machines];
+    let mut free = vec![true; n_machines]; // dlflint:allow(alloc-in-hot-loop, "O(machines) occupancy mask, one per plan; stateless policies have no scratch field to reuse")
     let mut alloc = Allocation::idle(n_machines);
     for k in order {
         let job = &active[k];
@@ -59,6 +59,12 @@ impl OnlineScheduler for Srpt {
     fn name(&self) -> String {
         "SRPT".into()
     }
+    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+        // Stateless: every `plan` re-ranks the active set from scratch.
+    }
+    fn on_completion(&mut self, _now: f64, _job_id: usize) {
+        // Stateless: no per-job bookkeeping to drop.
+    }
     fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
         assign_by_priority(active, n_machines, |a| -(a.remaining * a.fastest_cost()))
     }
@@ -82,6 +88,12 @@ impl WeightedAge {
 impl OnlineScheduler for WeightedAge {
     fn name(&self) -> String {
         "WeightedAge".into()
+    }
+    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+        // Stateless: ages are recomputed from `now` and releases in `plan`.
+    }
+    fn on_completion(&mut self, _now: f64, _job_id: usize) {
+        // Stateless: no per-job bookkeeping to drop.
     }
     fn plan(&mut self, now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
         self.now = now;
@@ -113,6 +125,12 @@ impl OnlineScheduler for Swrpt {
     fn name(&self) -> String {
         "SWRPT".into()
     }
+    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+        // Stateless: every `plan` re-ranks the active set from scratch.
+    }
+    fn on_completion(&mut self, _now: f64, _job_id: usize) {
+        // Stateless: no per-job bookkeeping to drop.
+    }
     fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
         assign_by_priority(active, n_machines, |a| {
             -(a.remaining * a.fastest_cost()) / a.weight.max(1e-12)
@@ -134,6 +152,12 @@ impl FifoFastest {
 impl OnlineScheduler for FifoFastest {
     fn name(&self) -> String {
         "FIFO".into()
+    }
+    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+        // Stateless: release order is read off `active` in `plan`.
+    }
+    fn on_completion(&mut self, _now: f64, _job_id: usize) {
+        // Stateless: no per-job bookkeeping to drop.
     }
     fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
         assign_by_priority(active, n_machines, |a| -a.release)
@@ -254,6 +278,12 @@ impl RoundRobin {
 impl OnlineScheduler for RoundRobin {
     fn name(&self) -> String {
         "RoundRobin".into()
+    }
+    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+        // Stateless: eligibility is recomputed per machine in `plan`.
+    }
+    fn on_completion(&mut self, _now: f64, _job_id: usize) {
+        // Stateless: no per-job bookkeeping to drop.
     }
     fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
         let mut alloc = Allocation::idle(n_machines);

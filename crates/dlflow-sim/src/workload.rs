@@ -375,7 +375,7 @@ impl Trace {
                 .iter()
                 .zip(&a.avail)
                 .map(|(ct, &ok)| if ok { a.size * ct } else { f64::INFINITY })
-                .collect(),
+                .collect(), // dlflint:allow(alloc-in-hot-loop, "one cost row per admitted job; the JobSpec owns it from here on")
         }
     }
 
@@ -460,7 +460,7 @@ impl Trace {
                     n_jobs: n,
                     n_events: eng.n_events(),
                     n_plans: eng.n_plans(),
-                    busy: eng.busy().to_vec(),
+                    busy: eng.busy().to_vec(), // dlflint:allow(alloc-in-hot-loop, "runs once on the terminal return path, not per iteration")
                     metrics: eng.metrics(),
                     utilization: eng.utilization(),
                     max_active,
