@@ -15,6 +15,10 @@
 //!                                            replay one scheduler (incremental engine)
 //!     --scheduler <spec>  kind[:key=val,…], e.g. swrpt or ola:throttle=30
 //!     --json              machine-readable, byte-stable report
+//!     --faults <spec>     inject seeded failures: mtbf=<s>,mttr=<s>[,seed=<n>][,until=<t>]
+//!     --snapshot-at <n>   snapshot the run at event n (requires --snapshot-out)
+//!     --snapshot-out <p>  where to write the snapshot
+//!     --resume <p>        resume a previous snapshot instead of starting at t=0
 //! Common options: --gantt [width]            draw an ASCII Gantt chart
 //! ```
 //!
@@ -44,6 +48,8 @@ usage:
   dlflow milestones <instance.dlf>
   dlflow campaign   <config> [--out <prefix>] [--serial]
   dlflow simulate   <instance.dlf|trace.dlt> [--scheduler <spec>] [--json]
+                    [--faults mtbf=<s>,mttr=<s>[,seed=<n>][,until=<t>]]
+                    [--snapshot-at <n> --snapshot-out <path>] [--resume <path>]
 
 instance format (.dlf):
   job <release> <weight> [name]        one line per job
@@ -53,6 +59,8 @@ instance format (.dlf):
 trace format (.dlt):
   machines <ct1> <ct2> ... <ctm>       cycle time per machine
   arrival <release> <size> <weight> <mask>   mask: 0/1 per machine, or '*'
+  fail <time> <machine>                machine goes down (in-flight work is lost)
+  recover <time> <machine>             machine comes back up
 
 scheduler specs: mct fifo srpt swrpt rr wage edf[:target=k]
   ola[:throttle=s,bisect=n]            (default: swrpt)
@@ -67,6 +75,10 @@ struct Opts {
     serial: bool,
     json: bool,
     scheduler: Option<String>,
+    faults: Option<String>,
+    snapshot_at: Option<usize>,
+    snapshot_out: Option<String>,
+    resume: Option<String>,
     positional: Vec<String>,
 }
 
@@ -79,6 +91,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         serial: false,
         json: false,
         scheduler: None,
+        faults: None,
+        snapshot_at: None,
+        snapshot_out: None,
+        resume: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -102,6 +118,34 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.scheduler = Some(spec.clone());
                 i += 1;
             }
+            "--faults" => {
+                let Some(spec) = args.get(i + 1) else {
+                    return Err("--faults expects mtbf=<s>,mttr=<s>[,seed=<n>][,until=<t>]".into());
+                };
+                o.faults = Some(spec.clone());
+                i += 1;
+            }
+            "--snapshot-at" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return Err("--snapshot-at expects an event count".into());
+                };
+                o.snapshot_at = Some(n);
+                i += 1;
+            }
+            "--snapshot-out" => {
+                let Some(path) = args.get(i + 1) else {
+                    return Err("--snapshot-out expects a file path".into());
+                };
+                o.snapshot_out = Some(path.clone());
+                i += 1;
+            }
+            "--resume" => {
+                let Some(path) = args.get(i + 1) else {
+                    return Err("--resume expects a snapshot file path".into());
+                };
+                o.resume = Some(path.clone());
+                i += 1;
+            }
             "--gantt" => {
                 o.gantt = Some(60);
                 if let Some(w) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
@@ -115,6 +159,61 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         i += 1;
     }
     Ok(o)
+}
+
+/// Parses a `--faults` spec: `mtbf=<s>,mttr=<s>[,seed=<n>][,until=<t>]`.
+fn parse_faults(spec: &str) -> Result<dlflow_sim::service::FaultInjection, String> {
+    let mut mtbf = None;
+    let mut mttr = None;
+    let mut seed = 0xFA017u64;
+    let mut until = None;
+    for part in spec.split(',') {
+        let Some((k, v)) = part.split_once('=') else {
+            return Err(format!("--faults: expected key=value, got {part:?}"));
+        };
+        match k {
+            "mtbf" => {
+                mtbf = Some(
+                    v.parse::<f64>()
+                        .map_err(|e| format!("--faults mtbf: {e}"))?,
+                )
+            }
+            "mttr" => {
+                mttr = Some(
+                    v.parse::<f64>()
+                        .map_err(|e| format!("--faults mttr: {e}"))?,
+                )
+            }
+            "seed" => {
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|e| format!("--faults seed: {e}"))?
+            }
+            "until" => {
+                until = Some(
+                    v.parse::<f64>()
+                        .map_err(|e| format!("--faults until: {e}"))?,
+                )
+            }
+            other => return Err(format!("--faults: unknown key {other:?}")),
+        }
+    }
+    let mtbf = mtbf.ok_or("--faults needs mtbf=<secs>")?;
+    let mttr = mttr.ok_or("--faults needs mttr=<secs>")?;
+    if !(mtbf > 0.0 && mtbf.is_finite() && mttr > 0.0 && mttr.is_finite()) {
+        return Err("--faults: mtbf and mttr must be positive and finite".into());
+    }
+    if let Some(u) = until {
+        if !(u > 0.0 && u.is_finite()) {
+            return Err("--faults: until must be positive and finite".into());
+        }
+    }
+    Ok(dlflow_sim::service::FaultInjection {
+        mtbf,
+        mttr,
+        seed,
+        until,
+    })
 }
 
 fn load(path: &str) -> Result<Instance<Rat>, String> {
@@ -284,7 +383,27 @@ fn run() -> Result<(), String> {
                 let inst = format::parse_instance(&text).map_err(|e| format!("{path}: {e}"))?;
                 dlflow_sim::service::SimInput::Closed(inst.map_scalar(|r| r.to_f64()))
             };
-            let report = dlflow_sim::service::run_simulation(&input, &spec)?;
+            if opts.snapshot_at.is_some() != opts.snapshot_out.is_some() {
+                return Err("--snapshot-at and --snapshot-out must be given together".into());
+            }
+            let sim_opts = dlflow_sim::service::SimOptions {
+                faults: opts.faults.as_deref().map(parse_faults).transpose()?,
+                snapshot_at: opts.snapshot_at,
+                resume: opts
+                    .resume
+                    .as_deref()
+                    .map(|p| {
+                        std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))
+                    })
+                    .transpose()?,
+            };
+            let (report, snapshot) =
+                dlflow_sim::service::run_simulation_with(&input, &spec, &sim_opts)?;
+            if let Some(text) = snapshot {
+                let path = opts.snapshot_out.as_deref().expect("checked above");
+                std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote snapshot {path}");
+            }
             if opts.json {
                 print!("{}", report.to_json());
             } else {

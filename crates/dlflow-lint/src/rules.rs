@@ -138,7 +138,8 @@ const EXPLAIN: &[(&str, &str)] = &[
     (
         "scheduler-contract",
         "Every `OnlineScheduler` impl must (a) define all event hooks explicitly — \
-         `plan`, `on_arrival`, `on_completion` — even as deliberate no-ops, so \
+         `plan`, `on_arrival`, `on_completion`, `on_platform_change` — even as \
+         deliberate no-ops, so \
          contract drift is visible in the diff when a hook is added; (b) embed a \
          string literal in `name()`, so reports can identify the policy without \
          running code; and (c) never reach wall-clock or entropy from a hook \
@@ -275,7 +276,13 @@ const EXACT_SANCTIONED_FILES: &[&str] = &[
 ];
 
 /// The `OnlineScheduler` event hooks every impl must write explicitly.
-const SCHEDULER_HOOKS: &[&str] = &["name", "on_arrival", "on_completion", "plan"];
+const SCHEDULER_HOOKS: &[&str] = &[
+    "name",
+    "on_arrival",
+    "on_completion",
+    "on_platform_change",
+    "plan",
+];
 
 /// Cast targets treated as lossy (truncation, wrap, or sign change is
 /// possible). Widening to `i128`/`u128`/`f64` is tolerated by the
@@ -477,7 +484,7 @@ pub(crate) fn scheduler_hook_roots(g: &Graph) -> Vec<FnId> {
     g.find(|f| {
         matches!(
             f.item.name.as_str(),
-            "plan" | "on_arrival" | "on_completion"
+            "plan" | "on_arrival" | "on_completion" | "on_platform_change"
         ) && (f.item.trait_impl.as_deref() == Some("OnlineScheduler")
             || (f.item.owner.as_deref() == Some("OnlineScheduler") && f.item.is_trait_default))
     })
@@ -1401,9 +1408,10 @@ mod tests {
         let hooks = Reach::compute(&g, &scheduler_hook_roots(&g));
         let d = check_scheduler_contract(&g, &files, &hooks);
         let msgs: Vec<&str> = d.iter().map(|d| d.message.as_str()).collect();
-        assert_eq!(d.len(), 3, "{msgs:?}");
+        assert_eq!(d.len(), 4, "{msgs:?}");
         assert!(msgs.iter().any(|m| m.contains("`on_arrival`")));
         assert!(msgs.iter().any(|m| m.contains("`on_completion`")));
+        assert!(msgs.iter().any(|m| m.contains("`on_platform_change`")));
         assert!(msgs.iter().any(|m| m.contains("string literal")));
     }
 
@@ -1415,6 +1423,7 @@ mod tests {
                  fn name(&self) -> String { format!(\"EDF(k={})\", self.k) }
                  fn on_arrival(&mut self, j: JobId) {}
                  fn on_completion(&mut self, j: JobId) {}
+                 fn on_platform_change(&mut self, now: f64, up: &[bool]) {}
                  fn plan(&mut self) -> Plan { Plan::empty() }
              }",
         )]);

@@ -542,14 +542,14 @@ pub struct CampaignReport {
     pub win_matrix: Vec<Vec<usize>>,
 }
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
-fn scenario_seed(base: u64, pi: usize, wi: usize, k: u64) -> u64 {
+pub(crate) fn scenario_seed(base: u64, pi: usize, wi: usize, k: u64) -> u64 {
     splitmix64(
         splitmix64(splitmix64(base.wrapping_add(pi as u64)).wrapping_add(wi as u64))
             .wrapping_add(k),
@@ -713,7 +713,7 @@ pub fn run_campaign_serial(cfg: &CampaignConfig) -> Result<CampaignReport, Strin
 }
 
 /// Formats a float for report output: fixed 6 decimals, deterministic.
-fn f6(v: f64) -> String {
+pub(crate) fn f6(v: f64) -> String {
     format!("{v:.6}")
 }
 

@@ -5,11 +5,13 @@
 //! advances one event at a time ([`Engine::step`]) or until it runs out of
 //! work ([`Engine::drain`]), and completions stream back out as they
 //! happen. Between consecutive events the scheduler's allocation (a sparse
-//! rate map) is integrated exactly; events are arrivals and completions.
-//! The engine enforces the model invariants (machine capacity,
-//! availability) and replays any online policy reproducibly — this is the
-//! testbed for the paper's concluding claim that an online adaptation of
-//! the offline algorithm beats MCT.
+//! rate map) is integrated exactly; events are arrivals, completions,
+//! and platform changes (machine failures and recoveries pushed through
+//! [`Engine::push_platform_event`]). The engine enforces the model
+//! invariants (machine capacity, availability, liveness) and replays any
+//! online policy reproducibly — this is the testbed for the paper's
+//! concluding claim that an online adaptation of the offline algorithm
+//! beats MCT.
 //!
 //! Per-event cost is `O(m · |active| · log)` and memory is `O(|active|)`
 //! — both independent of how many requests the surrounding trace contains,
@@ -73,12 +75,12 @@ pub struct ActiveJob {
     pub release: f64,
     /// Weight.
     pub weight: f64,
-    costs: Box<[f64]>,
-    fastest: f64,
+    pub(crate) costs: Box<[f64]>,
+    pub(crate) fastest: f64,
 }
 
 impl ActiveJob {
-    fn new(id: usize, spec: JobSpec) -> ActiveJob {
+    pub(crate) fn new(id: usize, spec: JobSpec) -> ActiveJob {
         let fastest = spec.costs.iter().cloned().fold(f64::INFINITY, f64::min);
         ActiveJob {
             id,
@@ -209,6 +211,34 @@ pub trait OnlineScheduler {
     /// their remaining fractions and per-machine costs.
     fn plan(&mut self, now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation;
 
+    /// The platform changed (machines failed or recovered) at `now`;
+    /// `up[i]` tells whether machine `i` is in service. Policies holding
+    /// machine-keyed cached state (queue assignments, LP plans) must
+    /// drop or rebuild it here: the next `plan` runs against the new
+    /// mask, and any share handed to a down machine is rejected with
+    /// [`SimError::DeadMachineAllocation`].
+    fn on_platform_change(&mut self, _now: f64, _up: &[bool]) {}
+
+    /// Serializes policy-internal state for [`Engine::snapshot`] as
+    /// newline-separated lines (empty for stateless policies, the
+    /// default). Must round-trip bit-exactly through
+    /// [`OnlineScheduler::restore_state`].
+    fn snapshot_state(&self) -> String {
+        String::new()
+    }
+
+    /// Restores state captured by [`OnlineScheduler::snapshot_state`];
+    /// the engine calls this on a freshly `reset` policy during
+    /// [`Engine::restore`]. The default accepts only the stateless empty
+    /// form.
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err("policy has no persistent state to restore".into())
+        }
+    }
+
     /// Reset internal state between runs.
     fn reset(&mut self) {}
 }
@@ -265,14 +295,21 @@ fn utilization_of(busy: &[f64], first_release: f64, makespan: f64) -> f64 {
     total / (span * busy.len().max(1) as f64)
 }
 
-/// Errors the engine can surface. [`SimError::InvalidJob`] indicates
-/// malformed input handed to [`Engine::push_arrival`]; every other
-/// variant indicates a faulty scheduler.
+/// Errors the engine can surface. [`SimError::InvalidJob`] and
+/// [`SimError::InvalidPlatformEvent`] indicate malformed input handed to
+/// the push entry points; every other variant indicates a faulty
+/// scheduler.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SimError {
     /// A malformed [`JobSpec`] was pushed (see [`Engine::push_arrival`]).
     InvalidJob {
         /// What was wrong with the spec.
+        reason: &'static str,
+    },
+    /// A malformed [`PlatformEvent`] was pushed (see
+    /// [`Engine::push_platform_event`]).
+    InvalidPlatformEvent {
+        /// What was wrong with the event.
         reason: &'static str,
     },
     /// A machine's shares summed to more than 1.
@@ -289,7 +326,17 @@ pub enum SimError {
         /// Job index.
         job: usize,
     },
-    /// Active jobs exist, no work is scheduled, and no arrival is pending.
+    /// A rate was assigned to a machine that is currently down — the
+    /// policy ignored an [`OnlineScheduler::on_platform_change`]
+    /// notification.
+    DeadMachineAllocation {
+        /// Machine index.
+        machine: usize,
+        /// Job index.
+        job: usize,
+    },
+    /// Active jobs exist, no work is scheduled, and no future event
+    /// (arrival *or* platform recovery) is pending.
     Stalled {
         /// Simulation time at the stall.
         at: f64,
@@ -300,6 +347,9 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::InvalidJob { reason } => write!(f, "invalid job spec: {reason}"),
+            SimError::InvalidPlatformEvent { reason } => {
+                write!(f, "invalid platform event: {reason}")
+            }
             SimError::MachineOversubscribed { machine, total } => {
                 write!(f, "machine {machine} oversubscribed: Σ shares = {total}")
             }
@@ -307,6 +357,12 @@ impl std::fmt::Display for SimError {
                 write!(
                     f,
                     "job {job} assigned to machine {machine} without its databank"
+                )
+            }
+            SimError::DeadMachineAllocation { machine, job } => {
+                write!(
+                    f,
+                    "job {job} assigned to machine {machine} while it is down"
                 )
             }
             SimError::Stalled { at } => write!(f, "simulation stalled at t = {at}"),
@@ -330,10 +386,10 @@ pub enum StepOutcome {
 /// A pending arrival, ordered by `(release, id)` so simultaneous
 /// arrivals are admitted in push order.
 #[derive(Debug)]
-struct Pending {
-    release: f64,
-    id: usize,
-    job: JobSpec,
+pub(crate) struct Pending {
+    pub(crate) release: f64,
+    pub(crate) id: usize,
+    pub(crate) job: JobSpec,
 }
 
 impl PartialEq for Pending {
@@ -355,6 +411,58 @@ impl Ord for Pending {
     }
 }
 
+/// A platform state transition: one machine leaving or rejoining
+/// service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlatformChange {
+    /// The machine fails: the work it contributed to unfinished jobs is
+    /// lost back to their remaining sizes, and it accepts no shares
+    /// until it recovers.
+    Down,
+    /// The machine recovers and may be allocated again.
+    Up,
+}
+
+/// A timed [`PlatformChange`] for one machine, applied when the engine
+/// clock reaches `time` (see [`Engine::push_platform_event`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlatformEvent {
+    /// Simulation time at which the change takes effect.
+    pub time: f64,
+    /// Machine index.
+    pub machine: usize,
+    /// Direction of the transition.
+    pub change: PlatformChange,
+}
+
+/// A queued platform event, ordered by `(time, push order)` so
+/// simultaneous events apply deterministically.
+#[derive(Debug)]
+pub(crate) struct PlatformPending {
+    pub(crate) time: f64,
+    pub(crate) seq: usize,
+    pub(crate) event: PlatformEvent,
+}
+
+impl PartialEq for PlatformPending {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for PlatformPending {}
+impl PartialOrd for PlatformPending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PlatformPending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
 /// Streaming metrics accumulator: folds [`CompletedJob`]s into
 /// [`RunMetrics`] one at a time, so a replay never has to materialize
 /// its full completion vector. All divisions are guarded — zero
@@ -362,14 +470,14 @@ impl Ord for Pending {
 /// NaN.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsAccumulator {
-    max_wf: f64,
-    max_f: f64,
-    max_s: f64,
-    sum_s: f64,
-    sum_f: f64,
-    mk: f64,
-    first_release: Option<f64>,
-    n: usize,
+    pub(crate) max_wf: f64,
+    pub(crate) max_f: f64,
+    pub(crate) max_s: f64,
+    pub(crate) sum_s: f64,
+    pub(crate) sum_f: f64,
+    pub(crate) mk: f64,
+    pub(crate) first_release: Option<f64>,
+    pub(crate) n: usize,
 }
 
 impl MetricsAccumulator {
@@ -431,21 +539,32 @@ impl MetricsAccumulator {
 /// are both thin drivers over this type.
 #[derive(Debug)]
 pub struct Engine {
-    n_machines: usize,
-    now: f64,
-    pending: BinaryHeap<Reverse<Pending>>,
-    active: Vec<ActiveJob>,
-    next_id: usize,
-    n_events: usize,
-    n_plans: usize,
-    busy: Vec<f64>,
-    completed: Vec<CompletedJob>,
+    pub(crate) n_machines: usize,
+    pub(crate) now: f64,
+    pub(crate) pending: BinaryHeap<Reverse<Pending>>,
+    pub(crate) active: Vec<ActiveJob>,
+    pub(crate) next_id: usize,
+    pub(crate) n_events: usize,
+    pub(crate) n_plans: usize,
+    pub(crate) busy: Vec<f64>,
+    pub(crate) completed: Vec<CompletedJob>,
     /// When `false`, completions feed the metrics accumulator but are
     /// not buffered for [`Engine::take_completed`] — the setting for
     /// unbounded streaming replays.
     pub record_completions: bool,
-    metrics: MetricsAccumulator,
-    n_completed: usize,
+    pub(crate) metrics: MetricsAccumulator,
+    pub(crate) n_completed: usize,
+    // Platform dynamics. All of it stays inert (empty heap, `faulty`
+    // false) until the first `push_platform_event`, so fault-free runs
+    // take exactly the event paths they took before faults existed.
+    pub(crate) up: Vec<bool>,
+    pub(crate) platform: BinaryHeap<Reverse<PlatformPending>>,
+    pub(crate) n_platform_pushed: usize,
+    pub(crate) faulty: bool,
+    /// Parallel to `active` when `faulty`: per job, the work fraction
+    /// each machine has contributed since it last (re)entered service —
+    /// exactly the amount lost back to `remaining` if that machine dies.
+    pub(crate) volatile: Vec<Vec<f64>>,
     // Scratch buffers recycled across events.
     rate: Vec<f64>,
     machine_share: Vec<f64>,
@@ -468,6 +587,11 @@ impl Engine {
             record_completions: true,
             metrics: MetricsAccumulator::new(),
             n_completed: 0,
+            up: vec![true; n_machines],
+            platform: BinaryHeap::new(),
+            n_platform_pushed: 0,
+            faulty: false,
+            volatile: Vec::new(),
             rate: Vec::new(),
             machine_share: vec![0.0; n_machines],
         }
@@ -516,6 +640,22 @@ impl Engine {
     /// Jobs completed so far.
     pub fn n_completed(&self) -> usize {
         self.n_completed
+    }
+
+    /// Whether machine `machine` is currently in service (always `true`
+    /// before the first platform event applies).
+    pub fn machine_up(&self, machine: usize) -> bool {
+        self.up[machine]
+    }
+
+    /// The per-machine availability mask.
+    pub fn up_mask(&self) -> &[bool] {
+        &self.up
+    }
+
+    /// Platform events pushed but not yet applied.
+    pub fn platform_pending_len(&self) -> usize {
+        self.platform.len()
     }
 
     /// Running metrics over everything completed so far.
@@ -573,6 +713,119 @@ impl Engine {
         Ok(id)
     }
 
+    /// Enqueues a machine failure or recovery at `event.time`. Events
+    /// apply in `(time, push order)`. Applying `Down` to a down machine
+    /// (or `Up` to an up one) is a no-op, so whole availability masks
+    /// can be pushed via [`Engine::push_platform_mask`]. The first push
+    /// switches the engine into fault-tracking mode (per-machine
+    /// volatile-work accounting); fault-free runs never pay for it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidPlatformEvent`] for an out-of-range machine
+    /// index or a non-finite/negative time. A rejected event leaves the
+    /// engine untouched.
+    pub fn push_platform_event(&mut self, event: PlatformEvent) -> Result<(), SimError> {
+        let invalid = |reason| Err(SimError::InvalidPlatformEvent { reason });
+        if event.machine >= self.n_machines {
+            return invalid("machine index out of range");
+        }
+        if !(event.time.is_finite() && event.time >= 0.0) {
+            return invalid("event time must be finite and non-negative");
+        }
+        self.enter_faulty_mode();
+        let seq = self.n_platform_pushed;
+        self.n_platform_pushed += 1;
+        self.platform.push(Reverse(PlatformPending {
+            time: event.time,
+            seq,
+            event,
+        }));
+        Ok(())
+    }
+
+    /// Pushes a whole availability mask taking effect at `time`: `Down`
+    /// for every `false` machine, `Up` for every `true` one. Per-machine
+    /// application is idempotent, so only actual transitions change
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidPlatformEvent`] if the mask length does not
+    /// match the machine count or the time is non-finite/negative.
+    pub fn push_platform_mask(&mut self, time: f64, up: &[bool]) -> Result<(), SimError> {
+        if up.len() != self.n_machines {
+            return Err(SimError::InvalidPlatformEvent {
+                reason: "mask length does not match the machine count",
+            });
+        }
+        for (machine, &alive) in up.iter().enumerate() {
+            self.push_platform_event(PlatformEvent {
+                time,
+                machine,
+                change: if alive {
+                    PlatformChange::Up
+                } else {
+                    PlatformChange::Down
+                },
+            })?;
+        }
+        Ok(())
+    }
+
+    /// One-time switch into fault-tracking mode: backfill a zeroed
+    /// volatile-work row for every already-active job.
+    fn enter_faulty_mode(&mut self) {
+        if !self.faulty {
+            self.faulty = true;
+            self.volatile = self
+                .active
+                .iter()
+                .map(|_| vec![0.0; self.n_machines]) // dlflint:allow(alloc-in-hot-loop, "one-time mode switch on the first pushed platform event, not per-event work")
+                .collect(); // dlflint:allow(alloc-in-hot-loop, "one-time mode switch on the first pushed platform event, not per-event work")
+        }
+    }
+
+    /// Applies every platform event due by `now + EPS`; each applied
+    /// event is one engine event. `Down` loses the dying machine's
+    /// volatile work back to each job's remaining size (the
+    /// divisible-load model makes this exact). The policy is notified
+    /// once per non-empty batch. Returns how many events were applied.
+    fn apply_due_platform(&mut self, policy: &mut dyn OnlineScheduler) -> usize {
+        let mut applied = 0;
+        loop {
+            match self.platform.peek() {
+                Some(Reverse(p)) if p.time <= self.now + EPS => {}
+                _ => break,
+            }
+            let Some(Reverse(p)) = self.platform.pop() else {
+                break;
+            };
+            let i = p.event.machine;
+            match p.event.change {
+                PlatformChange::Down if self.up[i] => {
+                    self.up[i] = false;
+                    for (aj, a) in self.active.iter_mut().enumerate() {
+                        a.remaining = (a.remaining + self.volatile[aj][i]).min(1.0);
+                        self.volatile[aj][i] = 0.0;
+                    }
+                }
+                PlatformChange::Up if !self.up[i] => {
+                    self.up[i] = true;
+                }
+                // Idempotent repeat (e.g. a mask push): no state change,
+                // but still a consumed event.
+                _ => {}
+            }
+            self.n_events += 1;
+            applied += 1;
+        }
+        if applied > 0 {
+            policy.on_platform_change(self.now, &self.up);
+        }
+        applied
+    }
+
     /// Admits every pending arrival released by `now + EPS`; returns how
     /// many were admitted. Each admission is one event and one
     /// `on_arrival` notification.
@@ -589,6 +842,9 @@ impl Engine {
             let job = ActiveJob::new(p.id, p.job);
             policy.on_arrival(self.now, &job);
             self.active.push(job);
+            if self.faulty {
+                self.volatile.push(vec![0.0; self.n_machines]); // dlflint:allow(alloc-in-hot-loop, "per-admission volatile row, only in fault-tracking mode")
+            }
             self.n_events += 1;
             admitted += 1;
         }
@@ -605,14 +861,25 @@ impl Engine {
     /// bound its integration horizon by arrivals it knows about.
     pub fn step(&mut self, policy: &mut dyn OnlineScheduler) -> Result<StepOutcome, SimError> {
         if self.active.is_empty() {
-            let Some(Reverse(p)) = self.pending.peek() else {
-                return Ok(StepOutcome::Idle);
+            let t_arrival = self.pending.peek().map(|Reverse(p)| p.release);
+            let t_platform = self.platform.peek().map(|Reverse(p)| p.time);
+            let t = match (t_arrival, t_platform) {
+                (None, None) => return Ok(StepOutcome::Idle),
+                (Some(a), None) => a,
+                (None, Some(p)) => p,
+                (Some(a), Some(p)) => a.min(p),
             };
-            // Jump to the next arrival (never backwards).
-            self.now = self.now.max(p.release);
+            // Jump to the next event (never backwards).
+            self.now = self.now.max(t);
+            self.apply_due_platform(policy);
             self.admit_due(policy);
             return Ok(StepOutcome::Advanced);
         }
+
+        // Platform events due now take effect before the policy plans —
+        // it must never be asked to plan around a machine that is
+        // already dead (e.g. after a resume with due events queued).
+        self.apply_due_platform(policy);
 
         let m = self.n_machines;
         let alloc = policy.plan(self.now, &self.active, m);
@@ -631,6 +898,12 @@ impl Engine {
                 let share = alloc.share(i, a.id);
                 if share <= EPS {
                     continue;
+                }
+                if self.faulty && !self.up[i] {
+                    return Err(SimError::DeadMachineAllocation {
+                        machine: i,
+                        job: a.id,
+                    });
                 }
                 let c = a.costs[i];
                 if !c.is_finite() {
@@ -652,8 +925,10 @@ impl Engine {
             self.machine_share[i] = total;
         }
 
-        // Horizon: next arrival and earliest completion.
+        // Horizon: next arrival, next platform event, earliest
+        // completion.
         let t_arrival = self.pending.peek().map(|Reverse(p)| p.release);
+        let t_platform = self.platform.peek().map(|Reverse(p)| p.time);
         let mut t_complete: Option<f64> = None;
         for (aj, a) in self.active.iter().enumerate() {
             if self.rate[aj] > 0.0 {
@@ -666,17 +941,37 @@ impl Engine {
             }
         }
 
-        let t_next = match (t_arrival, t_complete) {
-            (None, None) => return Err(SimError::Stalled { at: self.now }),
-            (Some(a), None) => a,
-            (None, Some(c)) => c,
-            (Some(a), Some(c)) => a.min(c),
-        };
+        // Stalled only when *no* future event of any kind exists: an
+        // all-machines-down window with a recovery queued is an idle
+        // wait, not a stall.
+        let t_next = [t_arrival, t_platform, t_complete]
+            .into_iter()
+            .flatten()
+            .fold(f64::INFINITY, f64::min);
+        if !t_next.is_finite() {
+            return Err(SimError::Stalled { at: self.now });
+        }
         let dt = (t_next - self.now).max(0.0);
 
         // Integrate progress.
         for i in 0..m {
             self.busy[i] += self.machine_share[i] * dt;
+        }
+        if self.faulty && dt > 0.0 {
+            // Volatile-work accounting: what each live machine
+            // contributed over this interval, charged per (job, machine)
+            // so a later failure can refund exactly this much.
+            for i in 0..m {
+                if !self.up[i] {
+                    continue;
+                }
+                for (aj, a) in self.active.iter().enumerate() {
+                    let share = alloc.share(i, a.id);
+                    if share > EPS && a.costs[i] > EPS {
+                        self.volatile[aj][i] += share / a.costs[i] * dt;
+                    }
+                }
+            }
         }
         for (aj, a) in self.active.iter_mut().enumerate() {
             if self.rate[aj].is_infinite() {
@@ -695,6 +990,9 @@ impl Engine {
         while k < self.active.len() {
             if self.active[k].remaining <= EPS {
                 let a = self.active.remove(k);
+                if self.faulty {
+                    self.volatile.remove(k);
+                }
                 policy.on_completion(self.now, a.id);
                 let done = CompletedJob {
                     id: a.id,
@@ -713,7 +1011,10 @@ impl Engine {
             }
         }
 
-        // Arrivals at t_next.
+        // Events at t_next: completions above already happened, then
+        // platform changes, then arrivals — a job completing exactly
+        // when its machine dies keeps its work.
+        self.apply_due_platform(policy);
         self.admit_due(policy);
         Ok(StepOutcome::Advanced)
     }
@@ -723,7 +1024,8 @@ impl Engine {
     /// policy that spins on zero-length events errors out instead of
     /// hanging.
     pub fn drain(&mut self, policy: &mut dyn OnlineScheduler) -> Result<(), SimError> {
-        let max_iters = 100_000 + 200 * self.next_id * (self.n_machines + 2);
+        let max_iters =
+            100_000 + 200 * self.next_id * (self.n_machines + 2) + 2 * self.n_platform_pushed;
         for _ in 0..max_iters {
             if self.step(policy)? == StepOutcome::Idle {
                 return Ok(());
@@ -740,7 +1042,7 @@ impl Engine {
 }
 
 /// One column of a closed instance as a [`JobSpec`].
-fn job_spec_of(inst: &Instance<f64>, j: usize) -> JobSpec {
+pub(crate) fn job_spec_of(inst: &Instance<f64>, j: usize) -> JobSpec {
     JobSpec {
         release: inst.job(j).release,
         weight: inst.job(j).weight,
@@ -759,8 +1061,23 @@ pub fn simulate(
     inst: &Instance<f64>,
     policy: &mut dyn OnlineScheduler,
 ) -> Result<SimResult, SimError> {
+    simulate_with_events(inst, policy, &[])
+}
+
+/// [`simulate`] under a platform-event schedule: the given
+/// failure/recovery events are pushed up front, then the instance runs
+/// to completion. The chaos-campaign entry point. With an empty event
+/// list this *is* `simulate` (the fault machinery stays inert).
+pub fn simulate_with_events(
+    inst: &Instance<f64>,
+    policy: &mut dyn OnlineScheduler,
+    events: &[PlatformEvent],
+) -> Result<SimResult, SimError> {
     policy.reset();
     let mut eng = Engine::new(inst.n_machines());
+    for &e in events {
+        eng.push_platform_event(e)?;
+    }
     for j in 0..inst.n_jobs() {
         eng.push_arrival(job_spec_of(inst, j))?; // id j by push order
     }
@@ -1397,6 +1714,251 @@ mod tests {
         assert_eq!(eng.n_completed(), 10);
         assert!((eng.metrics().makespan - 9.5).abs() < 1e-9);
         assert!(eng.utilization() > 0.0);
+    }
+
+    // --- Platform dynamics (failure/recovery). ---
+
+    #[test]
+    fn work_on_a_dying_machine_is_lost() {
+        use crate::schedulers::Srpt;
+        let mut eng = Engine::new(1);
+        let mut p = Srpt::new();
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![2.0],
+        })
+        .unwrap();
+        eng.push_platform_event(PlatformEvent {
+            time: 1.0,
+            machine: 0,
+            change: PlatformChange::Down,
+        })
+        .unwrap();
+        eng.push_platform_event(PlatformEvent {
+            time: 2.0,
+            machine: 0,
+            change: PlatformChange::Up,
+        })
+        .unwrap();
+        eng.drain(&mut p).unwrap();
+        let done = eng.take_completed();
+        // Half the job ran in [0,1] and was lost with the failure; the
+        // full job reruns from the recovery at t=2: done at exactly 4.
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].completion, 4.0);
+    }
+
+    #[test]
+    fn completion_at_the_failure_instant_keeps_its_work() {
+        use crate::schedulers::Srpt;
+        let mut eng = Engine::new(1);
+        let mut p = Srpt::new();
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![1.0],
+        })
+        .unwrap();
+        // The machine dies exactly when the job completes: completions
+        // apply before platform events, so the job keeps its work.
+        eng.push_platform_event(PlatformEvent {
+            time: 1.0,
+            machine: 0,
+            change: PlatformChange::Down,
+        })
+        .unwrap();
+        eng.push_platform_event(PlatformEvent {
+            time: 1.5,
+            machine: 0,
+            change: PlatformChange::Up,
+        })
+        .unwrap();
+        eng.drain(&mut p).unwrap();
+        let done = eng.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].completion, 1.0);
+    }
+
+    #[test]
+    fn engine_idles_through_platform_events_without_jobs() {
+        use crate::schedulers::Srpt;
+        let mut eng = Engine::new(2);
+        let mut p = Srpt::new();
+        eng.push_platform_event(PlatformEvent {
+            time: 1.0,
+            machine: 0,
+            change: PlatformChange::Down,
+        })
+        .unwrap();
+        eng.push_platform_event(PlatformEvent {
+            time: 3.0,
+            machine: 0,
+            change: PlatformChange::Up,
+        })
+        .unwrap();
+        // No arrivals at all: the engine walks the platform schedule and
+        // then reports Idle instead of stalling.
+        eng.drain(&mut p).unwrap();
+        assert_eq!(eng.step(&mut p).unwrap(), StepOutcome::Idle);
+        assert!(eng.machine_up(0) && eng.machine_up(1));
+        assert_eq!(eng.platform_pending_len(), 0);
+        assert!((eng.now() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_still_detected_when_no_recovery_is_coming() {
+        use crate::schedulers::Srpt;
+        let mut eng = Engine::new(1);
+        let mut p = Srpt::new();
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![2.0],
+        })
+        .unwrap();
+        // Down forever: no future arrival or recovery exists, so the
+        // engine must surface Stalled rather than spin.
+        eng.push_platform_event(PlatformEvent {
+            time: 0.5,
+            machine: 0,
+            change: PlatformChange::Down,
+        })
+        .unwrap();
+        assert!(matches!(
+            eng.drain(&mut p).unwrap_err(),
+            SimError::Stalled { .. }
+        ));
+    }
+
+    #[test]
+    fn allocation_on_a_dead_machine_is_rejected() {
+        // A policy that ignores the platform mask gets a typed error.
+        struct DeafToFaults;
+        impl OnlineScheduler for DeafToFaults {
+            fn name(&self) -> String {
+                "deaf".into()
+            }
+            fn plan(&mut self, _: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+                let mut a = Allocation::idle(n_machines);
+                if let Some(j) = active.first() {
+                    a.set(0, j.id, 1.0);
+                }
+                a
+            }
+        }
+        let mut eng = Engine::new(2);
+        let mut p = DeafToFaults;
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![4.0, 4.0],
+        })
+        .unwrap();
+        eng.push_platform_event(PlatformEvent {
+            time: 1.0,
+            machine: 0,
+            change: PlatformChange::Down,
+        })
+        .unwrap();
+        assert_eq!(
+            eng.drain(&mut p).unwrap_err(),
+            SimError::DeadMachineAllocation { machine: 0, job: 0 }
+        );
+    }
+
+    #[test]
+    fn malformed_platform_events_are_rejected_with_typed_errors() {
+        let mut eng = Engine::new(2);
+        let reject = |eng: &mut Engine, ev: PlatformEvent| match eng.push_platform_event(ev) {
+            Err(SimError::InvalidPlatformEvent { reason }) => reason,
+            other => panic!("expected InvalidPlatformEvent, got {other:?}"),
+        };
+        assert!(reject(
+            &mut eng,
+            PlatformEvent {
+                time: 1.0,
+                machine: 5,
+                change: PlatformChange::Down,
+            }
+        )
+        .contains("out of range"));
+        assert!(reject(
+            &mut eng,
+            PlatformEvent {
+                time: f64::NAN,
+                machine: 0,
+                change: PlatformChange::Down,
+            }
+        )
+        .contains("finite"));
+        assert!(reject(
+            &mut eng,
+            PlatformEvent {
+                time: -1.0,
+                machine: 0,
+                change: PlatformChange::Up,
+            }
+        )
+        .contains("non-negative"));
+        // Rejected events leave the engine fault-free.
+        assert_eq!(eng.platform_pending_len(), 0);
+    }
+
+    #[test]
+    fn platform_mask_push_expands_to_events() {
+        use crate::schedulers::Srpt;
+        let mut eng = Engine::new(2);
+        let mut p = Srpt::new();
+        assert!(matches!(
+            eng.push_platform_mask(0.0, &[true]),
+            Err(SimError::InvalidPlatformEvent { .. })
+        ));
+        eng.push_platform_mask(0.0, &[false, true]).unwrap();
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![1.0, 1.0],
+        })
+        .unwrap();
+        eng.push_platform_mask(2.0, &[true, true]).unwrap();
+        eng.drain(&mut p).unwrap();
+        // Machine 0 was down from the start: the job ran on machine 1.
+        let done = eng.take_completed();
+        assert_eq!(done[0].completion, 1.0);
+        assert_eq!(eng.busy()[0], 0.0);
+        assert!(eng.machine_up(0), "mask at t=2 recovered machine 0");
+        assert_eq!(eng.up_mask(), &[true, true]);
+    }
+
+    #[test]
+    fn redundant_platform_events_are_idempotent() {
+        use crate::schedulers::Srpt;
+        let mut eng = Engine::new(1);
+        let mut p = Srpt::new();
+        eng.push_arrival(JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: vec![2.0],
+        })
+        .unwrap();
+        for (t, change) in [
+            (1.0, PlatformChange::Down),
+            (1.2, PlatformChange::Down), // duplicate down: no extra loss
+            (2.0, PlatformChange::Up),
+            (2.5, PlatformChange::Up), // duplicate up: no-op
+        ] {
+            eng.push_platform_event(PlatformEvent {
+                time: t,
+                machine: 0,
+                change,
+            })
+            .unwrap();
+        }
+        eng.drain(&mut p).unwrap();
+        let done = eng.take_completed();
+        // Same outcome as the single down/up pair at 1 and 2.
+        assert_eq!(done[0].completion, 4.0);
     }
 
     #[test]

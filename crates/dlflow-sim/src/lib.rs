@@ -22,7 +22,17 @@
 //!   × seed × scheduler) tournament, run in parallel, every run scored
 //!   against the **exact** Theorem-2 offline optimum;
 //! * the [`service`] module — the replayable report API behind the
-//!   `dlflow simulate` CLI subcommand.
+//!   `dlflow simulate` CLI subcommand, including fault injection and
+//!   snapshot/resume;
+//! * **fault tolerance**: machine failure/recovery as a third event
+//!   stream ([`engine::PlatformEvent`], the seeded
+//!   [`workload::FaultProcess`] generator, `.dlt` `fail`/`recover`
+//!   directives) with work-loss semantics and scheduler degradation
+//!   via `on_platform_change`; crash-consistent
+//!   [`engine::Engine::snapshot`] / [`engine::Engine::restore`] in the
+//!   byte-stable `dlflow-snapshot v1` format ([`snapshot`]); and the
+//!   [`chaos`] module sweeping failure intensity × scheduler against
+//!   the fault-free exact optimum.
 //!
 //! The closed-instance entry point [`engine::simulate`] remains a thin
 //! wrapper over the engine; the seed's dense batch loop survives as
@@ -55,21 +65,31 @@
 #![allow(clippy::needless_range_loop)] // rate-map code indexes machines/jobs in lockstep
 
 pub mod campaign;
+pub mod chaos;
 pub mod engine;
 pub mod schedulers;
 pub mod service;
+pub mod snapshot;
 pub mod workload;
 
 pub use campaign::{
     parse_campaign, run_campaign, run_campaign_serial, CampaignConfig, CampaignReport, RunRecord,
     SchedulerSpec,
 };
-pub use engine::{
-    simulate, simulate_dense, ActiveJob, Allocation, CompletedJob, Engine, JobSpec,
-    MetricsAccumulator, OnlineScheduler, RunMetrics, SimError, SimResult, StepOutcome,
+pub use chaos::{
+    default_levels, run_fault_campaign, run_fault_campaign_serial, FaultAggregate,
+    FaultCampaignConfig, FaultCampaignReport, FaultLevel, FaultRunRecord,
 };
-pub use service::{run_simulation, ServiceReport, SimInput};
+pub use engine::{
+    simulate, simulate_dense, simulate_with_events, ActiveJob, Allocation, CompletedJob, Engine,
+    JobSpec, MetricsAccumulator, OnlineScheduler, PlatformChange, PlatformEvent, RunMetrics,
+    SimError, SimResult, StepOutcome,
+};
+pub use service::{
+    run_simulation, run_simulation_with, FaultInjection, ServiceReport, SimInput, SimOptions,
+};
+pub use snapshot::SnapshotError;
 pub use workload::{
-    ensemble, generate, generate_trace, ArrivalProcess, ReplayStats, Trace, TraceArrival,
-    TraceSpec, WorkloadSpec,
+    ensemble, generate, generate_trace, ArrivalProcess, FaultProcess, ReplayStats, Trace,
+    TraceArrival, TraceSpec, WorkloadSpec,
 };

@@ -34,6 +34,8 @@ pub struct Edf {
     /// Deadline guesses of the jobs currently in the system. `BTreeMap`
     /// keeps the policy's state deterministic however it is inspected.
     guesses: BTreeMap<usize, f64>,
+    /// Platform availability mask (empty = all machines in service).
+    up: Vec<bool>,
 }
 
 impl Default for Edf {
@@ -41,6 +43,7 @@ impl Default for Edf {
         Edf {
             target: 2.0,
             guesses: BTreeMap::new(),
+            up: Vec::new(),
         }
     }
 }
@@ -57,6 +60,7 @@ impl Edf {
         Edf {
             target,
             guesses: BTreeMap::new(),
+            up: Vec::new(),
         }
     }
 
@@ -77,6 +81,7 @@ impl OnlineScheduler for Edf {
 
     fn reset(&mut self) {
         self.guesses.clear();
+        self.up.clear();
     }
 
     fn on_arrival(&mut self, _now: f64, job: &ActiveJob) {
@@ -88,8 +93,44 @@ impl OnlineScheduler for Edf {
         self.guesses.remove(&job_id);
     }
 
+    fn on_platform_change(&mut self, _now: f64, up: &[bool]) {
+        // Guessed deadlines are machine-independent; only the mask used
+        // by the fastest-free-machine assignment needs updating.
+        self.up.clear();
+        self.up.extend_from_slice(up);
+    }
+
+    fn snapshot_state(&self) -> String {
+        // Guesses are f64s serialized as bit patterns: restore must
+        // reproduce the exact priorities, not a near-equal reparse.
+        let mut s = String::new();
+        for (id, d) in &self.guesses {
+            s.push_str(&format!("guess {id} {:016x}\n", d.to_bits()));
+        }
+        s
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        for line in state.lines() {
+            let mut toks = line.split_whitespace();
+            if toks.next() != Some("guess") {
+                return Err("EDF state: bad guess line".into());
+            }
+            let id: usize = toks
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or("EDF state: bad guess id")?;
+            let bits = toks
+                .next()
+                .and_then(|v| u64::from_str_radix(v, 16).ok())
+                .ok_or("EDF state: bad guess bits")?;
+            self.guesses.insert(id, f64::from_bits(bits));
+        }
+        Ok(())
+    }
+
     fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-        assign_by_priority(active, n_machines, |a| {
+        assign_by_priority(active, n_machines, &self.up, |a| {
             // Cached at arrival; recomputed only if a driver skipped the
             // arrival notification.
             -self

@@ -5,11 +5,13 @@
 use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
 
 /// Assigns jobs (in the order produced by `priority`, *descending*) to
-/// their fastest still-free machine. Shared by every list heuristic in
-/// this module and by [`crate::schedulers::edf::Edf`].
+/// their fastest still-free **live** machine. `up` is the platform
+/// availability mask (empty = all machines in service). Shared by every
+/// list heuristic in this module and by [`crate::schedulers::edf::Edf`].
 pub(crate) fn assign_by_priority(
     active: &[ActiveJob],
     n_machines: usize,
+    up: &[bool],
     mut priority: impl FnMut(&ActiveJob) -> f64,
 ) -> Allocation {
     let mut order: Vec<usize> = (0..active.len()).collect(); // dlflint:allow(alloc-in-hot-loop, "O(active) ranking buffer, one per plan; stateless policies have no scratch field to reuse")
@@ -26,7 +28,7 @@ pub(crate) fn assign_by_priority(
         let job = &active[k];
         let mut best: Option<(usize, f64)> = None;
         for i in 0..n_machines {
-            if !free[i] {
+            if !free[i] || !(up.is_empty() || up[i]) {
                 continue;
             }
             if let Some(c) = job.cost(i) {
@@ -46,12 +48,15 @@ pub(crate) fn assign_by_priority(
 /// Shortest Remaining Processing Time first (remaining work measured on
 /// the job's fastest machine).
 #[derive(Default)]
-pub struct Srpt;
+pub struct Srpt {
+    /// Platform availability mask (empty = all machines in service).
+    up: Vec<bool>,
+}
 
 impl Srpt {
     /// Fresh policy.
     pub fn new() -> Self {
-        Srpt
+        Srpt::default()
     }
 }
 
@@ -59,14 +64,23 @@ impl OnlineScheduler for Srpt {
     fn name(&self) -> String {
         "SRPT".into()
     }
+    fn reset(&mut self) {
+        self.up.clear();
+    }
     fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
         // Stateless: every `plan` re-ranks the active set from scratch.
     }
     fn on_completion(&mut self, _now: f64, _job_id: usize) {
         // Stateless: no per-job bookkeeping to drop.
     }
+    fn on_platform_change(&mut self, _now: f64, up: &[bool]) {
+        self.up.clear();
+        self.up.extend_from_slice(up);
+    }
     fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-        assign_by_priority(active, n_machines, |a| -(a.remaining * a.fastest_cost()))
+        assign_by_priority(active, n_machines, &self.up, |a| {
+            -(a.remaining * a.fastest_cost())
+        })
     }
 }
 
@@ -76,6 +90,8 @@ impl OnlineScheduler for Srpt {
 #[derive(Default)]
 pub struct WeightedAge {
     now: f64,
+    /// Platform availability mask (empty = all machines in service).
+    up: Vec<bool>,
 }
 
 impl WeightedAge {
@@ -89,15 +105,23 @@ impl OnlineScheduler for WeightedAge {
     fn name(&self) -> String {
         "WeightedAge".into()
     }
+    fn reset(&mut self) {
+        self.now = 0.0;
+        self.up.clear();
+    }
     fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
         // Stateless: ages are recomputed from `now` and releases in `plan`.
     }
     fn on_completion(&mut self, _now: f64, _job_id: usize) {
         // Stateless: no per-job bookkeeping to drop.
     }
+    fn on_platform_change(&mut self, _now: f64, up: &[bool]) {
+        self.up.clear();
+        self.up.extend_from_slice(up);
+    }
     fn plan(&mut self, now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
         self.now = now;
-        assign_by_priority(active, n_machines, |a| {
+        assign_by_priority(active, n_machines, &self.up, |a| {
             // Weighted flow the job would reach if it finished right now,
             // plus its remaining fastest time (a lookahead tie-breaker).
             a.weight * (now - a.release + a.remaining * a.fastest_cost())
@@ -112,12 +136,15 @@ impl OnlineScheduler for WeightedAge {
 /// jobs by `remaining · p_j²`-style urgency — the standard online
 /// max-stretch heuristic the paper's comparison set includes.
 #[derive(Default)]
-pub struct Swrpt;
+pub struct Swrpt {
+    /// Platform availability mask (empty = all machines in service).
+    up: Vec<bool>,
+}
 
 impl Swrpt {
     /// Fresh policy.
     pub fn new() -> Self {
-        Swrpt
+        Swrpt::default()
     }
 }
 
@@ -125,14 +152,21 @@ impl OnlineScheduler for Swrpt {
     fn name(&self) -> String {
         "SWRPT".into()
     }
+    fn reset(&mut self) {
+        self.up.clear();
+    }
     fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
         // Stateless: every `plan` re-ranks the active set from scratch.
     }
     fn on_completion(&mut self, _now: f64, _job_id: usize) {
         // Stateless: no per-job bookkeeping to drop.
     }
+    fn on_platform_change(&mut self, _now: f64, up: &[bool]) {
+        self.up.clear();
+        self.up.extend_from_slice(up);
+    }
     fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-        assign_by_priority(active, n_machines, |a| {
+        assign_by_priority(active, n_machines, &self.up, |a| {
             -(a.remaining * a.fastest_cost()) / a.weight.max(1e-12)
         })
     }
@@ -140,12 +174,15 @@ impl OnlineScheduler for Swrpt {
 
 /// First-in-first-out: earliest release first, fastest free machine.
 #[derive(Default)]
-pub struct FifoFastest;
+pub struct FifoFastest {
+    /// Platform availability mask (empty = all machines in service).
+    up: Vec<bool>,
+}
 
 impl FifoFastest {
     /// Fresh policy.
     pub fn new() -> Self {
-        FifoFastest
+        FifoFastest::default()
     }
 }
 
@@ -153,14 +190,21 @@ impl OnlineScheduler for FifoFastest {
     fn name(&self) -> String {
         "FIFO".into()
     }
+    fn reset(&mut self) {
+        self.up.clear();
+    }
     fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
         // Stateless: release order is read off `active` in `plan`.
     }
     fn on_completion(&mut self, _now: f64, _job_id: usize) {
         // Stateless: no per-job bookkeeping to drop.
     }
+    fn on_platform_change(&mut self, _now: f64, up: &[bool]) {
+        self.up.clear();
+        self.up.extend_from_slice(up);
+    }
     fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-        assign_by_priority(active, n_machines, |a| -a.release)
+        assign_by_priority(active, n_machines, &self.up, |a| -a.release)
     }
 }
 
@@ -266,12 +310,15 @@ mod tests {
 /// every machine divides its capacity equally among the active jobs it
 /// can serve — the classical fairness baseline.
 #[derive(Default)]
-pub struct RoundRobin;
+pub struct RoundRobin {
+    /// Platform availability mask (empty = all machines in service).
+    up: Vec<bool>,
+}
 
 impl RoundRobin {
     /// Fresh policy.
     pub fn new() -> Self {
-        RoundRobin
+        RoundRobin::default()
     }
 }
 
@@ -279,15 +326,25 @@ impl OnlineScheduler for RoundRobin {
     fn name(&self) -> String {
         "RoundRobin".into()
     }
+    fn reset(&mut self) {
+        self.up.clear();
+    }
     fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
         // Stateless: eligibility is recomputed per machine in `plan`.
     }
     fn on_completion(&mut self, _now: f64, _job_id: usize) {
         // Stateless: no per-job bookkeeping to drop.
     }
+    fn on_platform_change(&mut self, _now: f64, up: &[bool]) {
+        self.up.clear();
+        self.up.extend_from_slice(up);
+    }
     fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
         let mut alloc = Allocation::idle(n_machines);
         for i in 0..n_machines {
+            if !(self.up.is_empty() || self.up[i]) {
+                continue; // down machine: no shares until it recovers
+            }
             // Two passes (count, then set) keep the per-event path free of
             // per-machine buffer allocations.
             let n_eligible = active.iter().filter(|a| a.cost(i).is_some()).count();

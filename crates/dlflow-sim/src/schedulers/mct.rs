@@ -21,12 +21,19 @@ pub struct Mct {
     assigned: BTreeMap<usize, usize>,
     /// FIFO queue per machine (active job ids only).
     queues: Vec<Vec<usize>>,
+    /// Platform availability mask (empty = all machines in service).
+    up: Vec<bool>,
 }
 
 impl Mct {
     /// Fresh policy.
     pub fn new() -> Self {
         Mct::default()
+    }
+
+    /// Whether machine `i` is in service under the current mask.
+    fn live(&self, i: usize) -> bool {
+        self.up.is_empty() || self.up[i]
     }
 }
 
@@ -38,6 +45,7 @@ impl OnlineScheduler for Mct {
     fn reset(&mut self) {
         self.assigned.clear();
         self.queues.clear();
+        self.up.clear();
     }
 
     fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
@@ -49,6 +57,73 @@ impl OnlineScheduler for Mct {
         if let Some(i) = self.assigned.remove(&job_id) {
             self.queues[i].retain(|&k| k != job_id);
         }
+    }
+
+    fn on_platform_change(&mut self, _now: f64, up: &[bool]) {
+        self.up.clear();
+        self.up.extend_from_slice(up);
+        // Evict dead machines' queues: their jobs become newcomers again
+        // and the next `plan` re-runs the MCT rule over live machines —
+        // "irrevocable" yields to survival when the machine is gone.
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            if i < up.len() && !up[i] {
+                for id in q.drain(..) {
+                    self.assigned.remove(&id);
+                }
+            }
+        }
+    }
+
+    fn snapshot_state(&self) -> String {
+        let mut s = format!("nqueues {}\n", self.queues.len());
+        for q in &self.queues {
+            s.push_str("queue");
+            for id in q {
+                s.push_str(&format!(" {id}"));
+            }
+            s.push('\n');
+        }
+        s.push_str("assigned");
+        for (job, machine) in &self.assigned {
+            s.push_str(&format!(" {job}:{machine}"));
+        }
+        s.push('\n');
+        s
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        let mut lines = state.lines();
+        let head = lines.next().ok_or("MCT state: missing nqueues line")?;
+        let n: usize = head
+            .strip_prefix("nqueues ")
+            .and_then(|v| v.parse().ok())
+            .ok_or("MCT state: bad nqueues line")?;
+        self.queues = vec![Vec::new(); n];
+        for q in &mut self.queues {
+            let line = lines.next().ok_or("MCT state: missing queue line")?;
+            let mut toks = line.split_whitespace();
+            if toks.next() != Some("queue") {
+                return Err("MCT state: bad queue line".into());
+            }
+            for tok in toks {
+                q.push(tok.parse().map_err(|_| "MCT state: bad queue id")?);
+            }
+        }
+        let line = lines.next().ok_or("MCT state: missing assigned line")?;
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("assigned") {
+            return Err("MCT state: bad assigned line".into());
+        }
+        for tok in toks {
+            let (job, machine) = tok.split_once(':').ok_or("MCT state: bad assigned pair")?;
+            self.assigned.insert(
+                job.parse().map_err(|_| "MCT state: bad assigned job")?,
+                machine
+                    .parse()
+                    .map_err(|_| "MCT state: bad assigned machine")?,
+            );
+        }
+        Ok(())
     }
 
     fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
@@ -66,6 +141,9 @@ impl OnlineScheduler for Mct {
         for job in newcomers {
             let mut best: Option<(usize, f64)> = None;
             for i in 0..n_machines {
+                if !self.live(i) {
+                    continue;
+                }
                 let Some(c) = job.cost(i) else {
                     continue;
                 };
@@ -86,10 +164,14 @@ impl OnlineScheduler for Mct {
             self.queues[i].push(job.id);
         }
 
-        // Serve each queue head (completions already pruned the queues,
-        // so heads are always active).
+        // Serve each live queue head (completions already pruned the
+        // queues, so heads are always active; dead machines' queues were
+        // evicted by `on_platform_change`).
         let mut alloc = Allocation::idle(n_machines);
         for i in 0..n_machines {
+            if !self.live(i) {
+                continue;
+            }
             if let Some(&head) = self.queues[i].first() {
                 alloc.set(i, head, 1.0);
             }

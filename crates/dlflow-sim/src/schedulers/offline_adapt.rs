@@ -57,6 +57,8 @@ pub struct OfflineAdapt {
     /// (readable after a run to observe the throttle's effect).
     pub n_resolves: usize,
     cache: Option<PlanCache>,
+    /// Platform availability mask (empty = all machines in service).
+    up: Vec<bool>,
 }
 
 impl Default for OfflineAdapt {
@@ -66,6 +68,7 @@ impl Default for OfflineAdapt {
             min_resolve_interval: 0.0,
             n_resolves: 0,
             cache: None,
+            up: Vec::new(),
         }
     }
 }
@@ -148,11 +151,17 @@ impl OfflineAdapt {
         (next_completion <= cache.solved_at + self.min_resolve_interval).then_some(alloc)
     }
 
+    /// Whether machine `i` is in service under the current mask.
+    fn live(&self, i: usize) -> bool {
+        self.up.is_empty() || self.up[i]
+    }
+
     /// Builds the *remaining-work* sub-instance at time `now`: one job per
-    /// active job with cost `remaining · c[i][j]` and release `now`.
-    /// Returns `None` when some active job runs on no machine — impossible
-    /// for validated instances; the caller idles and lets the engine
-    /// surface [`crate::engine::SimError::Stalled`].
+    /// active job with cost `remaining · c[i][j]` and release `now`. Dead
+    /// machines contribute an all-`Infinite` cost row, so the LP plans over
+    /// live machines only. Returns `None` when some active job runs on no
+    /// live machine — the caller falls back to planning the placeable
+    /// subset (or idles until a recovery event).
     fn sub_instance(
         &self,
         now: f64,
@@ -172,8 +181,8 @@ impl OfflineAdapt {
                 active
                     .iter()
                     .map(|a| match a.cost(i) {
-                        Some(c) => Cost::Finite(a.remaining * c),
-                        None => Cost::Infinite,
+                        Some(c) if self.live(i) => Cost::Finite(a.remaining * c),
+                        _ => Cost::Infinite,
                     })
                     .collect() // dlflint:allow(alloc-in-hot-loop, "sub-instance construction is the cost of a re-solve, already throttled by min_resolve_interval")
             })
@@ -216,6 +225,7 @@ impl OnlineScheduler for OfflineAdapt {
     fn reset(&mut self) {
         self.cache = None;
         self.n_resolves = 0;
+        self.up.clear();
     }
 
     fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
@@ -234,6 +244,89 @@ impl OnlineScheduler for OfflineAdapt {
         }
     }
 
+    fn on_platform_change(&mut self, _now: f64, up: &[bool]) {
+        self.up.clear();
+        self.up.extend_from_slice(up);
+        // A cached plan may grant shares on a machine that just died (or
+        // ignore one that just recovered): always rebuild the LP over the
+        // current live set.
+        self.cache = None;
+    }
+
+    fn snapshot_state(&self) -> String {
+        let mut s = format!("n_resolves {}\n", self.n_resolves);
+        if let Some(cache) = &self.cache {
+            s.push_str(&format!("solved_at {:016x}\n", cache.solved_at.to_bits()));
+            s.push_str("known");
+            for id in &cache.known {
+                s.push_str(&format!(" {id}"));
+            }
+            s.push('\n');
+            s.push_str(&format!("alloc {}\n", cache.alloc.n_machines()));
+            for i in 0..cache.alloc.n_machines() {
+                s.push_str("row");
+                for (job, share) in cache.alloc.entries(i) {
+                    s.push_str(&format!(" {job}:{:016x}", share.to_bits()));
+                }
+                s.push('\n');
+            }
+        }
+        s
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        let mut lines = state.lines();
+        let head = lines.next().ok_or("OLA state: missing n_resolves line")?;
+        self.n_resolves = head
+            .strip_prefix("n_resolves ")
+            .and_then(|v| v.parse().ok())
+            .ok_or("OLA state: bad n_resolves line")?;
+        self.cache = None;
+        let Some(line) = lines.next() else {
+            return Ok(());
+        };
+        let solved_at = line
+            .strip_prefix("solved_at ")
+            .and_then(|v| u64::from_str_radix(v, 16).ok())
+            .map(f64::from_bits)
+            .ok_or("OLA state: bad solved_at line")?;
+        let line = lines.next().ok_or("OLA state: missing known line")?;
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("known") {
+            return Err("OLA state: bad known line".into());
+        }
+        let mut known = Vec::new();
+        for tok in toks {
+            known.push(tok.parse().map_err(|_| "OLA state: bad known id")?);
+        }
+        let line = lines.next().ok_or("OLA state: missing alloc line")?;
+        let n: usize = line
+            .strip_prefix("alloc ")
+            .and_then(|v| v.parse().ok())
+            .ok_or("OLA state: bad alloc line")?;
+        let mut alloc = Allocation::idle(n);
+        for i in 0..n {
+            let line = lines.next().ok_or("OLA state: missing alloc row")?;
+            let mut toks = line.split_whitespace();
+            if toks.next() != Some("row") {
+                return Err("OLA state: bad alloc row".into());
+            }
+            for tok in toks {
+                let (job, bits) = tok.split_once(':').ok_or("OLA state: bad alloc pair")?;
+                let job = job.parse().map_err(|_| "OLA state: bad alloc job")?;
+                let bits =
+                    u64::from_str_radix(bits, 16).map_err(|_| "OLA state: bad alloc share")?;
+                alloc.set(i, job, f64::from_bits(bits));
+            }
+        }
+        self.cache = Some(PlanCache {
+            solved_at,
+            known,
+            alloc,
+        });
+        Ok(())
+    }
+
     fn plan(&mut self, now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
         if active.is_empty() {
             return Allocation::idle(n_machines);
@@ -242,7 +335,19 @@ impl OnlineScheduler for OfflineAdapt {
             return alloc;
         }
         let Some(sub) = self.sub_instance(now, active, n_machines) else {
-            return Allocation::idle(n_machines);
+            // Some active job runs on no *live* machine: plan the placeable
+            // subset instead of stranding everyone. One level of recursion
+            // suffices — every placeable job has a live finite-cost machine,
+            // so the inner `sub_instance` cannot fail.
+            let placeable: Vec<ActiveJob> = active
+                .iter()
+                .filter(|a| (0..n_machines).any(|i| self.live(i) && a.cost(i).is_some()))
+                .cloned()
+                .collect(); // dlflint:allow(alloc-in-hot-loop, "only on the degraded no-live-machine path, bounded by platform events")
+            if placeable.is_empty() {
+                return Allocation::idle(n_machines);
+            }
+            return self.plan(now, &placeable, n_machines);
         };
 
         // Feasibility probe for a candidate objective value.

@@ -23,8 +23,8 @@
 //! ```
 
 use crate::campaign::SchedulerSpec;
-use crate::engine::{simulate, RunMetrics, SimResult};
-use crate::workload::Trace;
+use crate::engine::{simulate, Engine, RunMetrics, SimResult, StepOutcome};
+use crate::workload::{FaultProcess, Trace};
 use dlflow_core::instance::Instance;
 
 /// What to simulate: a closed instance (all jobs known up front) or an
@@ -66,6 +66,196 @@ pub struct ServiceReport {
     /// Per-job completion times (closed instances only; empty for
     /// trace replays, which stream completions instead of storing them).
     pub completions: Vec<f64>,
+}
+
+/// Fault injection requested on the command line: a seeded MTBF/MTTR
+/// process layered on top of whatever platform events the input already
+/// carries. `until` bounds the failure window; when `None` it defaults
+/// to the input's own span (last release, plus the serial work for
+/// closed instances).
+#[derive(Clone, Debug)]
+pub struct FaultInjection {
+    /// Mean time between failures, seconds.
+    pub mtbf: f64,
+    /// Mean time to repair, seconds.
+    pub mttr: f64,
+    /// Seed of the fault schedule.
+    pub seed: u64,
+    /// Failure-window end (`None` = derive from the input).
+    pub until: Option<f64>,
+}
+
+/// Optional service behaviors behind `dlflow simulate`'s fault and
+/// snapshot flags. [`Default`] is the plain run.
+#[derive(Clone, Debug, Default)]
+pub struct SimOptions {
+    /// Inject a seeded failure/recovery schedule.
+    pub faults: Option<FaultInjection>,
+    /// Take one snapshot when the engine's event counter first reaches
+    /// this value (the run still continues to completion).
+    pub snapshot_at: Option<usize>,
+    /// Resume from this snapshot text instead of starting at `t = 0`
+    /// (the snapshot carries the full engine + scheduler state, so the
+    /// input's arrivals are **not** re-pushed).
+    pub resume: Option<String>,
+}
+
+impl SimOptions {
+    fn is_plain(&self) -> bool {
+        self.faults.is_none() && self.snapshot_at.is_none() && self.resume.is_none()
+    }
+}
+
+/// Default failure window of an input: everything after the last
+/// release (plus, for closed instances, the serial work on the fastest
+/// machines) counts as the drain phase and stays fault-free.
+fn default_horizon(input: &SimInput) -> f64 {
+    match input {
+        SimInput::Closed(inst) => {
+            let max_release = (0..inst.n_jobs())
+                .map(|j| inst.job(j).release)
+                .fold(0.0f64, f64::max);
+            let serial: f64 = (0..inst.n_jobs()).map(|j| inst.fastest_cost(j)).sum();
+            max_release + serial
+        }
+        SimInput::Open(trace) => (0..trace.len())
+            .map(|k| trace.job_spec(k).release)
+            .fold(0.0f64, f64::max),
+    }
+}
+
+fn input_machines(input: &SimInput) -> usize {
+    match input {
+        SimInput::Closed(inst) => inst.n_machines(),
+        SimInput::Open(trace) => trace.n_machines(),
+    }
+}
+
+/// Runs `spec`'s scheduler over the input with fault-injection and
+/// snapshot/resume options. Returns the report plus the snapshot text,
+/// if one was requested and taken. The plain-options path is exactly
+/// [`run_simulation`].
+pub fn run_simulation_with(
+    input: &SimInput,
+    spec: &SchedulerSpec,
+    opts: &SimOptions,
+) -> Result<(ServiceReport, Option<String>), String> {
+    if opts.is_plain() {
+        return Ok((run_simulation(input, spec)?, None));
+    }
+    if opts.resume.is_some() && opts.faults.is_some() {
+        return Err(
+            "--resume and --faults cannot be combined: the snapshot already carries its \
+             fault schedule"
+                .into(),
+        );
+    }
+    let mut policy = spec.build();
+    let m = input_machines(input);
+    let (kind, n_jobs_hint) = match input {
+        SimInput::Closed(inst) => ("instance", inst.n_jobs()),
+        SimInput::Open(trace) => ("trace", trace.len()),
+    };
+
+    let mut eng = if let Some(snap) = &opts.resume {
+        let eng = Engine::restore(snap, policy.as_mut()).map_err(|e| format!("--resume: {e}"))?;
+        if eng.n_machines() != m {
+            return Err(format!(
+                "--resume: snapshot has {} machines but the input has {m}",
+                eng.n_machines()
+            ));
+        }
+        eng
+    } else {
+        policy.reset();
+        let mut eng = Engine::new(m);
+        if let SimInput::Open(trace) = input {
+            for e in &trace.platform_events {
+                eng.push_platform_event(*e).map_err(|e| e.to_string())?;
+            }
+        }
+        if let Some(f) = &opts.faults {
+            let horizon = f.until.unwrap_or_else(|| default_horizon(input));
+            let window_ok = horizon.is_finite() && horizon > 0.0;
+            if !window_ok {
+                return Err("--faults: the failure window is empty (set until=<t>)".into());
+            }
+            let process = FaultProcess {
+                mtbf: f.mtbf,
+                mttr: f.mttr,
+                horizon,
+                seed: f.seed,
+            };
+            for e in process.sample(m) {
+                eng.push_platform_event(e).map_err(|e| e.to_string())?;
+            }
+        }
+        match input {
+            SimInput::Closed(inst) => {
+                for j in 0..inst.n_jobs() {
+                    eng.push_arrival(crate::engine::job_spec_of(inst, j))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            SimInput::Open(trace) => {
+                eng.record_completions = false;
+                for k in 0..trace.len() {
+                    eng.push_arrival(trace.job_spec(k))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        eng
+    };
+
+    let mut snapshot = None;
+    let mut max_active = 0usize;
+    let mut guard = 0usize;
+    let budget =
+        4 * (n_jobs_hint + eng.pending_len() + eng.active().len()) + 2 * eng.n_events() + 64;
+    loop {
+        guard += 1;
+        if guard > budget.saturating_mul(8) {
+            return Err("simulation exceeded its event budget (engine stuck?)".into());
+        }
+        max_active = max_active.max(eng.active().len());
+        if snapshot.is_none() && opts.snapshot_at.is_some_and(|at| eng.n_events() >= at) {
+            snapshot = Some(eng.snapshot(policy.as_ref()));
+        }
+        if eng.step(policy.as_mut()).map_err(|e| e.to_string())? == StepOutcome::Idle {
+            break;
+        }
+    }
+    // A snapshot point past the final event degenerates to the end state.
+    if snapshot.is_none() && opts.snapshot_at.is_some() {
+        snapshot = Some(eng.snapshot(policy.as_ref()));
+    }
+
+    let completions = if matches!(input, SimInput::Closed(_)) && opts.resume.is_none() {
+        let mut done: Vec<(usize, f64)> = eng
+            .take_completed()
+            .into_iter()
+            .map(|c| (c.id, c.completion))
+            .collect();
+        done.sort_unstable_by_key(|&(id, _)| id);
+        done.into_iter().map(|(_, c)| c).collect()
+    } else {
+        Vec::new()
+    };
+
+    let report = ServiceReport {
+        scheduler: spec.label(),
+        input_kind: kind,
+        n_jobs: eng.n_completed(),
+        n_machines: m,
+        n_events: eng.n_events(),
+        n_plans: eng.n_plans(),
+        utilization: eng.utilization(),
+        metrics: eng.metrics(),
+        max_active,
+        completions,
+    };
+    Ok((report, snapshot))
 }
 
 /// Runs `spec`'s scheduler over the input. Closed instances go through
@@ -207,6 +397,77 @@ mod tests {
         assert_eq!(open.completions.len(), 0);
         assert_eq!(closed.completions.len(), 30);
         assert!(open.max_active >= 1);
+    }
+
+    #[test]
+    fn fault_injection_with_snapshot_resume_matches_the_straight_run() {
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 25,
+            seed: 11,
+            ..Default::default()
+        });
+        let spec = SchedulerSpec::parse_compact("swrpt").unwrap();
+        let opts = SimOptions {
+            faults: Some(FaultInjection {
+                mtbf: 6.0,
+                mttr: 1.5,
+                seed: 3,
+                until: None,
+            }),
+            snapshot_at: Some(20),
+            resume: None,
+        };
+        let input = SimInput::Open(trace);
+        let (full, snap) = run_simulation_with(&input, &spec, &opts).unwrap();
+        assert_eq!(full.n_jobs, 25);
+        let snap = snap.expect("snapshot taken");
+
+        // Resuming the snapshot finishes the same run: identical final
+        // event count and bit-identical metrics.
+        let resume = SimOptions {
+            resume: Some(snap.clone()),
+            ..Default::default()
+        };
+        let (resumed, none) = run_simulation_with(&input, &spec, &resume).unwrap();
+        assert!(none.is_none());
+        assert_eq!(resumed.n_jobs, 25);
+        assert_eq!(resumed.n_events, full.n_events);
+        assert_eq!(
+            resumed.metrics.makespan.to_bits(),
+            full.metrics.makespan.to_bits()
+        );
+        assert_eq!(
+            resumed.metrics.max_stretch.to_bits(),
+            full.metrics.max_stretch.to_bits()
+        );
+
+        // Resuming into a different scheduler kind is a typed refusal,
+        // and --resume + --faults cannot be combined.
+        let edf = SchedulerSpec::parse_compact("edf").unwrap();
+        let err = run_simulation_with(&input, &edf, &resume).unwrap_err();
+        assert!(err.contains("cannot restore into"), "{err}");
+        let both = SimOptions {
+            faults: opts.faults.clone(),
+            resume: Some(snap),
+            ..Default::default()
+        };
+        let err = run_simulation_with(&input, &spec, &both).unwrap_err();
+        assert!(err.contains("cannot be combined"), "{err}");
+    }
+
+    #[test]
+    fn plain_options_take_the_plain_path() {
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 20,
+            seed: 5,
+            ..Default::default()
+        });
+        let spec = SchedulerSpec::parse_compact("mct").unwrap();
+        let plain = run_simulation(&SimInput::Open(trace.clone()), &spec).unwrap();
+        let (with, snap) =
+            run_simulation_with(&SimInput::Open(trace), &spec, &SimOptions::default()).unwrap();
+        assert!(snap.is_none());
+        assert_eq!(plain.to_json(), with.to_json());
     }
 
     #[test]

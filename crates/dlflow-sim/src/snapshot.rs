@@ -1,0 +1,652 @@
+//! Engine snapshot/restore: a versioned, byte-stable text format.
+//!
+//! A snapshot captures the *entire* observable state of a streaming
+//! simulation — clock, event queues, active set, accumulated metrics,
+//! platform availability, and the scheduler's private state — so a
+//! long-running replay can be stopped and resumed with **bit-identical**
+//! results: every f64 is serialized as the lowercase hex of its IEEE-754
+//! bit pattern, and both heaps are written in their canonical pop order,
+//! so `snapshot → restore → continue` takes exactly the float operations
+//! the uninterrupted run takes.
+//!
+//! The format is line-oriented UTF-8 text with a `dlflow-snapshot v1`
+//! header (see `docs/FORMATS.md` for the grammar). It is deliberately
+//! *not* a general serialization: only the engine writes it and only the
+//! engine reads it back, which is what keeps it byte-stable across
+//! sessions without a serde dependency.
+//!
+//! Scheduler state rides along: [`Engine::snapshot`] embeds
+//! [`OnlineScheduler::snapshot_state`] under the policy's `name()`, and
+//! [`Engine::restore`] refuses to feed that state to a policy whose name
+//! differs ([`SnapshotError::SchedulerMismatch`]) — restoring an MCT
+//! queue into an EDF policy is a logic error, not a best-effort merge.
+
+use crate::engine::{
+    ActiveJob, CompletedJob, Engine, JobSpec, MetricsAccumulator, OnlineScheduler, Pending,
+    PlatformChange, PlatformEvent, PlatformPending,
+};
+use std::cmp::Reverse;
+use std::fmt;
+
+/// Errors surfaced when parsing or applying a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The header names a format version this build does not read.
+    UnsupportedVersion {
+        /// The header line as found.
+        found: String,
+    },
+    /// A line failed to parse.
+    Malformed {
+        /// 1-based line number within the snapshot text.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The snapshot was taken under a different scheduler than the one
+    /// offered for restore.
+    SchedulerMismatch {
+        /// Scheduler name recorded in the snapshot.
+        expected: String,
+        /// `name()` of the policy offered for restore.
+        found: String,
+    },
+    /// The scheduler rejected its embedded state.
+    SchedulerState {
+        /// The policy's error message.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot header: {found:?}")
+            }
+            SnapshotError::Malformed { line, reason } => {
+                write!(f, "malformed snapshot at line {line}: {reason}")
+            }
+            SnapshotError::SchedulerMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot was taken under scheduler {expected:?}, cannot restore into {found:?}"
+                )
+            }
+            SnapshotError::SchedulerState { reason } => {
+                write!(f, "scheduler state rejected: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+const HEADER: &str = "dlflow-snapshot v1";
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn push_hex(s: &mut String, v: f64) {
+    use fmt::Write as _;
+    let _ = write!(s, " {:016x}", v.to_bits());
+}
+
+/// Line-by-line reader with 1-based positions for error reporting.
+struct Reader<'a> {
+    lines: std::str::Lines<'a>,
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            lines: text.lines(),
+            pos: 0,
+        }
+    }
+
+    fn bad(&self, reason: impl Into<String>) -> SnapshotError {
+        SnapshotError::Malformed {
+            line: self.pos,
+            reason: reason.into(),
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, SnapshotError> {
+        self.pos += 1;
+        self.lines.next().ok_or(SnapshotError::Malformed {
+            line: self.pos,
+            reason: "unexpected end of snapshot".into(),
+        })
+    }
+
+    /// Next line, stripped of `key `; errors if the key does not match.
+    fn field(&mut self, key: &str) -> Result<&'a str, SnapshotError> {
+        let line = self.next()?;
+        line.strip_prefix(key)
+            .and_then(|rest| {
+                rest.strip_prefix(' ')
+                    .or(Some(rest).filter(|r| r.is_empty()))
+            })
+            .ok_or_else(|| self.bad(format!("expected `{key}` line, got {line:?}")))
+    }
+
+    fn usize_field(&mut self, key: &str) -> Result<usize, SnapshotError> {
+        let v = self.field(key)?;
+        v.parse()
+            .map_err(|_| self.bad(format!("bad `{key}` value {v:?}")))
+    }
+
+    fn f64_field(&mut self, key: &str) -> Result<f64, SnapshotError> {
+        let v = self.field(key)?;
+        parse_hex(v).ok_or_else(|| self.bad(format!("bad `{key}` value {v:?}")))
+    }
+
+    fn bool_field(&mut self, key: &str) -> Result<bool, SnapshotError> {
+        match self.field(key)? {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            v => Err(self.bad(format!("bad `{key}` value {v:?} (want 0 or 1)"))),
+        }
+    }
+}
+
+fn parse_hex(tok: &str) -> Option<f64> {
+    (tok.len() == 16)
+        .then(|| u64::from_str_radix(tok, 16).ok())
+        .flatten()
+        .map(f64::from_bits)
+}
+
+fn parse_hex_row(
+    r: &Reader<'_>,
+    toks: &mut dyn Iterator<Item = &str>,
+    n: usize,
+    what: &str,
+) -> Result<Vec<f64>, SnapshotError> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tok = toks
+            .next()
+            .ok_or_else(|| r.bad(format!("{what}: too few values")))?;
+        out.push(parse_hex(tok).ok_or_else(|| r.bad(format!("{what}: bad value {tok:?}")))?);
+    }
+    if toks.next().is_some() {
+        return Err(r.bad(format!("{what}: too many values")));
+    }
+    Ok(out)
+}
+
+impl Engine {
+    /// Serializes the engine *and* the policy driving it to the
+    /// byte-stable `dlflow-snapshot v1` text format. The engine is not
+    /// consumed; snapshotting mid-run is the intended use.
+    pub fn snapshot(&self, policy: &dyn OnlineScheduler) -> String {
+        let mut s = String::new();
+        s.push_str(HEADER);
+        s.push('\n');
+        s.push_str(&format!("n_machines {}\n", self.n_machines));
+        s.push_str(&format!("now {}\n", hex(self.now)));
+        s.push_str(&format!("next_id {}\n", self.next_id));
+        s.push_str(&format!("n_events {}\n", self.n_events));
+        s.push_str(&format!("n_plans {}\n", self.n_plans));
+        s.push_str(&format!("n_completed {}\n", self.n_completed));
+        s.push_str(&format!(
+            "record_completions {}\n",
+            self.record_completions as u8
+        ));
+        s.push_str(&format!("faulty {}\n", self.faulty as u8));
+        s.push_str(&format!("n_platform_pushed {}\n", self.n_platform_pushed));
+        s.push_str("busy");
+        for b in &self.busy {
+            push_hex(&mut s, *b);
+        }
+        s.push('\n');
+        s.push_str("up");
+        for u in &self.up {
+            s.push_str(if *u { " 1" } else { " 0" });
+        }
+        s.push('\n');
+        s.push_str("metrics");
+        let m = &self.metrics;
+        for v in [m.max_wf, m.max_f, m.max_s, m.sum_s, m.sum_f, m.mk] {
+            push_hex(&mut s, v);
+        }
+        match m.first_release {
+            Some(r) => push_hex(&mut s, r),
+            None => s.push_str(" -"),
+        }
+        s.push_str(&format!(" {}\n", m.n));
+
+        // Heaps are written in canonical order so the text is a pure
+        // function of the simulation state, not of heap internals.
+        let mut pending: Vec<&Pending> = self.pending.iter().map(|r| &r.0).collect();
+        pending.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.id.cmp(&b.id)));
+        s.push_str(&format!("pending {}\n", pending.len()));
+        for p in pending {
+            s.push_str(&format!("arrival {}", p.id));
+            push_hex(&mut s, p.job.release);
+            push_hex(&mut s, p.job.weight);
+            for c in &p.job.costs {
+                push_hex(&mut s, *c);
+            }
+            s.push('\n');
+        }
+
+        s.push_str(&format!("active {}\n", self.active.len()));
+        for (k, a) in self.active.iter().enumerate() {
+            s.push_str(&format!("job {}", a.id));
+            push_hex(&mut s, a.remaining);
+            push_hex(&mut s, a.release);
+            push_hex(&mut s, a.weight);
+            for c in a.costs.iter() {
+                push_hex(&mut s, *c);
+            }
+            s.push('\n');
+            if self.faulty {
+                s.push_str("volatile");
+                for v in &self.volatile[k] {
+                    push_hex(&mut s, *v);
+                }
+                s.push('\n');
+            }
+        }
+
+        let mut platform: Vec<&PlatformPending> = self.platform.iter().map(|r| &r.0).collect();
+        platform.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+        s.push_str(&format!("platform {}\n", platform.len()));
+        for p in platform {
+            s.push_str(&format!(
+                "event {} {} {} ",
+                hex(p.time),
+                p.seq,
+                p.event.machine
+            ));
+            s.push_str(match p.event.change {
+                PlatformChange::Down => "down",
+                PlatformChange::Up => "up",
+            });
+            s.push('\n');
+        }
+
+        s.push_str(&format!("completed {}\n", self.completed.len()));
+        for c in &self.completed {
+            s.push_str(&format!("done {}", c.id));
+            push_hex(&mut s, c.release);
+            push_hex(&mut s, c.weight);
+            push_hex(&mut s, c.fastest_cost);
+            push_hex(&mut s, c.completion);
+            s.push('\n');
+        }
+
+        s.push_str(&format!("scheduler {}\n", policy.name()));
+        let state = policy.snapshot_state();
+        let state_lines: Vec<&str> = state.lines().collect();
+        s.push_str(&format!("state {}\n", state_lines.len()));
+        for line in state_lines {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Rebuilds an engine (and re-arms `policy`) from snapshot `text`.
+    ///
+    /// The policy must be the same *kind* (same `name()`, which encodes
+    /// tuning knobs) as the one snapshotted; it is `reset`, re-notified
+    /// of the platform mask, then handed its embedded state. Continuing
+    /// the returned engine with that policy reproduces the uninterrupted
+    /// run bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on an unreadable header, any malformed line
+    /// (with its line number), a scheduler kind mismatch, or state the
+    /// scheduler rejects.
+    pub fn restore(text: &str, policy: &mut dyn OnlineScheduler) -> Result<Engine, SnapshotError> {
+        let mut r = Reader::new(text);
+        let header = r.next()?;
+        if header != HEADER {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: header.to_string(),
+            });
+        }
+        let n_machines = r.usize_field("n_machines")?;
+        if n_machines == 0 {
+            return Err(r.bad("n_machines must be positive"));
+        }
+        let now = r.f64_field("now")?;
+        let next_id = r.usize_field("next_id")?;
+        let n_events = r.usize_field("n_events")?;
+        let n_plans = r.usize_field("n_plans")?;
+        let n_completed = r.usize_field("n_completed")?;
+        let record_completions = r.bool_field("record_completions")?;
+        let faulty = r.bool_field("faulty")?;
+        let n_platform_pushed = r.usize_field("n_platform_pushed")?;
+
+        let row = r.field("busy")?;
+        let busy = parse_hex_row(&r, &mut row.split_whitespace(), n_machines, "busy")?;
+
+        let row = r.field("up")?;
+        let mut up = Vec::with_capacity(n_machines);
+        let mut toks = row.split_whitespace();
+        for _ in 0..n_machines {
+            match toks.next() {
+                Some("1") => up.push(true),
+                Some("0") => up.push(false),
+                _ => return Err(r.bad("up: want one 0/1 per machine")),
+            }
+        }
+        if toks.next().is_some() {
+            return Err(r.bad("up: too many values"));
+        }
+
+        let row = r.field("metrics")?;
+        let mut toks = row.split_whitespace();
+        let mut metrics = MetricsAccumulator::new();
+        {
+            let mut metric = |what: &str, r: &Reader<'_>| -> Result<f64, SnapshotError> {
+                toks.next()
+                    .and_then(parse_hex)
+                    .ok_or_else(|| r.bad(format!("metrics: bad {what}")))
+            };
+            metrics.max_wf = metric("max_wf", &r)?;
+            metrics.max_f = metric("max_f", &r)?;
+            metrics.max_s = metric("max_s", &r)?;
+            metrics.sum_s = metric("sum_s", &r)?;
+            metrics.sum_f = metric("sum_f", &r)?;
+            metrics.mk = metric("mk", &r)?;
+        }
+        metrics.first_release = match toks.next() {
+            Some("-") => None,
+            Some(tok) => Some(parse_hex(tok).ok_or_else(|| r.bad("metrics: bad first_release"))?),
+            None => return Err(r.bad("metrics: missing first_release")),
+        };
+        metrics.n = toks
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| r.bad("metrics: bad n"))?;
+        if toks.next().is_some() {
+            return Err(r.bad("metrics: too many values"));
+        }
+
+        let mut engine = Engine::new(n_machines);
+        engine.now = now;
+        engine.next_id = next_id;
+        engine.n_events = n_events;
+        engine.n_plans = n_plans;
+        engine.n_completed = n_completed;
+        engine.record_completions = record_completions;
+        engine.faulty = faulty;
+        engine.n_platform_pushed = n_platform_pushed;
+        engine.busy = busy;
+        engine.up = up;
+        engine.metrics = metrics;
+
+        let n_pending = r.usize_field("pending")?;
+        for _ in 0..n_pending {
+            let row = r.field("arrival")?;
+            let mut toks = row.split_whitespace();
+            let id: usize = toks
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| r.bad("arrival: bad id"))?;
+            let vals = parse_hex_row(&r, &mut toks, 2 + n_machines, "arrival")?;
+            engine.pending.push(Reverse(Pending {
+                release: vals[0],
+                id,
+                job: JobSpec {
+                    release: vals[0],
+                    weight: vals[1],
+                    costs: vals[2..].to_vec(),
+                },
+            }));
+        }
+
+        let n_active = r.usize_field("active")?;
+        for _ in 0..n_active {
+            let row = r.field("job")?;
+            let mut toks = row.split_whitespace();
+            let id: usize = toks
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| r.bad("job: bad id"))?;
+            let vals = parse_hex_row(&r, &mut toks, 3 + n_machines, "job")?;
+            let costs: Box<[f64]> = vals[3..].into();
+            let fastest = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+            engine.active.push(ActiveJob {
+                id,
+                remaining: vals[0],
+                release: vals[1],
+                weight: vals[2],
+                costs,
+                fastest,
+            });
+            if faulty {
+                let row = r.field("volatile")?;
+                engine.volatile.push(parse_hex_row(
+                    &r,
+                    &mut row.split_whitespace(),
+                    n_machines,
+                    "volatile",
+                )?);
+            }
+        }
+
+        let n_platform = r.usize_field("platform")?;
+        for _ in 0..n_platform {
+            let row = r.field("event")?;
+            let mut toks = row.split_whitespace();
+            let time = toks
+                .next()
+                .and_then(parse_hex)
+                .ok_or_else(|| r.bad("event: bad time"))?;
+            let seq: usize = toks
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| r.bad("event: bad seq"))?;
+            let machine: usize = toks
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| r.bad("event: bad machine"))?;
+            let change = match toks.next() {
+                Some("down") => PlatformChange::Down,
+                Some("up") => PlatformChange::Up,
+                _ => return Err(r.bad("event: want down or up")),
+            };
+            if toks.next().is_some() {
+                return Err(r.bad("event: too many values"));
+            }
+            engine.platform.push(Reverse(PlatformPending {
+                time,
+                seq,
+                event: PlatformEvent {
+                    time,
+                    machine,
+                    change,
+                },
+            }));
+        }
+
+        let n_done = r.usize_field("completed")?;
+        for _ in 0..n_done {
+            let row = r.field("done")?;
+            let mut toks = row.split_whitespace();
+            let id: usize = toks
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| r.bad("done: bad id"))?;
+            let vals = parse_hex_row(&r, &mut toks, 4, "done")?;
+            engine.completed.push(CompletedJob {
+                id,
+                release: vals[0],
+                weight: vals[1],
+                fastest_cost: vals[2],
+                completion: vals[3],
+            });
+        }
+
+        let expected = r.field("scheduler")?;
+        let found = policy.name();
+        if expected != found {
+            return Err(SnapshotError::SchedulerMismatch {
+                expected: expected.to_string(),
+                found,
+            });
+        }
+        let n_state = r.usize_field("state")?;
+        let mut state = String::new();
+        for _ in 0..n_state {
+            state.push_str(r.next()?);
+            state.push('\n');
+        }
+        if r.lines.next().is_some() {
+            return Err(SnapshotError::Malformed {
+                line: r.pos + 1,
+                reason: "trailing content after scheduler state".into(),
+            });
+        }
+
+        // Re-arm the policy: clean slate, then the platform mask it would
+        // have been notified of (before its state, so a policy whose
+        // notification hook clears caches does not clear the restored
+        // ones), then its embedded state.
+        policy.reset();
+        if faulty {
+            let mask = engine.up.clone();
+            policy.on_platform_change(engine.now, &mask);
+        }
+        policy
+            .restore_state(&state)
+            .map_err(|reason| SnapshotError::SchedulerState { reason })?;
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::schedulers::edf::Edf;
+    use crate::schedulers::mct::Mct;
+    use dlflow_core::instance::InstanceBuilder;
+
+    fn spec(release: f64, weight: f64, costs: &[f64]) -> JobSpec {
+        JobSpec {
+            release,
+            weight,
+            costs: costs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn snapshot_is_byte_stable() {
+        let mut eng = Engine::new(2);
+        let mut pol = Mct::new();
+        eng.push_arrival(spec(0.0, 1.0, &[2.0, 3.0])).unwrap();
+        eng.push_arrival(spec(1.0, 2.0, &[4.0, f64::INFINITY]))
+            .unwrap();
+        eng.step(&mut pol).unwrap();
+        let a = eng.snapshot(&pol);
+        let b = eng.snapshot(&pol);
+        assert_eq!(a, b);
+        // Restore → snapshot reproduces the text exactly.
+        let mut pol2 = Mct::new();
+        let eng2 = Engine::restore(&a, &mut pol2).unwrap();
+        assert_eq!(eng2.snapshot(&pol2), a);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_version_and_garbage() {
+        let mut pol = Mct::new();
+        match Engine::restore("dlflow-snapshot v99\n", &mut pol) {
+            Err(SnapshotError::UnsupportedVersion { found }) => {
+                assert!(found.contains("v99"));
+            }
+            other => panic!("want UnsupportedVersion, got {other:?}"),
+        }
+        let err = Engine::restore("dlflow-snapshot v1\nn_machines zero\n", &mut pol).unwrap_err();
+        match err {
+            SnapshotError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("want Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_scheduler_kind_mismatch() {
+        let mut eng = Engine::new(1);
+        let mut pol = Mct::new();
+        eng.push_arrival(spec(0.0, 1.0, &[2.0])).unwrap();
+        eng.step(&mut pol).unwrap();
+        let snap = eng.snapshot(&pol);
+        let mut other = Edf::new();
+        match Engine::restore(&snap, &mut other) {
+            Err(SnapshotError::SchedulerMismatch { expected, found }) => {
+                assert_eq!(expected, "MCT");
+                assert_eq!(found, "EDF");
+            }
+            other => panic!("want SchedulerMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_engine_round_trips() {
+        let eng = Engine::new(3);
+        let pol = Mct::new();
+        let snap = eng.snapshot(&pol);
+        let mut pol2 = Mct::new();
+        let eng2 = Engine::restore(&snap, &mut pol2).unwrap();
+        assert_eq!(eng2.n_machines(), 3);
+        assert_eq!(eng2.n_events(), 0);
+        assert!(eng2.active().is_empty());
+        assert_eq!(eng2.snapshot(&pol2), snap);
+    }
+
+    #[test]
+    fn restored_run_matches_uninterrupted_completions() {
+        let mut b = InstanceBuilder::new();
+        b.job(0.0, 1.0);
+        b.job(0.5, 2.0);
+        b.job(1.0, 1.0);
+        b.machine(vec![Some(3.0), Some(2.0), Some(4.0)]);
+        b.machine(vec![Some(5.0), None, Some(1.5)]);
+        let inst = b.build().unwrap();
+        let reference = simulate(&inst, &mut Mct::new()).unwrap();
+
+        // Interrupted run: snapshot after the second event, restore into
+        // a fresh policy, continue to completion.
+        let mut eng = Engine::new(2);
+        let mut pol = Mct::new();
+        for j in 0..inst.n_jobs() {
+            eng.push_arrival(JobSpec {
+                release: inst.job(j).release,
+                weight: inst.job(j).weight,
+                costs: (0..2)
+                    .map(|i| inst.cost(i, j).finite().copied().unwrap_or(f64::INFINITY))
+                    .collect(),
+            })
+            .unwrap();
+        }
+        eng.step(&mut pol).unwrap();
+        eng.step(&mut pol).unwrap();
+        let snap = eng.snapshot(&pol);
+
+        let mut pol2 = Mct::new();
+        let mut eng2 = Engine::restore(&snap, &mut pol2).unwrap();
+        eng2.drain(&mut pol2).unwrap();
+        let mut completions = vec![f64::NAN; inst.n_jobs()];
+        for c in eng2.take_completed() {
+            completions[c.id] = c.completion;
+        }
+        assert_eq!(
+            completions.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+            reference
+                .completions
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -11,7 +11,10 @@
 //! replay through the incremental [`Engine`] with memory proportional
 //! to the number of *in-flight* requests.
 
-use crate::engine::{CompletedJob, Engine, JobSpec, OnlineScheduler, RunMetrics, SimError, EPS};
+use crate::engine::{
+    CompletedJob, Engine, JobSpec, OnlineScheduler, PlatformChange, PlatformEvent, RunMetrics,
+    SimError, EPS,
+};
 use dlflow_core::instance::{Cost, Instance, Job};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -237,14 +240,77 @@ pub struct TraceArrival {
 }
 
 /// An open-arrival trace: a machine fleet (cycle times) plus a stream of
-/// requests sorted by release date. Serializes to the `.dlt` text format
-/// and replays through the incremental engine.
+/// requests sorted by release date, optionally interleaved with platform
+/// failure/recovery events. Serializes to the `.dlt` text format and
+/// replays through the incremental engine.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Trace {
     /// Seconds per work unit, one entry per machine.
     pub cycle_times: Vec<f64>,
     /// Requests, sorted by release (ties keep file/generation order).
     pub arrivals: Vec<TraceArrival>,
+    /// Machine failure/recovery events, sorted by time. Empty for a
+    /// fault-free trace (the replay then takes exactly the fault-free
+    /// engine paths).
+    pub platform_events: Vec<PlatformEvent>,
+}
+
+/// A seeded MTBF/MTTR fault generator: each machine alternates between
+/// in-service spells of mean [`FaultProcess::mtbf`] and repair spells of
+/// mean [`FaultProcess::mttr`], both exponential, independently per
+/// machine. Failures are only injected before [`FaultProcess::horizon`],
+/// but every failure's matching recovery is always emitted (possibly past
+/// the horizon) — a sampled fault schedule never strands a machine down
+/// forever, so every trace eventually completes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultProcess {
+    /// Mean time between failures (seconds in service before a failure).
+    pub mtbf: f64,
+    /// Mean time to repair (seconds down before recovery).
+    pub mttr: f64,
+    /// No failure is injected at or after this time.
+    pub horizon: f64,
+    /// RNG seed (independent of the trace seed).
+    pub seed: u64,
+}
+
+impl FaultProcess {
+    /// Samples the fault schedule for `n_machines` machines,
+    /// deterministically from the seed, sorted by `(time, machine)`.
+    pub fn sample(&self, n_machines: usize) -> Vec<PlatformEvent> {
+        assert!(
+            self.mtbf > 0.0 && self.mttr > 0.0 && self.horizon > 0.0,
+            "fault process parameters must be positive"
+        );
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut exp = |mean: f64| -> f64 {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            -u.ln() * mean
+        };
+        let mut events = Vec::new();
+        for machine in 0..n_machines {
+            let mut t = 0.0f64;
+            loop {
+                t += exp(self.mtbf);
+                if t >= self.horizon {
+                    break;
+                }
+                events.push(PlatformEvent {
+                    time: t,
+                    machine,
+                    change: PlatformChange::Down,
+                });
+                t += exp(self.mttr);
+                events.push(PlatformEvent {
+                    time: t,
+                    machine,
+                    change: PlatformChange::Up,
+                });
+            }
+        }
+        events.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.machine.cmp(&b.machine)));
+        events
+    }
 }
 
 /// Knobs for synthetic trace generation.
@@ -267,6 +333,9 @@ pub struct TraceSpec {
     pub process: ArrivalProcess,
     /// RNG seed.
     pub seed: u64,
+    /// Optional machine fault process; `None` (the default) generates a
+    /// fault-free trace.
+    pub faults: Option<FaultProcess>,
 }
 
 impl Default for TraceSpec {
@@ -280,6 +349,7 @@ impl Default for TraceSpec {
             weights: vec![1.0, 2.0, 5.0],
             process: ArrivalProcess::Poisson { rate: 2.0 },
             seed: 0,
+            faults: None,
         }
     }
 }
@@ -320,9 +390,16 @@ pub fn generate_trace(spec: &TraceSpec) -> Trace {
         })
         .collect();
 
+    let platform_events = spec
+        .faults
+        .as_ref()
+        .map(|f| f.sample(m))
+        .unwrap_or_default();
+
     Trace {
         cycle_times,
         arrivals,
+        platform_events,
     }
 }
 
@@ -382,8 +459,10 @@ impl Trace {
     /// Materializes the whole trace as a closed [`Instance`] (job `j` =
     /// arrival `j`). Only sensible for small traces — the offline
     /// yardsticks and parity tests use it; streaming replay does not.
-    /// Fails when a request is unplaceable or a weight is zero (closed
-    /// instances are stricter than the engine).
+    /// Platform events are not representable in a closed instance and
+    /// are ignored (the offline yardstick scores the fault-free
+    /// platform). Fails when a request is unplaceable or a weight is
+    /// zero (closed instances are stricter than the engine).
     pub fn to_instance(&self) -> Result<Instance<f64>, String> {
         let jobs: Vec<Job<f64>> = self
             .arrivals
@@ -431,11 +510,15 @@ impl Trace {
         policy.reset();
         let mut eng = Engine::new(self.n_machines());
         eng.record_completions = sink.is_some();
+        for e in &self.platform_events {
+            eng.push_platform_event(*e)?;
+        }
         let n = self.arrivals.len();
         let mut next = 0usize;
         let mut max_active = 0usize;
         // Stall guard equivalent to `Engine::drain`'s, over the whole trace.
-        let max_iters = 100_000 + 200 * n * (self.n_machines() + 2);
+        let max_iters =
+            100_000 + 200 * n * (self.n_machines() + 2) + 2 * self.platform_events.len();
         for _ in 0..max_iters {
             // Keep at least one *release batch* pushed ahead: the engine
             // can only bound its horizon by arrivals it knows about, and
@@ -490,15 +573,27 @@ impl Trace {
                 a.release, a.size, a.weight
             ));
         }
+        for e in &self.platform_events {
+            let directive = match e.change {
+                PlatformChange::Down => "fail",
+                PlatformChange::Up => "recover",
+            };
+            s.push_str(&format!("{directive} {} {}\n", e.time, e.machine));
+        }
         s
     }
 
     /// Parses the `.dlt` text format. Arrivals need not be sorted in the
-    /// file; the parsed trace is (stably) sorted by release. Errors carry
-    /// 1-based line numbers.
+    /// file; the parsed trace is (stably) sorted by release. Platform
+    /// events (`fail`/`recover` lines) **must** appear in non-decreasing
+    /// time order and alternate down/up per machine — the stricter rule
+    /// keeps a hand-edited fault schedule honest. Errors carry 1-based
+    /// line numbers.
     pub fn parse_dlt(text: &str) -> Result<Trace, String> {
         let mut cycle_times: Option<Vec<f64>> = None;
         let mut arrivals: Vec<TraceArrival> = Vec::new();
+        let mut platform_events: Vec<PlatformEvent> = Vec::new();
+        let mut down: Vec<bool> = Vec::new();
         let parse_num = |tok: &str, what: &str, lineno: usize| -> Result<f64, String> {
             let v: f64 = tok
                 .parse()
@@ -578,9 +673,58 @@ impl Trace {
                         avail,
                     });
                 }
+                d @ ("fail" | "recover") => {
+                    let Some(cts) = &cycle_times else {
+                        return Err(format!("line {lineno}: {d} before the machines line"));
+                    };
+                    let [time, machine] = rest.as_slice() else {
+                        return Err(format!("line {lineno}: {d} expects <time> <machine>"));
+                    };
+                    let time = parse_num(time, "event time", lineno)?;
+                    let machine: usize = machine
+                        .parse()
+                        .map_err(|_| format!("line {lineno}: bad machine id {machine:?}"))?;
+                    if machine >= cts.len() {
+                        return Err(format!(
+                            "line {lineno}: machine id {machine} out of range (trace has {} machines)",
+                            cts.len()
+                        ));
+                    }
+                    if let Some(prev) = platform_events.last() {
+                        if time < prev.time {
+                            return Err(format!(
+                                "line {lineno}: non-monotone event time {time} (previous event at {})",
+                                prev.time
+                            ));
+                        }
+                    }
+                    down.resize(cts.len(), false);
+                    let change = if d == "fail" {
+                        if down[machine] {
+                            return Err(format!(
+                                "line {lineno}: machine {machine} fails while already down"
+                            ));
+                        }
+                        down[machine] = true;
+                        PlatformChange::Down
+                    } else {
+                        if !down[machine] {
+                            return Err(format!(
+                                "line {lineno}: machine {machine} recovers without a preceding fail"
+                            ));
+                        }
+                        down[machine] = false;
+                        PlatformChange::Up
+                    };
+                    platform_events.push(PlatformEvent {
+                        time,
+                        machine,
+                        change,
+                    });
+                }
                 other => {
                     return Err(format!(
-                        "line {lineno}: unknown directive {other:?} (expected machines|arrival)"
+                        "line {lineno}: unknown directive {other:?} (expected machines|arrival|fail|recover)"
                     ))
                 }
             }
@@ -592,6 +736,7 @@ impl Trace {
         Ok(Trace {
             cycle_times,
             arrivals,
+            platform_events,
         })
     }
 }
@@ -766,10 +911,143 @@ mod tests {
             ("machines 1 2\narrival 0 1 1", "expects"),
             ("machines 1 2\nfrob", "unknown directive"),
             ("# empty\n", "no machines line"),
+            ("fail 1 0", "before the machines"),
+            ("machines 1 2\nfail 1", "expects"),
+            ("machines 1 2\nfail 1 7", "out of range"),
+            ("machines 1 2\nfail 1 x", "bad machine id"),
+            ("machines 1 2\nfail -1 0", "non-negative"),
+            ("machines 1 2\nfail 2 0\nrecover 1 0", "non-monotone"),
+            ("machines 1 2\nfail 1 0\nfail 2 0", "already down"),
+            ("machines 1 2\nrecover 1 0", "without a preceding fail"),
+            (
+                "machines 1 2\nfail 1 0\nrecover 2 0\nrecover 3 0",
+                "without a preceding fail",
+            ),
         ] {
             let err = Trace::parse_dlt(bad).unwrap_err();
             assert!(err.contains(needle), "{bad:?} → {err}");
         }
+    }
+
+    #[test]
+    fn dlt_round_trips_with_platform_events() {
+        // Generator-produced fault schedules survive parse→render→parse.
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 30,
+            n_machines: 4,
+            seed: 21,
+            faults: Some(FaultProcess {
+                mtbf: 10.0,
+                mttr: 2.0,
+                horizon: 40.0,
+                seed: 77,
+            }),
+            ..Default::default()
+        });
+        assert!(
+            !trace.platform_events.is_empty(),
+            "fault process should fire within the horizon"
+        );
+        let text = trace.to_dlt();
+        let back = Trace::parse_dlt(&text).unwrap();
+        assert_eq!(trace, back);
+        // And a second render is byte-identical (stable format).
+        assert_eq!(back.to_dlt(), text);
+    }
+
+    #[test]
+    fn fault_process_is_seeded_alternating_and_always_recovers() {
+        let fp = FaultProcess {
+            mtbf: 5.0,
+            mttr: 1.0,
+            horizon: 50.0,
+            seed: 3,
+        };
+        let a = fp.sample(3);
+        let b = fp.sample(3);
+        assert_eq!(a, b, "sampling is deterministic");
+        for w in a.windows(2) {
+            assert!(w[0].time <= w[1].time, "events sorted by time");
+        }
+        // Per machine: strictly alternating down/up, starting down,
+        // ending up (every failure has a matching recovery).
+        for m in 0..3 {
+            let seq: Vec<PlatformChange> = a
+                .iter()
+                .filter(|e| e.machine == m)
+                .map(|e| e.change)
+                .collect();
+            assert!(!seq.is_empty(), "mtbf 5 over horizon 50 should fire");
+            assert_eq!(seq.len() % 2, 0);
+            for (k, c) in seq.iter().enumerate() {
+                let want = if k % 2 == 0 {
+                    PlatformChange::Down
+                } else {
+                    PlatformChange::Up
+                };
+                assert_eq!(*c, want);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_completes_through_total_blackout() {
+        // Satellite regression: ALL machines fail mid-trace and recover
+        // later; the engine must idle through the blackout (no progress
+        // possible, but a future recovery exists) instead of stalling.
+        let text = "machines 1 1\n\
+                    arrival 0 1 1 *\n\
+                    arrival 0.2 1 1 *\n\
+                    arrival 5 0.5 2 *\n\
+                    fail 0.1 0\n\
+                    fail 0.1 1\n\
+                    recover 3 0\n\
+                    recover 4 1\n";
+        let trace = Trace::parse_dlt(text).unwrap();
+        for spec in ["swrpt", "mct", "edf", "ola"] {
+            let spec = crate::campaign::SchedulerSpec::parse_compact(spec).unwrap();
+            let mut policy = spec.build();
+            let stats = trace.replay(policy.as_mut()).unwrap();
+            assert_eq!(stats.n_jobs, 3, "{}", policy.name());
+            // Nothing completes before the first recovery at t=3.
+            assert!(
+                stats.metrics.makespan >= 3.0,
+                "{}: makespan {}",
+                policy.name(),
+                stats.metrics.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_replay_degrades_but_completes() {
+        let base = TraceSpec {
+            n_requests: 120,
+            n_machines: 3,
+            seed: 13,
+            ..Default::default()
+        };
+        let clean = generate_trace(&base);
+        let faulty = generate_trace(&TraceSpec {
+            faults: Some(FaultProcess {
+                mtbf: 15.0,
+                mttr: 5.0,
+                horizon: 60.0,
+                seed: 5,
+            }),
+            ..base
+        });
+        // Arrivals identical: the fault process draws from its own RNG.
+        assert_eq!(clean.arrivals, faulty.arrivals);
+        use crate::schedulers::Swrpt;
+        let s_clean = clean.replay(&mut Swrpt::new()).unwrap();
+        let s_faulty = faulty.replay(&mut Swrpt::new()).unwrap();
+        assert_eq!(s_faulty.n_jobs, 120);
+        // Every request still completes, with well-defined (finite)
+        // metrics; lost work shows up as extra busy time relative to the
+        // clean run's identical arrival stream.
+        assert!(s_faulty.metrics.max_stretch.is_finite());
+        assert!(s_faulty.metrics.makespan >= s_clean.metrics.makespan - 1e-9);
     }
 
     #[test]
