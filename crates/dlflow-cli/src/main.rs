@@ -19,6 +19,8 @@
 //!     --snapshot-at <n>   snapshot the run at event n (requires --snapshot-out)
 //!     --snapshot-out <p>  where to write the snapshot
 //!     --resume <p>        resume a previous snapshot instead of starting at t=0
+//!     --shards <k>        partition the machines into k contiguous clusters,
+//!                         each with its own engine + scheduler instance
 //! Common options: --gantt [width]            draw an ASCII Gantt chart
 //! ```
 //!
@@ -50,6 +52,7 @@ usage:
   dlflow simulate   <instance.dlf|trace.dlt> [--scheduler <spec>] [--json]
                     [--faults mtbf=<s>,mttr=<s>[,seed=<n>][,until=<t>]]
                     [--snapshot-at <n> --snapshot-out <path>] [--resume <path>]
+                    [--shards <k>]
 
 instance format (.dlf):
   job <release> <weight> [name]        one line per job
@@ -79,6 +82,7 @@ struct Opts {
     snapshot_at: Option<usize>,
     snapshot_out: Option<String>,
     resume: Option<String>,
+    shards: usize,
     positional: Vec<String>,
 }
 
@@ -95,6 +99,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         snapshot_at: None,
         snapshot_out: None,
         resume: None,
+        shards: 0,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -144,6 +149,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     return Err("--resume expects a snapshot file path".into());
                 };
                 o.resume = Some(path.clone());
+                i += 1;
+            }
+            "--shards" => {
+                let Some(k) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return Err("--shards expects a shard count".into());
+                };
+                if k == 0 {
+                    return Err("--shards: the shard count must be at least 1".into());
+                }
+                o.shards = k;
                 i += 1;
             }
             "--gantt" => {
@@ -396,6 +411,7 @@ fn run() -> Result<(), String> {
                         std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))
                     })
                     .transpose()?,
+                shards: opts.shards,
             };
             let (report, snapshot) =
                 dlflow_sim::service::run_simulation_with(&input, &spec, &sim_opts)?;

@@ -466,13 +466,20 @@ pub fn check_file(path: &str, lexed: &LexedFile) -> Vec<Diagnostic> {
 // ---------------------------------------------------------------------
 
 /// Hot-path roots: `Engine::{step,drain,admit_due}`, `Trace::replay`,
-/// and every `OnlineScheduler` event hook (impls *and* un-overridden
-/// trait defaults — a default body runs too).
+/// the sharded front-end's per-event entry points
+/// `ShardedEngine::{push_arrival,drain,replay_trace}`, and every
+/// `OnlineScheduler` event hook (impls *and* un-overridden trait
+/// defaults — a default body runs too).
 pub(crate) fn hot_roots(g: &Graph) -> Vec<FnId> {
     let mut roots = g.find(|f| {
         matches!(
             (f.item.owner.as_deref(), f.item.name.as_str()),
-            (Some("Engine"), "step" | "drain" | "admit_due") | (Some("Trace"), "replay")
+            (Some("Engine"), "step" | "drain" | "admit_due")
+                | (Some("Trace"), "replay")
+                | (
+                    Some("ShardedEngine"),
+                    "push_arrival" | "drain" | "replay_trace"
+                )
         )
     });
     roots.extend(scheduler_hook_roots(g));
@@ -1283,6 +1290,35 @@ mod tests {
         assert!(d[0]
             .render()
             .contains("via Engine::step → settle → `unwrap`"));
+    }
+
+    #[test]
+    fn sharded_engine_entry_points_are_hot_roots() {
+        let owned = prep(&[
+            (
+                "crates/dlflow-sim/src/shard.rs",
+                "impl ShardedEngine { \
+                 pub fn push_arrival(&mut self) { route(self); } \
+                 pub fn drain(&mut self) { } \
+                 pub fn replay_trace(&mut self) { } \
+                 pub fn take_completed(&mut self) { } }",
+            ),
+            (
+                "crates/dlflow-sim/src/route.rs",
+                "pub fn route(s: &mut ShardedEngine) { s.map.get(0).unwrap(); }",
+            ),
+        ]);
+        let files = graph_files(&owned);
+        let g = Graph::build(&files);
+        let roots = hot_roots(&g);
+        // push_arrival, drain, and replay_trace are roots; the merge-side
+        // take_completed (post-simulation) is not.
+        assert_eq!(roots.len(), 3, "{roots:?}");
+        let hot = Reach::compute(&g, &roots);
+        let d = check_hot_path_panic(&g, &files, &hot);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].symbol, "dlflow-sim::route::route");
+        assert!(d[0].render().contains("via ShardedEngine::push_arrival"));
     }
 
     #[test]

@@ -103,8 +103,9 @@ impl SchedulerSpec {
         self.build().name()
     }
 
-    /// Instantiates the policy.
-    pub fn build(&self) -> Box<dyn OnlineScheduler> {
+    /// Instantiates the policy. The box is `Send` so a sharded drain
+    /// can hand each shard's policy to a worker thread.
+    pub fn build(&self) -> Box<dyn OnlineScheduler + Send> {
         match self {
             SchedulerSpec::Mct => Box::new(Mct::new()),
             SchedulerSpec::Fifo => Box::new(FifoFastest::new()),

@@ -1,26 +1,47 @@
 //! Incremental fluid discrete-event simulation engine.
 //!
 //! The core is a resumable [`Engine`] state machine: arrivals are *pushed*
-//! into a binary-heap event queue ([`Engine::push_arrival`]), the engine
-//! advances one event at a time ([`Engine::step`]) or until it runs out of
-//! work ([`Engine::drain`]), and completions stream back out as they
-//! happen. Between consecutive events the scheduler's allocation (a sparse
-//! rate map) is integrated exactly; events are arrivals, completions,
-//! and platform changes (machine failures and recoveries pushed through
+//! into an event queue ([`Engine::push_arrival`]), the engine advances one
+//! event at a time ([`Engine::step`]) or until it runs out of work
+//! ([`Engine::drain`]), and completions stream back out as they happen.
+//! Between consecutive events the scheduler's allocation (a sparse rate
+//! map) is integrated exactly; events are arrivals, completions, and
+//! platform changes (machine failures and recoveries pushed through
 //! [`Engine::push_platform_event`]). The engine enforces the model
 //! invariants (machine capacity, availability, liveness) and replays any
 //! online policy reproducibly — this is the testbed for the paper's
 //! concluding claim that an online adaptation of the offline algorithm
 //! beats MCT.
 //!
-//! Per-event cost is `O(m · |active| · log)` and memory is `O(|active|)`
-//! — both independent of how many requests the surrounding trace contains,
-//! which is what lets `dlflow simulate` replay 100k-request open-arrival
-//! traces (see `workload::Trace`). The closed-instance entry point
-//! [`simulate`] survives as a thin wrapper that pushes every job of an
-//! [`Instance`] up front; the seed's dense-allocation batch loop is kept
-//! as [`simulate_dense`], the parity oracle for `tests/prop_engine.rs`
-//! and the baseline of the throughput benchmarks.
+//! ## Hot-path layout
+//!
+//! Internally the engine is *flat*: jobs live in a slab of parallel
+//! structure-of-arrays columns (id / remaining / release / weight /
+//! fastest, plus one contiguous `slab × machines` cost arena), addressed
+//! by stable slot indices that are recycled through a free list. The two
+//! event queues are index-based 4-ary min-heaps of small `Copy` keys
+//! (`heap::DaryHeap`), and the admission-ordered active set is a plain
+//! `Vec<u32>` of slots. Schedulers see this storage through the borrowed
+//! [`ActiveSet`] / [`JobView`] façade and write their plan into a
+//! caller-owned [`Allocation`] whose row storage the engine recycles
+//! event over event. The result is **zero allocations per steady-state
+//! event** on the `step`/`drain`/`admit_due` path (capacity warms up to
+//! the high-water mark, then stays) — a property enforced by
+//! `dlflow-lint`'s `alloc-in-hot-loop` analysis and measured by
+//! `bench-report --allocs`.
+//!
+//! Per-event cost is `O(assigned entries + |active|)` and memory is
+//! `O(|active| + |pending|)` slots (plus one `u32` per pushed id for the
+//! id→slot map) — independent of how many requests the surrounding trace
+//! contains, which is what lets `dlflow simulate` replay 100k-request
+//! open-arrival traces (see `workload::Trace`). The closed-instance entry
+//! point [`simulate`] survives as a thin wrapper that pushes every job of
+//! an [`Instance`] up front; the seed's dense-allocation batch loop is
+//! kept as [`simulate_dense`], a parity oracle for `tests/prop_engine.rs`
+//! and the baseline of the throughput benchmarks, and the PR-5
+//! `Vec<ActiveJob>` engine survives verbatim as
+//! [`crate::reference::ReferenceEngine`], the differential oracle of
+//! `tests/prop_shard.rs`.
 //!
 //! ## Streaming example
 //!
@@ -37,13 +58,16 @@
 //! assert!(eng.metrics().makespan > 0.0);
 //! ```
 
+use crate::heap::{DaryHeap, HeapOrd};
 use dlflow_core::instance::Instance;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Comparison slack shared by the engine's admission and completion
 /// checks (and by the trace replayer's arrival batching).
 pub(crate) const EPS: f64 = 1e-9;
+
+/// Sentinel for "no slot" / "not active" in the engine's `u32` index
+/// maps.
+const NONE: u32 = u32::MAX;
 
 /// A job as it enters the engine: release date, weight, and one
 /// processing cost per machine (`f64::INFINITY` where the machine lacks
@@ -62,9 +86,12 @@ pub struct JobSpec {
     pub costs: Vec<f64>,
 }
 
-/// A released, not-yet-finished job as seen by a scheduler. Carries all
-/// per-job data a policy may need — schedulers no longer receive (or
-/// rescan) a closed instance.
+/// A released, not-yet-finished job materialized as an owning struct.
+/// The flattened [`Engine`] no longer stores these (jobs live in its
+/// slab); the type survives as the working representation of the
+/// [`simulate_dense`] parity oracle and the reference engine, and as the
+/// unit the crate-internal `ScratchSet` adapter flattens into an
+/// [`ActiveSet`].
 #[derive(Clone, Debug)]
 pub struct ActiveJob {
     /// Engine-assigned job id (assignment order of [`Engine::push_arrival`]).
@@ -116,10 +143,181 @@ impl ActiveJob {
     }
 }
 
+/// A borrowed, `Copy` view of one released, unfinished job — what a
+/// scheduler sees. The data lives in the engine's structure-of-arrays
+/// slab (or in a `ScratchSet` adapter); the view is a few words of
+/// scalars plus a borrowed cost row, so policies pass it around by
+/// value without touching the heap.
+#[derive(Clone, Copy, Debug)]
+pub struct JobView<'a> {
+    /// Engine-assigned job id (assignment order of [`Engine::push_arrival`]).
+    pub id: usize,
+    /// Remaining fraction of the job, in `(0, 1]`.
+    pub remaining: f64,
+    /// Release date.
+    pub release: f64,
+    /// Weight.
+    pub weight: f64,
+    pub(crate) fastest: f64,
+    pub(crate) costs: &'a [f64],
+}
+
+impl<'a> JobView<'a> {
+    /// Processing cost of the whole job on `machine`, `None` when the
+    /// machine lacks the job's databank.
+    pub fn cost(&self, machine: usize) -> Option<f64> {
+        let c = self.costs[machine];
+        c.is_finite().then_some(c)
+    }
+
+    /// Raw per-machine cost (`f64::INFINITY` = unavailable).
+    pub fn raw_cost(&self, machine: usize) -> f64 {
+        self.costs[machine]
+    }
+
+    /// Smallest finite cost across machines (the job's fastest possible
+    /// total processing time).
+    pub fn fastest_cost(&self) -> f64 {
+        self.fastest
+    }
+
+    /// Number of machines the job knows costs for.
+    pub fn n_machines(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// The borrowed per-machine cost row.
+    pub fn costs(&self) -> &'a [f64] {
+        self.costs
+    }
+}
+
+/// The set of released, unfinished jobs in admission order, as a `Copy`
+/// bundle of borrowed structure-of-arrays columns. This is what
+/// [`OnlineScheduler::plan`] receives instead of a `&[ActiveJob]` slice:
+/// indexing yields [`JobView`]s without the engine ever materializing
+/// per-job structs on the hot path.
+#[derive(Clone, Copy, Debug)]
+pub struct ActiveSet<'a> {
+    order: &'a [u32],
+    ids: &'a [usize],
+    remaining: &'a [f64],
+    release: &'a [f64],
+    weight: &'a [f64],
+    fastest: &'a [f64],
+    costs: &'a [f64],
+    n_machines: usize,
+}
+
+impl<'a> ActiveSet<'a> {
+    /// Number of active jobs.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Is the active set empty?
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Number of machines each job carries costs for.
+    pub fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+
+    /// The `k`-th active job in admission order.
+    pub fn get(&self, k: usize) -> JobView<'a> {
+        let s = self.order[k] as usize;
+        JobView {
+            id: self.ids[s],
+            remaining: self.remaining[s],
+            release: self.release[s],
+            weight: self.weight[s],
+            fastest: self.fastest[s],
+            costs: &self.costs[s * self.n_machines..(s + 1) * self.n_machines],
+        }
+    }
+
+    /// Iterates the active jobs in admission order.
+    pub fn iter(&self) -> impl Iterator<Item = JobView<'a>> {
+        let this = *self;
+        (0..this.len()).map(move |k| this.get(k))
+    }
+}
+
+/// Flattens a `&[ActiveJob]` slice into [`ActiveSet`] column storage, so
+/// the dense parity oracle and the reference engine can drive policies
+/// through the same `plan` signature as the flattened engine. Buffers
+/// are recycled across calls.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchSet {
+    order: Vec<u32>,
+    ids: Vec<usize>,
+    remaining: Vec<f64>,
+    release: Vec<f64>,
+    weight: Vec<f64>,
+    fastest: Vec<f64>,
+    costs: Vec<f64>,
+}
+
+impl ScratchSet {
+    /// Rebuilds the columns from `active` (each job must carry
+    /// `n_machines` costs).
+    pub(crate) fn fill(&mut self, active: &[ActiveJob], n_machines: usize) {
+        self.order.clear();
+        self.ids.clear();
+        self.remaining.clear();
+        self.release.clear();
+        self.weight.clear();
+        self.fastest.clear();
+        self.costs.clear();
+        for (k, a) in active.iter().enumerate() {
+            debug_assert_eq!(a.costs.len(), n_machines);
+            self.order.push(k as u32);
+            self.ids.push(a.id);
+            self.remaining.push(a.remaining);
+            self.release.push(a.release);
+            self.weight.push(a.weight);
+            self.fastest.push(a.fastest);
+            self.costs.extend_from_slice(&a.costs);
+        }
+    }
+
+    /// The flattened view over the current fill.
+    pub(crate) fn view(&self, n_machines: usize) -> ActiveSet<'_> {
+        ActiveSet {
+            order: &self.order,
+            ids: &self.ids,
+            remaining: &self.remaining,
+            release: &self.release,
+            weight: &self.weight,
+            fastest: &self.fastest,
+            costs: &self.costs,
+            n_machines,
+        }
+    }
+}
+
+/// A [`JobView`] borrowing an owning [`ActiveJob`] (for the dense and
+/// reference drivers' `on_arrival` notifications).
+pub(crate) fn view_of(a: &ActiveJob) -> JobView<'_> {
+    JobView {
+        id: a.id,
+        remaining: a.remaining,
+        release: a.release,
+        weight: a.weight,
+        fastest: a.fastest,
+        costs: &a.costs,
+    }
+}
+
 /// A sparse rate allocation: for each machine, the share (0..=1) it
 /// devotes to each job it serves. Machines' shares must sum to at most 1.
 /// Memory is proportional to the number of *assigned* (machine, job)
-/// pairs — independent of how many jobs the whole trace contains.
+/// pairs — independent of how many jobs the whole trace contains. The
+/// engine hands policies a recycled instance every event
+/// ([`Allocation::reset`] keeps row capacity), so steady-state planning
+/// allocates nothing.
 #[derive(Clone, Debug, Default)]
 pub struct Allocation {
     /// Per machine: `(job id, share)` entries sorted by job id.
@@ -131,6 +329,18 @@ impl Allocation {
     pub fn idle(n_machines: usize) -> Self {
         Allocation {
             rows: vec![Vec::new(); n_machines], // dlflint:allow(alloc-in-hot-loop, "the returned Allocation is the product of planning, not a reusable scratch buffer")
+        }
+    }
+
+    /// Clears every row and resizes to `n_machines`, keeping row
+    /// capacity: the engine's per-event recycling entry point.
+    pub fn reset(&mut self, n_machines: usize) {
+        self.rows.truncate(n_machines);
+        for row in &mut self.rows {
+            row.clear();
+        }
+        while self.rows.len() < n_machines {
+            self.rows.push(Vec::new()); // dlflint:allow(alloc-in-hot-loop, "an empty Vec allocates nothing; rows grow to the machine count once and are recycled after")
         }
     }
 
@@ -199,17 +409,22 @@ pub trait OnlineScheduler {
     fn name(&self) -> String;
 
     /// A job has entered the system (called once per job, before the
-    /// next `plan`). Policies cache per-job decisions here.
-    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {}
+    /// next `plan`). Policies cache per-job decisions here. The view is
+    /// `Copy`; policies wanting the cost row beyond the call must copy
+    /// it out.
+    fn on_arrival(&mut self, _now: f64, _job: JobView<'_>) {}
 
     /// A job has completed (called before the next `plan`). Policies
     /// drop per-job state here.
     fn on_completion(&mut self, _now: f64, _job_id: usize) {}
 
-    /// Returns the sparse rate allocation to apply until the next event.
-    /// `active` lists released unfinished jobs in admission order, with
-    /// their remaining fractions and per-machine costs.
-    fn plan(&mut self, now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation;
+    /// Writes the sparse rate allocation to apply until the next event
+    /// into `alloc`. `active` lists released unfinished jobs in
+    /// admission order, with their remaining fractions and per-machine
+    /// costs. `alloc` arrives reset to `active.n_machines()` empty rows
+    /// (row capacity recycled from the previous event) — policies fill
+    /// it and must not assume it retains prior contents.
+    fn plan(&mut self, now: f64, active: &ActiveSet<'_>, alloc: &mut Allocation);
 
     /// The platform changed (machines failed or recovered) at `now`;
     /// `up[i]` tells whether machine `i` is in service. Policies holding
@@ -223,14 +438,15 @@ pub trait OnlineScheduler {
     /// newline-separated lines (empty for stateless policies, the
     /// default). Must round-trip bit-exactly through
     /// [`OnlineScheduler::restore_state`].
+    ///
+    /// [`Engine::snapshot`]: crate::snapshot
     fn snapshot_state(&self) -> String {
         String::new()
     }
 
     /// Restores state captured by [`OnlineScheduler::snapshot_state`];
-    /// the engine calls this on a freshly `reset` policy during
-    /// [`Engine::restore`]. The default accepts only the stateless empty
-    /// form.
+    /// the engine calls this on a freshly `reset` policy during restore.
+    /// The default accepts only the stateless empty form.
     fn restore_state(&mut self, state: &str) -> Result<(), String> {
         if state.is_empty() {
             Ok(())
@@ -286,7 +502,7 @@ impl SimResult {
     }
 }
 
-fn utilization_of(busy: &[f64], first_release: f64, makespan: f64) -> f64 {
+pub(crate) fn utilization_of(busy: &[f64], first_release: f64, makespan: f64) -> f64 {
     let span = makespan - first_release;
     if !span.is_finite() || span <= 0.0 {
         return 0.0;
@@ -383,34 +599,6 @@ pub enum StepOutcome {
     Idle,
 }
 
-/// A pending arrival, ordered by `(release, id)` so simultaneous
-/// arrivals are admitted in push order.
-#[derive(Debug)]
-pub(crate) struct Pending {
-    pub(crate) release: f64,
-    pub(crate) id: usize,
-    pub(crate) job: JobSpec,
-}
-
-impl PartialEq for Pending {
-    fn eq(&self, other: &Self) -> bool {
-        self.release == other.release && self.id == other.id
-    }
-}
-impl Eq for Pending {}
-impl PartialOrd for Pending {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Pending {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.release
-            .total_cmp(&other.release)
-            .then(self.id.cmp(&other.id))
-    }
-}
-
 /// A platform state transition: one machine leaving or rejoining
 /// service.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -435,31 +623,42 @@ pub struct PlatformEvent {
     pub change: PlatformChange,
 }
 
-/// A queued platform event, ordered by `(time, push order)` so
+/// Pending-arrival heap key, ordered by `(release, id)` so simultaneous
+/// arrivals are admitted in push order. The job's data already sits in
+/// its slab slot; admission moves nothing.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ArrivalKey {
+    pub(crate) release: f64,
+    pub(crate) id: usize,
+    pub(crate) slot: u32,
+}
+
+impl HeapOrd for ArrivalKey {
+    fn before(&self, other: &Self) -> bool {
+        match self.release.total_cmp(&other.release) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.id < other.id,
+        }
+    }
+}
+
+/// Platform-event heap key, ordered by `(time, push order)` so
 /// simultaneous events apply deterministically.
-#[derive(Debug)]
-pub(crate) struct PlatformPending {
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PlatformKey {
     pub(crate) time: f64,
     pub(crate) seq: usize,
     pub(crate) event: PlatformEvent,
 }
 
-impl PartialEq for PlatformPending {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for PlatformPending {}
-impl PartialOrd for PlatformPending {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for PlatformPending {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then(self.seq.cmp(&other.seq))
+impl HeapOrd for PlatformKey {
+    fn before(&self, other: &Self) -> bool {
+        match self.time.total_cmp(&other.time) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.seq < other.seq,
+        }
     }
 }
 
@@ -492,8 +691,9 @@ impl MetricsAccumulator {
         self.max_wf = self.max_wf.max(c.weight * flow);
         self.max_f = self.max_f.max(flow);
         if c.fastest_cost > 0.0 {
-            self.max_s = self.max_s.max(flow / c.fastest_cost);
-            self.sum_s += flow / c.fastest_cost;
+            let stretch = flow / c.fastest_cost;
+            self.max_s = self.max_s.max(stretch);
+            self.sum_s += stretch;
         }
         self.sum_f += flow;
         self.mk = self.mk.max(c.completion);
@@ -502,6 +702,25 @@ impl MetricsAccumulator {
             Some(r) => r.min(c.release),
         });
         self.n += 1;
+    }
+
+    /// Folds another accumulator in, as if its completions had been
+    /// pushed after this one's. Max-folds and sums are field-wise, so a
+    /// shard merge in fixed shard order is deterministic (and the
+    /// single-shard merge is the identity).
+    pub(crate) fn merge(&mut self, other: &MetricsAccumulator) {
+        self.max_wf = self.max_wf.max(other.max_wf);
+        self.max_f = self.max_f.max(other.max_f);
+        self.max_s = self.max_s.max(other.max_s);
+        self.sum_s += other.sum_s;
+        self.sum_f += other.sum_f;
+        self.mk = self.mk.max(other.mk);
+        self.first_release = match (self.first_release, other.first_release) {
+            (None, r) => r,
+            (r, None) => r,
+            (Some(a), Some(b)) => Some(a.min(b)),
+        };
+        self.n += other.n;
     }
 
     /// Completions folded in so far.
@@ -534,15 +753,14 @@ impl MetricsAccumulator {
 }
 
 /// The incremental simulation core: a resumable event-queue state
-/// machine. See the [module docs](self) for the lifecycle; the closed
-/// [`simulate`] wrapper and the open-arrival `workload::Trace::replay`
-/// are both thin drivers over this type.
+/// machine over flat slab storage. See the [module docs](self) for the
+/// lifecycle and hot-path layout; the closed [`simulate`] wrapper, the
+/// open-arrival `workload::Trace::replay`, and the multi-cluster
+/// `shard::ShardedEngine` are all thin drivers over this type.
 #[derive(Debug)]
 pub struct Engine {
     pub(crate) n_machines: usize,
     pub(crate) now: f64,
-    pub(crate) pending: BinaryHeap<Reverse<Pending>>,
-    pub(crate) active: Vec<ActiveJob>,
     pub(crate) next_id: usize,
     pub(crate) n_events: usize,
     pub(crate) n_plans: usize,
@@ -558,16 +776,44 @@ pub struct Engine {
     // false) until the first `push_platform_event`, so fault-free runs
     // take exactly the event paths they took before faults existed.
     pub(crate) up: Vec<bool>,
-    pub(crate) platform: BinaryHeap<Reverse<PlatformPending>>,
     pub(crate) n_platform_pushed: usize,
     pub(crate) faulty: bool,
-    /// Parallel to `active` when `faulty`: per job, the work fraction
-    /// each machine has contributed since it last (re)entered service —
-    /// exactly the amount lost back to `remaining` if that machine dies.
-    pub(crate) volatile: Vec<Vec<f64>>,
+    // --- Slab: structure-of-arrays job storage, slot-indexed. A slot is
+    // allocated at push, carries the job through its pending and active
+    // life, and returns to the free list at completion.
+    slot_id: Vec<usize>,
+    slot_remaining: Vec<f64>,
+    slot_release: Vec<f64>,
+    slot_weight: Vec<f64>,
+    slot_fastest: Vec<f64>,
+    /// Contiguous cost arena, `slab_len × n_machines`, one row per slot.
+    slot_costs: Vec<f64>,
+    free_slots: Vec<u32>,
+    /// id → slot (`NONE` once the job completed). One `u32` per pushed
+    /// id — the only per-trace-length storage the engine keeps.
+    id_slot: Vec<u32>,
+    /// slot → admission position in `order` (`NONE` while pending/free).
+    slot_pos: Vec<u32>,
+    /// Active slots in admission order.
+    order: Vec<u32>,
+    pending: DaryHeap<ArrivalKey>,
+    platform: DaryHeap<PlatformKey>,
+    /// Flat volatile-work arena (`slab_len × n_machines`) when `faulty`:
+    /// per (job slot, machine), the work fraction contributed since the
+    /// machine last (re)entered service — exactly the amount lost back
+    /// to `remaining` if that machine dies. Rows are zeroed at
+    /// admission.
+    volatile: Vec<f64>,
     // Scratch buffers recycled across events.
     rate: Vec<f64>,
     machine_share: Vec<f64>,
+    /// Recycled allocation handed to `plan` each event.
+    plan_alloc: Allocation,
+    /// Per-machine gather of `(admission pos, slot, share)` entries,
+    /// insertion-sorted by pos so float accumulation order matches the
+    /// legacy active-list scan bit for bit.
+    row_scratch: Vec<(u32, u32, f64)>,
+    peak_active: usize,
 }
 
 impl Engine {
@@ -577,8 +823,6 @@ impl Engine {
         Engine {
             n_machines,
             now: 0.0,
-            pending: BinaryHeap::new(),
-            active: Vec::new(),
             next_id: 0,
             n_events: 0,
             n_plans: 0,
@@ -588,12 +832,26 @@ impl Engine {
             metrics: MetricsAccumulator::new(),
             n_completed: 0,
             up: vec![true; n_machines],
-            platform: BinaryHeap::new(),
             n_platform_pushed: 0,
             faulty: false,
+            slot_id: Vec::new(),
+            slot_remaining: Vec::new(),
+            slot_release: Vec::new(),
+            slot_weight: Vec::new(),
+            slot_fastest: Vec::new(),
+            slot_costs: Vec::new(),
+            free_slots: Vec::new(),
+            id_slot: Vec::new(),
+            slot_pos: Vec::new(),
+            order: Vec::new(),
+            pending: DaryHeap::new(),
+            platform: DaryHeap::new(),
             volatile: Vec::new(),
             rate: Vec::new(),
             machine_share: vec![0.0; n_machines],
+            plan_alloc: Allocation::default(),
+            row_scratch: Vec::new(),
+            peak_active: 0,
         }
     }
 
@@ -623,8 +881,17 @@ impl Engine {
     }
 
     /// Currently active (released, unfinished) jobs, admission order.
-    pub fn active(&self) -> &[ActiveJob] {
-        &self.active
+    pub fn active(&self) -> ActiveSet<'_> {
+        ActiveSet {
+            order: &self.order,
+            ids: &self.slot_id,
+            remaining: &self.slot_remaining,
+            release: &self.slot_release,
+            weight: &self.slot_weight,
+            fastest: &self.slot_fastest,
+            costs: &self.slot_costs,
+            n_machines: self.n_machines,
+        }
     }
 
     /// Pushed-but-not-yet-released arrivals.
@@ -640,6 +907,12 @@ impl Engine {
     /// Jobs completed so far.
     pub fn n_completed(&self) -> usize {
         self.n_completed
+    }
+
+    /// High-water mark of the active set (informational; not part of
+    /// the snapshot format, resets on restore).
+    pub fn peak_active(&self) -> usize {
+        self.peak_active
     }
 
     /// Whether machine `machine` is currently in service (always `true`
@@ -674,6 +947,43 @@ impl Engine {
         )
     }
 
+    /// Allocates a slab slot, growing every parallel column (and the
+    /// arenas) only when the free list is empty — i.e. when the all-time
+    /// high-water mark of in-flight jobs grows.
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(s) = self.free_slots.pop() {
+            return s;
+        }
+        let s = self.slot_id.len() as u32;
+        self.slot_id.push(0);
+        self.slot_remaining.push(0.0);
+        self.slot_release.push(0.0);
+        self.slot_weight.push(0.0);
+        self.slot_fastest.push(0.0);
+        self.slot_costs
+            .resize(self.slot_costs.len() + self.n_machines, 0.0);
+        self.slot_pos.push(NONE);
+        self.rate.push(0.0);
+        if self.faulty {
+            self.volatile
+                .resize(self.volatile.len() + self.n_machines, 0.0);
+        }
+        s
+    }
+
+    /// The view of one slab slot (used for `on_arrival` notifications).
+    fn job_view(&self, slot: u32) -> JobView<'_> {
+        let s = slot as usize;
+        JobView {
+            id: self.slot_id[s],
+            remaining: self.slot_remaining[s],
+            release: self.slot_release[s],
+            weight: self.slot_weight[s],
+            fastest: self.slot_fastest[s],
+            costs: &self.slot_costs[s * self.n_machines..(s + 1) * self.n_machines],
+        }
+    }
+
     /// Enqueues a future arrival and returns its engine-assigned id (ids
     /// count up from 0 in push order). Arrivals may be pushed in any
     /// order; the event queue admits them by `(release, id)`. A release
@@ -687,30 +997,70 @@ impl Engine {
     /// release/weight/costs. A rejected spec leaves the engine untouched
     /// (no id is consumed).
     pub fn push_arrival(&mut self, job: JobSpec) -> Result<usize, SimError> {
+        self.push_arrival_ref(job.release, job.weight, &job.costs)
+    }
+
+    /// [`Engine::push_arrival`] without the owning [`JobSpec`]: the cost
+    /// row is copied straight into the slab, so drivers replaying a
+    /// stored trace push arrivals without any per-job allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidJob`] under exactly the same validation as
+    /// [`Engine::push_arrival`].
+    pub fn push_arrival_ref(
+        &mut self,
+        release: f64,
+        weight: f64,
+        costs: &[f64],
+    ) -> Result<usize, SimError> {
         let invalid = |reason| Err(SimError::InvalidJob { reason });
-        if job.costs.len() != self.n_machines {
+        if costs.len() != self.n_machines {
             return invalid("costs length does not match the machine count");
         }
-        if !job.costs.iter().any(|c| c.is_finite()) {
+        if !costs.iter().any(|c| c.is_finite()) {
             return invalid("job can run on no machine");
         }
-        if !job.costs.iter().all(|c| *c >= 0.0) {
+        if !costs.iter().all(|c| *c >= 0.0) {
             return invalid("job has a negative or NaN cost");
         }
-        if !(job.release.is_finite() && job.release >= 0.0) {
+        if !(release.is_finite() && release >= 0.0) {
             return invalid("job release must be finite and non-negative");
         }
-        if !(job.weight.is_finite() && job.weight >= 0.0) {
+        if !(weight.is_finite() && weight >= 0.0) {
             return invalid("job weight must be finite and non-negative");
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.pending.push(Reverse(Pending {
-            release: job.release,
-            id,
-            job,
-        }));
+        let slot = self.insert_slot(id, 1.0, release, weight, costs);
+        self.pending.push(ArrivalKey { release, id, slot });
         Ok(id)
+    }
+
+    /// Fills a fresh slot with one job's data and wires the id map.
+    fn insert_slot(
+        &mut self,
+        id: usize,
+        remaining: f64,
+        release: f64,
+        weight: f64,
+        costs: &[f64],
+    ) -> u32 {
+        let slot = self.alloc_slot();
+        let s = slot as usize;
+        let m = self.n_machines;
+        self.slot_id[s] = id;
+        self.slot_remaining[s] = remaining;
+        self.slot_release[s] = release;
+        self.slot_weight[s] = weight;
+        self.slot_fastest[s] = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        self.slot_costs[s * m..(s + 1) * m].copy_from_slice(costs);
+        self.slot_pos[s] = NONE;
+        if self.id_slot.len() <= id {
+            self.id_slot.resize(id + 1, NONE);
+        }
+        self.id_slot[id] = slot;
+        slot
     }
 
     /// Enqueues a machine failure or recovery at `event.time`. Events
@@ -736,11 +1086,11 @@ impl Engine {
         self.enter_faulty_mode();
         let seq = self.n_platform_pushed;
         self.n_platform_pushed += 1;
-        self.platform.push(Reverse(PlatformPending {
+        self.platform.push(PlatformKey {
             time: event.time,
             seq,
             event,
-        }));
+        });
         Ok(())
     }
 
@@ -773,16 +1123,13 @@ impl Engine {
         Ok(())
     }
 
-    /// One-time switch into fault-tracking mode: backfill a zeroed
-    /// volatile-work row for every already-active job.
-    fn enter_faulty_mode(&mut self) {
+    /// One-time switch into fault-tracking mode: a zeroed volatile-work
+    /// row for every slab slot (active rows start zero, matching the
+    /// legacy backfill; pending/free rows are re-zeroed at admission).
+    pub(crate) fn enter_faulty_mode(&mut self) {
         if !self.faulty {
             self.faulty = true;
-            self.volatile = self
-                .active
-                .iter()
-                .map(|_| vec![0.0; self.n_machines]) // dlflint:allow(alloc-in-hot-loop, "one-time mode switch on the first pushed platform event, not per-event work")
-                .collect(); // dlflint:allow(alloc-in-hot-loop, "one-time mode switch on the first pushed platform event, not per-event work")
+            self.volatile = vec![0.0; self.slot_id.len() * self.n_machines]; // dlflint:allow(alloc-in-hot-loop, "one-time mode switch on the first pushed platform event, not per-event work")
         }
     }
 
@@ -795,19 +1142,24 @@ impl Engine {
         let mut applied = 0;
         loop {
             match self.platform.peek() {
-                Some(Reverse(p)) if p.time <= self.now + EPS => {}
+                Some(p) if p.time <= self.now + EPS => {}
                 _ => break,
             }
-            let Some(Reverse(p)) = self.platform.pop() else {
+            let Some(p) = self.platform.pop() else {
                 break;
             };
             let i = p.event.machine;
             match p.event.change {
                 PlatformChange::Down if self.up[i] => {
                     self.up[i] = false;
-                    for (aj, a) in self.active.iter_mut().enumerate() {
-                        a.remaining = (a.remaining + self.volatile[aj][i]).min(1.0);
-                        self.volatile[aj][i] = 0.0;
+                    let m = self.n_machines;
+                    // Refund in admission order (matches the legacy
+                    // active-list walk bit for bit).
+                    for &slot in &self.order {
+                        let s = slot as usize;
+                        let lost = self.volatile[s * m + i];
+                        self.slot_remaining[s] = (self.slot_remaining[s] + lost).min(1.0);
+                        self.volatile[s * m + i] = 0.0;
                     }
                 }
                 PlatformChange::Up if !self.up[i] => {
@@ -828,25 +1180,31 @@ impl Engine {
 
     /// Admits every pending arrival released by `now + EPS`; returns how
     /// many were admitted. Each admission is one event and one
-    /// `on_arrival` notification.
+    /// `on_arrival` notification. Admission moves no job data — it only
+    /// appends the job's slot to the admission order.
     fn admit_due(&mut self, policy: &mut dyn OnlineScheduler) -> usize {
         let mut admitted = 0;
         loop {
             match self.pending.peek() {
-                Some(Reverse(p)) if p.release <= self.now + EPS => {}
+                Some(p) if p.release <= self.now + EPS => {}
                 _ => break,
             }
-            let Some(Reverse(p)) = self.pending.pop() else {
+            let Some(p) = self.pending.pop() else {
                 break;
             };
-            let job = ActiveJob::new(p.id, p.job);
-            policy.on_arrival(self.now, &job);
-            self.active.push(job);
+            let s = p.slot as usize;
+            policy.on_arrival(self.now, self.job_view(p.slot));
+            self.slot_pos[s] = self.order.len() as u32;
+            self.order.push(p.slot);
             if self.faulty {
-                self.volatile.push(vec![0.0; self.n_machines]); // dlflint:allow(alloc-in-hot-loop, "per-admission volatile row, only in fault-tracking mode")
+                let m = self.n_machines;
+                self.volatile[s * m..(s + 1) * m].fill(0.0);
             }
             self.n_events += 1;
             admitted += 1;
+        }
+        if self.order.len() > self.peak_active {
+            self.peak_active = self.order.len();
         }
         admitted
     }
@@ -860,9 +1218,9 @@ impl Engine {
     /// arrival pushed while the trace has more: the engine can only
     /// bound its integration horizon by arrivals it knows about.
     pub fn step(&mut self, policy: &mut dyn OnlineScheduler) -> Result<StepOutcome, SimError> {
-        if self.active.is_empty() {
-            let t_arrival = self.pending.peek().map(|Reverse(p)| p.release);
-            let t_platform = self.platform.peek().map(|Reverse(p)| p.time);
+        if self.order.is_empty() {
+            let t_arrival = self.pending.peek().map(|p| p.release);
+            let t_platform = self.platform.peek().map(|p| p.time);
             let t = match (t_arrival, t_platform) {
                 (None, None) => return Ok(StepOutcome::Idle),
                 (Some(a), None) => a,
@@ -882,41 +1240,66 @@ impl Engine {
         self.apply_due_platform(policy);
 
         let m = self.n_machines;
-        let alloc = policy.plan(self.now, &self.active, m);
+        let mut alloc = std::mem::take(&mut self.plan_alloc);
+        alloc.reset(m);
+        policy.plan(self.now, &self.active(), &mut alloc);
         self.n_plans += 1;
 
         // Validate the allocation and compute per-job progress rates.
-        // Iteration is machine-major over the active list (the same
-        // accumulation order as the legacy dense loop, so results are
-        // bit-identical); each share lookup is a binary search into the
-        // sparse row: O(m · |active| · log).
-        self.rate.clear();
-        self.rate.resize(self.active.len(), 0.0);
+        // Instead of the legacy O(m · |active| · log) scan (every active
+        // job probed against every machine's sparse row), each row's
+        // entries are gathered once, filtered to active jobs, and
+        // insertion-sorted by admission position — the same per-machine
+        // job order and float accumulation order as the legacy scan, so
+        // results are bit-identical, at O(assigned entries) cost.
+        for &slot in &self.order {
+            self.rate[slot as usize] = 0.0;
+        }
         for i in 0..m {
-            let mut total = 0.0;
-            for (aj, a) in self.active.iter().enumerate() {
-                let share = alloc.share(i, a.id);
+            self.row_scratch.clear();
+            for &(jid, share) in alloc.entries(i) {
                 if share <= EPS {
                     continue;
                 }
+                let Some(&slot) = self.id_slot.get(jid) else {
+                    continue; // unknown id: the legacy scan never saw it
+                };
+                if slot == NONE {
+                    continue; // already completed
+                }
+                let pos = self.slot_pos[slot as usize];
+                if pos == NONE {
+                    continue; // pushed but not yet admitted
+                }
+                let mut k = self.row_scratch.len();
+                self.row_scratch.push((pos, slot, share));
+                while k > 0 && self.row_scratch[k - 1].0 > pos {
+                    self.row_scratch.swap(k - 1, k);
+                    k -= 1;
+                }
+            }
+            let mut total = 0.0;
+            for idx in 0..self.row_scratch.len() {
+                let (_, slot, share) = self.row_scratch[idx];
+                let s = slot as usize;
                 if self.faulty && !self.up[i] {
                     return Err(SimError::DeadMachineAllocation {
                         machine: i,
-                        job: a.id,
+                        job: self.slot_id[s],
                     });
                 }
-                let c = a.costs[i];
+                let c = self.slot_costs[s * m + i];
                 if !c.is_finite() {
                     return Err(SimError::ForbiddenAssignment {
                         machine: i,
-                        job: a.id,
+                        job: self.slot_id[s],
                     });
                 }
                 total += share;
                 if c <= EPS {
-                    self.rate[aj] = f64::INFINITY; // zero-cost job finishes instantly
+                    self.rate[s] = f64::INFINITY; // zero-cost job finishes instantly
                 } else {
-                    self.rate[aj] += share / c;
+                    self.rate[s] += share / c;
                 }
             }
             if total > 1.0 + 1e-6 {
@@ -927,15 +1310,16 @@ impl Engine {
 
         // Horizon: next arrival, next platform event, earliest
         // completion.
-        let t_arrival = self.pending.peek().map(|Reverse(p)| p.release);
-        let t_platform = self.platform.peek().map(|Reverse(p)| p.time);
+        let t_arrival = self.pending.peek().map(|p| p.release);
+        let t_platform = self.platform.peek().map(|p| p.time);
         let mut t_complete: Option<f64> = None;
-        for (aj, a) in self.active.iter().enumerate() {
-            if self.rate[aj] > 0.0 {
-                let t = if self.rate[aj].is_infinite() {
+        for &slot in &self.order {
+            let s = slot as usize;
+            if self.rate[s] > 0.0 {
+                let t = if self.rate[s].is_infinite() {
                     self.now
                 } else {
-                    self.now + a.remaining / self.rate[aj]
+                    self.now + self.slot_remaining[s] / self.rate[s]
                 };
                 t_complete = Some(t_complete.map_or(t, |cur: f64| cur.min(t)));
             }
@@ -960,45 +1344,67 @@ impl Engine {
         if self.faulty && dt > 0.0 {
             // Volatile-work accounting: what each live machine
             // contributed over this interval, charged per (job, machine)
-            // so a later failure can refund exactly this much.
+            // so a later failure can refund exactly this much. Each
+            // (slot, machine) cell is touched at most once per row, so
+            // entry order is immaterial — no sort needed.
             for i in 0..m {
                 if !self.up[i] {
                     continue;
                 }
-                for (aj, a) in self.active.iter().enumerate() {
-                    let share = alloc.share(i, a.id);
-                    if share > EPS && a.costs[i] > EPS {
-                        self.volatile[aj][i] += share / a.costs[i] * dt;
+                for &(jid, share) in alloc.entries(i) {
+                    if share <= EPS {
+                        continue;
+                    }
+                    let Some(&slot) = self.id_slot.get(jid) else {
+                        continue;
+                    };
+                    if slot == NONE {
+                        continue;
+                    }
+                    let s = slot as usize;
+                    if self.slot_pos[s] == NONE {
+                        continue;
+                    }
+                    let c = self.slot_costs[s * m + i];
+                    if c > EPS {
+                        self.volatile[s * m + i] += share / c * dt;
                     }
                 }
             }
         }
-        for (aj, a) in self.active.iter_mut().enumerate() {
-            if self.rate[aj].is_infinite() {
-                a.remaining = 0.0;
-            } else {
-                a.remaining -= self.rate[aj] * dt;
-            }
-        }
+        self.plan_alloc = alloc;
         // Never backwards: a late-pushed arrival (release < now) may set
         // t_next in the past; it is admitted *at* the current time.
         self.now = self.now.max(t_next);
         self.n_events += 1;
 
-        // Completions (preserving admission order of the survivors).
+        // Progress + completions in one admission-order pass (removal
+        // shifts the next survivor into position `k`, so every job is
+        // decremented exactly once and survivors keep their order).
         let mut k = 0;
-        while k < self.active.len() {
-            if self.active[k].remaining <= EPS {
-                let a = self.active.remove(k);
-                if self.faulty {
-                    self.volatile.remove(k);
+        while k < self.order.len() {
+            let slot = self.order[k];
+            let s = slot as usize;
+            if self.rate[s].is_infinite() {
+                self.slot_remaining[s] = 0.0;
+            } else {
+                self.slot_remaining[s] -= self.rate[s] * dt;
+            }
+            if self.slot_remaining[s] <= EPS {
+                self.order.remove(k);
+                for pos in k..self.order.len() {
+                    self.slot_pos[self.order[pos] as usize] = pos as u32;
                 }
-                policy.on_completion(self.now, a.id);
+                let id = self.slot_id[s];
+                self.slot_pos[s] = NONE;
+                self.id_slot[id] = NONE;
+                self.free_slots.push(slot);
+                policy.on_completion(self.now, id);
                 let done = CompletedJob {
-                    id: a.id,
-                    release: a.release,
-                    weight: a.weight,
-                    fastest_cost: a.fastest,
+                    id,
+                    release: self.slot_release[s],
+                    weight: self.slot_weight[s],
+                    fastest_cost: self.slot_fastest[s],
                     completion: self.now,
                 };
                 self.metrics.push(&done);
@@ -1038,6 +1444,96 @@ impl Engine {
     /// drivers call this every few steps to keep memory `O(|active|)`.
     pub fn take_completed(&mut self) -> Vec<CompletedJob> {
         std::mem::take(&mut self.completed)
+    }
+
+    // --- Snapshot plumbing (crate-internal). The `dlflow-snapshot v1`
+    // byte format predates the slab layout and is frozen; these helpers
+    // expose/rebuild the slab in the format's terms.
+
+    /// Pending arrivals as `(id, release, weight, costs)`, unordered
+    /// (heap layout order — serialization sorts what it needs).
+    pub(crate) fn pending_entries(&self) -> impl Iterator<Item = (usize, f64, f64, &[f64])> + '_ {
+        let m = self.n_machines;
+        self.pending.as_slice().iter().map(move |p| {
+            let s = p.slot as usize;
+            (
+                p.id,
+                p.release,
+                self.slot_weight[s],
+                &self.slot_costs[s * m..(s + 1) * m],
+            )
+        })
+    }
+
+    /// Active jobs in admission order as
+    /// `(id, remaining, release, weight, costs, volatile row)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn active_entries(
+        &self,
+    ) -> impl Iterator<Item = (usize, f64, f64, f64, &[f64], Option<&[f64]>)> + '_ {
+        let m = self.n_machines;
+        self.order.iter().map(move |&slot| {
+            let s = slot as usize;
+            (
+                self.slot_id[s],
+                self.slot_remaining[s],
+                self.slot_release[s],
+                self.slot_weight[s],
+                &self.slot_costs[s * m..(s + 1) * m],
+                self.faulty.then(|| &self.volatile[s * m..(s + 1) * m]),
+            )
+        })
+    }
+
+    /// Queued platform events as `(time, seq, event)`, unordered.
+    pub(crate) fn platform_entries(
+        &self,
+    ) -> impl Iterator<Item = (f64, usize, PlatformEvent)> + '_ {
+        self.platform
+            .as_slice()
+            .iter()
+            .map(|p| (p.time, p.seq, p.event))
+    }
+
+    /// Re-inserts one pending arrival during restore (no validation —
+    /// the snapshot loader owns format checking; ids need not be dense).
+    pub(crate) fn restore_pending(&mut self, id: usize, release: f64, weight: f64, costs: &[f64]) {
+        let slot = self.insert_slot(id, 1.0, release, weight, costs);
+        self.pending.push(ArrivalKey { release, id, slot });
+    }
+
+    /// Re-inserts one active job during restore, appended to the
+    /// admission order. A `Some` volatile row requires the engine to be
+    /// in fault mode already.
+    pub(crate) fn restore_active(
+        &mut self,
+        id: usize,
+        remaining: f64,
+        release: f64,
+        weight: f64,
+        costs: &[f64],
+        volatile_row: Option<&[f64]>,
+    ) {
+        let slot = self.insert_slot(id, remaining, release, weight, costs);
+        let s = slot as usize;
+        self.slot_pos[s] = self.order.len() as u32;
+        self.order.push(slot);
+        if self.order.len() > self.peak_active {
+            self.peak_active = self.order.len();
+        }
+        if self.faulty {
+            let m = self.n_machines;
+            self.volatile[s * m..(s + 1) * m].fill(0.0);
+            if let Some(row) = volatile_row {
+                self.volatile[s * m..(s + 1) * m].copy_from_slice(row);
+            }
+        }
+    }
+
+    /// Re-enqueues one platform event during restore with its original
+    /// sequence number (the caller restores `n_platform_pushed`).
+    pub(crate) fn restore_platform(&mut self, time: f64, seq: usize, event: PlatformEvent) {
+        self.platform.push(PlatformKey { time, seq, event });
     }
 }
 
@@ -1094,7 +1590,7 @@ pub fn simulate_with_events(
     })
 }
 
-/// The seed's batch simulation loop, kept verbatim as the parity oracle
+/// The seed's batch simulation loop, kept verbatim as a parity oracle
 /// and throughput baseline: allocations are materialized as **dense**
 /// machine × total-job matrices every event, so per-event cost is
 /// `O(m · n_total)` and memory `O(m · n_total)` — the scaling the
@@ -1124,6 +1620,8 @@ pub fn simulate_dense(
     let mut n_events = 0usize;
     let mut n_plans = 0usize;
     let mut busy = vec![0.0f64; m];
+    let mut scratch = ScratchSet::default();
+    let mut alloc_buf = Allocation::default();
 
     let admit = |now: f64,
                  next_arrival: &mut usize,
@@ -1135,7 +1633,7 @@ pub fn simulate_dense(
                 order[*next_arrival],
                 job_spec_of(inst, order[*next_arrival]),
             );
-            policy.on_arrival(now, &job);
+            policy.on_arrival(now, view_of(&job));
             active.push(job);
             *next_arrival += 1;
             *n_events += 1;
@@ -1164,7 +1662,10 @@ pub fn simulate_dense(
 
         // The legacy dense materialization: every plan becomes an
         // m × n_total rate matrix, zeroed from scratch.
-        let sparse = policy.plan(now, &active, m);
+        scratch.fill(&active, m);
+        alloc_buf.reset(m);
+        policy.plan(now, &scratch.view(m), &mut alloc_buf);
+        let sparse = &alloc_buf;
         n_plans += 1;
         let mut rates: Vec<Vec<f64>> = vec![vec![0.0; n]; m];
         for i in 0..m.min(sparse.n_machines()) {
@@ -1309,14 +1810,12 @@ mod tests {
         fn name(&self) -> String {
             "greedy-first".into()
         }
-        fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-            let mut alloc = Allocation::idle(n_machines);
-            for i in 0..n_machines {
+        fn plan(&mut self, _now: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
+            for i in 0..alloc.n_machines() {
                 if let Some(a) = active.iter().find(|a| a.cost(i).is_some()) {
                     alloc.set(i, a.id, 1.0);
                 }
             }
-            alloc
         }
     }
 
@@ -1347,12 +1846,10 @@ mod tests {
             fn name(&self) -> String {
                 "bad".into()
             }
-            fn plan(&mut self, _: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-                let mut a = Allocation::idle(n_machines);
-                for x in active {
-                    a.set(0, x.id, 1.0); // sums to 2 when both active
+            fn plan(&mut self, _: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
+                for x in active.iter() {
+                    alloc.set(0, x.id, 1.0); // sums to 2 when both active
                 }
-                a
             }
         }
         let inst = inst2();
@@ -1370,10 +1867,8 @@ mod tests {
             fn name(&self) -> String {
                 "bad".into()
             }
-            fn plan(&mut self, _: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-                let mut a = Allocation::idle(n_machines);
-                a.set(1, active[0].id, 1.0);
-                a
+            fn plan(&mut self, _: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
+                alloc.set(1, active.get(0).id, 1.0);
             }
         }
         let mut b = InstanceBuilder::new();
@@ -1392,9 +1887,7 @@ mod tests {
             fn name(&self) -> String {
                 "idle".into()
             }
-            fn plan(&mut self, _: f64, _: &[ActiveJob], n_machines: usize) -> Allocation {
-                Allocation::idle(n_machines)
-            }
+            fn plan(&mut self, _: f64, _: &ActiveSet<'_>, _: &mut Allocation) {}
         }
         let inst = inst2();
         assert!(matches!(
@@ -1839,12 +2332,10 @@ mod tests {
             fn name(&self) -> String {
                 "deaf".into()
             }
-            fn plan(&mut self, _: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-                let mut a = Allocation::idle(n_machines);
-                if let Some(j) = active.first() {
-                    a.set(0, j.id, 1.0);
+            fn plan(&mut self, _: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
+                if !active.is_empty() {
+                    alloc.set(0, active.get(0).id, 1.0);
                 }
-                a
             }
         }
         let mut eng = Engine::new(2);
@@ -1976,5 +2467,92 @@ mod tests {
         a.scale_machine(0, 0.5);
         assert!((a.machine_total(0) - 0.5).abs() < 1e-12);
         assert_eq!(a.n_machines(), 2);
+    }
+
+    // --- Flattened-layout specifics (new in the slab engine). ---
+
+    #[test]
+    fn allocation_reset_clears_rows_and_resizes() {
+        let mut a = Allocation::idle(1);
+        a.set(0, 3, 0.5);
+        a.reset(3);
+        assert_eq!(a.n_machines(), 3);
+        for i in 0..3 {
+            assert!(a.entries(i).is_empty());
+        }
+        a.set(2, 1, 1.0);
+        a.reset(2);
+        assert_eq!(a.n_machines(), 2);
+        assert!(a.entries(0).is_empty() && a.entries(1).is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_without_confusing_ids() {
+        // Sequential jobs reuse the same slab slot; ids, costs, and
+        // completions must stay per-job correct across the reuse.
+        let mut eng = Engine::new(2);
+        let mut p = GreedyFirst;
+        for k in 0..6 {
+            eng.push_arrival(JobSpec {
+                release: 10.0 * k as f64,
+                weight: 1.0,
+                costs: vec![1.0 + k as f64, f64::INFINITY],
+            })
+            .unwrap();
+        }
+        eng.drain(&mut p).unwrap();
+        let done = eng.take_completed();
+        assert_eq!(done.len(), 6);
+        for (k, c) in done.iter().enumerate() {
+            assert_eq!(c.id, k);
+            assert!((c.release - 10.0 * k as f64).abs() < 1e-12);
+            assert!((c.fastest_cost - (1.0 + k as f64)).abs() < 1e-12);
+            assert!((c.completion - (10.0 * k as f64 + 1.0 + k as f64)).abs() < 1e-9);
+        }
+        // One in-flight job at a time → one slab slot ever allocated.
+        assert_eq!(eng.peak_active(), 1);
+    }
+
+    #[test]
+    fn push_arrival_ref_matches_push_arrival() {
+        let mut a = Engine::new(2);
+        let mut b = Engine::new(2);
+        let mut pa = GreedyFirst;
+        let mut pb = GreedyFirst;
+        let costs = [2.0, 4.0];
+        for k in 0..4 {
+            let ida = a
+                .push_arrival(JobSpec {
+                    release: k as f64 * 0.5,
+                    weight: 1.0,
+                    costs: costs.to_vec(),
+                })
+                .unwrap();
+            let idb = b.push_arrival_ref(k as f64 * 0.5, 1.0, &costs).unwrap();
+            assert_eq!(ida, idb);
+        }
+        a.drain(&mut pa).unwrap();
+        b.drain(&mut pb).unwrap();
+        let da = a.take_completed();
+        let db = b.take_completed();
+        assert_eq!(da, db);
+        assert_eq!(a.n_events(), b.n_events());
+    }
+
+    #[test]
+    fn peak_active_tracks_high_water_mark() {
+        let mut eng = Engine::new(1);
+        let mut p = GreedyFirst;
+        for _ in 0..3 {
+            eng.push_arrival(JobSpec {
+                release: 0.0,
+                weight: 1.0,
+                costs: vec![1.0],
+            })
+            .unwrap();
+        }
+        assert_eq!(eng.peak_active(), 0);
+        eng.drain(&mut p).unwrap();
+        assert_eq!(eng.peak_active(), 3);
     }
 }

@@ -1,0 +1,193 @@
+//! Index-based d-ary min-heaps for the engine's event queues.
+//!
+//! The flattened engine keeps its two event queues — pending arrivals
+//! and pending platform changes — in 4-ary min-heaps over small `Copy`
+//! key records (a slab slot index plus the ordering key), instead of
+//! `BinaryHeap<Reverse<T>>` over owning structs. A 4-ary layout halves
+//! the tree depth of a binary heap and keeps each sift touching a
+//! single cache line of keys; entries never own heap storage, so
+//! `push`/`pop` in the steady state (capacity reached) allocate
+//! nothing.
+//!
+//! Determinism: [`DaryHeap::pop`] always returns the *least* entry
+//! under the total order [`HeapOrd::before`]. Every key type used by
+//! the engine breaks float ties with a unique sequence number, so the
+//! pop sequence is a total order — identical to the `BinaryHeap` the
+//! engine used before, regardless of arity or internal layout.
+
+/// Total strict-weak order for heap entries. `a.before(b)` means `a`
+/// pops first. Implementations must be total (no incomparable pairs) so
+/// the pop order is deterministic.
+pub(crate) trait HeapOrd: Copy {
+    /// Does `self` order strictly before `other`?
+    fn before(&self, other: &Self) -> bool;
+}
+
+/// Branching factor: each node has up to 4 children at
+/// `4k+1 .. 4k+4`.
+const ARITY: usize = 4;
+
+/// A flat-array 4-ary min-heap of `Copy` key records.
+#[derive(Debug, Clone)]
+pub(crate) struct DaryHeap<T: HeapOrd> {
+    items: Vec<T>,
+}
+
+impl<T: HeapOrd> Default for DaryHeap<T> {
+    fn default() -> Self {
+        DaryHeap { items: Vec::new() }
+    }
+}
+
+impl<T: HeapOrd> DaryHeap<T> {
+    /// An empty heap.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued entries.
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the heap empty?
+    #[allow(dead_code)] // completes the len/is_empty pair clippy expects
+    pub(crate) fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The least entry, if any, without removing it.
+    pub(crate) fn peek(&self) -> Option<&T> {
+        self.items.first()
+    }
+
+    /// Unordered view of every queued entry (snapshot serialization
+    /// sorts what it needs; the engine never relies on this order).
+    pub(crate) fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Inserts an entry. Amortized O(1) allocation-wise: storage only
+    /// grows when the all-time high-water mark does.
+    pub(crate) fn push(&mut self, item: T) {
+        self.items.push(item);
+        self.sift_up(self.items.len() - 1);
+    }
+
+    /// Removes and returns the least entry.
+    pub(crate) fn pop(&mut self) -> Option<T> {
+        let n = self.items.len();
+        if n == 0 {
+            return None;
+        }
+        self.items.swap(0, n - 1);
+        let top = self.items.pop();
+        if !self.items.is_empty() {
+            self.sift_down(0);
+        }
+        top
+    }
+
+    fn sift_up(&mut self, mut k: usize) {
+        while k > 0 {
+            let parent = (k - 1) / ARITY;
+            if self.items[k].before(&self.items[parent]) {
+                self.items.swap(k, parent);
+                k = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut k: usize) {
+        let n = self.items.len();
+        loop {
+            let first_child = ARITY * k + 1;
+            if first_child >= n {
+                break;
+            }
+            let mut best = first_child;
+            let last_child = (first_child + ARITY - 1).min(n - 1);
+            for c in first_child + 1..=last_child {
+                if self.items[c].before(&self.items[best]) {
+                    best = c;
+                }
+            }
+            if self.items[best].before(&self.items[k]) {
+                self.items.swap(k, best);
+                k = best;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Mirrors the engine's `(time.total_cmp, seq)` keys.
+    #[derive(Clone, Copy, Debug)]
+    struct K2(f64, usize);
+    impl HeapOrd for K2 {
+        fn before(&self, other: &Self) -> bool {
+            match self.0.total_cmp(&other.0) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => self.1 < other.1,
+            }
+        }
+    }
+
+    #[test]
+    fn pops_in_total_order_matching_binary_heap() {
+        // Deterministic pseudo-random insertions, including duplicates
+        // of the float key (tie-broken by the sequence number).
+        let mut heap = DaryHeap::new();
+        let mut reference: Vec<K2> = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for seq in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = ((x % 64) as f64) * 0.25;
+            heap.push(K2(t, seq));
+            reference.push(K2(t, seq));
+        }
+        reference.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut popped = Vec::new();
+        while let Some(k) = heap.pop() {
+            popped.push(k);
+        }
+        assert_eq!(popped.len(), reference.len());
+        for (p, r) in popped.iter().zip(&reference) {
+            assert_eq!((p.0.to_bits(), p.1), (r.0.to_bits(), r.1));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_min_at_root() {
+        let mut heap = DaryHeap::new();
+        for i in (0..40usize).rev() {
+            heap.push(K2(i as f64, i));
+        }
+        assert_eq!(heap.peek().map(|k| k.1), Some(0));
+        assert_eq!(heap.pop().map(|k| k.1), Some(0));
+        heap.push(K2(-1.0, 99));
+        assert_eq!(heap.pop().map(|k| k.1), Some(99));
+        assert_eq!(heap.pop().map(|k| k.1), Some(1));
+        // 40 pushed, 3 popped, 1 pushed back in.
+        assert_eq!(heap.len(), 38);
+    }
+
+    #[test]
+    fn empty_heap_behaves() {
+        let mut heap: DaryHeap<K2> = DaryHeap::new();
+        assert!(heap.is_empty());
+        assert_eq!(heap.pop().map(|k| k.1), None);
+        assert!(heap.peek().is_none());
+        assert!(heap.as_slice().is_empty());
+    }
+}

@@ -67,8 +67,11 @@
 pub mod campaign;
 pub mod chaos;
 pub mod engine;
+mod heap;
+pub mod reference;
 pub mod schedulers;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
 pub mod workload;
 
@@ -81,13 +84,15 @@ pub use chaos::{
     FaultCampaignConfig, FaultCampaignReport, FaultLevel, FaultRunRecord,
 };
 pub use engine::{
-    simulate, simulate_dense, simulate_with_events, ActiveJob, Allocation, CompletedJob, Engine,
-    JobSpec, MetricsAccumulator, OnlineScheduler, PlatformChange, PlatformEvent, RunMetrics,
-    SimError, SimResult, StepOutcome,
+    simulate, simulate_dense, simulate_with_events, ActiveJob, ActiveSet, Allocation, CompletedJob,
+    Engine, JobSpec, JobView, MetricsAccumulator, OnlineScheduler, PlatformChange, PlatformEvent,
+    RunMetrics, SimError, SimResult, StepOutcome,
 };
+pub use reference::ReferenceEngine;
 pub use service::{
     run_simulation, run_simulation_with, FaultInjection, ServiceReport, SimInput, SimOptions,
 };
+pub use shard::ShardedEngine;
 pub use snapshot::SnapshotError;
 pub use workload::{
     ensemble, generate, generate_trace, ArrivalProcess, FaultProcess, ReplayStats, Trace,

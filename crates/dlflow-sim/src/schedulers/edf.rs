@@ -21,9 +21,14 @@
 //! [`OnlineScheduler::on_arrival`] and keeps it in a map pruned on
 //! completion — incremental state instead of per-plan recomputation.
 
-use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
-use crate::schedulers::greedy::assign_by_priority;
+use crate::engine::{ActiveSet, Allocation, JobView, OnlineScheduler};
+use crate::schedulers::greedy::{assign_by_priority, RankScratch};
 use std::collections::BTreeMap;
+
+/// The guessed deadline of a job under a given target factor.
+fn guess_of(target: f64, job: JobView<'_>) -> f64 {
+    job.release + target * job.fastest_cost() / job.weight.max(1e-12)
+}
 
 /// EDF on guessed deadlines (see module docs).
 pub struct Edf {
@@ -36,6 +41,7 @@ pub struct Edf {
     guesses: BTreeMap<usize, f64>,
     /// Platform availability mask (empty = all machines in service).
     up: Vec<bool>,
+    scratch: RankScratch,
 }
 
 impl Default for Edf {
@@ -44,6 +50,7 @@ impl Default for Edf {
             target: 2.0,
             guesses: BTreeMap::new(),
             up: Vec::new(),
+            scratch: RankScratch::default(),
         }
     }
 }
@@ -59,14 +66,8 @@ impl Edf {
         assert!(target > 0.0, "EDF target factor must be positive");
         Edf {
             target,
-            guesses: BTreeMap::new(),
-            up: Vec::new(),
+            ..Self::default()
         }
-    }
-
-    /// The guessed deadline of a job.
-    fn guess(&self, job: &ActiveJob) -> f64 {
-        job.release + self.target * job.fastest_cost() / job.weight.max(1e-12)
     }
 }
 
@@ -84,8 +85,8 @@ impl OnlineScheduler for Edf {
         self.up.clear();
     }
 
-    fn on_arrival(&mut self, _now: f64, job: &ActiveJob) {
-        let d = self.guess(job);
+    fn on_arrival(&mut self, _now: f64, job: JobView<'_>) {
+        let d = guess_of(self.target, job);
         self.guesses.insert(job.id, d);
     }
 
@@ -129,15 +130,16 @@ impl OnlineScheduler for Edf {
         Ok(())
     }
 
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-        assign_by_priority(active, n_machines, &self.up, |a| {
+    fn plan(&mut self, _now: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
+        let target = self.target;
+        let guesses = &self.guesses;
+        assign_by_priority(&mut self.scratch, active, &self.up, alloc, |a| {
             // Cached at arrival; recomputed only if a driver skipped the
             // arrival notification.
-            -self
-                .guesses
+            -guesses
                 .get(&a.id)
                 .copied()
-                .unwrap_or_else(|| self.guess(a))
+                .unwrap_or_else(|| guess_of(target, a))
         })
     }
 }

@@ -2,47 +2,150 @@
 //! most one machine at a time, but may be migrated or interrupted at any
 //! event).
 
-use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
+use crate::engine::{ActiveSet, Allocation, JobView, OnlineScheduler};
+
+/// Recycled ranking buffers for [`assign_by_priority`]: job order,
+/// priorities, and the machine occupancy mask. Each list policy owns one
+/// so the per-event path allocates nothing once capacities warm up.
+#[derive(Debug, Default)]
+pub(crate) struct RankScratch {
+    order: Vec<u32>,
+    keys: Vec<u128>,
+    free: Vec<bool>,
+}
+
+/// One sortable word per job: high 64 bits order by *descending*
+/// priority under IEEE 754 `totalOrder` (exactly [`f64::total_cmp`]),
+/// low 64 bits break exact-bit priority ties by ascending job id. A
+/// single integer compare per sort comparison replaces two
+/// bounds-checked float loads plus `total_cmp` plus an id compare —
+/// this is the hottest comparison in the simulator.
+#[inline]
+fn rank_key(priority: f64, id: usize) -> u128 {
+    let b = priority.to_bits();
+    // Ascending totalOrder key: flip all bits of negatives, just the
+    // sign bit of non-negatives.
+    let asc = b ^ ((((b as i64) >> 63) as u64) | (1 << 63));
+    // Descending = complement.
+    ((!asc as u128) << 64) | id as u128
+}
 
 /// Assigns jobs (in the order produced by `priority`, *descending*) to
-/// their fastest still-free **live** machine. `up` is the platform
-/// availability mask (empty = all machines in service). Shared by every
-/// list heuristic in this module and by [`crate::schedulers::edf::Edf`].
+/// their fastest still-free **live** machine, written into `alloc`.
+/// `up` is the platform availability mask (empty = all machines in
+/// service). Shared by every list heuristic in this module and by
+/// [`crate::schedulers::edf::Edf`].
 pub(crate) fn assign_by_priority(
-    active: &[ActiveJob],
-    n_machines: usize,
+    scratch: &mut RankScratch,
+    active: &ActiveSet<'_>,
     up: &[bool],
-    mut priority: impl FnMut(&ActiveJob) -> f64,
-) -> Allocation {
-    let mut order: Vec<usize> = (0..active.len()).collect(); // dlflint:allow(alloc-in-hot-loop, "O(active) ranking buffer, one per plan; stateless policies have no scratch field to reuse")
-    let prios: Vec<f64> = active.iter().map(&mut priority).collect(); // dlflint:allow(alloc-in-hot-loop, "O(active) ranking buffer, one per plan; stateless policies have no scratch field to reuse")
-    order.sort_by(|&x, &y| {
-        prios[y]
-            .total_cmp(&prios[x])
-            .then(active[x].id.cmp(&active[y].id))
-    });
+    alloc: &mut Allocation,
+    mut priority: impl FnMut(JobView<'_>) -> f64,
+) {
+    let n_machines = alloc.n_machines();
+    let n = active.len();
+    if n == 0 {
+        return;
+    }
 
-    let mut free = vec![true; n_machines]; // dlflint:allow(alloc-in-hot-loop, "O(machines) occupancy mask, one per plan; stateless policies have no scratch field to reuse")
-    let mut alloc = Allocation::idle(n_machines);
-    for k in order {
-        let job = &active[k];
-        let mut best: Option<(usize, f64)> = None;
-        for i in 0..n_machines {
-            if !free[i] || !(up.is_empty() || up[i]) {
-                continue;
+    // Seed the occupancy mask with the platform mask: a dead machine is
+    // just a machine that is never free. Every assignment then retires
+    // one machine, so once `free_left` hits zero the remaining
+    // (lower-priority) jobs cannot be served this plan — they are never
+    // visited at all.
+    scratch.free.clear();
+    let mut free_left = if up.is_empty() {
+        scratch.free.resize(n_machines, true);
+        n_machines
+    } else {
+        scratch.free.extend_from_slice(up);
+        up.iter().filter(|&&ok| ok).count()
+    };
+
+    // Tries to hand `job` its fastest still-free machine; returns
+    // whether a machine was taken. Infinite and NaN costs lose every
+    // `<` against the running best, so unavailable machines need no
+    // separate check; strict `<` keeps the lowest index on cost ties.
+    let mut try_assign = |k: usize, free: &mut [bool], free_left: &mut usize| -> bool {
+        let job = active.get(k);
+        let row = job.costs();
+        let mut best = f64::INFINITY;
+        let mut at = usize::MAX;
+        for (i, (&f, &c)) in free.iter().zip(row).enumerate() {
+            if f && c < best {
+                best = c;
+                at = i;
             }
-            if let Some(c) = job.cost(i) {
-                if best.is_none_or(|(_, b)| c < b) {
-                    best = Some((i, c));
+        }
+        if at != usize::MAX {
+            free[at] = false;
+            *free_left -= 1;
+            alloc.set(at, job.id, 1.0);
+            true
+        } else {
+            false
+        }
+    };
+
+    if n == 1 {
+        // One job: every priority ranks it first — skip ranking
+        // entirely. This is the common case inside small shards.
+        try_assign(0, &mut scratch.free, &mut free_left);
+        return;
+    }
+
+    scratch.order.clear();
+    scratch.keys.clear();
+    for k in 0..n {
+        let job = active.get(k);
+        scratch.order.push(k as u32);
+        scratch.keys.push(rank_key(priority(job), job.id));
+    }
+    let keys = &mut scratch.keys;
+    let order = &mut scratch.order;
+
+    // Keys are distinct (the low bits hold the unique job id), so the
+    // descending-priority traversal is unique — how it is produced
+    // cannot change the outcome, only its cost. Two regimes:
+    //
+    // * more jobs than machines: at most `free_left` jobs (plus any
+    //   that fit nowhere) are ever visited, so *lazily* extract
+    //   successive minima from an unsorted pool — O(visited · n) —
+    //   instead of ordering all n. A saturated shard plans in O(n).
+    // * otherwise: a branch-lean insertion sort of the whole set (n is
+    //   small; the standard sort's dispatch overhead dominates it).
+    if n > 2 * n_machines {
+        while free_left > 0 && !order.is_empty() {
+            let mut at = 0;
+            let mut min_key = keys[order[0] as usize];
+            for (j, &x) in order.iter().enumerate().skip(1) {
+                let kx = keys[x as usize];
+                if kx < min_key {
+                    min_key = kx;
+                    at = j;
                 }
             }
+            let k = order.swap_remove(at);
+            try_assign(k as usize, &mut scratch.free, &mut free_left);
         }
-        if let Some((i, _)) = best {
-            free[i] = false;
-            alloc.set(i, job.id, 1.0);
+    } else {
+        for i in 1..n {
+            let oi = order[i];
+            let ki = keys[oi as usize];
+            let mut j = i;
+            while j > 0 && keys[order[j - 1] as usize] > ki {
+                order[j] = order[j - 1];
+                j -= 1;
+            }
+            order[j] = oi;
+        }
+        for &k in order.iter() {
+            if free_left == 0 {
+                break;
+            }
+            try_assign(k as usize, &mut scratch.free, &mut free_left);
         }
     }
-    alloc
 }
 
 /// Shortest Remaining Processing Time first (remaining work measured on
@@ -51,6 +154,7 @@ pub(crate) fn assign_by_priority(
 pub struct Srpt {
     /// Platform availability mask (empty = all machines in service).
     up: Vec<bool>,
+    scratch: RankScratch,
 }
 
 impl Srpt {
@@ -67,7 +171,7 @@ impl OnlineScheduler for Srpt {
     fn reset(&mut self) {
         self.up.clear();
     }
-    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+    fn on_arrival(&mut self, _now: f64, _job: JobView<'_>) {
         // Stateless: every `plan` re-ranks the active set from scratch.
     }
     fn on_completion(&mut self, _now: f64, _job_id: usize) {
@@ -77,8 +181,8 @@ impl OnlineScheduler for Srpt {
         self.up.clear();
         self.up.extend_from_slice(up);
     }
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-        assign_by_priority(active, n_machines, &self.up, |a| {
+    fn plan(&mut self, _now: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
+        assign_by_priority(&mut self.scratch, active, &self.up, alloc, |a| {
             -(a.remaining * a.fastest_cost())
         })
     }
@@ -92,6 +196,7 @@ pub struct WeightedAge {
     now: f64,
     /// Platform availability mask (empty = all machines in service).
     up: Vec<bool>,
+    scratch: RankScratch,
 }
 
 impl WeightedAge {
@@ -109,7 +214,7 @@ impl OnlineScheduler for WeightedAge {
         self.now = 0.0;
         self.up.clear();
     }
-    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+    fn on_arrival(&mut self, _now: f64, _job: JobView<'_>) {
         // Stateless: ages are recomputed from `now` and releases in `plan`.
     }
     fn on_completion(&mut self, _now: f64, _job_id: usize) {
@@ -119,9 +224,9 @@ impl OnlineScheduler for WeightedAge {
         self.up.clear();
         self.up.extend_from_slice(up);
     }
-    fn plan(&mut self, now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+    fn plan(&mut self, now: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
         self.now = now;
-        assign_by_priority(active, n_machines, &self.up, |a| {
+        assign_by_priority(&mut self.scratch, active, &self.up, alloc, |a| {
             // Weighted flow the job would reach if it finished right now,
             // plus its remaining fastest time (a lookahead tie-breaker).
             a.weight * (now - a.release + a.remaining * a.fastest_cost())
@@ -139,6 +244,7 @@ impl OnlineScheduler for WeightedAge {
 pub struct Swrpt {
     /// Platform availability mask (empty = all machines in service).
     up: Vec<bool>,
+    scratch: RankScratch,
 }
 
 impl Swrpt {
@@ -155,7 +261,7 @@ impl OnlineScheduler for Swrpt {
     fn reset(&mut self) {
         self.up.clear();
     }
-    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+    fn on_arrival(&mut self, _now: f64, _job: JobView<'_>) {
         // Stateless: every `plan` re-ranks the active set from scratch.
     }
     fn on_completion(&mut self, _now: f64, _job_id: usize) {
@@ -165,8 +271,8 @@ impl OnlineScheduler for Swrpt {
         self.up.clear();
         self.up.extend_from_slice(up);
     }
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-        assign_by_priority(active, n_machines, &self.up, |a| {
+    fn plan(&mut self, _now: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
+        assign_by_priority(&mut self.scratch, active, &self.up, alloc, |a| {
             -(a.remaining * a.fastest_cost()) / a.weight.max(1e-12)
         })
     }
@@ -177,6 +283,7 @@ impl OnlineScheduler for Swrpt {
 pub struct FifoFastest {
     /// Platform availability mask (empty = all machines in service).
     up: Vec<bool>,
+    scratch: RankScratch,
 }
 
 impl FifoFastest {
@@ -193,7 +300,7 @@ impl OnlineScheduler for FifoFastest {
     fn reset(&mut self) {
         self.up.clear();
     }
-    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+    fn on_arrival(&mut self, _now: f64, _job: JobView<'_>) {
         // Stateless: release order is read off `active` in `plan`.
     }
     fn on_completion(&mut self, _now: f64, _job_id: usize) {
@@ -203,8 +310,8 @@ impl OnlineScheduler for FifoFastest {
         self.up.clear();
         self.up.extend_from_slice(up);
     }
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-        assign_by_priority(active, n_machines, &self.up, |a| -a.release)
+    fn plan(&mut self, _now: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
+        assign_by_priority(&mut self.scratch, active, &self.up, alloc, |a| -a.release)
     }
 }
 
@@ -329,7 +436,7 @@ impl OnlineScheduler for RoundRobin {
     fn reset(&mut self) {
         self.up.clear();
     }
-    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+    fn on_arrival(&mut self, _now: f64, _job: JobView<'_>) {
         // Stateless: eligibility is recomputed per machine in `plan`.
     }
     fn on_completion(&mut self, _now: f64, _job_id: usize) {
@@ -339,9 +446,8 @@ impl OnlineScheduler for RoundRobin {
         self.up.clear();
         self.up.extend_from_slice(up);
     }
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
-        let mut alloc = Allocation::idle(n_machines);
-        for i in 0..n_machines {
+    fn plan(&mut self, _now: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
+        for i in 0..alloc.n_machines() {
             if !(self.up.is_empty() || self.up[i]) {
                 continue; // down machine: no shares until it recovers
             }
@@ -356,7 +462,6 @@ impl OnlineScheduler for RoundRobin {
                 alloc.set(i, a.id, share);
             }
         }
-        alloc
     }
 }
 

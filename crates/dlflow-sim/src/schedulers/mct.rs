@@ -10,7 +10,7 @@
 //! grows with the number of jobs *in the system*, not the trace length —
 //! completions prune it via [`OnlineScheduler::on_completion`].
 
-use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
+use crate::engine::{ActiveSet, Allocation, JobView, OnlineScheduler};
 use std::collections::BTreeMap;
 
 /// MCT policy state.
@@ -23,6 +23,8 @@ pub struct Mct {
     queues: Vec<Vec<usize>>,
     /// Platform availability mask (empty = all machines in service).
     up: Vec<bool>,
+    /// Recycled buffer of not-yet-assigned active-set indices.
+    newcomers: Vec<u32>,
 }
 
 impl Mct {
@@ -46,9 +48,10 @@ impl OnlineScheduler for Mct {
         self.assigned.clear();
         self.queues.clear();
         self.up.clear();
+        self.newcomers.clear();
     }
 
-    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+    fn on_arrival(&mut self, _now: f64, _job: JobView<'_>) {
         // Assignment happens lazily in `plan`, where the machine queue
         // lengths needed for the min-completion-time rule are known.
     }
@@ -126,22 +129,32 @@ impl OnlineScheduler for Mct {
         Ok(())
     }
 
-    fn plan(&mut self, _now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+    fn plan(&mut self, _now: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
+        let n_machines = alloc.n_machines();
         if self.queues.len() < n_machines {
             self.queues.resize(n_machines, Vec::new()); // dlflint:allow(alloc-in-hot-loop, "grows once to the machine count, then the guard keeps it allocation-free")
         }
         let job_of = |id: usize| active.iter().find(|a| a.id == id);
 
-        // Assign any newly seen jobs, in release order (ties by id).
-        let mut newcomers: Vec<&ActiveJob> = active
-            .iter()
-            .filter(|a| !self.assigned.contains_key(&a.id))
-            .collect(); // dlflint:allow(alloc-in-hot-loop, "O(new arrivals) per plan, usually empty; sorting needs an owned buffer")
-        newcomers.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.id.cmp(&b.id)));
-        for job in newcomers {
+        // Assign any newly seen jobs, in release order (ties by id). The
+        // unstable sort is safe: `(release, id)` is a total order with no
+        // equal pairs, so the result matches a stable sort bit for bit.
+        self.newcomers.clear();
+        for k in 0..active.len() {
+            if !self.assigned.contains_key(&active.get(k).id) {
+                self.newcomers.push(k as u32);
+            }
+        }
+        self.newcomers.sort_unstable_by(|&x, &y| {
+            let a = active.get(x as usize);
+            let b = active.get(y as usize);
+            a.release.total_cmp(&b.release).then(a.id.cmp(&b.id))
+        });
+        for &k in &self.newcomers {
+            let job = active.get(k as usize);
             let mut best: Option<(usize, f64)> = None;
             for i in 0..n_machines {
-                if !self.live(i) {
+                if !(self.up.is_empty() || self.up[i]) {
                     continue;
                 }
                 let Some(c) = job.cost(i) else {
@@ -167,7 +180,6 @@ impl OnlineScheduler for Mct {
         // Serve each live queue head (completions already pruned the
         // queues, so heads are always active; dead machines' queues were
         // evicted by `on_platform_change`).
-        let mut alloc = Allocation::idle(n_machines);
         for i in 0..n_machines {
             if !self.live(i) {
                 continue;
@@ -176,7 +188,6 @@ impl OnlineScheduler for Mct {
                 alloc.set(i, head, 1.0);
             }
         }
-        alloc
     }
 }
 

@@ -19,7 +19,7 @@
 //! the active set the engine hands to `plan`, so it works unchanged on
 //! open-arrival traces.
 
-use crate::engine::{ActiveJob, Allocation, OnlineScheduler};
+use crate::engine::{ActiveJob, ActiveSet, Allocation, JobView, OnlineScheduler};
 use dlflow_core::instance::{Cost, Instance, Job};
 use dlflow_core::lp_build::build_deadline_lp;
 use dlflow_lp::solve;
@@ -59,6 +59,10 @@ pub struct OfflineAdapt {
     cache: Option<PlanCache>,
     /// Platform availability mask (empty = all machines in service).
     up: Vec<bool>,
+    /// Recycled materialization buffer: the LP sub-problem builder works
+    /// over owned [`ActiveJob`]s, so `plan` copies the borrowed
+    /// [`ActiveSet`] columns here before solving.
+    jobs_buf: Vec<ActiveJob>,
 }
 
 impl Default for OfflineAdapt {
@@ -69,6 +73,7 @@ impl Default for OfflineAdapt {
             n_resolves: 0,
             cache: None,
             up: Vec::new(),
+            jobs_buf: Vec::new(),
         }
     }
 }
@@ -228,7 +233,7 @@ impl OnlineScheduler for OfflineAdapt {
         self.up.clear();
     }
 
-    fn on_arrival(&mut self, _now: f64, _job: &ActiveJob) {
+    fn on_arrival(&mut self, _now: f64, _job: JobView<'_>) {
         // Arrivals invalidate the cache implicitly: `plan` compares the
         // active-job id set against `cache.known` before reuse.
     }
@@ -327,7 +332,40 @@ impl OnlineScheduler for OfflineAdapt {
         Ok(())
     }
 
-    fn plan(&mut self, now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
+    fn plan(&mut self, now: f64, active: &ActiveSet<'_>, alloc: &mut Allocation) {
+        let n_machines = alloc.n_machines();
+        if active.is_empty() {
+            return;
+        }
+        // Materialize the borrowed columns into owned jobs for the LP
+        // builder. OLA's cost per plan is an LP solve; the copy is noise
+        // next to it, and the buffer is recycled across events.
+        let mut jobs = std::mem::take(&mut self.jobs_buf);
+        jobs.clear();
+        for a in active.iter() {
+            jobs.push(ActiveJob {
+                id: a.id,
+                remaining: a.remaining,
+                release: a.release,
+                weight: a.weight,
+                costs: a.costs().to_vec().into_boxed_slice(), // dlflint:allow(alloc-in-hot-loop, "owned cost row feeds the LP sub-instance; a re-solve dwarfs the copy")
+                fastest: a.fastest_cost(),
+            });
+        }
+        let result = self.plan_impl(now, &jobs, n_machines);
+        self.jobs_buf = jobs;
+        for i in 0..n_machines {
+            for (job, share) in result.entries(i) {
+                alloc.set(i, *job, *share);
+            }
+        }
+    }
+}
+
+impl OfflineAdapt {
+    /// The solve proper, over owned jobs (also the degraded-path
+    /// recursion target, which plans a filtered subset).
+    fn plan_impl(&mut self, now: f64, active: &[ActiveJob], n_machines: usize) -> Allocation {
         if active.is_empty() {
             return Allocation::idle(n_machines);
         }
@@ -347,7 +385,7 @@ impl OnlineScheduler for OfflineAdapt {
             if placeable.is_empty() {
                 return Allocation::idle(n_machines);
             }
-            return self.plan(now, &placeable, n_machines);
+            return self.plan_impl(now, &placeable, n_machines);
         };
 
         // Feasibility probe for a candidate objective value.

@@ -23,7 +23,8 @@
 //! ```
 
 use crate::campaign::SchedulerSpec;
-use crate::engine::{simulate, Engine, RunMetrics, SimResult, StepOutcome};
+use crate::engine::{simulate, Engine, OnlineScheduler, RunMetrics, SimResult, StepOutcome};
+use crate::shard::ShardedEngine;
 use crate::workload::{FaultProcess, Trace};
 use dlflow_core::instance::Instance;
 
@@ -98,11 +99,19 @@ pub struct SimOptions {
     /// (the snapshot carries the full engine + scheduler state, so the
     /// input's arrivals are **not** re-pushed).
     pub resume: Option<String>,
+    /// Partition the platform into this many contiguous machine shards,
+    /// each drained by its own engine + scheduler instance (`0` and `1`
+    /// both mean the flat single-engine path). Sharding is incompatible
+    /// with snapshot/resume — the snapshot format covers one engine.
+    pub shards: usize,
 }
 
 impl SimOptions {
     fn is_plain(&self) -> bool {
-        self.faults.is_none() && self.snapshot_at.is_none() && self.resume.is_none()
+        self.faults.is_none()
+            && self.snapshot_at.is_none()
+            && self.resume.is_none()
+            && self.shards <= 1
     }
 }
 
@@ -149,6 +158,15 @@ pub fn run_simulation_with(
              fault schedule"
                 .into(),
         );
+    }
+    if opts.shards > 1 {
+        if opts.resume.is_some() || opts.snapshot_at.is_some() {
+            return Err(
+                "--shards: snapshot and resume cover a single engine; rerun without sharding"
+                    .into(),
+            );
+        }
+        return run_sharded(input, spec, opts);
     }
     let mut policy = spec.build();
     let m = input_machines(input);
@@ -256,6 +274,85 @@ pub fn run_simulation_with(
         completions,
     };
     Ok((report, snapshot))
+}
+
+/// The multi-cluster path behind `--shards N`: one [`ShardedEngine`]
+/// over the input's machines, one scheduler instance per shard, faults
+/// routed by global machine index. Closed instances report per-job
+/// completions from the deterministic merged stream; open traces stream
+/// them exactly like the flat path.
+fn run_sharded(
+    input: &SimInput,
+    spec: &SchedulerSpec,
+    opts: &SimOptions,
+) -> Result<(ServiceReport, Option<String>), String> {
+    let m = input_machines(input);
+    let mut se = ShardedEngine::new(m, opts.shards);
+    let mut policies: Vec<Box<dyn OnlineScheduler + Send>> =
+        (0..se.n_shards()).map(|_| spec.build()).collect();
+    if let SimInput::Open(trace) = input {
+        for e in &trace.platform_events {
+            se.push_platform_event(*e).map_err(|e| e.to_string())?;
+        }
+    }
+    if let Some(f) = &opts.faults {
+        let horizon = f.until.unwrap_or_else(|| default_horizon(input));
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err("--faults: the failure window is empty (set until=<t>)".into());
+        }
+        let process = FaultProcess {
+            mtbf: f.mtbf,
+            mttr: f.mttr,
+            horizon,
+            seed: f.seed,
+        };
+        for e in process.sample(m) {
+            se.push_platform_event(e).map_err(|e| e.to_string())?;
+        }
+    }
+    let (kind, n_jobs) = match input {
+        SimInput::Closed(inst) => {
+            se.set_record_completions(true);
+            for j in 0..inst.n_jobs() {
+                se.push_arrival(crate::engine::job_spec_of(inst, j))
+                    .map_err(|e| e.to_string())?;
+            }
+            ("instance", inst.n_jobs())
+        }
+        SimInput::Open(trace) => {
+            se.set_record_completions(false);
+            for k in 0..trace.len() {
+                se.push_arrival(trace.job_spec(k))
+                    .map_err(|e| e.to_string())?;
+            }
+            ("trace", trace.len())
+        }
+    };
+    se.drain(&mut policies).map_err(|e| e.to_string())?;
+    let completions = if matches!(input, SimInput::Closed(_)) {
+        let mut done: Vec<(usize, f64)> = se
+            .take_completed()
+            .into_iter()
+            .map(|c| (c.id, c.completion))
+            .collect();
+        done.sort_unstable_by_key(|&(id, _)| id);
+        done.into_iter().map(|(_, c)| c).collect()
+    } else {
+        Vec::new()
+    };
+    let report = ServiceReport {
+        scheduler: spec.label(),
+        input_kind: kind,
+        n_jobs,
+        n_machines: m,
+        n_events: se.n_events(),
+        n_plans: se.n_plans(),
+        utilization: se.utilization(),
+        metrics: se.metrics(),
+        max_active: se.peak_active(),
+        completions,
+    };
+    Ok((report, None))
 }
 
 /// Runs `spec`'s scheduler over the input. Closed instances go through
@@ -416,6 +513,7 @@ mod tests {
             }),
             snapshot_at: Some(20),
             resume: None,
+            shards: 0,
         };
         let input = SimInput::Open(trace);
         let (full, snap) = run_simulation_with(&input, &spec, &opts).unwrap();
@@ -468,6 +566,57 @@ mod tests {
             run_simulation_with(&SimInput::Open(trace), &spec, &SimOptions::default()).unwrap();
         assert!(snap.is_none());
         assert_eq!(plain.to_json(), with.to_json());
+    }
+
+    #[test]
+    fn sharded_runs_report_deterministically_and_refuse_snapshots() {
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 40,
+            n_machines: 4,
+            seed: 9,
+            ..Default::default()
+        });
+        let spec = SchedulerSpec::parse_compact("swrpt").unwrap();
+        let opts = SimOptions {
+            shards: 2,
+            ..Default::default()
+        };
+        let input = SimInput::Open(trace.clone());
+        let (a, snap) = run_simulation_with(&input, &spec, &opts).unwrap();
+        assert!(snap.is_none());
+        assert_eq!(a.n_jobs, 40);
+        let (b, _) = run_simulation_with(&input, &spec, &opts).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+
+        // Closed instances report the merged per-job completion times.
+        let closed = SimInput::Closed(trace.to_instance().unwrap());
+        let (c, _) = run_simulation_with(&closed, &spec, &opts).unwrap();
+        assert_eq!(c.completions.len(), 40);
+        assert!(c.completions.iter().all(|t| t.is_finite()));
+
+        // Snapshots cover one engine; sharded runs refuse them.
+        let bad = SimOptions {
+            shards: 2,
+            snapshot_at: Some(5),
+            ..Default::default()
+        };
+        let err = run_simulation_with(&input, &spec, &bad).unwrap_err();
+        assert!(err.contains("single engine"), "{err}");
+
+        // Sharded fault injection drains to completion.
+        let faulty = SimOptions {
+            shards: 2,
+            faults: Some(FaultInjection {
+                mtbf: 8.0,
+                mttr: 2.0,
+                seed: 5,
+                until: None,
+            }),
+            ..Default::default()
+        };
+        let (f, _) = run_simulation_with(&input, &spec, &faulty).unwrap();
+        assert_eq!(f.n_jobs, 40);
+        assert!(f.metrics.makespan.is_finite());
     }
 
     #[test]

@@ -1,0 +1,822 @@
+//! Multi-cluster sharding: a front-end over independent sub-engines.
+//!
+//! The GriPPS deployment the paper studies is not one flat machine pool:
+//! requests hit a *federation* of clusters, and a request served by one
+//! cluster never migrates to another. [`ShardedEngine`] models exactly
+//! that — it partitions the platform's machines into `n_shards`
+//! **contiguous** ranges, runs one flattened [`Engine`] per range, and
+//! pins every arriving job to a single shard at admission time:
+//!
+//! * **assignment policy**: a job goes to the shard holding its fastest
+//!   (minimum finite-cost) machine; ties resolve to the lowest shard
+//!   index. Deterministic, so serial and parallel drains see identical
+//!   per-shard workloads;
+//! * **independence**: once pinned, a job interacts only with its
+//!   shard's machines, scheduler instance, and clock. Shards therefore
+//!   drain with *no* synchronization — in parallel under the rayon
+//!   `par_iter_mut` shim, or serially in shard order, with bit-identical
+//!   results either way;
+//! * **deterministic merge**: completion streams are merged by a stable
+//!   k-way walk ordered on completion time, cross-shard ties broken by
+//!   the lower shard index; metrics fold through
+//!   [`MetricsAccumulator`]'s field-wise merge in fixed shard order;
+//!   event/plan counters sum. Every reported number is a pure function
+//!   of the trace and the shard count, never of thread scheduling.
+//!
+//! With `n_shards == 1` the front-end is a transparent wrapper: the
+//! assignment policy has one choice, the merge is the identity, and the
+//! run is bit-identical to driving the inner [`Engine`] directly (the
+//! differential suite in `tests/prop_shard.rs` pins this down).
+//!
+//! Snapshot/resume is a single-engine feature: [`ShardedEngine::snapshot`]
+//! returns [`SnapshotError::ShardedUnsupported`] for multi-shard
+//! front-ends instead of inventing a second on-disk format.
+
+use crate::engine::{
+    utilization_of, CompletedJob, Engine, JobSpec, MetricsAccumulator, OnlineScheduler,
+    PlatformEvent, RunMetrics, SimError, StepOutcome, EPS,
+};
+use crate::snapshot::SnapshotError;
+use crate::workload::{ReplayStats, Trace};
+use rayon::prelude::*;
+
+/// A multi-cluster simulation front-end: contiguous machine shards, each
+/// an independent [`Engine`], behind a deterministic job-assignment
+/// policy. See the [module docs](self).
+#[derive(Debug)]
+pub struct ShardedEngine {
+    n_machines: usize,
+    /// Shard boundaries: shard `s` owns machines
+    /// `starts[s]..starts[s + 1]`.
+    starts: Vec<usize>,
+    shards: Vec<Engine>,
+    /// Per shard: local job id → global job id, in local-id order.
+    global_of: Vec<Vec<usize>>,
+    next_id: usize,
+}
+
+impl ShardedEngine {
+    /// A fresh front-end over `n_machines` machines split into
+    /// `n_shards` contiguous near-equal ranges (the first
+    /// `n_machines % n_shards` shards hold one extra machine). A shard
+    /// count above the machine count is clamped — every shard must own
+    /// at least one machine.
+    ///
+    /// # Panics
+    ///
+    /// If `n_machines` or `n_shards` is zero.
+    pub fn new(n_machines: usize, n_shards: usize) -> ShardedEngine {
+        assert!(n_machines > 0, "sharded engine needs at least one machine");
+        assert!(n_shards > 0, "sharded engine needs at least one shard");
+        let k = n_shards.min(n_machines);
+        let base = n_machines / k;
+        let extra = n_machines % k;
+        let mut starts = Vec::with_capacity(k + 1);
+        let mut at = 0usize;
+        starts.push(at);
+        for s in 0..k {
+            at += base + usize::from(s < extra);
+            starts.push(at);
+        }
+        debug_assert_eq!(at, n_machines);
+        let shards = (0..k)
+            .map(|s| Engine::new(starts[s + 1] - starts[s]))
+            .collect();
+        ShardedEngine {
+            n_machines,
+            starts,
+            shards,
+            global_of: vec![Vec::new(); k],
+            next_id: 0,
+        }
+    }
+
+    /// Number of machines across all shards.
+    pub fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The machine range `[start, end)` owned by shard `s`.
+    pub fn shard_range(&self, s: usize) -> (usize, usize) {
+        (self.starts[s], self.starts[s + 1])
+    }
+
+    /// Read access to one sub-engine (tests and reports).
+    pub fn shard(&self, s: usize) -> &Engine {
+        &self.shards[s]
+    }
+
+    /// Latest clock across shards (each shard clocks independently).
+    pub fn now(&self) -> f64 {
+        self.shards.iter().map(Engine::now).fold(0.0, f64::max)
+    }
+
+    /// Total events processed across shards. Summation is
+    /// order-independent, so serial and parallel drains report the same
+    /// count.
+    pub fn n_events(&self) -> usize {
+        self.shards.iter().map(Engine::n_events).sum()
+    }
+
+    /// Total `plan` invocations across shards.
+    pub fn n_plans(&self) -> usize {
+        self.shards.iter().map(Engine::n_plans).sum()
+    }
+
+    /// Total completions across shards.
+    pub fn n_completed(&self) -> usize {
+        self.shards.iter().map(Engine::n_completed).sum()
+    }
+
+    /// Sum of per-shard active-set high-water marks — an upper bound on
+    /// the global in-flight peak (per-shard peaks need not coincide in
+    /// time).
+    pub fn peak_active(&self) -> usize {
+        self.shards.iter().map(Engine::peak_active).sum()
+    }
+
+    /// Busy machine-seconds in global machine order (shards are
+    /// contiguous, so concatenation in shard order is machine order).
+    pub fn busy(&self) -> Vec<f64> {
+        let mut busy = Vec::with_capacity(self.n_machines);
+        for e in &self.shards {
+            busy.extend_from_slice(e.busy());
+        }
+        busy
+    }
+
+    /// Whether completions are buffered for [`ShardedEngine::take_completed`]
+    /// (toggles every shard; see [`Engine::record_completions`]).
+    pub fn set_record_completions(&mut self, on: bool) {
+        for e in &mut self.shards {
+            e.record_completions = on;
+        }
+    }
+
+    /// Metrics over everything completed so far, folded in fixed shard
+    /// order via the accumulator's field-wise merge.
+    pub fn metrics(&self) -> RunMetrics {
+        self.accumulate().metrics()
+    }
+
+    /// Fleet utilization over `[first completed release, makespan]`,
+    /// both taken across all shards.
+    pub fn utilization(&self) -> f64 {
+        let acc = self.accumulate();
+        let busy = self.busy();
+        utilization_of(
+            &busy,
+            acc.first_release().unwrap_or(f64::INFINITY),
+            acc.metrics().makespan,
+        )
+    }
+
+    fn accumulate(&self) -> MetricsAccumulator {
+        let mut acc = MetricsAccumulator::new();
+        for e in &self.shards {
+            acc.merge(&e.metrics);
+        }
+        acc
+    }
+
+    /// Which shard owns global machine index `machine`.
+    fn shard_of_machine(&self, machine: usize) -> usize {
+        debug_assert!(machine < self.n_machines);
+        // Shard counts are small; a linear scan beats binary search.
+        let mut s = 0;
+        while self.starts[s + 1] <= machine {
+            s += 1;
+        }
+        s
+    }
+
+    /// Queues one arriving job: validated exactly like
+    /// [`Engine::push_arrival`], assigned to the shard holding its
+    /// fastest machine (ties to the lowest shard index), then pushed to
+    /// that shard with its cost row sliced to the shard's machine range.
+    /// Returns the job's *global* id — dense in push order, exactly as a
+    /// flat engine would number the same stream.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidJob`] under the same validation (and messages)
+    /// as [`Engine::push_arrival`]; a rejected spec consumes no id.
+    pub fn push_arrival(&mut self, job: JobSpec) -> Result<usize, SimError> {
+        self.push_arrival_ref(job.release, job.weight, &job.costs)
+    }
+
+    /// [`ShardedEngine::push_arrival`] without the owning [`JobSpec`] —
+    /// the hot replay entry point: the row is sliced and copied straight
+    /// into the owning shard's slab, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedEngine::push_arrival`].
+    pub fn push_arrival_ref(
+        &mut self,
+        release: f64,
+        weight: f64,
+        costs: &[f64],
+    ) -> Result<usize, SimError> {
+        // Full-row validation happens here, not per shard: a sub-engine
+        // only ever sees its slice, but a NaN in *any* machine's cost
+        // must reject the job with the flat engine's exact error.
+        let invalid = |reason| Err(SimError::InvalidJob { reason });
+        if costs.len() != self.n_machines {
+            return invalid("costs length does not match the machine count");
+        }
+        if !costs.iter().any(|c| c.is_finite()) {
+            return invalid("job can run on no machine");
+        }
+        if !costs.iter().all(|c| *c >= 0.0) {
+            return invalid("job has a negative or NaN cost");
+        }
+        if !(release.is_finite() && release >= 0.0) {
+            return invalid("job release must be finite and non-negative");
+        }
+        if !(weight.is_finite() && weight >= 0.0) {
+            return invalid("job weight must be finite and non-negative");
+        }
+        // Assignment: fastest machine wins; the strict `<` over an
+        // ascending scan breaks ties toward the lowest shard index. A
+        // shard where the job runs nowhere scores infinity and the
+        // validation above guarantees some shard scores finite.
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for s in 0..self.shards.len() {
+            let local = &costs[self.starts[s]..self.starts[s + 1]];
+            let fastest = local.iter().cloned().fold(f64::INFINITY, f64::min);
+            if fastest < best_cost {
+                best = s;
+                best_cost = fastest;
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let local = self.shards[best].push_arrival_ref(
+            release,
+            weight,
+            &costs[self.starts[best]..self.starts[best + 1]],
+        )?;
+        debug_assert_eq!(local, self.global_of[best].len());
+        self.global_of[best].push(id);
+        Ok(id)
+    }
+
+    /// Enqueues a failure/recovery for a *global* machine index, routed
+    /// to the owning shard with the index remapped into the shard's
+    /// local range.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidPlatformEvent`] under the same validation (and
+    /// messages) as [`Engine::push_platform_event`].
+    pub fn push_platform_event(&mut self, event: PlatformEvent) -> Result<(), SimError> {
+        let invalid = |reason| Err(SimError::InvalidPlatformEvent { reason });
+        if event.machine >= self.n_machines {
+            return invalid("machine index out of range");
+        }
+        if !(event.time.is_finite() && event.time >= 0.0) {
+            return invalid("event time must be finite and non-negative");
+        }
+        let s = self.shard_of_machine(event.machine);
+        self.shards[s].push_platform_event(PlatformEvent {
+            time: event.time,
+            machine: event.machine - self.starts[s],
+            change: event.change,
+        })
+    }
+
+    /// Runs every shard to quiescence — the sharded counterpart of
+    /// [`Engine::drain`]. Shards are independent, so they drain in
+    /// parallel under the rayon shim (or inline on small counts /
+    /// single-core hosts); either way each shard's event sequence, and
+    /// therefore every merged number, is identical. The first error in
+    /// shard-index order is returned.
+    ///
+    /// # Panics
+    ///
+    /// If `policies.len() != self.n_shards()` — each shard owns one
+    /// scheduler instance for its whole run.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] a shard's drain surfaces.
+    pub fn drain(
+        &mut self,
+        policies: &mut [Box<dyn OnlineScheduler + Send>],
+    ) -> Result<(), SimError> {
+        assert_eq!(
+            policies.len(),
+            self.shards.len(),
+            "sharded drain needs exactly one policy per shard"
+        );
+        let mut pairs: Vec<(&mut Engine, &mut (dyn OnlineScheduler + Send))> = self
+            .shards
+            .iter_mut()
+            .zip(policies.iter_mut())
+            .map(|(e, p)| (e, p.as_mut()))
+            .collect(); // dlflint:allow(alloc-in-hot-loop, "one pair list per drain call, not per event; the per-event paths live in Engine::step")
+        let results: Vec<Result<(), SimError>> = pairs
+            .par_iter_mut()
+            .map(|(eng, pol)| eng.drain(&mut **pol))
+            .collect(); // dlflint:allow(alloc-in-hot-loop, "one result slot per shard per drain call, not per event")
+        results.into_iter().collect()
+    }
+
+    /// Takes the buffered completion streams of every shard, remaps
+    /// local ids back to global ids, and merges them into one stream:
+    /// ordered by completion time, cross-shard ties broken by the lower
+    /// shard index, within-shard order (the engine's admission-order
+    /// sweep) preserved. Deterministic — and for a single shard, the
+    /// identity.
+    pub fn take_completed(&mut self) -> Vec<CompletedJob> {
+        let mut streams: Vec<Vec<CompletedJob>> = Vec::with_capacity(self.shards.len());
+        for (s, e) in self.shards.iter_mut().enumerate() {
+            let mut stream = e.take_completed();
+            for c in &mut stream {
+                c.id = self.global_of[s][c.id];
+            }
+            streams.push(stream);
+        }
+        if streams.len() == 1 {
+            return streams.pop().unwrap();
+        }
+        let total = streams.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        let mut cursor = vec![0usize; streams.len()];
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (s, stream) in streams.iter().enumerate() {
+                if let Some(c) = stream.get(cursor[s]) {
+                    // Strict `<` keeps the earliest (lowest-index) shard
+                    // on completion-time ties.
+                    if best.is_none_or(|(_, t)| c.completion < t) {
+                        best = Some((s, c.completion));
+                    }
+                }
+            }
+            let Some((s, _)) = best else { break };
+            out.push(streams[s][cursor[s]].clone());
+            cursor[s] += 1;
+        }
+        out
+    }
+
+    /// Replays an open-arrival [`Trace`] through the shards. Platform
+    /// events are routed up front; arrivals are assigned to shards in a
+    /// validation pre-pass and then *streamed* into each shard one
+    /// release batch ahead of its clock — exactly [`Trace::replay`]'s
+    /// feeding discipline, applied per shard. Streaming keeps every
+    /// shard's pending heap and job slab sized to its in-flight window
+    /// rather than the whole trace, which is what makes the sharded
+    /// replay faster than the flat one even on a single core; the event
+    /// sequences are identical either way because a batch is always
+    /// pushed before the step that could overrun its release. Shards
+    /// replay independently (in parallel under the rayon shim); the
+    /// merged counters come back as [`ReplayStats`]. Completions are
+    /// *not* buffered; `max_active` is the cross-shard peak bound of
+    /// [`ShardedEngine::peak_active`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] from validation or replay. Invalid arrivals are
+    /// rejected in the pre-pass (same messages as
+    /// [`ShardedEngine::push_arrival`]) before any shard state changes.
+    pub fn replay_trace(
+        &mut self,
+        trace: &Trace,
+        policies: &mut [Box<dyn OnlineScheduler + Send>],
+    ) -> Result<ReplayStats, SimError> {
+        assert_eq!(
+            policies.len(),
+            self.shards.len(),
+            "sharded replay needs exactly one policy per shard"
+        );
+        for p in policies.iter_mut() {
+            p.reset();
+        }
+        self.set_record_completions(false);
+        for e in &trace.platform_events {
+            self.push_platform_event(*e)?;
+        }
+        // Pre-pass: validate every arrival against the FULL cost row
+        // (the flat engine's exact messages) and pin it to the shard of
+        // its globally fastest machine — ties to the lowest machine
+        // index, as in `push_arrival`. Global ids are dealt here, in
+        // trace order, so the id map is identical to the push-all path
+        // no matter how the per-shard replays interleave.
+        let invalid = |reason| SimError::InvalidJob { reason };
+        let mut routed: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()]; // dlflint:allow(alloc-in-hot-loop, "one route list per shard per replay, not per event")
+                                                                             // Route probe: every cost is the monotone image `fl(size·ct)` of
+                                                                             // its machine's cycle time, so with machines pre-sorted by
+                                                                             // (cycle time, index) the global minimum cost sits at the first
+                                                                             // *available* machine in that order, and the engine's
+                                                                             // lowest-index tie-break is recovered by walking the (rare) run
+                                                                             // of equal-cost machines behind it — O(1) expected per arrival
+                                                                             // instead of O(m). Sound only when the cycle-time table and the
+                                                                             // arrival itself are well-formed; anything else (and any probe
+                                                                             // miss) falls back to the full engine-order scan below, which
+                                                                             // also owns every error message.
+        let cts = &trace.cycle_times;
+        let cts_ok = cts.len() == self.n_machines && cts.iter().all(|c| c.is_finite() && *c >= 0.0);
+        let mut ct_order: Vec<u32> = (0..cts.len() as u32).collect(); // dlflint:allow(alloc-in-hot-loop, "one probe order per replay, not per event")
+        if cts_ok {
+            ct_order.sort_unstable_by(|&x, &y| {
+                cts[x as usize]
+                    .partial_cmp(&cts[y as usize])
+                    .unwrap() // dlflint:allow(hot-path-panic, "guarded by cts_ok: every cycle time is finite, so partial_cmp is total here")
+                    .then(x.cmp(&y))
+            });
+        }
+        for (k, a) in trace.arrivals.iter().enumerate() {
+            if a.avail.len() != self.n_machines {
+                return Err(invalid("costs length does not match the machine count"));
+            }
+            let fastest = 'route: {
+                if cts_ok
+                    && a.size.is_finite()
+                    && a.size >= 0.0
+                    && a.release.is_finite()
+                    && a.release >= 0.0
+                    && a.weight.is_finite()
+                    && a.weight >= 0.0
+                {
+                    let mut it = ct_order.iter().copied();
+                    if let Some(i0) = it.by_ref().find(|&i| a.avail[i as usize]) {
+                        let cmin = a.size * cts[i0 as usize];
+                        if cmin.is_finite() {
+                            // Products are non-decreasing along the
+                            // probe order, so the first strictly larger
+                            // one ends the tie run.
+                            let mut lo = i0 as usize;
+                            for i in it {
+                                if !a.avail[i as usize] {
+                                    continue;
+                                }
+                                if a.size * cts[i as usize] > cmin {
+                                    break;
+                                }
+                                lo = lo.min(i as usize);
+                            }
+                            break 'route lo;
+                        }
+                    }
+                }
+                let mut best: Option<(usize, f64)> = None;
+                let mut negative = false;
+                for (i, (ct, &ok)) in trace.cycle_times.iter().zip(&a.avail).enumerate() {
+                    let c = if ok { a.size * ct } else { f64::INFINITY };
+                    negative |= c.is_nan() || c < 0.0;
+                    if c.is_finite() && best.is_none_or(|(_, b)| c < b) {
+                        best = Some((i, c));
+                    }
+                }
+                let Some((fastest, _)) = best else {
+                    return Err(invalid("job can run on no machine"));
+                };
+                if negative {
+                    return Err(invalid("job has a negative or NaN cost"));
+                }
+                if !(a.release.is_finite() && a.release >= 0.0) {
+                    return Err(invalid("job release must be finite and non-negative"));
+                }
+                if !(a.weight.is_finite() && a.weight >= 0.0) {
+                    return Err(invalid("job weight must be finite and non-negative"));
+                }
+                fastest
+            };
+            let s = self.shard_of_machine(fastest);
+            routed[s].push(k as u32);
+            self.global_of[s].push(self.next_id);
+            self.next_id += 1;
+        }
+        // Streamed per-shard replay, one release batch ahead — the
+        // moving parts of `Trace::replay_impl` with the arrival list
+        // filtered to the shard's pinned jobs and cost rows sliced to
+        // its machine range.
+        let starts = &self.starts;
+        let mut work: Vec<(
+            &mut Engine,
+            &mut (dyn OnlineScheduler + Send),
+            &[u32],
+            usize,
+        )> = self
+            .shards
+            .iter_mut()
+            .zip(policies.iter_mut())
+            .enumerate()
+            .map(|(s, (e, p))| (e, p.as_mut(), routed[s].as_slice(), starts[s]))
+            .collect(); // dlflint:allow(alloc-in-hot-loop, "one work item per shard per replay, not per event")
+        let results: Vec<Result<(), SimError>> = work
+            .par_iter_mut()
+            .map(|(eng, pol, mine, start)| {
+                let m = eng.n_machines();
+                let n = mine.len();
+                let mut next = 0usize;
+                let mut costs = vec![0.0f64; m]; // dlflint:allow(alloc-in-hot-loop, "one buffer per shard per replay, recycled across every arrival")
+                let max_iters = 100_000 + 200 * n * (m + 2) + 2 * trace.platform_events.len();
+                for _ in 0..max_iters {
+                    if eng.pending_len() == 0 && next < n {
+                        let t0 = trace.arrivals[mine[next] as usize].release;
+                        while next < n {
+                            let a = &trace.arrivals[mine[next] as usize];
+                            if a.release > t0 + EPS {
+                                break;
+                            }
+                            let (lo, hi) = (*start, *start + m);
+                            for (c, (ct, &ok)) in costs
+                                .iter_mut()
+                                .zip(trace.cycle_times[lo..hi].iter().zip(&a.avail[lo..hi]))
+                            {
+                                *c = if ok { a.size * ct } else { f64::INFINITY };
+                            }
+                            eng.push_arrival_ref(a.release, a.weight, &costs)?;
+                            next += 1;
+                        }
+                    }
+                    let outcome = eng.step(&mut **pol)?;
+                    if outcome == StepOutcome::Idle && next >= n {
+                        return Ok(());
+                    }
+                }
+                Err(SimError::Stalled { at: eng.now() })
+            })
+            .collect(); // dlflint:allow(alloc-in-hot-loop, "one result slot per shard per replay, not per event")
+        results.into_iter().collect::<Result<(), SimError>>()?;
+        Ok(ReplayStats {
+            n_jobs: trace.len(),
+            n_events: self.n_events(),
+            n_plans: self.n_plans(),
+            busy: self.busy(),
+            metrics: self.metrics(),
+            utilization: self.utilization(),
+            max_active: self.peak_active(),
+        })
+    }
+
+    /// Serializes the front-end to the single-engine `dlflow-snapshot
+    /// v1` format. Only a 1-shard front-end is snapshotable: the format
+    /// captures one engine, and inventing a multi-shard sibling format
+    /// is out of scope by design.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ShardedUnsupported`] when `n_shards > 1`.
+    pub fn snapshot(&self, policy: &dyn OnlineScheduler) -> Result<String, SnapshotError> {
+        if self.shards.len() > 1 {
+            return Err(SnapshotError::ShardedUnsupported {
+                n_shards: self.shards.len(),
+            });
+        }
+        Ok(self.shards[0].snapshot(policy))
+    }
+
+    /// Restores a 1-shard front-end from a single-engine snapshot (the
+    /// inverse of [`ShardedEngine::snapshot`] at shard count 1).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::restore`].
+    pub fn restore_single(
+        text: &str,
+        policy: &mut dyn OnlineScheduler,
+    ) -> Result<ShardedEngine, SnapshotError> {
+        let eng = Engine::restore(text, policy)?;
+        let n_machines = eng.n_machines();
+        let next_id = eng.next_id;
+        Ok(ShardedEngine {
+            n_machines,
+            starts: vec![0, n_machines],
+            global_of: vec![(0..next_id).collect()],
+            shards: vec![eng],
+            next_id,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PlatformChange;
+    use crate::schedulers::{Mct, Swrpt};
+    use crate::workload::{generate_trace, ArrivalProcess, FaultProcess, TraceSpec};
+
+    fn job(release: f64, weight: f64, costs: &[f64]) -> JobSpec {
+        JobSpec {
+            release,
+            weight,
+            costs: costs.to_vec(),
+        }
+    }
+
+    fn boxed(policy: impl OnlineScheduler + Send + 'static) -> Box<dyn OnlineScheduler + Send> {
+        Box::new(policy)
+    }
+
+    #[test]
+    fn partition_is_contiguous_near_equal_and_clamped() {
+        let se = ShardedEngine::new(10, 4);
+        assert_eq!(se.n_shards(), 4);
+        let ranges: Vec<(usize, usize)> = (0..4).map(|s| se.shard_range(s)).collect();
+        assert_eq!(ranges, vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+        // More shards than machines clamps to one machine per shard.
+        let se = ShardedEngine::new(3, 8);
+        assert_eq!(se.n_shards(), 3);
+        assert_eq!(se.shard_range(2), (2, 3));
+    }
+
+    #[test]
+    fn validation_matches_the_flat_engine() {
+        let mut flat = Engine::new(2);
+        let mut se = ShardedEngine::new(2, 2);
+        for bad in [
+            job(0.0, 1.0, &[1.0]),
+            job(0.0, 1.0, &[f64::INFINITY, f64::INFINITY]),
+            job(0.0, 1.0, &[1.0, -2.0]),
+            job(0.0, 1.0, &[1.0, f64::NAN]),
+            job(f64::NAN, 1.0, &[1.0, 2.0]),
+            job(0.0, -1.0, &[1.0, 2.0]),
+        ] {
+            assert_eq!(
+                flat.push_arrival(bad.clone()).unwrap_err(),
+                se.push_arrival(bad).unwrap_err()
+            );
+        }
+        assert_eq!(
+            flat.push_platform_event(PlatformEvent {
+                time: -1.0,
+                machine: 0,
+                change: PlatformChange::Down,
+            })
+            .unwrap_err(),
+            se.push_platform_event(PlatformEvent {
+                time: -1.0,
+                machine: 0,
+                change: PlatformChange::Down,
+            })
+            .unwrap_err()
+        );
+    }
+
+    #[test]
+    fn jobs_go_to_the_fastest_shard_ties_to_the_lowest() {
+        let mut se = ShardedEngine::new(4, 2);
+        // Fastest machine (cost 1) in shard 1's range.
+        se.push_arrival(job(0.0, 1.0, &[5.0, 4.0, 1.0, 9.0]))
+            .unwrap();
+        // Equal fastest in both shards → shard 0.
+        se.push_arrival(job(0.0, 1.0, &[3.0, 7.0, 3.0, 8.0]))
+            .unwrap();
+        // Runs only on shard 1's machines.
+        se.push_arrival(job(
+            0.0,
+            1.0,
+            &[f64::INFINITY, f64::INFINITY, f64::INFINITY, 2.0],
+        ))
+        .unwrap();
+        assert_eq!(se.shard(0).pending_len(), 1);
+        assert_eq!(se.shard(1).pending_len(), 2);
+    }
+
+    #[test]
+    fn single_shard_run_is_bit_identical_to_the_flat_engine() {
+        let mut flat = Engine::new(2);
+        let mut fpol = Swrpt::new();
+        let mut se = ShardedEngine::new(2, 1);
+        let mut spols = vec![boxed(Swrpt::new())];
+        for j in [
+            job(0.0, 1.0, &[4.0, 6.0]),
+            job(0.5, 2.0, &[3.0, f64::INFINITY]),
+            job(0.5, 1.0, &[f64::INFINITY, 2.0]),
+            job(2.0, 5.0, &[1.0, 1.5]),
+        ] {
+            flat.push_arrival(j.clone()).unwrap();
+            se.push_arrival(j).unwrap();
+        }
+        flat.drain(&mut fpol).unwrap();
+        se.drain(&mut spols).unwrap();
+        assert_eq!(flat.take_completed(), se.take_completed());
+        assert_eq!(flat.n_events(), se.n_events());
+        assert_eq!(flat.n_plans(), se.n_plans());
+        assert_eq!(flat.busy(), se.busy().as_slice());
+        assert_eq!(
+            flat.metrics().max_weighted_flow.to_bits(),
+            se.metrics().max_weighted_flow.to_bits()
+        );
+    }
+
+    #[test]
+    fn cross_shard_simultaneous_completions_merge_by_shard_index() {
+        // Two identical single-machine shards, one job each, identical
+        // timing: both complete at t = 4. The merged stream must order
+        // the shard-0 job (global id 0) first — the documented
+        // tie-break — and keep doing so however many times it runs.
+        let mut se = ShardedEngine::new(2, 2);
+        se.push_arrival(job(0.0, 1.0, &[4.0, f64::INFINITY]))
+            .unwrap();
+        se.push_arrival(job(0.0, 1.0, &[f64::INFINITY, 4.0]))
+            .unwrap();
+        let mut pols = vec![boxed(Swrpt::new()), boxed(Swrpt::new())];
+        se.drain(&mut pols).unwrap();
+        let done = se.take_completed();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].completion.to_bits(), done[1].completion.to_bits());
+        assert_eq!(done[0].id, 0, "tie goes to the lower shard");
+        assert_eq!(done[1].id, 1);
+    }
+
+    #[test]
+    fn two_shards_match_manually_partitioned_engines() {
+        // The front-end must add nothing beyond routing: running each
+        // half on its own flat engine reproduces the per-shard numbers.
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 120,
+            n_machines: 4,
+            seed: 23,
+            process: ArrivalProcess::Poisson { rate: 2.0 },
+            ..Default::default()
+        });
+        let mut se = ShardedEngine::new(4, 2);
+        let mut pols = vec![boxed(Swrpt::new()), boxed(Swrpt::new())];
+        let stats = se.replay_trace(&trace, &mut pols).unwrap();
+        assert_eq!(stats.n_jobs, 120);
+        assert_eq!(
+            stats.n_events,
+            se.shard(0).n_events() + se.shard(1).n_events()
+        );
+
+        // Rebuild shard 0's stream by hand with the same assignment rule.
+        let mut manual = Engine::new(2);
+        let mut mpol = Swrpt::new();
+        for a in &trace.arrivals {
+            let costs: Vec<f64> = trace
+                .cycle_times
+                .iter()
+                .zip(&a.avail)
+                .map(|(ct, &ok)| if ok { a.size * ct } else { f64::INFINITY })
+                .collect();
+            let lo = costs[..2].iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = costs[2..].iter().cloned().fold(f64::INFINITY, f64::min);
+            if lo <= hi {
+                manual
+                    .push_arrival_ref(a.release, a.weight, &costs[..2])
+                    .unwrap();
+            }
+        }
+        manual.drain(&mut mpol).unwrap();
+        assert_eq!(manual.n_events(), se.shard(0).n_events());
+        assert_eq!(manual.busy(), se.shard(0).busy());
+        assert_eq!(
+            manual.metrics().makespan.to_bits(),
+            se.shard(0).metrics().makespan.to_bits()
+        );
+    }
+
+    #[test]
+    fn sharded_replay_handles_faulty_traces() {
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 80,
+            n_machines: 4,
+            seed: 31,
+            faults: Some(FaultProcess {
+                mtbf: 10.0,
+                mttr: 2.0,
+                horizon: 30.0,
+                seed: 7,
+            }),
+            ..Default::default()
+        });
+        assert!(!trace.platform_events.is_empty());
+        let mut se = ShardedEngine::new(4, 2);
+        let mut pols = vec![boxed(Mct::new()), boxed(Mct::new())];
+        let stats = se.replay_trace(&trace, &mut pols).unwrap();
+        assert_eq!(se.n_completed(), 80);
+        assert!(stats.metrics.makespan.is_finite());
+        assert!(stats.metrics.max_stretch.is_finite());
+    }
+
+    #[test]
+    fn multi_shard_snapshot_is_a_typed_error() {
+        let se = ShardedEngine::new(4, 2);
+        let pol = Swrpt::new();
+        match se.snapshot(&pol) {
+            Err(SnapshotError::ShardedUnsupported { n_shards }) => assert_eq!(n_shards, 2),
+            other => panic!("want ShardedUnsupported, got {other:?}"),
+        }
+        // One shard snapshots and restores fine.
+        let mut se = ShardedEngine::new(2, 1);
+        se.push_arrival(job(0.0, 1.0, &[2.0, 3.0])).unwrap();
+        let mut pol = Swrpt::new();
+        let text = se.snapshot(&pol).unwrap();
+        let mut restored = ShardedEngine::restore_single(&text, &mut pol).unwrap();
+        let mut pols = vec![boxed(Swrpt::new())];
+        restored.drain(&mut pols).unwrap();
+        assert_eq!(restored.n_completed(), 1);
+    }
+}

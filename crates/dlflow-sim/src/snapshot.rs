@@ -22,10 +22,8 @@
 //! queue into an EDF policy is a logic error, not a best-effort merge.
 
 use crate::engine::{
-    ActiveJob, CompletedJob, Engine, JobSpec, MetricsAccumulator, OnlineScheduler, Pending,
-    PlatformChange, PlatformEvent, PlatformPending,
+    CompletedJob, Engine, MetricsAccumulator, OnlineScheduler, PlatformChange, PlatformEvent,
 };
-use std::cmp::Reverse;
 use std::fmt;
 
 /// Errors surfaced when parsing or applying a snapshot.
@@ -56,6 +54,12 @@ pub enum SnapshotError {
         /// The policy's error message.
         reason: String,
     },
+    /// Snapshotting was requested on a multi-shard front-end; the
+    /// `dlflow-snapshot v1` format captures exactly one engine.
+    ShardedUnsupported {
+        /// Shard count of the front-end that refused to serialize.
+        n_shards: usize,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -75,6 +79,12 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::SchedulerState { reason } => {
                 write!(f, "scheduler state rejected: {reason}")
+            }
+            SnapshotError::ShardedUnsupported { n_shards } => {
+                write!(
+                    f,
+                    "snapshots cover a single engine; this front-end has {n_shards} shards"
+                )
             }
         }
     }
@@ -222,49 +232,44 @@ impl Engine {
 
         // Heaps are written in canonical order so the text is a pure
         // function of the simulation state, not of heap internals.
-        let mut pending: Vec<&Pending> = self.pending.iter().map(|r| &r.0).collect();
-        pending.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.id.cmp(&b.id)));
+        let mut pending: Vec<(usize, f64, f64, &[f64])> = self.pending_entries().collect();
+        pending.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         s.push_str(&format!("pending {}\n", pending.len()));
-        for p in pending {
-            s.push_str(&format!("arrival {}", p.id));
-            push_hex(&mut s, p.job.release);
-            push_hex(&mut s, p.job.weight);
-            for c in &p.job.costs {
+        for (id, release, weight, costs) in pending {
+            s.push_str(&format!("arrival {id}"));
+            push_hex(&mut s, release);
+            push_hex(&mut s, weight);
+            for c in costs {
                 push_hex(&mut s, *c);
             }
             s.push('\n');
         }
 
-        s.push_str(&format!("active {}\n", self.active.len()));
-        for (k, a) in self.active.iter().enumerate() {
-            s.push_str(&format!("job {}", a.id));
-            push_hex(&mut s, a.remaining);
-            push_hex(&mut s, a.release);
-            push_hex(&mut s, a.weight);
-            for c in a.costs.iter() {
+        s.push_str(&format!("active {}\n", self.active().len()));
+        for (id, remaining, release, weight, costs, volatile) in self.active_entries() {
+            s.push_str(&format!("job {id}"));
+            push_hex(&mut s, remaining);
+            push_hex(&mut s, release);
+            push_hex(&mut s, weight);
+            for c in costs {
                 push_hex(&mut s, *c);
             }
             s.push('\n');
-            if self.faulty {
+            if let Some(row) = volatile {
                 s.push_str("volatile");
-                for v in &self.volatile[k] {
+                for v in row {
                     push_hex(&mut s, *v);
                 }
                 s.push('\n');
             }
         }
 
-        let mut platform: Vec<&PlatformPending> = self.platform.iter().map(|r| &r.0).collect();
-        platform.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+        let mut platform: Vec<(f64, usize, PlatformEvent)> = self.platform_entries().collect();
+        platform.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         s.push_str(&format!("platform {}\n", platform.len()));
-        for p in platform {
-            s.push_str(&format!(
-                "event {} {} {} ",
-                hex(p.time),
-                p.seq,
-                p.event.machine
-            ));
-            s.push_str(match p.event.change {
+        for (time, seq, event) in platform {
+            s.push_str(&format!("event {} {} {} ", hex(time), seq, event.machine));
+            s.push_str(match event.change {
                 PlatformChange::Down => "down",
                 PlatformChange::Up => "up",
             });
@@ -379,7 +384,9 @@ impl Engine {
         engine.n_plans = n_plans;
         engine.n_completed = n_completed;
         engine.record_completions = record_completions;
-        engine.faulty = faulty;
+        if faulty {
+            engine.enter_faulty_mode();
+        }
         engine.n_platform_pushed = n_platform_pushed;
         engine.busy = busy;
         engine.up = up;
@@ -394,15 +401,7 @@ impl Engine {
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| r.bad("arrival: bad id"))?;
             let vals = parse_hex_row(&r, &mut toks, 2 + n_machines, "arrival")?;
-            engine.pending.push(Reverse(Pending {
-                release: vals[0],
-                id,
-                job: JobSpec {
-                    release: vals[0],
-                    weight: vals[1],
-                    costs: vals[2..].to_vec(),
-                },
-            }));
+            engine.restore_pending(id, vals[0], vals[1], &vals[2..]);
         }
 
         let n_active = r.usize_field("active")?;
@@ -414,25 +413,25 @@ impl Engine {
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| r.bad("job: bad id"))?;
             let vals = parse_hex_row(&r, &mut toks, 3 + n_machines, "job")?;
-            let costs: Box<[f64]> = vals[3..].into();
-            let fastest = costs.iter().cloned().fold(f64::INFINITY, f64::min);
-            engine.active.push(ActiveJob {
-                id,
-                remaining: vals[0],
-                release: vals[1],
-                weight: vals[2],
-                costs,
-                fastest,
-            });
-            if faulty {
+            let volatile = if faulty {
                 let row = r.field("volatile")?;
-                engine.volatile.push(parse_hex_row(
+                Some(parse_hex_row(
                     &r,
                     &mut row.split_whitespace(),
                     n_machines,
                     "volatile",
-                )?);
-            }
+                )?)
+            } else {
+                None
+            };
+            engine.restore_active(
+                id,
+                vals[0],
+                vals[1],
+                vals[2],
+                &vals[3..],
+                volatile.as_deref(),
+            );
         }
 
         let n_platform = r.usize_field("platform")?;
@@ -459,15 +458,15 @@ impl Engine {
             if toks.next().is_some() {
                 return Err(r.bad("event: too many values"));
             }
-            engine.platform.push(Reverse(PlatformPending {
+            engine.restore_platform(
                 time,
                 seq,
-                event: PlatformEvent {
+                PlatformEvent {
                     time,
                     machine,
                     change,
                 },
-            }));
+            );
         }
 
         let n_done = r.usize_field("completed")?;
@@ -528,7 +527,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
+    use crate::engine::{simulate, JobSpec};
     use crate::schedulers::edf::Edf;
     use crate::schedulers::mct::Mct;
     use dlflow_core::instance::InstanceBuilder;

@@ -516,7 +516,11 @@ impl Trace {
         let n = self.arrivals.len();
         let mut next = 0usize;
         let mut max_active = 0usize;
-        // Stall guard equivalent to `Engine::drain`'s, over the whole trace.
+        // Reused cost row: arrivals enter the engine through
+        // `push_arrival_ref`, which copies the row straight into the
+        // slab, so the steady-state replay loop performs no allocation.
+        let mut costs = vec![0.0f64; self.n_machines()]; // dlflint:allow(alloc-in-hot-loop, "one buffer per replay, recycled across every arrival")
+                                                         // Stall guard equivalent to `Engine::drain`'s, over the whole trace.
         let max_iters =
             100_000 + 200 * n * (self.n_machines() + 2) + 2 * self.platform_events.len();
         for _ in 0..max_iters {
@@ -526,7 +530,13 @@ impl Trace {
             if eng.pending_len() == 0 && next < n {
                 let t0 = self.arrivals[next].release;
                 while next < n && self.arrivals[next].release <= t0 + EPS {
-                    eng.push_arrival(self.job_spec(next))?;
+                    let a = &self.arrivals[next];
+                    for (c, (ct, &ok)) in
+                        costs.iter_mut().zip(self.cycle_times.iter().zip(&a.avail))
+                    {
+                        *c = if ok { a.size * ct } else { f64::INFINITY };
+                    }
+                    eng.push_arrival_ref(a.release, a.weight, &costs)?;
                     next += 1;
                 }
             }

@@ -37,7 +37,7 @@ fn active_job_exposes_raw_costs() {
     .unwrap();
     // One step admits the release-0 arrival.
     eng.step(&mut Edf::new()).unwrap();
-    let job = &eng.active()[0];
+    let job = eng.active().get(0);
     assert_eq!(job.raw_cost(0), 2.0);
     assert!(job.raw_cost(1).is_infinite()); // cost() hides this as None
     assert_eq!(job.cost(1), None);

@@ -1,0 +1,340 @@
+//! Differential wall around the PR-9 hot-path rework: the flattened
+//! slab engine, the sharded front-end, the pre-rework reference engine,
+//! and the dense batch oracle must all tell the same story.
+//!
+//! Four independent implementations of the same semantics exist in this
+//! workspace, written years^H^H^H^H^HPRs apart:
+//!
+//! 1. [`Engine`] — the flattened slab/SoA engine (this PR);
+//! 2. [`ShardedEngine`] — the multi-cluster front-end over it (this PR);
+//! 3. [`ReferenceEngine`] — the pre-flattening engine, ported verbatim;
+//! 4. [`simulate_dense`] — the seed's dense batch loop.
+//!
+//! Randomized traces (fault schedules included) are pushed through all
+//! of them, with the strongest cheap assertion at every boundary:
+//! **bit-identical** completion streams, not approximate metrics. A
+//! single reordered float comparison anywhere in the rework shows up
+//! here as a diverging bit pattern.
+
+use dlflow_sim::engine::{simulate_dense, CompletedJob, Engine, OnlineScheduler, StepOutcome};
+use dlflow_sim::reference::ReferenceEngine;
+use dlflow_sim::schedulers::{
+    Edf, FifoFastest, Mct, OfflineAdapt, RoundRobin, Srpt, Swrpt, WeightedAge,
+};
+use dlflow_sim::shard::ShardedEngine;
+use dlflow_sim::workload::{generate_trace, FaultProcess, Trace, TraceSpec};
+use proptest::prelude::*;
+
+type Factory = fn() -> Box<dyn OnlineScheduler + Send>;
+
+/// Fresh-instance factories for all 8 policies.
+fn factories() -> Vec<Factory> {
+    vec![
+        || Box::new(Mct::new()),
+        || Box::new(FifoFastest::new()),
+        || Box::new(Srpt::new()),
+        || Box::new(Swrpt::new()),
+        || Box::new(RoundRobin::new()),
+        || Box::new(WeightedAge::new()),
+        || Box::new(Edf::new()),
+        || Box::new(OfflineAdapt::new()),
+    ]
+}
+
+/// The LP-free subset (usable at larger sizes).
+fn cheap_factories() -> Vec<Factory> {
+    let mut f = factories();
+    f.pop(); // drop OLA
+    f
+}
+
+/// A randomized trace over `m` machines, optionally with faults.
+fn trace_of(seed: u64, n: usize, m: usize, faulty: bool) -> Trace {
+    generate_trace(&TraceSpec {
+        n_requests: n,
+        n_machines: m,
+        seed,
+        faults: faulty.then_some(FaultProcess {
+            mtbf: 8.0,
+            mttr: 2.0,
+            horizon: 30.0,
+            seed: seed ^ 0xFA417,
+        }),
+        ..Default::default()
+    })
+}
+
+/// A completion stream reduced to comparable bits, order preserved.
+fn bits(stream: &[CompletedJob]) -> Vec<(usize, u64, u64)> {
+    stream
+        .iter()
+        .map(|c| (c.id, c.release.to_bits(), c.completion.to_bits()))
+        .collect()
+}
+
+/// The flat engine's buffered completion stream for a trace.
+fn flat_stream(trace: &Trace, policy: &mut dyn OnlineScheduler) -> Vec<CompletedJob> {
+    policy.reset();
+    let mut eng = Engine::new(trace.n_machines());
+    for e in &trace.platform_events {
+        eng.push_platform_event(*e).unwrap();
+    }
+    for k in 0..trace.len() {
+        eng.push_arrival(trace.job_spec(k)).unwrap();
+    }
+    eng.drain(policy).unwrap();
+    eng.take_completed()
+}
+
+/// The sharded front-end's merged completion stream for a trace.
+fn sharded_stream(
+    trace: &Trace,
+    fresh: Factory,
+    shards: usize,
+) -> (ShardedEngine, Vec<CompletedJob>) {
+    let mut se = ShardedEngine::new(trace.n_machines(), shards);
+    let mut policies: Vec<Box<dyn OnlineScheduler + Send>> =
+        (0..se.n_shards()).map(|_| fresh()).collect();
+    for p in policies.iter_mut() {
+        p.reset();
+    }
+    for e in &trace.platform_events {
+        se.push_platform_event(*e).unwrap();
+    }
+    for k in 0..trace.len() {
+        se.push_arrival(trace.job_spec(k)).unwrap();
+    }
+    se.drain(&mut policies).unwrap();
+    let stream = se.take_completed();
+    (se, stream)
+}
+
+/// The pre-rework reference engine's stream for the same trace.
+fn reference_stream(trace: &Trace, policy: &mut dyn OnlineScheduler) -> Vec<CompletedJob> {
+    policy.reset();
+    let mut eng = ReferenceEngine::new(trace.n_machines());
+    for e in &trace.platform_events {
+        eng.push_platform_event(*e).unwrap();
+    }
+    for k in 0..trace.len() {
+        eng.push_arrival(trace.job_spec(k)).unwrap();
+    }
+    eng.drain(policy).unwrap();
+    eng.take_completed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The three online implementations produce bit-identical streams —
+    /// flat vs sharded@1 vs the PR-5 reference — for every scheduler,
+    /// fault-free and faulty.
+    #[test]
+    fn flat_sharded_and_reference_streams_are_bit_identical(
+        seed in 0u64..5_000,
+        n in 4usize..12,
+        faulty in 0u8..2,
+    ) {
+        let trace = trace_of(seed, n, 3, faulty == 1);
+        for fresh in factories() {
+            let flat = flat_stream(&trace, fresh().as_mut());
+            prop_assert_eq!(flat.len(), n);
+            let (_, sharded) = sharded_stream(&trace, fresh, 1);
+            prop_assert_eq!(bits(&flat), bits(&sharded));
+            let reference = reference_stream(&trace, fresh().as_mut());
+            prop_assert_eq!(bits(&flat), bits(&reference));
+        }
+    }
+
+    /// Fault-free traces also agree with the seed's dense batch oracle
+    /// (faults are outside the closed-instance model, so this leg runs
+    /// clean traces only).
+    #[test]
+    fn flat_engine_matches_the_dense_oracle(
+        seed in 0u64..5_000,
+        n in 4usize..20,
+    ) {
+        let trace = trace_of(seed, n, 3, false);
+        let inst = trace.to_instance().unwrap();
+        for fresh in cheap_factories() {
+            let flat = flat_stream(&trace, fresh().as_mut());
+            let dense = simulate_dense(&inst, fresh().as_mut()).unwrap();
+            for c in &flat {
+                prop_assert_eq!(
+                    c.completion.to_bits(),
+                    dense.completions[c.id].to_bits()
+                );
+            }
+        }
+    }
+
+    /// Multi-shard runs: the merged stream is deterministic (two runs →
+    /// identical bytes), time-ordered with ties resolved to the lower
+    /// shard, and each cluster independently reproduces a standalone
+    /// engine fed the same sub-workload.
+    #[test]
+    fn multi_shard_merge_is_deterministic_and_clusters_are_independent(
+        seed in 0u64..5_000,
+        n in 8usize..24,
+        shards in 2usize..4,
+        faulty in 0u8..2,
+    ) {
+        let m = 4;
+        let trace = trace_of(seed, n, m, faulty == 1);
+        for fresh in cheap_factories() {
+            let (se1, s1) = sharded_stream(&trace, fresh, shards);
+            let (se2, s2) = sharded_stream(&trace, fresh, shards);
+            prop_assert_eq!(bits(&s1), bits(&s2));
+            prop_assert_eq!(se1.n_events(), se2.n_events());
+            prop_assert_eq!(s1.len(), n);
+
+            // Merge order invariant: non-decreasing completion times.
+            for w in s1.windows(2) {
+                prop_assert!(w[0].completion <= w[1].completion);
+            }
+
+            // Per-cluster parity: rebuild each shard's workload by hand
+            // with the documented assignment rule (fastest machine, ties
+            // to the lower shard) and drain it in a standalone engine.
+            for s in 0..se1.n_shards() {
+                let (lo, hi) = se1.shard_range(s);
+                let mut solo = Engine::new(hi - lo);
+                let mut policy = fresh();
+                for e in &trace.platform_events {
+                    if (lo..hi).contains(&e.machine) {
+                        let mut local = *e;
+                        local.machine -= lo;
+                        solo.push_platform_event(local).unwrap();
+                    }
+                }
+                for k in 0..trace.len() {
+                    let spec = trace.job_spec(k);
+                    let best = (0..se1.n_shards())
+                        .map(|q| {
+                            let (a, b) = se1.shard_range(q);
+                            spec.costs[a..b]
+                                .iter()
+                                .cloned()
+                                .fold(f64::INFINITY, f64::min)
+                        })
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                        .map(|(q, _)| q)
+                        .unwrap();
+                    if best == s {
+                        solo.push_arrival_ref(spec.release, spec.weight, &spec.costs[lo..hi])
+                            .unwrap();
+                    }
+                }
+                solo.drain(policy.as_mut()).unwrap();
+                prop_assert_eq!(solo.n_events(), se1.shard(s).n_events());
+                prop_assert_eq!(solo.busy(), se1.shard(s).busy());
+                prop_assert_eq!(
+                    solo.metrics().makespan.to_bits(),
+                    se1.shard(s).metrics().makespan.to_bits()
+                );
+            }
+        }
+    }
+
+    /// Mid-run interrupts: stepping the flat engine with a snapshot
+    /// round-trip through [`ShardedEngine::restore_single`] at every
+    /// k-th event — fresh policy each time, like a process restart —
+    /// leaves the final stream bit-identical to the straight run, and
+    /// the snapshot text is a fixed point of the front-end round-trip.
+    #[test]
+    fn sharded_restore_round_trip_is_crash_consistent(
+        seed in 0u64..5_000,
+        n in 4usize..10,
+        every in 1usize..5,
+        faulty in 0u8..2,
+    ) {
+        let trace = trace_of(seed, n, 3, faulty == 1);
+        for fresh in factories() {
+            let straight = flat_stream(&trace, fresh().as_mut());
+
+            let mut policy = fresh();
+            policy.reset();
+            let mut eng = Engine::new(trace.n_machines());
+            for e in &trace.platform_events {
+                eng.push_platform_event(*e).unwrap();
+            }
+            for k in 0..trace.len() {
+                eng.push_arrival(trace.job_spec(k)).unwrap();
+            }
+            let mut guard = 0usize;
+            loop {
+                guard += 1;
+                prop_assert!(guard < 1_000_000, "interrupted run does not terminate");
+                if eng.step(policy.as_mut()).unwrap() == StepOutcome::Idle {
+                    break;
+                }
+                if eng.n_events().is_multiple_of(every) {
+                    let snap = eng.snapshot(policy.as_ref());
+                    let mut revived = fresh();
+                    let se = ShardedEngine::restore_single(&snap, revived.as_mut()).unwrap();
+                    prop_assert_eq!(se.n_shards(), 1);
+                    prop_assert_eq!(se.snapshot(revived.as_ref()).unwrap(), snap.clone());
+                    let mut again = fresh();
+                    eng = Engine::restore(&snap, again.as_mut()).unwrap();
+                    policy = again;
+                }
+            }
+            let interrupted = eng.take_completed();
+            prop_assert_eq!(bits(&straight), bits(&interrupted));
+        }
+    }
+}
+
+/// Pinned regression: two shards finishing jobs at the *same* instant
+/// must merge shard 0's job first — the documented cross-shard
+/// tie-break — so campaign-style reports cannot flap between runs.
+#[test]
+fn cross_shard_simultaneous_completion_tie_is_pinned() {
+    let mut se = ShardedEngine::new(4, 2);
+    // One job per shard, mirrored costs, both complete at t = 6.
+    for costs in [
+        [3.0, 6.0, f64::INFINITY, f64::INFINITY],
+        [f64::INFINITY, f64::INFINITY, 3.0, 6.0],
+    ] {
+        se.push_arrival(dlflow_sim::engine::JobSpec {
+            release: 0.0,
+            weight: 1.0,
+            costs: costs.to_vec(),
+        })
+        .unwrap();
+    }
+    let mut policies: Vec<Box<dyn OnlineScheduler + Send>> =
+        vec![Box::new(Swrpt::new()), Box::new(Swrpt::new())];
+    se.drain(&mut policies).unwrap();
+    let done = se.take_completed();
+    assert_eq!(done.len(), 2);
+    assert_eq!(
+        done[0].completion.to_bits(),
+        done[1].completion.to_bits(),
+        "fixture must actually tie"
+    );
+    assert_eq!(done[0].id, 0);
+    assert_eq!(done[1].id, 1);
+}
+
+/// The sharded replay front door and the manual push-everything path
+/// agree: `replay_trace` is pure plumbing.
+#[test]
+fn replay_trace_matches_the_manual_sharded_run() {
+    let trace = trace_of(77, 50, 4, true);
+    let fresh: Factory = || Box::new(Swrpt::new());
+    let (manual, _) = sharded_stream(&trace, fresh, 2);
+
+    let mut se = ShardedEngine::new(trace.n_machines(), 2);
+    let mut policies: Vec<Box<dyn OnlineScheduler + Send>> = vec![fresh(), fresh()];
+    let stats = se.replay_trace(&trace, &mut policies).unwrap();
+    assert_eq!(stats.n_jobs, 50);
+    assert_eq!(stats.n_events, manual.n_events());
+    assert_eq!(stats.busy, manual.busy());
+    assert_eq!(
+        stats.metrics.max_stretch.to_bits(),
+        manual.metrics().max_stretch.to_bits()
+    );
+    assert_eq!(stats.max_active, manual.peak_active());
+}

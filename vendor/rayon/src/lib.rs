@@ -64,6 +64,47 @@ where
         .collect()
 }
 
+/// Runs `f` over every item by `&mut`, in parallel chunks, preserving
+/// input order. The mutable cousin of [`run_chunked`], backing
+/// `par_iter_mut()`: disjoint `chunks_mut` windows make the shared-state
+/// story trivially safe.
+fn run_chunked_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if n < PARALLEL_THRESHOLD || threads <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let f = &f;
+    std::thread::scope(|s| {
+        for ((ci, slots), work) in out
+            .chunks_mut(chunk)
+            .enumerate()
+            .zip(items.chunks_mut(chunk))
+        {
+            let base = ci * chunk;
+            s.spawn(move || {
+                for ((k, slot), item) in slots.iter_mut().enumerate().zip(work.iter_mut()) {
+                    *slot = Some(f(base + k, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("chunk worker filled every slot"))
+        .collect()
+}
+
 /// Parallel iterator over `&[T]`, mirroring `rayon::slice::Iter`.
 pub struct ParIter<'data, T> {
     items: &'data [T],
@@ -147,9 +188,48 @@ where
     }
 }
 
+/// Parallel iterator over `&mut [T]`, mirroring `rayon::slice::IterMut`.
+pub struct ParIterMut<'data, T> {
+    items: &'data mut [T],
+}
+
+impl<'data, T: Send> ParIterMut<'data, T> {
+    /// Applies `f` to every item by `&mut`.
+    pub fn map<R, F>(self, f: F) -> ParMapMut<'data, T, F>
+    where
+        F: Fn(&mut T) -> R + Sync,
+        R: Send,
+    {
+        ParMapMut {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mutably mapped parallel iterator awaiting `collect()`.
+pub struct ParMapMut<'data, T, F> {
+    items: &'data mut [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMapMut<'data, T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    /// Runs the pipeline in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_chunked_mut(self.items, |_, t| (self.f)(t))
+            .into_iter()
+            .collect()
+    }
+}
+
 /// Traits that make `.par_iter()` available, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use super::{ParEnumerate, ParEnumerateMap, ParIter, ParMap};
+    pub use super::{ParEnumerate, ParEnumerateMap, ParIter, ParIterMut, ParMap, ParMapMut};
 
     /// Types that can be iterated in parallel by reference.
     pub trait IntoParallelRefIterator<'data> {
@@ -174,6 +254,34 @@ pub mod prelude {
         fn par_iter(&'data self) -> Self::Iter {
             ParIter {
                 items: self.as_slice(),
+            }
+        }
+    }
+
+    /// Types that can be iterated in parallel by mutable reference.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The parallel-iterator type returned by
+        /// [`par_iter_mut`](Self::par_iter_mut).
+        type Iter;
+
+        /// Returns a parallel iterator over `&mut self`'s elements.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = ParIterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            ParIterMut { items: self }
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = ParIterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            ParIterMut {
+                items: self.as_mut_slice(),
             }
         }
     }
@@ -212,6 +320,20 @@ mod tests {
             .map(|(i, &x)| x + offsets[i])
             .collect();
         assert_eq!(got, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place_and_preserves_order() {
+        let mut v: Vec<u64> = (0..5_000).collect();
+        let doubled: Vec<u64> = v
+            .par_iter_mut()
+            .map(|x| {
+                *x *= 2;
+                *x
+            })
+            .collect();
+        assert_eq!(doubled, (0..5_000).map(|x| x * 2).collect::<Vec<u64>>());
+        assert_eq!(v[4_999], 9_998, "mutation lands in the source slice");
     }
 
     #[test]
