@@ -3,7 +3,7 @@
 //! Runs a fixed, representative subset of the criterion suites
 //! (`bench_num`, `bench_simplex`, `bench_core`, `bench_gripps`,
 //! `bench_sim`) with a small measurement budget and writes per-bench
-//! **median** ns/iter to `BENCH_PR9.json` (override with `--out <path>`),
+//! **median** ns/iter to `BENCH_PR10.json` (override with `--out <path>`),
 //! establishing the perf trajectory across PRs. The Theorem-2 entry also
 //! records the `FlowStats` warm/cold probe split (the PR-3 headline);
 //! the sim section records the incremental engine's large-trace scaling
@@ -29,19 +29,37 @@
 //!   (amortized zero per event) and records whole-replay allocation
 //!   totals, which bound capacity growth — not per-event traffic.
 //!
+//! The PR-10 `ola-resolve` group measures the persistent warm-basis LP
+//! machinery:
+//!
+//! * **Per-probe resolve cost.** A representative deadline-probe LP is
+//!   re-solved cold vs through [`ProbeCache`] (alternating two RHS
+//!   variants so every warm iteration is a genuine patch + dual
+//!   repair). The asserted floor is a ≥ 3× warm-over-cold speedup; the
+//!   local headline is ~10×.
+//! * **End-to-end replay.** Eager-warm OLA (`throttle = 0`) vs the
+//!   cold-resolve oracle vs `OLA-lite` on a 1k-arrival trace, with the
+//!   event-level resolve telemetry ([`ResolveStats`]) recorded. The
+//!   end-to-end gate is conservative (warm must not *pessimize* the
+//!   replay) because the guard stack pins the tolerance-band tail of
+//!   every bisection to the cold path by design — the per-event ratio
+//!   is structurally capped well below the per-probe one.
+//!
 //! Usage: `cargo run --release -p dlflow-bench --bin bench-report`
 
 use allocmeter::Meter;
-use dlflow_core::lp_build::{build_deadline_lp, build_makespan_lp};
+use dlflow_core::instance::{Cost, Instance, Job};
+use dlflow_core::lp_build::{build_deadline_lp, build_deadline_probe_lp, build_makespan_lp};
 use dlflow_core::maxflow::min_max_weighted_flow_divisible;
 use dlflow_core::milestones::milestones;
 use dlflow_gripps::databank::{Databank, DatabankSpec};
 use dlflow_gripps::motif::Motif;
 use dlflow_gripps::scan::scan_databank;
+use dlflow_lp::ProbeCache;
 use dlflow_num::Rat;
-use dlflow_sim::engine::{simulate_dense, JobSpec, OnlineScheduler};
+use dlflow_sim::engine::{simulate_dense, JobSpec, OnlineScheduler, ResolveStats};
 use dlflow_sim::reference::{Pr5Swrpt, ReferenceEngine};
-use dlflow_sim::schedulers::Swrpt;
+use dlflow_sim::schedulers::{OfflineAdapt, OlaLite, Swrpt};
 use dlflow_sim::shard::ShardedEngine;
 use dlflow_sim::workload::{
     generate, generate_trace, ArrivalProcess, Trace, TraceSpec, WorkloadSpec,
@@ -87,7 +105,7 @@ fn main() {
         args.iter()
             .position(|a| a == "--out")
             .and_then(|i| args.get(i + 1).cloned())
-            .unwrap_or_else(|| "BENCH_PR9.json".to_string())
+            .unwrap_or_else(|| "BENCH_PR10.json".to_string())
     };
 
     let mut entries: Vec<(String, f64)> = Vec::new();
@@ -355,8 +373,101 @@ fn main() {
     let warm_wave_allocs = (allocmeter::alloc_count() - a0).saturating_sub(1_000);
     println!("  warm-engine second wave (1k jobs): {warm_wave_allocs} engine allocations");
 
+    // --- ola-resolve: the PR-10 persistent warm-basis machinery. ---
+
+    // Per-probe resolve cost on a representative deadline-probe LP
+    // (6 jobs × 4 machines). The warm routine alternates two RHS
+    // variants so every iteration is a real persistent patch + dual
+    // repair, never a cache no-op.
+    let probe_sub = {
+        let jobs: Vec<Job<f64>> = (0..6)
+            .map(|k| Job {
+                release: 10.0,
+                weight: 1.0 + k as f64,
+                name: String::new(),
+            })
+            .collect();
+        let cost: Vec<Vec<Cost<f64>>> = (0..4)
+            .map(|i| {
+                (0..6)
+                    .map(|k| Cost::Finite(1.0 + ((i * 7 + k * 3) % 5) as f64))
+                    .collect()
+            })
+            .collect();
+        Instance::new(jobs, cost).expect("probe instance")
+    };
+    let d0 = [14.0, 13.0, 12.5, 12.2, 15.0, 16.0];
+    let d1 = [14.1, 13.1, 12.6, 12.3, 15.1, 16.1];
+    let probe_lp0 = build_deadline_probe_lp(&probe_sub, &d0, false);
+    let probe_lp1 = build_deadline_probe_lp(&probe_sub, &d1, false);
+    let cold_probe_ns = median_ns(|| dlflow_lp::solve(&probe_lp0));
+    let mut probe_cache: ProbeCache<f64> = ProbeCache::new();
+    let probe_seed = dlflow_lp::solve_warm(&probe_lp0, None);
+    probe_cache
+        .solve(&probe_lp0, probe_seed.basis.as_ref())
+        .expect("seeded probe cache serves");
+    let mut flip = false;
+    let warm_probe_ns = median_ns(|| {
+        flip = !flip;
+        let p = if flip { &probe_lp1 } else { &probe_lp0 };
+        probe_cache.solve(p, None)
+    });
+    let warm_probe_speedup = cold_probe_ns / warm_probe_ns;
+    push("ola/cold_probe_solve", cold_probe_ns);
+    push("ola/warm_probe_resolve", warm_probe_ns);
+    println!("  warm vs cold per-probe resolve: {warm_probe_speedup:.2}x");
+
+    // End-to-end replay: eager-warm OLA vs the cold oracle vs OLA-lite
+    // on a 1k-arrival trace, interleaved rounds, best ns/event each.
+    let ola_trace = generate_trace(&TraceSpec {
+        n_requests: 1_000,
+        seed: 7,
+        ..Default::default()
+    });
+    fn ola_round(trace: &Trace, policy: &mut dyn OnlineScheduler) -> (f64, ResolveStats) {
+        policy.reset();
+        let t0 = Instant::now();
+        let s = trace.replay(policy).expect("OLA replay");
+        let ns = t0.elapsed().as_nanos() as f64 / s.n_events as f64;
+        (ns, policy.resolve_stats().unwrap_or_default())
+    }
+    let mut eager = OfflineAdapt::new();
+    let mut oracle = OfflineAdapt::cold_oracle();
+    let mut lite = OlaLite::new();
+    let (mut eager_ns, mut oracle_ns, mut lite_ns) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let mut eager_stats = ResolveStats::default();
+    for _ in 0..2 {
+        let (ns, rs) = ola_round(&ola_trace, &mut eager);
+        if ns < eager_ns {
+            eager_ns = ns;
+            eager_stats = rs;
+        }
+        oracle_ns = oracle_ns.min(ola_round(&ola_trace, &mut oracle).0);
+        lite_ns = lite_ns.min(ola_round(&ola_trace, &mut lite).0);
+    }
+    let ola_end_to_end_ratio = oracle_ns / eager_ns;
+    let lite_ratio = oracle_ns / lite_ns;
+    push("sim/ola_eager_replay_1k", eager_ns);
+    push("sim/ola_cold_oracle_replay_1k", oracle_ns);
+    push("sim/olalite_replay_1k", lite_ns);
+    println!(
+        "  OLA eager vs cold oracle end-to-end: {ola_end_to_end_ratio:.2}x \
+         ({:.2}M events/s eager); OLA-lite vs cold OLA: {lite_ratio:.2}x",
+        1e3 / eager_ns
+    );
+    println!(
+        "  OLA eager telemetry: {} re-solves ({} warm-served + {} cold), \
+         {} warm + {} cold LP solves, {:.2} mean LP/resolve",
+        eager_stats.n_resolves,
+        eager_stats.warm_resolves,
+        eager_stats.cold_resolves,
+        eager_stats.warm_lp_solves,
+        eager_stats.cold_lp_solves,
+        eager_stats.mean_lp_solves_per_resolve()
+    );
+
     // --- JSON emission (no serde in the offline dependency set). ---
-    let mut json = String::from("{\n  \"pr\": 9,\n  \"mode\": \"quick\",\n");
+    let mut json = String::from("{\n  \"pr\": 10,\n  \"mode\": \"quick\",\n");
     json.push_str(&format!(
         "  \"samples_per_bench\": {SAMPLES},\n  \"theorem2_probe_stats\": {{\n    \"n_milestones\": {},\n    \"n_probes\": {},\n    \"n_warm_probes\": {},\n    \"n_cold_probes\": {}\n  }},\n",
         stats.n_milestones, stats.n_probes, stats.n_warm_probes, stats.n_cold_probes
@@ -403,6 +514,32 @@ fn main() {
          \"sharded_m32_k32_100k_total\": {shard_allocs},\n    \
          \"sharded_m32_k32_100k_events\": {shard_events},\n    \
          \"warm_engine_second_wave_1k_jobs\": {warm_wave_allocs}\n  }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"ola_resolve\": {{\n    \
+         \"cold_probe_ns\": {cold_probe_ns:.1},\n    \
+         \"warm_probe_ns\": {warm_probe_ns:.1},\n    \
+         \"warm_probe_speedup\": {warm_probe_speedup:.2},\n    \
+         \"ola_eager_best_ns_per_event\": {eager_ns:.1},\n    \
+         \"ola_cold_oracle_best_ns_per_event\": {oracle_ns:.1},\n    \
+         \"ola_end_to_end_ratio\": {ola_end_to_end_ratio:.2},\n    \
+         \"ola_eager_events_per_sec\": {:.0},\n    \
+         \"olalite_best_ns_per_event\": {lite_ns:.1},\n    \
+         \"olalite_ratio_vs_cold_ola\": {lite_ratio:.2},\n    \
+         \"eager_resolve_stats\": {{\n      \
+         \"n_resolves\": {},\n      \
+         \"warm_resolves\": {},\n      \
+         \"cold_resolves\": {},\n      \
+         \"warm_lp_solves\": {},\n      \
+         \"cold_lp_solves\": {},\n      \
+         \"mean_lp_solves_per_resolve\": {:.2}\n    }}\n  }},\n",
+        1e9 / eager_ns,
+        eager_stats.n_resolves,
+        eager_stats.warm_resolves,
+        eager_stats.cold_resolves,
+        eager_stats.warm_lp_solves,
+        eager_stats.cold_lp_solves,
+        eager_stats.mean_lp_solves_per_resolve()
     ));
     json.push_str("  \"median_ns\": {\n");
     for (i, (name, ns)) in entries.iter().enumerate() {
@@ -460,5 +597,29 @@ fn main() {
     assert!(
         warm_wave_allocs <= 8,
         "warm engine steady state is no longer allocation-free: {warm_wave_allocs}"
+    );
+
+    // PR-10 floors. The per-probe persistent resolve must clearly beat
+    // a from-scratch solve (local headline ~10×, floor 3× for noisy
+    // runners). End-to-end, warm OLA must at minimum not pessimize the
+    // replay (the guard stack pins every bisection's tolerance-band
+    // tail cold, so the per-event ratio is structurally modest), its
+    // warm machinery must dominate events, and OLA-lite must deliver a
+    // clear race win over the full cold bisection.
+    assert!(
+        warm_probe_speedup >= 3.0,
+        "persistent warm probe resolve no longer clearly beats cold: {warm_probe_speedup:.2}x"
+    );
+    assert!(
+        ola_end_to_end_ratio >= 0.9,
+        "warm-basis OLA pessimizes end-to-end replay: {ola_end_to_end_ratio:.2}x"
+    );
+    assert!(
+        eager_stats.warm_resolves > eager_stats.cold_resolves,
+        "eager-warm OLA no longer serves most events warm: {eager_stats:?}"
+    );
+    assert!(
+        lite_ratio >= 2.0,
+        "OLA-lite race win over cold OLA collapsed: {lite_ratio:.2}x"
     );
 }

@@ -12,7 +12,7 @@
 //! | `thm2_maxflow` | Theorem 2 validation, milestones, optimality chain |
 //! | `sec44_preemptive` | §4.4 reconstruction statistics |
 //! | `campaign` | the §6 tournament → `CAMPAIGN_PR4.json` / `.md` |
-//! | `bench-report` | quick-mode perf medians → `BENCH_PR3.json` |
+//! | `bench-report` | quick-mode perf medians → `BENCH_PR10.json` |
 //!
 //! This library holds the small table/CSV rendering helpers they share.
 //!

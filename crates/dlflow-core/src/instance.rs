@@ -133,6 +133,14 @@ impl<S: Scalar> Instance<S> {
         Ok(Instance { jobs, cost })
     }
 
+    /// Decomposes the instance into its raw parts, handing the job list
+    /// and cost-matrix allocations back to the caller. The eager
+    /// re-solve schedulers rebuild a sub-instance at every engine event;
+    /// recycling these buffers keeps that off the allocator.
+    pub fn into_parts(self) -> (Vec<Job<S>>, Vec<Vec<Cost<S>>>) {
+        (self.jobs, self.cost)
+    }
+
     /// The *uniform machines with restricted availabilities* special case
     /// the GriPPS application maps onto (§3): `c[i][j] = W_j · speed_i`
     /// when `available[i][j]`, infinite otherwise.

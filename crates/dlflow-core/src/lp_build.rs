@@ -123,6 +123,16 @@ pub struct DeadlineLp<S> {
 /// When `per_job_interval_bound` is set, constraint (5b) is added on top —
 /// this is the concrete-`F` version of System (5) used as the feasibility
 /// probe for the *preemptive* (non-divisible) variant of the problem.
+///
+/// This builder sits on OLA's per-event hot path (one call per guarded
+/// bisection probe plus the final rate solve), so variables and
+/// constraints are anonymous — names and labels are display-only and the
+/// `format!` calls used to dominate the build at production sub-problem
+/// sizes — and row expressions are bucketed in the variable-creation pass
+/// instead of rescanning the `α` list per row. Both changes are
+/// numerically invisible: the emitted LP has the same terms in the same
+/// order, so every simplex pivot (and thus every verdict the campaign
+/// goldens pin) is unchanged.
 pub fn build_deadline_lp<S: Scalar>(
     inst: &Instance<S>,
     deadlines: &[S],
@@ -133,12 +143,20 @@ pub fn build_deadline_lp<S: Scalar>(
     points.extend(deadlines.iter().cloned());
     let intervals = ConcreteIntervals::from_points(points);
     let n_int = intervals.n_intervals();
+    let (m, n) = (inst.n_machines(), inst.n_jobs());
 
     let mut lp: LpProblem<S> = LpProblem::new(Sense::Minimize);
     let mut alpha: Vec<AlphaVar> = Vec::new();
+    let mut cap_expr: Vec<LinExpr<S>> = vec![LinExpr::new(); n_int * m];
+    let mut jobcap_expr: Vec<LinExpr<S>> = if per_job_interval_bound {
+        vec![LinExpr::new(); n_int * n]
+    } else {
+        Vec::new()
+    };
+    let mut done_expr: Vec<LinExpr<S>> = vec![LinExpr::new(); n];
     for t in 0..n_int {
-        for i in 0..inst.n_machines() {
-            for j in 0..inst.n_jobs() {
+        for i in 0..m {
+            for j in 0..n {
                 if !inst.cost(i, j).is_finite() {
                     continue;
                 }
@@ -149,50 +167,37 @@ pub fn build_deadline_lp<S: Scalar>(
                 if !deadlines[j].ge_tol(intervals.sup(t)) {
                     continue;
                 }
-                let v = lp.add_var(format!("a[{t}][{i}][{j}]"));
+                let v = lp.add_var("");
                 alpha.push((t, i, j, v));
+                let c = inst.cost(i, j).finite().unwrap(); // dlflint:allow(hot-path-panic, "guarded by the is_finite check at the top of this loop body")
+                cap_expr[t * m + i].push(v, c.clone());
+                if per_job_interval_bound {
+                    jobcap_expr[t * n + j].push(v, c.clone());
+                }
+                done_expr[j].push(v, S::one());
             }
         }
     }
 
     // (2c) machine capacity.
+    let mut cap_expr = cap_expr.into_iter();
     for t in 0..n_int {
-        for i in 0..inst.n_machines() {
-            let mut expr = LinExpr::new();
-            for (tt, ii, j, v) in &alpha {
-                if *tt == t && *ii == i {
-                    expr.push(*v, inst.cost(i, *j).finite().unwrap().clone()); // dlflint:allow(hot-path-panic, "alpha variables exist only for finite (i, j) cost pairs")
-                }
-            }
+        for _ in 0..m {
+            let expr = cap_expr.next().unwrap(); // dlflint:allow(hot-path-panic, "iterator was built with exactly n_int * m expressions")
             if !expr.is_empty() {
-                lp.add_constraint_labelled(
-                    format!("cap[t{t}][m{i}]"),
-                    expr,
-                    Rel::Le,
-                    intervals.len(t),
-                );
+                lp.add_constraint(expr, Rel::Le, intervals.len(t));
             }
         }
     }
 
     // (5b) optional: a job cannot occupy more wall-clock than the interval.
     if per_job_interval_bound {
+        let mut jobcap_expr = jobcap_expr.into_iter();
         for t in 0..n_int {
-            for j in 0..inst.n_jobs() {
-                let mut expr = LinExpr::new();
-                for (tt, i, jj, v) in &alpha {
-                    if *tt == t && *jj == j {
-                        // dlflint:allow(hot-path-panic, "alpha variables exist only for finite (i, j) cost pairs")
-                        expr.push(*v, inst.cost(*i, j).finite().unwrap().clone());
-                    }
-                }
+            for _ in 0..n {
+                let expr = jobcap_expr.next().unwrap(); // dlflint:allow(hot-path-panic, "iterator was built with exactly n_int * n expressions")
                 if !expr.is_empty() {
-                    lp.add_constraint_labelled(
-                        format!("jobcap[t{t}][j{j}]"),
-                        expr,
-                        Rel::Le,
-                        intervals.len(t),
-                    );
+                    lp.add_constraint(expr, Rel::Le, intervals.len(t));
                 }
             }
         }
@@ -200,14 +205,8 @@ pub fn build_deadline_lp<S: Scalar>(
 
     // (2d) completion. An empty expression (no interval can host the job)
     // yields `0 = 1`, i.e. infeasibility — exactly right.
-    for j in 0..inst.n_jobs() {
-        let mut expr = LinExpr::new();
-        for (_, _, jj, v) in &alpha {
-            if *jj == j {
-                expr.push(*v, S::one());
-            }
-        }
-        lp.add_constraint_labelled(format!("done[j{j}]"), expr, Rel::Eq, S::one());
+    for expr in done_expr {
+        lp.add_constraint(expr, Rel::Eq, S::one());
     }
 
     DeadlineLp {
@@ -267,11 +266,11 @@ pub fn build_deadline_probe_lp<S: Scalar>(
                 if !inst.cost(i, j).is_finite() {
                     continue; // availability is deadline-independent
                 }
-                let v = lp.add_var(format!("a[{t}][{i}][{j}]"));
+                let v = lp.add_var("");
                 let admissible =
                     !degenerate && inst.job(j).release.le_tol(inf) && deadlines[j].ge_tol(sup);
                 if admissible {
-                    let c = inst.cost(i, j).finite().unwrap();
+                    let c = inst.cost(i, j).finite().unwrap(); // dlflint:allow(hot-path-panic, "guarded by the is_finite check at the top of this loop body")
                     cap_expr[t * m + i].push(v, c.clone());
                     jobcap_expr[t * n + j].push(v, c.clone());
                     done_expr[j].push(v, S::one());
@@ -284,13 +283,9 @@ pub fn build_deadline_probe_lp<S: Scalar>(
     let mut cap_expr = cap_expr.into_iter();
     for t in 0..n_int {
         let len = pts[t + 1].sub(&pts[t]);
-        for i in 0..m {
-            lp.add_constraint_labelled(
-                format!("cap[t{t}][m{i}]"),
-                cap_expr.next().unwrap(),
-                Rel::Le,
-                len.clone(),
-            );
+        for _ in 0..m {
+            let expr = cap_expr.next().unwrap(); // dlflint:allow(hot-path-panic, "iterator was built with exactly n_int * m expressions")
+            lp.add_constraint(expr, Rel::Le, len.clone());
         }
     }
 
@@ -299,23 +294,86 @@ pub fn build_deadline_probe_lp<S: Scalar>(
         let mut jobcap_expr = jobcap_expr.into_iter();
         for t in 0..n_int {
             let len = pts[t + 1].sub(&pts[t]);
-            for j in 0..n {
-                lp.add_constraint_labelled(
-                    format!("jobcap[t{t}][j{j}]"),
-                    jobcap_expr.next().unwrap(),
-                    Rel::Le,
-                    len.clone(),
-                );
+            for _ in 0..n {
+                let expr = jobcap_expr.next().unwrap(); // dlflint:allow(hot-path-panic, "iterator was built with exactly n_int * n expressions")
+                lp.add_constraint(expr, Rel::Le, len.clone());
             }
         }
     }
 
     // (2d) completion — an empty expression yields `0 = 1`: infeasible.
-    for (j, expr) in done_expr.into_iter().enumerate() {
-        lp.add_constraint_labelled(format!("done[j{j}]"), expr, Rel::Eq, S::one());
+    for expr in done_expr {
+        lp.add_constraint(expr, Rel::Eq, S::one());
     }
 
     lp
+}
+
+/// Maps the variable indices of one probe-form LP onto another, so a
+/// [`dlflow_lp::WarmBasis`] captured on `build_deadline_probe_lp(old, …)`
+/// can be carried (via [`dlflow_lp::WarmBasis::remap`]) onto
+/// `build_deadline_probe_lp(new, …)` after the job set churned.
+///
+/// `job_map[j_old]` gives the new column of old job `j_old` (`None` =
+/// departed). Machines must correspond 1:1 by index; a pair whose cost
+/// flipped between finite and infinite (platform change) simply drops
+/// out. The `t`-th interval frame of the old LP is identified with the
+/// `t`-th of the new one — with a different job set those frames cover
+/// different wall-clock windows, but a warm hint is only a pivot-order
+/// suggestion: the dual-simplex repair (or cold fallback) in
+/// `solve_warm` owns correctness, so an imperfect identification costs
+/// at most pivots, never accuracy.
+pub fn probe_var_remap<S: Scalar>(
+    old: &Instance<S>,
+    new: &Instance<S>,
+    job_map: &[Option<usize>],
+) -> Vec<Option<usize>> {
+    assert_eq!(job_map.len(), old.n_jobs());
+    assert_eq!(old.n_machines(), new.n_machines());
+    let m = old.n_machines();
+    let (n_old, n_new) = (old.n_jobs(), new.n_jobs());
+
+    // Rank of each finite (i, j) pair in the new LP's i-major order.
+    let mut new_rank = vec![usize::MAX; m * n_new];
+    let mut f_new = 0usize;
+    for i in 0..m {
+        for j in 0..n_new {
+            if new.cost(i, j).is_finite() {
+                new_rank[i * n_new + j] = f_new;
+                f_new += 1;
+            }
+        }
+    }
+
+    // Old finite pairs, mapped through the job map where they survive.
+    let mut pair_map: Vec<Option<usize>> = Vec::new();
+    for i in 0..m {
+        for j_old in 0..n_old {
+            if !old.cost(i, j_old).is_finite() {
+                continue;
+            }
+            pair_map.push(job_map[j_old].and_then(|j_new| {
+                let r = new_rank[i * n_new + j_new];
+                (r != usize::MAX).then_some(r)
+            }));
+        }
+    }
+    let f_old = pair_map.len();
+
+    // Probe-form interval count is shape-determined: 2n − 1.
+    let t_old = 2 * n_old - 1;
+    let t_new = 2 * n_new - 1;
+    let mut out = Vec::with_capacity(t_old * f_old);
+    for t in 0..t_old {
+        for fo in pair_map.iter().take(f_old) {
+            if t < t_new {
+                out.push(fo.map(|fn_| t * f_new + fn_));
+            } else {
+                out.push(None);
+            }
+        }
+    }
+    out
 }
 
 /// Systems (3)/(5): minimize `F` over a milestone range.
@@ -595,6 +653,50 @@ mod tests {
         assert_eq!(a.n_constraints(), b.n_constraints());
         for (ca, cb) in a.constraints().iter().zip(b.constraints()) {
             assert_eq!(ca.rel, cb.rel);
+        }
+    }
+
+    #[test]
+    fn probe_var_remap_carries_basis_across_job_churn() {
+        // Solve a 2-job probe, then drop job 0 and append a newcomer: the
+        // remapped basis must warm-start the new shape and the warm
+        // verdicts must agree with cold solves.
+        use dlflow_lp::solve_warm;
+        let old = simple();
+        let lp_old = build_deadline_probe_lp(&old, &[10.0, 10.0], false);
+        let first = solve_warm(&lp_old, None);
+        assert_eq!(first.solution.status, LpStatus::Optimal);
+        let basis = first.basis.expect("optimal probe must yield a basis");
+
+        // Old job 1 survives as new job 0; new job 1 is an arrival.
+        let mut b = InstanceBuilder::new();
+        b.job(2.0, 1.0);
+        b.job(3.0, 2.0);
+        b.machine(vec![Some(4.0), Some(6.0)]);
+        let new = b.build().unwrap();
+        let map = probe_var_remap(&old, &new, &[None, Some(0)]);
+        assert_eq!(map.len(), lp_old.n_vars());
+
+        for d in [vec![20.0, 20.0], vec![6.0, 30.0]] {
+            let lp_new = build_deadline_probe_lp(&new, &d, false);
+            let hint = basis.remap(&lp_new, &map);
+            let out = solve_warm(&lp_new, Some(&hint));
+            assert_eq!(
+                out.solution.status,
+                solve(&lp_new).status,
+                "warm and cold verdicts must agree for deadlines {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_var_remap_is_identity_on_unchanged_shape() {
+        let inst = simple();
+        let lp = build_deadline_probe_lp(&inst, &[10.0, 10.0], false);
+        let map = probe_var_remap(&inst, &inst, &[Some(0), Some(1)]);
+        assert_eq!(map.len(), lp.n_vars());
+        for (v, mapped) in map.iter().enumerate() {
+            assert_eq!(*mapped, Some(v));
         }
     }
 

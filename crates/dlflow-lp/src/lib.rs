@@ -48,6 +48,6 @@ pub mod simplex;
 pub mod solution;
 
 pub use problem::{Constraint, LinExpr, LpProblem, Rel, Sense, VarId};
-pub use revised::{solve, solve_warm, WarmBasis, WarmSolve};
+pub use revised::{certifies, solve, solve_warm, ProbeCache, ProbeSolve, WarmBasis, WarmSolve};
 pub use simplex::solve as solve_dense;
 pub use solution::{LpSolution, LpStatus};

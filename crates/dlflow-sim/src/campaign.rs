@@ -57,7 +57,7 @@
 
 use crate::engine::{simulate, OnlineScheduler, RunMetrics};
 use crate::schedulers::{
-    Edf, FifoFastest, Mct, OfflineAdapt, RoundRobin, Srpt, Swrpt, WeightedAge,
+    Edf, FifoFastest, Mct, OfflineAdapt, OlaLite, RoundRobin, Srpt, Swrpt, WeightedAge,
 };
 use dlflow_core::instance::Instance;
 use dlflow_core::maxflow::{min_max_weighted_flow_divisible_with, ProbeMethod};
@@ -92,6 +92,13 @@ pub enum SchedulerSpec {
         /// Bisection iterations per re-solve.
         bisection: usize,
     },
+    /// The production-cheap OLA variant: geometric objective walk
+    /// instead of a full bisection (see [`OlaLite`]).
+    OlaLite {
+        /// Geometric walk factor (> 1); the committed objective
+        /// overshoots the optimum by at most this factor.
+        alpha: f64,
+    },
 }
 
 impl SchedulerSpec {
@@ -122,6 +129,7 @@ impl SchedulerSpec {
                 ola.bisection_iters = *bisection;
                 Box::new(ola)
             }
+            SchedulerSpec::OlaLite { alpha } => Box::new(OlaLite::with_alpha(*alpha)),
         }
     }
 
@@ -202,8 +210,18 @@ impl SchedulerSpec {
                     bisection: bisection as usize,
                 })
             }
+            "olalite" => {
+                only(&["alpha"])?;
+                let alpha = get("alpha", 2.0);
+                if !alpha.is_finite() || alpha <= 1.0 {
+                    return Err(format!(
+                        "scheduler olalite: alpha must be finite and > 1, got {alpha}"
+                    ));
+                }
+                Ok(SchedulerSpec::OlaLite { alpha })
+            }
             other => Err(format!(
-                "unknown scheduler {other:?} (expected mct|fifo|srpt|swrpt|rr|wage|edf|ola)"
+                "unknown scheduler {other:?} (expected mct|fifo|srpt|swrpt|rr|wage|edf|ola|olalite)"
             )),
         }
     }
@@ -959,11 +977,22 @@ mod tests {
             SchedulerSpec::parse_compact("edf:target=3").unwrap(),
             SchedulerSpec::Edf { target: 3.0 }
         );
+        assert_eq!(
+            SchedulerSpec::parse_compact("olalite").unwrap(),
+            SchedulerSpec::OlaLite { alpha: 2.0 }
+        );
+        assert_eq!(
+            SchedulerSpec::parse_compact("olalite:alpha=1.5").unwrap(),
+            SchedulerSpec::OlaLite { alpha: 1.5 }
+        );
         assert!(SchedulerSpec::parse_compact("zorp").is_err());
         assert!(SchedulerSpec::parse_compact("ola:throttle").is_err());
         assert!(SchedulerSpec::parse_compact("ola:throttle=x").is_err());
         assert!(SchedulerSpec::parse_compact("ola:throttle=inf").is_err());
         assert!(SchedulerSpec::parse_compact("mct:target=2").is_err());
+        assert!(SchedulerSpec::parse_compact("olalite:alpha=1").is_err());
+        assert!(SchedulerSpec::parse_compact("olalite:alpha=0.5").is_err());
+        assert!(SchedulerSpec::parse_compact("olalite:beta=2").is_err());
     }
 
     #[test]
@@ -978,6 +1007,7 @@ mod tests {
                 throttle: 30.0,
                 bisection: 40,
             },
+            SchedulerSpec::OlaLite { alpha: 1.5 },
         ] {
             assert_eq!(spec.label(), spec.build().name());
         }

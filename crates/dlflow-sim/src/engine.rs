@@ -344,6 +344,17 @@ impl Allocation {
         }
     }
 
+    /// Overwrites `self` with a copy of `other`, reusing the machine
+    /// vector and each row's capacity. Callers that keep one
+    /// `Allocation` alive across re-solves (the OLA throttle cache)
+    /// copy through here so the steady state stays allocation-free.
+    pub(crate) fn copy_from(&mut self, other: &Allocation) {
+        self.reset(other.rows.len());
+        for (dst, src) in self.rows.iter_mut().zip(&other.rows) {
+            dst.extend_from_slice(src);
+        }
+    }
+
     /// Number of machines the allocation addresses.
     pub fn n_machines(&self) -> usize {
         self.rows.len()
@@ -396,6 +407,57 @@ impl Allocation {
         for e in &mut self.rows[machine] {
             e.1 *= factor;
         }
+    }
+}
+
+/// Re-solve cost telemetry reported by LP-backed policies (OLA and its
+/// variants) through [`OnlineScheduler::resolve_stats`]. Counters are
+/// *deterministic* proxies — LP solves, not wall time — so reports that
+/// include them stay byte-stable across runs and machines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResolveStats {
+    /// Full re-plans performed (bisection + final rate solve).
+    pub n_resolves: usize,
+    /// LP solves served by warm-basis reuse.
+    pub warm_lp_solves: usize,
+    /// LP solves performed from scratch (cold starts, tolerance-band
+    /// probes pinned to the cold path, and the final rate solve).
+    pub cold_lp_solves: usize,
+    /// Re-plans during which at least one LP solve was served warm —
+    /// the event-level "did the warm machinery engage" counter. A
+    /// resolve always ends with cold solves (the tolerance-band tail of
+    /// the bisection and the final rate extraction are pinned to the
+    /// legacy path by design), so the honest event-level question is
+    /// engagement, not purity.
+    pub warm_resolves: usize,
+    /// Re-plans served entirely by cold solves (the oracle mode, plus
+    /// warm-mode events vetoed by the conditioning/coincidence guards).
+    pub cold_resolves: usize,
+}
+
+impl ResolveStats {
+    /// Total LP solves across warm and cold paths.
+    pub fn lp_solves(&self) -> usize {
+        self.warm_lp_solves + self.cold_lp_solves
+    }
+
+    /// Mean LP solves per full re-plan — the deterministic "mean resolve
+    /// cost" figure surfaced in service reports.
+    pub fn mean_lp_solves_per_resolve(&self) -> f64 {
+        if self.n_resolves == 0 {
+            0.0
+        } else {
+            self.lp_solves() as f64 / self.n_resolves as f64
+        }
+    }
+
+    /// Component-wise sum (used to aggregate across shards).
+    pub fn merge(&mut self, other: &ResolveStats) {
+        self.n_resolves += other.n_resolves;
+        self.warm_lp_solves += other.warm_lp_solves;
+        self.cold_lp_solves += other.cold_lp_solves;
+        self.warm_resolves += other.warm_resolves;
+        self.cold_resolves += other.cold_resolves;
     }
 }
 
@@ -457,6 +519,14 @@ pub trait OnlineScheduler {
 
     /// Reset internal state between runs.
     fn reset(&mut self) {}
+
+    /// Re-solve cost telemetry since the last `reset`, for policies that
+    /// pay an LP solve per plan (OLA and friends). `None` (the default)
+    /// means the policy has no resolve machinery to report on; service
+    /// reports omit the resolve block in that case.
+    fn resolve_stats(&self) -> Option<ResolveStats> {
+        None
+    }
 }
 
 /// One finished job, streamed out of the engine as it completes.

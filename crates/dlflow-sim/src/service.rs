@@ -23,7 +23,9 @@
 //! ```
 
 use crate::campaign::SchedulerSpec;
-use crate::engine::{simulate, Engine, OnlineScheduler, RunMetrics, SimResult, StepOutcome};
+use crate::engine::{
+    simulate, Engine, OnlineScheduler, ResolveStats, RunMetrics, SimResult, StepOutcome,
+};
 use crate::shard::ShardedEngine;
 use crate::workload::{FaultProcess, Trace};
 use dlflow_core::instance::Instance;
@@ -67,6 +69,10 @@ pub struct ServiceReport {
     /// Per-job completion times (closed instances only; empty for
     /// trace replays, which stream completions instead of storing them).
     pub completions: Vec<f64>,
+    /// Re-solve cost telemetry, for policies that report it (OLA and
+    /// its variants); `None` for policies that do no LP re-solving.
+    /// Sharded runs aggregate across shards.
+    pub resolve_stats: Option<ResolveStats>,
 }
 
 /// Fault injection requested on the command line: a seeded MTBF/MTTR
@@ -272,6 +278,7 @@ pub fn run_simulation_with(
         metrics: eng.metrics(),
         max_active,
         completions,
+        resolve_stats: policy.resolve_stats(),
     };
     Ok((report, snapshot))
 }
@@ -351,6 +358,16 @@ fn run_sharded(
         metrics: se.metrics(),
         max_active: se.peak_active(),
         completions,
+        // Aggregate across shards; a single shard without telemetry
+        // means the policy kind reports none at all.
+        resolve_stats: policies
+            .iter()
+            .try_fold(ResolveStats::default(), |mut acc, p| {
+                p.resolve_stats().map(|s| {
+                    acc.merge(&s);
+                    acc
+                })
+            }),
     };
     Ok((report, None))
 }
@@ -375,6 +392,7 @@ pub fn run_simulation(input: &SimInput, spec: &SchedulerSpec) -> Result<ServiceR
                 metrics,
                 max_active: 0,
                 completions: res.completions,
+                resolve_stats: policy.resolve_stats(),
             })
         }
         SimInput::Open(trace) => {
@@ -392,6 +410,7 @@ pub fn run_simulation(input: &SimInput, spec: &SchedulerSpec) -> Result<ServiceR
                 metrics: stats.metrics,
                 max_active: stats.max_active,
                 completions: Vec::new(),
+                resolve_stats: policy.resolve_stats(),
             })
         }
     }
@@ -419,6 +438,17 @@ impl ServiceReport {
             s.push_str(&format!("   peak in-flight: {}", self.max_active));
         }
         s.push('\n');
+        if let Some(rs) = &self.resolve_stats {
+            s.push_str(&format!(
+                "  re-solves: {} ({} warm-served + {} cold)   LP solves: {} warm + {} cold   mean LP/resolve: {:.2}\n",
+                rs.n_resolves,
+                rs.warm_resolves,
+                rs.cold_resolves,
+                rs.warm_lp_solves,
+                rs.cold_lp_solves,
+                rs.mean_lp_solves_per_resolve()
+            ));
+        }
         s.push_str(&format!(
             "  max stretch: {:.6}   sum stretch: {:.6}\n",
             m.max_stretch, m.sum_stretch
@@ -442,6 +472,17 @@ impl ServiceReport {
         s.push_str(&format!("  \"n_machines\": {},\n", self.n_machines));
         s.push_str(&format!("  \"n_events\": {},\n", self.n_events));
         s.push_str(&format!("  \"n_plans\": {},\n", self.n_plans));
+        if let Some(rs) = &self.resolve_stats {
+            s.push_str(&format!("  \"n_resolves\": {},\n", rs.n_resolves));
+            s.push_str(&format!("  \"warm_resolves\": {},\n", rs.warm_resolves));
+            s.push_str(&format!("  \"cold_resolves\": {},\n", rs.cold_resolves));
+            s.push_str(&format!("  \"warm_lp_solves\": {},\n", rs.warm_lp_solves));
+            s.push_str(&format!("  \"cold_lp_solves\": {},\n", rs.cold_lp_solves));
+            s.push_str(&format!(
+                "  \"mean_lp_solves_per_resolve\": {},\n",
+                f6(rs.mean_lp_solves_per_resolve())
+            ));
+        }
         s.push_str(&format!("  \"max_active\": {},\n", self.max_active));
         s.push_str(&format!("  \"utilization\": {},\n", f6(self.utilization)));
         s.push_str(&format!("  \"max_stretch\": {},\n", f6(m.max_stretch)));
@@ -617,6 +658,78 @@ mod tests {
         let (f, _) = run_simulation_with(&input, &spec, &faulty).unwrap();
         assert_eq!(f.n_jobs, 40);
         assert!(f.metrics.makespan.is_finite());
+    }
+
+    #[test]
+    fn eager_warm_ola_reports_warm_dominated_resolve_costs() {
+        // The tentpole regression: with warm incremental re-solves on
+        // (the default), a 1k-arrival replay must engage the warm
+        // machinery on nearly every re-plan — if the warm path silently
+        // degrades to cold everywhere, this trips. The *event-level*
+        // counters are the honest yardstick: every resolve deliberately
+        // ends with cold solves (the bisection's tolerance-band tail
+        // and the final rate solve are pinned to the legacy path by the
+        // golden-compatibility guards), so per-LP counts can never show
+        // warm ≫ cold, but per-resolve counts must.
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 1000,
+            seed: 7,
+            ..Default::default()
+        });
+        let spec = SchedulerSpec::parse_compact("ola").unwrap();
+        let report = run_simulation(&SimInput::Open(trace), &spec).unwrap();
+        let rs = report.resolve_stats.expect("OLA reports resolve telemetry");
+        assert!(rs.n_resolves > 0);
+        assert_eq!(rs.warm_resolves + rs.cold_resolves, rs.n_resolves);
+        assert!(
+            rs.warm_resolves > 10 * rs.cold_resolves.max(1),
+            "eager warm OLA must serve re-plans warm ≫ cold: {} warm vs {} cold",
+            rs.warm_resolves,
+            rs.cold_resolves
+        );
+        assert!(
+            rs.warm_lp_solves > 0 && rs.cold_lp_solves > 0,
+            "both LP paths must be exercised: {rs:?}"
+        );
+        assert!(rs.mean_lp_solves_per_resolve() > 1.0);
+
+        // Telemetry renders in both formats…
+        let json = report.to_json();
+        assert!(json.contains("\"warm_resolves\""));
+        assert!(json.contains("\"warm_lp_solves\""));
+        assert!(json.contains("\"mean_lp_solves_per_resolve\""));
+        assert!(report.to_text().contains("warm-served"));
+        assert!(report.to_text().contains("mean LP/resolve"));
+
+        // …and stays absent for policies that do no LP re-solving.
+        let inert = SchedulerSpec::parse_compact("swrpt").unwrap();
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 20,
+            seed: 7,
+            ..Default::default()
+        });
+        let plain = run_simulation(&SimInput::Open(trace), &inert).unwrap();
+        assert!(plain.resolve_stats.is_none());
+        assert!(!plain.to_json().contains("\"warm_lp_solves\""));
+    }
+
+    #[test]
+    fn sharded_ola_aggregates_resolve_stats_across_shards() {
+        let trace = generate_trace(&TraceSpec {
+            n_requests: 30,
+            n_machines: 4,
+            seed: 9,
+            ..Default::default()
+        });
+        let spec = SchedulerSpec::parse_compact("ola").unwrap();
+        let opts = SimOptions {
+            shards: 2,
+            ..Default::default()
+        };
+        let (report, _) = run_simulation_with(&SimInput::Open(trace), &spec, &opts).unwrap();
+        let rs = report.resolve_stats.expect("sharded OLA merges telemetry");
+        assert!(rs.n_resolves > 0);
+        assert!(rs.lp_solves() >= rs.n_resolves);
     }
 
     #[test]

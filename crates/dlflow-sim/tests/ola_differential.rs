@@ -1,0 +1,194 @@
+//! PR 10 differential harness: warm-basis OLA against the cold-resolve
+//! oracle.
+//!
+//! The warm machinery (persistent `ProbeCache` re-solves, chained basis
+//! carry, margin-gated infeasibility verdicts) is a *pure perf change*:
+//! every feasibility verdict it serves must agree with a from-scratch
+//! solve, so allocations and completions are required to be
+//! **bit-identical** to [`OfflineAdapt::cold_oracle`] — across seeded
+//! traces, every fault intensity, and snapshot/restore interruption at
+//! every k-th event.
+//!
+//! Snapshot semantics under test: the warm basis and probe cache are
+//! deliberately **not** serialized by `dlflow-snapshot v1` — they are
+//! pure pivot-order hints, safe to drop and rebuild after a restore.
+//! The interrupted runs here restore into *fresh* policy instances
+//! (empty caches) and must still reproduce the uninterrupted cold
+//! oracle bit for bit; any verdict leaking out of a stale basis would
+//! surface as a diverging completion float.
+
+use dlflow_sim::engine::{Engine, OnlineScheduler, ResolveStats, StepOutcome};
+use dlflow_sim::schedulers::{OfflineAdapt, OlaLite};
+use dlflow_sim::workload::{generate_trace, FaultProcess, Trace, TraceSpec};
+use proptest::prelude::*;
+
+/// A small trace at one of three fault intensities: 0 = fault-free,
+/// 1 = moderate (occasional outage), 2 = harsh (machines spend a
+/// comparable share of the horizon down as up).
+fn traced(seed: u64, n: usize, intensity: u8) -> Trace {
+    let (mtbf, mttr) = match intensity {
+        1 => (8.0, 2.0),
+        2 => (3.0, 3.0),
+        _ => (0.0, 0.0),
+    };
+    generate_trace(&TraceSpec {
+        n_requests: n,
+        n_machines: 3,
+        seed,
+        faults: (intensity > 0).then_some(FaultProcess {
+            mtbf,
+            mttr,
+            horizon: 30.0,
+            seed: seed ^ 0x01A0,
+        }),
+        ..Default::default()
+    })
+}
+
+/// Pushes the whole trace (arrivals + platform events) into a fresh
+/// engine.
+fn load(trace: &Trace) -> Engine {
+    let mut eng = Engine::new(trace.n_machines());
+    for e in &trace.platform_events {
+        eng.push_platform_event(*e).unwrap();
+    }
+    for k in 0..trace.len() {
+        eng.push_arrival(trace.job_spec(k)).unwrap();
+    }
+    eng
+}
+
+/// Completions as `(id, completion-bits)`, sorted by id.
+fn completions_of(eng: &mut Engine) -> Vec<(usize, u64)> {
+    let mut out: Vec<(usize, u64)> = eng
+        .take_completed()
+        .into_iter()
+        .map(|c| (c.id, c.completion.to_bits()))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Uninterrupted run, returning completions and resolve telemetry.
+fn run_straight(trace: &Trace, policy: &mut OfflineAdapt) -> (Vec<(usize, u64)>, ResolveStats) {
+    policy.reset();
+    let mut eng = load(trace);
+    eng.drain(policy).unwrap();
+    let stats = OnlineScheduler::resolve_stats(policy).unwrap();
+    (completions_of(&mut eng), stats)
+}
+
+/// Warm-mode run interrupted by snapshot/restore every `every` events;
+/// each restore targets a brand-new eager-warm policy whose probe cache
+/// and carried basis start empty (the safe-to-drop contract).
+fn run_interrupted_warm(trace: &Trace, every: usize) -> Vec<(usize, u64)> {
+    let mut policy = OfflineAdapt::new();
+    policy.reset();
+    let mut eng = load(trace);
+    let mut guard = 0usize;
+    loop {
+        guard += 1;
+        assert!(guard < 1_000_000, "interrupted run does not terminate");
+        if eng.step(&mut policy).unwrap() == StepOutcome::Idle {
+            break;
+        }
+        if eng.n_events().is_multiple_of(every) {
+            let snap = eng.snapshot(&policy);
+            let mut revived = OfflineAdapt::new();
+            eng = Engine::restore(&snap, &mut revived).unwrap();
+            policy = revived;
+        }
+    }
+    completions_of(&mut eng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Warm-path OLA is bit-identical to the cold-resolve oracle across
+    /// seeds and fault intensities — and pays for exactly as many LP
+    /// solves in total (the warm path changes *who* answers a probe,
+    /// never *how many* probes the bisection asks).
+    #[test]
+    fn warm_ola_is_bit_identical_to_cold_oracle(
+        seed in 0u64..20_000,
+        n in 4usize..12,
+        intensity in 0u8..3,
+    ) {
+        let trace = traced(seed, n, intensity);
+        let (cold_done, cold_stats) =
+            run_straight(&trace, &mut OfflineAdapt::cold_oracle());
+        let (warm_done, warm_stats) =
+            run_straight(&trace, &mut OfflineAdapt::new());
+        prop_assert_eq!(cold_done.len(), n);
+        prop_assert_eq!(&warm_done, &cold_done);
+        prop_assert_eq!(warm_stats.lp_solves(), cold_stats.lp_solves());
+        prop_assert_eq!(warm_stats.n_resolves, cold_stats.n_resolves);
+        // The oracle never serves a probe warm, by construction.
+        prop_assert_eq!(cold_stats.warm_lp_solves, 0);
+        prop_assert_eq!(cold_stats.warm_resolves, 0);
+    }
+
+    /// Dropping the warm basis mid-run is safe: interrupting the warm
+    /// policy at every k-th event (snapshot → fresh instance → restore)
+    /// still reproduces the uninterrupted **cold oracle** bit for bit.
+    #[test]
+    fn interrupted_warm_run_matches_uninterrupted_cold_oracle(
+        seed in 0u64..20_000,
+        n in 4usize..10,
+        every in 1usize..5,
+        intensity in 0u8..3,
+    ) {
+        let trace = traced(seed, n, intensity);
+        let (reference, _) =
+            run_straight(&trace, &mut OfflineAdapt::cold_oracle());
+        let interrupted = run_interrupted_warm(&trace, every);
+        prop_assert_eq!(&interrupted, &reference);
+    }
+
+    /// OLA-lite is deterministic (same trace → bit-identical replay)
+    /// and survives every fault intensity, for walk factors besides the
+    /// default.
+    #[test]
+    fn ola_lite_is_deterministic_across_intensities(
+        seed in 0u64..20_000,
+        n in 4usize..12,
+        intensity in 0u8..3,
+        tight in 0u8..2,
+    ) {
+        let alpha = if tight == 1 { 1.5 } else { 3.0 };
+        let trace = traced(seed, n, intensity);
+        let mut a = OlaLite::with_alpha(alpha);
+        let mut b = OlaLite::with_alpha(alpha);
+        let sa = trace.replay(&mut a).unwrap();
+        let sb = trace.replay(&mut b).unwrap();
+        prop_assert_eq!(sa.n_jobs, n);
+        prop_assert_eq!(sa.n_events, sb.n_events);
+        prop_assert_eq!(
+            sa.metrics.max_stretch.to_bits(),
+            sb.metrics.max_stretch.to_bits()
+        );
+        prop_assert!(sa.metrics.makespan.is_finite());
+    }
+}
+
+/// The differential above must not pass vacuously: on a dense trace the
+/// eager-warm policy actually engages its warm machinery, and the mean
+/// resolve cost it reports is a real bisection (≫ 1 LP per re-plan).
+#[test]
+fn warm_engagement_is_not_vacuous() {
+    let trace = traced(7, 60, 0);
+    let (_, warm) = run_straight(&trace, &mut OfflineAdapt::new());
+    assert!(
+        warm.warm_lp_solves > 0,
+        "eager-warm OLA never served a probe warm: {warm:?}"
+    );
+    assert!(
+        warm.warm_resolves > warm.cold_resolves,
+        "warm engagement should dominate events on a fault-free trace: {warm:?}"
+    );
+    assert!(
+        warm.mean_lp_solves_per_resolve() > 1.0,
+        "resolve cost collapsed: {warm:?}"
+    );
+}
